@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig. 7: success rate of the NOT operation with 1-32 destination
+ * rows (Observations 3 and 4).
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 7: NOT success rate vs. destination rows");
+
+    Campaign campaign(figureConfig());
+    const auto result = campaign.notVsDestRows();
+
+    Table table({"dest rows", "success % (box)", "mean %", "max %",
+                 "paper mean %"});
+    for (const auto &[dest, set] : result) {
+        table.addRow();
+        table.addCell(static_cast<std::uint64_t>(dest));
+        table.addCell(boxCell(set));
+        table.addCell(meanCell(set));
+        table.addCell(set.empty() ? "-" : formatDouble(set.max(), 2));
+        table.addCell(dest == 1 ? "98.37" : dest == 32 ? "7.95" : "-");
+    }
+    table.print(std::cout);
+
+    std::cout << "\nObs. 3: every destination-row count has at least "
+                 "one 100% cell (see max column).\n";
+    std::cout << "Obs. 4: success rate decreases with destination "
+                 "rows.\n";
+    return 0;
+}

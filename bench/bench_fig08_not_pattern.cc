@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 8: NOT success rate per NRF:NRL activation type, and the
+ * matched-destination-count N:2N vs N:N advantage (Observation 5;
+ * paper: +9.41% on average).
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 8: NOT success rate vs. NRF:NRL activation type");
+
+    Campaign campaign(figureConfig());
+    const auto by_type = campaign.notVsActivationType();
+
+    Table table({"NRF:NRL", "success % (box)", "mean %"});
+    for (const auto &[type, set] : by_type) {
+        table.addRow();
+        table.addCell(type);
+        table.addCell(boxCell(set));
+        table.addCell(meanCell(set));
+    }
+    table.print(std::cout);
+
+    // Matched-destination comparison (Obs. 5).
+    const std::vector<std::pair<std::string, std::string>> matched = {
+        {"1:2", "2:2"}, {"2:4", "4:4"}, {"4:8", "8:8"},
+        {"8:16", "16:16"},
+    };
+    double n2n_sum = 0.0;
+    double nn_sum = 0.0;
+    int count = 0;
+    for (const auto &[n2n, nn] : matched) {
+        if (by_type.count(n2n) && by_type.count(nn)) {
+            n2n_sum += by_type.at(n2n).mean();
+            nn_sum += by_type.at(nn).mean();
+            ++count;
+        }
+    }
+    if (count > 0) {
+        std::cout << "\nObs. 5: N:2N averages "
+                  << formatDouble(n2n_sum / count, 2)
+                  << "% vs N:N " << formatDouble(nn_sum / count, 2)
+                  << "% at matched destination counts (+"
+                  << formatDouble((n2n_sum - nn_sum) / count, 2)
+                  << "%; paper: +9.41%).\n";
+    }
+    return 0;
+}

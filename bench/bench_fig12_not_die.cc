@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 12: NOT success rate (one destination row) per chip density
+ * and die revision, for both manufacturers (Observation 9; paper:
+ * SK Hynix 8Gb M -> A drops 8.05%, Samsung A -> D drops 11.02%).
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 12: NOT success rate by chip density and die "
+                "revision");
+
+    Campaign campaign(figureConfig());
+    const auto by_die = campaign.notByDie();
+
+    Table table({"density/die", "success % (box)", "mean %"});
+    std::map<std::string, double> means;
+    for (const auto &[label, set] : by_die) {
+        table.addRow();
+        table.addCell(label);
+        table.addCell(boxCell(set));
+        table.addCell(meanCell(set));
+        if (!set.empty())
+            means[label] = set.mean();
+    }
+    table.print(std::cout);
+
+    if (means.count("SKHynix-8Gb-M") && means.count("SKHynix-8Gb-A")) {
+        std::cout << "\nSK Hynix 8Gb M -> A delta: "
+                  << formatDouble(means["SKHynix-8Gb-A"] -
+                                      means["SKHynix-8Gb-M"],
+                                  2)
+                  << "% (paper -8.05%).\n";
+    }
+    if (means.count("Samsung-8Gb-A") && means.count("Samsung-8Gb-D")) {
+        std::cout << "Samsung A -> D delta: "
+                  << formatDouble(means["Samsung-8Gb-D"] -
+                                      means["Samsung-8Gb-A"],
+                                  2)
+                  << "% (paper -11.02%).\n";
+    }
+    std::cout << "Takeaway 3: NOT reliability varies significantly "
+                 "across die revisions and densities.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 16: AND/OR success rate vs. the number of logic-1 operands
+ * (Observation 14; paper: 16-input AND drops 52.43% from zero to
+ * fifteen ones, 4-input AND drops 45.43%; 16-input OR drops 53.66%
+ * from sixteen to one, 4-input OR 21.46% from four to zero).
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+
+namespace {
+
+void
+printSweep(Campaign &campaign, BoolOp op, int inputs)
+{
+    const auto sweep = campaign.logicVsOnes(op, inputs);
+    Table table({"#logic-1s", "mean success %"});
+    for (const auto &[ones, mean] : sweep) {
+        table.addRow();
+        table.addCell(static_cast<std::uint64_t>(ones));
+        table.addCell(mean, 2);
+    }
+    std::cout << "\n" << inputs << "-input " << toString(op) << ":\n";
+    table.print(std::cout);
+    if (op == BoolOp::And) {
+        std::cout << "drop from 0 ones to " << (inputs - 1)
+                  << " ones: "
+                  << formatDouble(sweep.at(0) - sweep.at(inputs - 1), 2)
+                  << "% (paper: " << (inputs == 16 ? "52.43" : "45.43")
+                  << "% to " << (inputs == 16 ? 15 : inputs) << ")\n";
+    } else {
+        std::cout << "drop from " << inputs << " ones to "
+                  << (inputs == 16 ? 1 : 0) << " ones: "
+                  << formatDouble(sweep.at(inputs) -
+                                      sweep.at(inputs == 16 ? 1 : 0),
+                                  2)
+                  << "% (paper: " << (inputs == 16 ? "53.66" : "21.46")
+                  << "%)\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 16: AND/OR success rate vs. number of logic-1 "
+                "inputs");
+
+    Campaign campaign(benchutil::figureConfig());
+    printSweep(campaign, BoolOp::And, 4);
+    printSweep(campaign, BoolOp::And, 16);
+    printSweep(campaign, BoolOp::Or, 4);
+    printSweep(campaign, BoolOp::Or, 16);
+
+    std::cout << "\nObs. 14: AND is worst at all-1s / one-0 inputs; "
+                 "OR at one-1 / no-1 inputs.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 19: logic-op success rate at 50-95 C (Observation 17; paper:
+ * highest variation 1.66% AND, 1.65% NAND, 1.63% OR, 1.64% NOR).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "benchutil.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 19: logic-op success rate vs. chip temperature "
+                "(>90% cells at 50C)");
+
+    Campaign campaign(figureConfig());
+    const std::vector<int> temps = {50, 60, 70, 80, 95};
+    const auto result = campaign.logicVsTemperature(temps);
+
+    const std::map<BoolOp, double> paper_max = {
+        {BoolOp::And, 1.66},
+        {BoolOp::Nand, 1.65},
+        {BoolOp::Or, 1.63},
+        {BoolOp::Nor, 1.64},
+    };
+
+    for (const auto &[op, by_inputs] : result) {
+        std::cout << "\n" << toString(op) << ":\n";
+        Table table({"N", "50C", "60C", "70C", "80C", "95C", "delta"});
+        double worst = 0.0;
+        for (const auto &[inputs, by_temp] : by_inputs) {
+            table.addRow();
+            table.addCell(static_cast<std::uint64_t>(inputs));
+            double lo = 1e9;
+            double hi = -1e9;
+            for (const int temp : temps) {
+                if (by_temp.count(temp)) {
+                    table.addCell(by_temp.at(temp), 2);
+                    lo = std::min(lo, by_temp.at(temp));
+                    hi = std::max(hi, by_temp.at(temp));
+                } else {
+                    table.addCell(std::string("-"));
+                }
+            }
+            table.addCell(hi - lo, 2);
+            worst = std::max(worst, hi - lo);
+        }
+        table.print(std::cout);
+        std::cout << "largest variation: " << formatDouble(worst, 2)
+                  << "% (paper " << formatDouble(paper_max.at(op), 2)
+                  << "%)\n";
+    }
+    std::cout << "\nObs. 17 / Takeaway 4: the operations are highly "
+                 "resilient to temperature.\n";
+    return 0;
+}

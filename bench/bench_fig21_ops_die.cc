@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 21: logic-op success rate per SK Hynix chip density and die
+ * revision (Observation 19; paper: 2-input AND drops 27.47% from
+ * 4Gb A-die to 4Gb M-die and gains 2.11% from 8Gb A-die to 8Gb
+ * M-die).
+ */
+
+#include <iostream>
+
+#include "benchutil.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 21: logic-op success rate by chip density and "
+                "die revision (SK Hynix)");
+
+    Campaign campaign(figureConfig());
+    const auto result = campaign.logicByDie();
+
+    Table table({"density/die", "AND", "NAND", "OR", "NOR"});
+    for (const auto &[label, by_op] : result) {
+        table.addRow();
+        table.addCell(label);
+        for (const BoolOp op :
+             {BoolOp::And, BoolOp::Nand, BoolOp::Or, BoolOp::Nor}) {
+            table.addCell(by_op.count(op) ? meanCell(by_op.at(op))
+                                          : std::string("-"));
+        }
+    }
+    table.print(std::cout);
+
+    const auto mean = [&](const std::string &label,
+                          BoolOp op) -> double {
+        if (!result.count(label) || !result.at(label).count(op))
+            return -1.0;
+        return result.at(label).at(op).mean();
+    };
+    const double a4 = mean("SKHynix-4Gb-A", BoolOp::And);
+    const double m4 = mean("SKHynix-4Gb-M", BoolOp::And);
+    const double a8 = mean("SKHynix-8Gb-A", BoolOp::And);
+    const double m8 = mean("SKHynix-8Gb-M", BoolOp::And);
+    if (a4 >= 0.0 && m4 >= 0.0) {
+        std::cout << "\nAND 4Gb A -> M delta: "
+                  << formatDouble(m4 - a4, 2)
+                  << "% (paper -27.47% at 2 inputs).\n";
+    }
+    if (a8 >= 0.0 && m8 >= 0.0) {
+        std::cout << "AND 8Gb A -> M delta: "
+                  << formatDouble(m8 - a8, 2)
+                  << "% (paper +2.11% at 2 inputs).\n";
+    }
+    std::cout << "Takeaway 5: logic-op reliability varies across die "
+                 "revisions and densities.\n";
+    return 0;
+}

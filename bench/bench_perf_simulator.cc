@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simulator performance microbenchmarks (google-benchmark): command
+ * execution throughput for the FCDRAM operations, analytic per-cell
+ * evaluation rate, and decoder queries. Not a paper figure; useful
+ * for sizing characterization campaigns.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fcdram/analytic.hh"
+#include "fcdram/ops.hh"
+
+namespace fcdram {
+namespace {
+
+GeometryConfig
+benchGeometry()
+{
+    GeometryConfig geometry = GeometryConfig::standard();
+    geometry.columns = 128;
+    geometry.numBanks = 1;
+    return geometry;
+}
+
+ChipProfile
+benchProfile()
+{
+    return ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
+}
+
+void
+BM_DecoderNeighborActivation(benchmark::State &state)
+{
+    const Chip chip(benchProfile(), benchGeometry(), 1);
+    Rng rng(2);
+    for (auto _ : state) {
+        const auto rf = static_cast<RowId>(rng.below(512));
+        const auto rl = static_cast<RowId>(rng.below(512));
+        benchmark::DoNotOptimize(
+            chip.decoder().neighborActivation(rf, rl));
+    }
+}
+BENCHMARK(BM_DecoderNeighborActivation);
+
+void
+BM_ExecutorNotTrial(benchmark::State &state)
+{
+    Chip chip(benchProfile(), benchGeometry(), 1);
+    DramBender bender(chip, 7);
+    Ops ops(bender);
+    const auto pairs = findActivationPairs(
+        chip, static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(0)), 1, 3);
+    if (pairs.empty()) {
+        state.SkipWithError("no activation pair");
+        return;
+    }
+    const RowId src = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId dst = composeRow(chip.geometry(), 1, pairs[0].second);
+    const Program program = ops.buildNot(0, src, dst);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bender.execute(program));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorNotTrial)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_ExecutorLogicTrial(benchmark::State &state)
+{
+    Chip chip(benchProfile(), benchGeometry(), 1);
+    DramBender bender(chip, 7);
+    Ops ops(bender);
+    const int n = static_cast<int>(state.range(0));
+    const auto pairs = findActivationPairs(chip, n, n, 1, 3);
+    if (pairs.empty()) {
+        state.SkipWithError("no activation pair");
+        return;
+    }
+    const RowId ref = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId com = composeRow(chip.geometry(), 1, pairs[0].second);
+    const Program program = ops.buildDoubleAct(0, ref, com);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bender.execute(program));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorLogicTrial)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_AnalyticLogicSweep(benchmark::State &state)
+{
+    const Chip chip(benchProfile(), benchGeometry(), 1);
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analyzer(chip, config, 1);
+    const int n = static_cast<int>(state.range(0));
+    const auto pairs = findActivationPairs(chip, n, n, 1, 3);
+    if (pairs.empty()) {
+        state.SkipWithError("no activation pair");
+        return;
+    }
+    const RowId ref = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId com = composeRow(chip.geometry(), 1, pairs[0].second);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzer.logicSamples(
+            0, BoolOp::And, ref, com, OpConditions(),
+            PatternClass::Random));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::size_t>(n) * 64);
+}
+BENCHMARK(BM_AnalyticLogicSweep)->Arg(2)->Arg(16);
+
+void
+BM_RowWriteRead(benchmark::State &state)
+{
+    Chip chip(benchProfile(), benchGeometry(), 1);
+    DramBender bender(chip, 7);
+    BitVector pattern(static_cast<std::size_t>(chip.geometry().columns));
+    Rng rng(5);
+    pattern.randomize(rng);
+    for (auto _ : state) {
+        bender.writeRow(0, 3, pattern);
+        benchmark::DoNotOptimize(bender.readRow(0, 3));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowWriteRead);
+
+} // namespace
+} // namespace fcdram
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: a common
+ * campaign configuration and formatting utilities that print measured
+ * values next to the paper's reported ones.
+ */
+
+#ifndef FCDRAM_BENCH_BENCHUTIL_HH
+#define FCDRAM_BENCH_BENCHUTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "fcdram/campaign.hh"
+
+namespace fcdram::benchutil {
+
+/** Campaign configuration used by all figure benches. */
+inline CampaignConfig
+figureConfig()
+{
+    CampaignConfig config;
+    config.analytic.trials = 10000; // The paper's trial budget.
+    config.analytic.sampleBinomial = true;
+    return config;
+}
+
+/** "mean [min q1 med q3 max]" cell for a sample set. */
+inline std::string
+boxCell(const SampleSet &set)
+{
+    if (set.empty())
+        return "-";
+    return set.box().toString(2);
+}
+
+/** Mean cell for a sample set. */
+inline std::string
+meanCell(const SampleSet &set)
+{
+    return set.empty() ? "-" : formatDouble(set.mean(), 2);
+}
+
+} // namespace fcdram::benchutil
+
+#endif // FCDRAM_BENCH_BENCHUTIL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Calibration probe: prints the model's headline averages next to the
+ * paper's reported values. Not one of the paper's figures; used to
+ * keep the calibration honest (see EXPERIMENTS.md).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "fcdram/campaign.hh"
+
+using namespace fcdram;
+
+int
+main()
+{
+    CampaignConfig config;
+    config.analytic.sampleBinomial = false;
+    Campaign campaign(config);
+
+    printBanner(std::cout, "Calibration probe: headline averages");
+
+    Table not_table({"dest rows", "measured avg %", "paper %"});
+    const auto not_result = campaign.notVsDestRows();
+    const char *paper_not[] = {"98.37", "-", "-", "-", "-", "7.95"};
+    int i = 0;
+    for (const auto &[dest, set] : not_result) {
+        not_table.addRow();
+        not_table.addCell(static_cast<std::uint64_t>(dest));
+        not_table.addCell(set.empty() ? 0.0 : set.mean());
+        not_table.addCell(std::string(paper_not[i++ % 6]));
+    }
+    not_table.print(std::cout);
+
+    Table logic_table({"op", "N", "measured avg %", "paper %"});
+    const auto logic = campaign.logicVsInputs();
+    const auto paper = [](BoolOp op, int n) -> std::string {
+        if (n == 16) {
+            switch (op) {
+              case BoolOp::And: return "94.94";
+              case BoolOp::Nand: return "94.94";
+              case BoolOp::Or: return "95.85";
+              case BoolOp::Nor: return "95.87";
+              default: break;
+            }
+        }
+        if (n == 2 && op == BoolOp::And)
+            return "84.67 (=16in-10.27)";
+        return "-";
+    };
+    for (const auto &[op, by_inputs] : logic) {
+        for (const auto &[inputs, set] : by_inputs) {
+            logic_table.addRow();
+            logic_table.addCell(std::string(toString(op)));
+            logic_table.addCell(static_cast<std::uint64_t>(inputs));
+            logic_table.addCell(set.empty() ? 0.0 : set.mean());
+            logic_table.addCell(paper(op, inputs));
+        }
+    }
+    logic_table.print(std::cout);
+    return 0;
+}

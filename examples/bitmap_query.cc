@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bitmap-index query acceleration: the bulk-bitwise workload that
+ * motivates Processing-using-DRAM. A table of records is indexed by
+ * bitmap columns (one bit per record per predicate); a conjunctive
+ * query is a wide AND across bitmaps, a disjunctive one a wide OR.
+ *
+ * The example runs the same queries on the CPU (golden model) and
+ * in-DRAM through the FCDRAM operations, using a reliability mask to
+ * confine the in-DRAM computation to dependable columns, and reports
+ * accuracy plus the DRAM command count per query.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "dram/openbitline.hh"
+#include "fcdram/golden.hh"
+#include "fcdram/ops.hh"
+#include "fcdram/reliablemask.hh"
+
+using namespace fcdram;
+
+int
+main()
+{
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
+    GeometryConfig geometry = GeometryConfig::standard();
+    geometry.columns = 256;
+    Chip chip(profile, geometry, /*seed=*/42);
+    DramBender bender(chip, /*sessionSeed=*/7);
+    Ops ops(bender);
+
+    std::cout << "Bitmap-index query demo on " << profile.label()
+              << "\n";
+    std::cout << "Each DRAM row column = one record; predicates are "
+                 "bitmap rows.\n\n";
+
+    // Find a 4:4 activation pair: a 4-predicate query in one shot.
+    const int predicates = 4;
+    const auto pairs =
+        findActivationPairs(chip, predicates, predicates, 1, 3);
+    if (pairs.empty()) {
+        std::cerr << "no activation pair found\n";
+        return 1;
+    }
+    const ActivationSets sets = chip.decoder().neighborActivation(
+        pairs.front().first, pairs.front().second);
+    const RowId ref_anchor = composeRow(geometry, 0, pairs.front().first);
+    const RowId com_anchor =
+        composeRow(geometry, 1, pairs.front().second);
+    std::vector<RowId> ref_rows;
+    std::vector<RowId> com_rows;
+    for (const RowId local : sets.firstRows)
+        ref_rows.push_back(composeRow(geometry, 0, local));
+    for (const RowId local : sets.secondRows)
+        com_rows.push_back(composeRow(geometry, 1, local));
+
+    // Reliability masks from a profiling pass (>95% cells).
+    const ReliableMask profiler(chip, 95.0);
+    const BitVector and_mask =
+        profiler.logicMask(0, BoolOp::And, ref_anchor, com_anchor);
+    const BitVector or_mask =
+        profiler.logicMask(0, BoolOp::Or, ref_anchor, com_anchor);
+    std::cout << "Reliable columns (>=95% cells): AND "
+              << and_mask.popcount() << "/" << geometry.columns / 2
+              << " shared, OR " << or_mask.popcount() << "/"
+              << geometry.columns / 2 << " shared\n\n";
+
+    // Synthesize predicate bitmaps ("age>30", "region=EU", ...).
+    Rng rng(99);
+    std::vector<BitVector> bitmaps(
+        predicates,
+        BitVector(static_cast<std::size_t>(geometry.columns)));
+    for (auto &bitmap : bitmaps)
+        bitmap.randomize(rng);
+
+    Table table({"query", "records checked", "CPU matches",
+                 "DRAM matches", "bit accuracy %", "DRAM commands"});
+
+    for (const BoolOp op : {BoolOp::And, BoolOp::Or}) {
+        const BitVector &mask =
+            op == BoolOp::And ? and_mask : or_mask;
+        if (!ops.initReference(0, op, ref_rows)) {
+            std::cerr << "frac init failed\n";
+            return 1;
+        }
+        for (std::size_t i = 0; i < com_rows.size(); ++i)
+            bender.writeRow(0, com_rows[i], bitmaps[i]);
+        const LogicOpResult result = ops.executeLogic(
+            0, op, ref_anchor, com_anchor, ref_rows, com_rows);
+        const BitVector golden = goldenOp(op, bitmaps);
+
+        std::size_t checked = 0;
+        std::size_t cpu_matches = 0;
+        std::size_t dram_matches = 0;
+        std::size_t correct = 0;
+        for (const ColId col : result.columns) {
+            if (!mask.get(col))
+                continue; // Unreliable record slot: fall back to CPU.
+            ++checked;
+            cpu_matches += golden.get(col) ? 1 : 0;
+            dram_matches += result.computeResult.get(col) ? 1 : 0;
+            correct += result.computeResult.get(col) == golden.get(col)
+                           ? 1
+                           : 0;
+        }
+        table.addRow();
+        table.addCell(std::string(toString(op)) + " of " +
+                      std::to_string(predicates) + " bitmaps");
+        table.addCell(static_cast<std::uint64_t>(checked));
+        table.addCell(static_cast<std::uint64_t>(cpu_matches));
+        table.addCell(static_cast<std::uint64_t>(dram_matches));
+        table.addCell(checked == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(correct) /
+                                static_cast<double>(checked),
+                      2);
+        // ACT + PRE + ACT + PRE regardless of the predicate count:
+        // the in-DRAM query cost is O(1) in N.
+        table.addCell(static_cast<std::uint64_t>(4));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nA CPU scan reads " << predicates
+              << " bitmaps (one per predicate); the in-DRAM query is "
+                 "a single 4-command\nviolated-timing sequence "
+                 "regardless of the predicate count.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "analog/chargesharing.hh"
+
+#include <cassert>
+
+namespace fcdram {
+
+Volt
+sharedBitlineVoltage(const std::vector<Volt> &cellVolts,
+                     const AnalogParams &params, Volt prechargeVolt)
+{
+    double charge = params.bitlineCap * prechargeVolt;
+    double capacitance = params.bitlineCap;
+    for (const Volt v : cellVolts) {
+        charge += params.cellCap * v;
+        capacitance += params.cellCap;
+    }
+    assert(capacitance > 0.0);
+    return charge / capacitance;
+}
+
+Volt
+idealReferenceVoltage(int numInputs, Volt constantVolt,
+                      const AnalogParams &params)
+{
+    assert(numInputs >= 1);
+    std::vector<Volt> cells(static_cast<std::size_t>(numInputs - 1),
+                            constantVolt);
+    cells.push_back(kVddHalf);
+    return sharedBitlineVoltage(cells, params);
+}
+
+Volt
+idealComputeVoltage(int numInputs, int numOnes, const AnalogParams &params)
+{
+    assert(numInputs >= 1);
+    assert(numOnes >= 0 && numOnes <= numInputs);
+    std::vector<Volt> cells(static_cast<std::size_t>(numInputs), kGnd);
+    for (int i = 0; i < numOnes; ++i)
+        cells[static_cast<std::size_t>(i)] = kVdd;
+    return sharedBitlineVoltage(cells, params);
+}
+
+} // namespace fcdram

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Charge-sharing arithmetic for multi-cell bitline connections.
+ *
+ * When k cells connect to a precharged bitline, the resulting voltage
+ * is the capacitance-weighted mean of the cell voltages and the
+ * bitline's precharge level (paper Section 6.1, footnote 10 extended
+ * with a finite bitline capacitance).
+ */
+
+#ifndef FCDRAM_ANALOG_CHARGESHARING_HH
+#define FCDRAM_ANALOG_CHARGESHARING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/**
+ * Bitline voltage after charge sharing with the given cell voltages.
+ *
+ * @param cellVolts Voltages of the simultaneously connected cells.
+ * @param params Capacitance ratios.
+ * @param prechargeVolt Initial bitline voltage (VDD/2 normally).
+ * @return Settled bitline voltage.
+ */
+Volt sharedBitlineVoltage(const std::vector<Volt> &cellVolts,
+                          const AnalogParams &params,
+                          Volt prechargeVolt = kVddHalf);
+
+/**
+ * Ideal reference-subarray bitline voltage for an N-input operation:
+ * N-1 cells at @p constantVolt plus one Frac cell at VDD/2.
+ */
+Volt idealReferenceVoltage(int numInputs, Volt constantVolt,
+                           const AnalogParams &params);
+
+/**
+ * Ideal compute-subarray bitline voltage for an N-input operation with
+ * @p numOnes operands at VDD and the rest at GND.
+ */
+Volt idealComputeVoltage(int numInputs, int numOnes,
+                         const AnalogParams &params);
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_CHARGESHARING_HH

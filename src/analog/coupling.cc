@@ -1,0 +1,45 @@
+#include "analog/coupling.hh"
+
+namespace fcdram {
+
+Volt
+couplingPenalty(const AnalogParams &params, double disagreementFraction)
+{
+    return params.couplingDelta * disagreementFraction;
+}
+
+double
+disagreementFraction(const BitVector &row)
+{
+    if (row.size() < 2)
+        return 0.0;
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i + 1 < row.size(); ++i)
+        differing += row.get(i) != row.get(i + 1) ? 1 : 0;
+    return static_cast<double>(differing) /
+           static_cast<double>(row.size() - 1);
+}
+
+Volt
+couplingPenaltyAt(const AnalogParams &params, const BitVector &row,
+                  ColId col)
+{
+    if (row.size() == 0)
+        return 0.0;
+    const bool value = row.get(col);
+    double disagreeing = 0.0;
+    double neighbors = 0.0;
+    if (col > 0) {
+        neighbors += 1.0;
+        disagreeing += row.get(col - 1) != value ? 1.0 : 0.0;
+    }
+    if (col + 1 < row.size()) {
+        neighbors += 1.0;
+        disagreeing += row.get(col + 1) != value ? 1.0 : 0.0;
+    }
+    if (neighbors == 0.0)
+        return 0.0;
+    return params.couplingDelta * (disagreeing / neighbors);
+}
+
+} // namespace fcdram

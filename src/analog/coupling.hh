@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bitline-to-bitline parasitic coupling penalty (the data-pattern
+ * dependence of Observation 16).
+ */
+
+#ifndef FCDRAM_ANALOG_COUPLING_HH
+#define FCDRAM_ANALOG_COUPLING_HH
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/**
+ * Margin penalty (V) for a given neighbor-disagreement fraction.
+ *
+ * @param params Analog constants.
+ * @param disagreementFraction Fraction of adjacent bitlines carrying
+ *        the opposite value (0 for all-1s/all-0s rows, ~0.5 random).
+ */
+Volt couplingPenalty(const AnalogParams &params,
+                     double disagreementFraction);
+
+/**
+ * Neighbor-disagreement fraction of a row pattern: the fraction of
+ * adjacent bit pairs that differ.
+ */
+double disagreementFraction(const BitVector &row);
+
+/**
+ * Per-column coupling penalty (V): a column is penalized when either
+ * adjacent column in @p row holds the opposite value.
+ */
+Volt couplingPenaltyAt(const AnalogParams &params, const BitVector &row,
+                       ColId col);
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_COUPLING_HH

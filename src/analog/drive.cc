@@ -1,0 +1,15 @@
+#include "analog/drive.hh"
+
+#include <cassert>
+
+namespace fcdram {
+
+Volt
+notDriveMargin(const AnalogParams &params, int totalActivatedRows)
+{
+    assert(totalActivatedRows >= 2);
+    return params.driveMargin0 -
+           params.drivePerRow * static_cast<double>(totalActivatedRows - 2);
+}
+
+} // namespace fcdram

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Multi-row restore drive model.
+ *
+ * A sense amplifier restoring its sensed value into many
+ * simultaneously activated rows must charge the combined cell
+ * capacitance; its drive margin shrinks with each additional row
+ * (the paper's hypothesis for Observations 4 and 5).
+ */
+
+#ifndef FCDRAM_ANALOG_DRIVE_HH
+#define FCDRAM_ANALOG_DRIVE_HH
+
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/**
+ * Signed drive margin (V) for a NOT-style overdrive event.
+ *
+ * @param params Analog constants.
+ * @param totalActivatedRows NRF + NRL: every row the shared sense
+ *        amplifier must drive simultaneously (source side rows get the
+ *        source value, destination side rows its complement).
+ * @return Margin before offsets/penalties; positive means the drive
+ *         usually succeeds.
+ */
+Volt notDriveMargin(const AnalogParams &params, int totalActivatedRows);
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_DRIVE_HH

@@ -1,0 +1,19 @@
+#include "analog/latchwindow.hh"
+
+namespace fcdram {
+
+Volt
+latchWindowPenalty(const AnalogParams &params, Ns gapNs)
+{
+    const double delta = gapNs - params.latchWindowOptNs;
+    return params.latchWindowKappa * delta * delta;
+}
+
+Volt
+latchWindowPenalty(const AnalogParams &params, const SpeedGrade &speed)
+{
+    return latchWindowPenalty(params,
+                              speed.quantizedGapNs(kViolatedGapTargetNs));
+}
+
+} // namespace fcdram

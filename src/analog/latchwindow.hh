@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Row-decoder latch-window model: the quality of the multi-row
+ * activation glitch depends on the actual (clock-quantized) length of
+ * the violated PRE -> ACT interval. Because the interval is quantized
+ * to whole clock cycles, different speed grades realize different
+ * analog intervals, producing the paper's non-monotonic speed-rate
+ * sensitivity (Observations 8 and 18).
+ */
+
+#ifndef FCDRAM_ANALOG_LATCHWINDOW_HH
+#define FCDRAM_ANALOG_LATCHWINDOW_HH
+
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+#include "config/timing.hh"
+
+namespace fcdram {
+
+/**
+ * Margin penalty (V) for a violated-gap interval of @p gapNs, growing
+ * quadratically with the distance from the decoder's optimal window.
+ */
+Volt latchWindowPenalty(const AnalogParams &params, Ns gapNs);
+
+/**
+ * Convenience: penalty for the interval a given speed grade actually
+ * realizes when targeting kViolatedGapTargetNs.
+ */
+Volt latchWindowPenalty(const AnalogParams &params,
+                        const SpeedGrade &speed);
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_LATCHWINDOW_HH

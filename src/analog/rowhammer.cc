@@ -1,0 +1,19 @@
+#include "analog/rowhammer.hh"
+
+#include "common/mathutil.hh"
+
+namespace fcdram {
+
+double
+hammerFlipProbability(const RowHammerParams &params,
+                      std::uint64_t activations, double vulnerability)
+{
+    if (activations <= params.hammerThreshold)
+        return 0.0;
+    const double excess =
+        static_cast<double>(activations - params.hammerThreshold);
+    return clampTo(params.flipSlope * excess * vulnerability, 0.0,
+                   params.maxFlipProbability);
+}
+
+} // namespace fcdram

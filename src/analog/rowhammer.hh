@@ -1,0 +1,47 @@
+/**
+ * @file
+ * RowHammer disturbance model.
+ *
+ * Used as the reverse-engineering instrument of the paper's
+ * methodology (Section 5.2): repeatedly activating an aggressor row
+ * flips bits in the physically adjacent rows; a row adjacent to the
+ * sense-amplifier stripe has only one neighbor, which exposes the
+ * physical row order.
+ */
+
+#ifndef FCDRAM_ANALOG_ROWHAMMER_HH
+#define FCDRAM_ANALOG_ROWHAMMER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fcdram {
+
+/** Disturbance parameters of the RowHammer model. */
+struct RowHammerParams
+{
+    /** Activation count below which no bitflips occur. */
+    std::uint64_t hammerThreshold = 40000;
+
+    /**
+     * Per-cell flip probability gained per activation beyond the
+     * threshold, scaled by the cell's vulnerability factor.
+     */
+    double flipSlope = 2.0e-5;
+
+    /** Maximum per-cell flip probability. */
+    double maxFlipProbability = 0.6;
+};
+
+/**
+ * Per-cell flip probability for @p activations aggressor activations
+ * and a cell vulnerability factor in [0, 1].
+ */
+double hammerFlipProbability(const RowHammerParams &params,
+                             std::uint64_t activations,
+                             double vulnerability);
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_ROWHAMMER_HH

@@ -1,0 +1,200 @@
+#include "analog/successmodel.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "analog/chargesharing.hh"
+#include "analog/coupling.hh"
+#include "analog/drive.hh"
+#include "analog/latchwindow.hh"
+#include "analog/temperature.hh"
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+
+namespace fcdram {
+
+SuccessModel::SuccessModel(const ChipProfile &profile,
+                           std::uint64_t chipSeed)
+    : profile_(profile),
+      variation_(chipSeed, profile.analog),
+      senseAmp_(profile.analog)
+{
+}
+
+bool
+SuccessModel::expectedOutput(BoolOp op, int numInputs, int numOnes)
+{
+    switch (op) {
+      case BoolOp::And: return numOnes == numInputs;
+      case BoolOp::Nand: return numOnes != numInputs;
+      case BoolOp::Or: return numOnes > 0;
+      case BoolOp::Nor: return numOnes == 0;
+      case BoolOp::Maj3: return 2 * numOnes > numInputs;
+      case BoolOp::Not: return numOnes == 0;
+    }
+    return false;
+}
+
+Volt
+SuccessModel::environmentPenalty(Ns glitchGapNs, Celsius temperature,
+                                 double couplingFraction,
+                                 bool sequential) const
+{
+    const AnalogParams &analog = profile_.analog;
+    Volt penalty = couplingPenalty(analog, couplingFraction) +
+                   temperaturePenalty(analog, temperature);
+    // The sequential (Samsung-style) two-row activation does not rely
+    // on the decoder latch glitch, so the quantized-gap penalty only
+    // applies to simultaneous activation designs.
+    if (!sequential && !profile_.decoder.sequentialNeighborOnly) {
+        if (glitchGapNs >= 0.0)
+            penalty += latchWindowPenalty(analog, glitchGapNs);
+        else
+            penalty += latchWindowPenalty(analog, profile_.speed);
+    }
+    return penalty;
+}
+
+Volt
+SuccessModel::comparisonMargin(Volt vA, Volt vB,
+                               const ComparisonContext &ctx) const
+{
+    const AnalogParams &analog = profile_.analog;
+    Volt margin = analog.marginScale * std::abs(vA - vB);
+    margin -= senseAmp_.commonModePenalty(vA, vB);
+    // Calibrated sensing asymmetry: comparisons biased to a high
+    // common mode (the AND-family reference configuration)
+    // consistently underperform low-common-mode ones (Obs. 12).
+    const Volt common_mode = 0.5 * (vA + vB);
+    if (common_mode > kVddHalf) {
+        margin -= analog.andFamilyPenalty * 4.0 /
+                  static_cast<double>(ctx.cellsPerSide + 2);
+    } else {
+        margin += analog.orFamilyBonus * 4.0 /
+                  static_cast<double>(ctx.cellsPerSide + 2);
+    }
+    margin += analog.logicBias;
+    if (ctx.invertedSide)
+        margin -= analog.invertedSidePenalty;
+    margin += ctx.regionMargin;
+    margin -= environmentPenalty(ctx.glitchGapNs, ctx.temperature,
+                                 ctx.couplingFraction,
+                                 ctx.sequential || !ctx.glitched);
+    return margin;
+}
+
+Volt
+SuccessModel::driveMarginMech(int totalActivatedRows,
+                              const ComparisonContext &ctx) const
+{
+    assert(totalActivatedRows >= 2);
+    const AnalogParams &analog = profile_.analog;
+    Volt margin = analog.marginScale *
+                  notDriveMargin(analog, totalActivatedRows);
+    if (ctx.invertedSide)
+        margin -= analog.invertedSidePenalty;
+    margin += ctx.regionMargin;
+    margin -= environmentPenalty(ctx.glitchGapNs, ctx.temperature,
+                                 ctx.couplingFraction,
+                                 ctx.sequential || !ctx.glitched);
+    return margin;
+}
+
+Volt
+SuccessModel::notMargin(const NotContext &ctx) const
+{
+    const AnalogParams &analog = profile_.analog;
+    ComparisonContext mech;
+    mech.cellsPerSide = (ctx.totalActivatedRows + 1) / 2;
+    mech.regionMargin =
+        analog.srcRegionMargin[static_cast<int>(ctx.srcRegion)] +
+        analog.dstRegionMargin[static_cast<int>(ctx.dstRegion)];
+    mech.couplingFraction = ctx.cond.couplingFraction;
+    mech.temperature = ctx.cond.temperature;
+    return driveMarginMech(ctx.totalActivatedRows, mech);
+}
+
+Volt
+SuccessModel::logicMargin(const LogicContext &ctx) const
+{
+    assert(ctx.numInputs >= 2);
+    assert(ctx.numOnes >= 0 && ctx.numOnes <= ctx.numInputs);
+    const AnalogParams &analog = profile_.analog;
+
+    const bool and_family =
+        ctx.op == BoolOp::And || ctx.op == BoolOp::Nand;
+    const Volt constant = and_family ? kVdd : kGnd;
+    const Volt v_ref =
+        idealReferenceVoltage(ctx.numInputs, constant, analog);
+    const Volt v_com =
+        idealComputeVoltage(ctx.numInputs, ctx.numOnes, analog);
+
+    ComparisonContext mech;
+    mech.cellsPerSide = ctx.numInputs;
+    mech.regionMargin =
+        analog.srcRegionMargin[static_cast<int>(ctx.comRegion)] +
+        analog.dstRegionMargin[static_cast<int>(ctx.refRegion)];
+    mech.couplingFraction = ctx.cond.couplingFraction;
+    mech.temperature = ctx.cond.temperature;
+    mech.invertedSide = isInvertedOp(ctx.op);
+    return comparisonMargin(v_ref, v_com, mech);
+}
+
+double
+SuccessModel::structuralFailFraction(int rowPairLoad) const
+{
+    assert(rowPairLoad >= 1);
+    const double p = profile_.analog.structuralFailPerPair;
+    return 1.0 - std::pow(1.0 - p, static_cast<double>(rowPairLoad));
+}
+
+bool
+SuccessModel::structuralFail(BankId bank, StripeId stripe, ColId col,
+                             int rowPairLoad) const
+{
+    return variation_.structuralFailUnder(
+        bank, stripe, col, structuralFailFraction(rowPairLoad));
+}
+
+Volt
+SuccessModel::staticOffset(BankId bank, RowId row, ColId col,
+                           StripeId stripe) const
+{
+    return variation_.cellOffset(bank, row, col) +
+           variation_.saOffset(bank, stripe, col);
+}
+
+double
+SuccessModel::cellSuccessProbability(Volt margin, Volt staticOff,
+                                     bool structFail) const
+{
+    if (structFail)
+        return 0.5;
+    return senseAmp_.successProbability(margin - staticOff);
+}
+
+double
+SuccessModel::averageSuccessProbability(Volt margin,
+                                        int rowPairLoad) const
+{
+    const AnalogParams &analog = profile_.analog;
+    const double static_sigma =
+        std::sqrt(analog.cellOffsetSigma * analog.cellOffsetSigma +
+                  analog.saOffsetSigma * analog.saOffsetSigma);
+    const double total_sigma =
+        std::sqrt(static_sigma * static_sigma +
+                  analog.senseNoiseSigma * analog.senseNoiseSigma);
+    const double fail = structuralFailFraction(rowPairLoad);
+    return (1.0 - fail) * normalCdf(margin / total_sigma) + 0.5 * fail;
+}
+
+bool
+SuccessModel::sampleTrial(Volt margin, Volt staticOff, bool structFail,
+                          Rng &rng) const
+{
+    if (structFail)
+        return rng.bernoulli(0.5);
+    return senseAmp_.sample(margin - staticOff, rng);
+}
+
+} // namespace fcdram

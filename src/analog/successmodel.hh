@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Combined reliability model for FCDRAM operations.
+ *
+ * Every effect the paper characterizes acts on a single signed
+ * sensing/drive margin:
+ *
+ *   margin = marginScale * rawPhysicsMargin + regionMargins
+ *          - commonModePenalty - asymmetryPenalty - couplingPenalty
+ *          - temperaturePenalty - latchWindowPenalty
+ *          - invertedSidePenalty
+ *
+ * A cell's per-trial success probability is
+ * Phi((margin - staticOffsets) / senseNoiseSigma), with a separate
+ * structural-failure population whose outcome is a metastable coin
+ * flip. The same margin core drives both the closed-form analytic
+ * engine and the command-level Monte-Carlo executor, so the two agree
+ * by construction.
+ */
+
+#ifndef FCDRAM_ANALOG_SUCCESSMODEL_HH
+#define FCDRAM_ANALOG_SUCCESSMODEL_HH
+
+#include "analog/senseamp.hh"
+#include "analog/variation.hh"
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+class Rng;
+
+/** Experiment-level environment shared by all operations. */
+struct OpConditions
+{
+    Celsius temperature = kDefaultTemperature;
+
+    /**
+     * Fraction of adjacent bitlines carrying opposite values
+     * (0 for all-1s/all-0s data, ~0.5 for random data).
+     */
+    double couplingFraction = 0.5;
+};
+
+/** Context of one NOT operation instance (analytic form). */
+struct NotContext
+{
+    /** NRF + NRL: all rows the shared sense amplifiers drive. @pre >= 2 */
+    int totalActivatedRows = 2;
+
+    Region srcRegion = Region::Middle;
+    Region dstRegion = Region::Middle;
+
+    OpConditions cond;
+};
+
+/** Context of one N-input logic operation instance (analytic form). */
+struct LogicContext
+{
+    BoolOp op = BoolOp::And; ///< And, Or, Nand, or Nor.
+
+    int numInputs = 2; ///< N. @pre 2 <= N
+
+    int numOnes = 0; ///< Logic-1 operands at this column. @pre <= N
+
+    Region comRegion = Region::Middle; ///< Compute-subarray rows.
+    Region refRegion = Region::Middle; ///< Reference-subarray rows.
+
+    OpConditions cond;
+};
+
+/**
+ * Mechanism-level context for a sense-amplifier comparison between
+ * two multi-cell bitlines (used by the executor, which works from
+ * actual cell voltages rather than ideal patterns).
+ */
+struct ComparisonContext
+{
+    /** Cells charge-sharing per terminal (N for N-input ops). */
+    int cellsPerSide = 1;
+
+    /**
+     * Actual violated PRE->ACT gap in ns; negative means "use the
+     * profile speed grade's quantized default target".
+     */
+    Ns glitchGapNs = -1.0;
+
+    /** Additive region margin (sum of src- and dst-side terms, V). */
+    Volt regionMargin = 0.0;
+
+    /** Local neighbor-disagreement fraction for coupling. */
+    double couplingFraction = 0.5;
+
+    Celsius temperature = kDefaultTemperature;
+
+    /** Cell sits on the complement (inverted/reference) terminal. */
+    bool invertedSide = false;
+
+    /** Sequential (Samsung-style) activation: no latch penalty. */
+    bool sequential = false;
+
+    /**
+     * The comparison happens as part of a glitched (violated-timing)
+     * activation; false for ordinary single-row sensing, which takes
+     * no latch-window penalty.
+     */
+    bool glitched = true;
+};
+
+/**
+ * Per-chip reliability model. Owns a VariationMap.
+ */
+class SuccessModel
+{
+  public:
+    /**
+     * @param profile Chip design parameters (already die-scaled).
+     * @param chipSeed Seed of the simulated chip instance.
+     */
+    SuccessModel(const ChipProfile &profile, std::uint64_t chipSeed);
+
+    /** Expected logical output of a logic op with @p numOnes set inputs. */
+    static bool expectedOutput(BoolOp op, int numInputs, int numOnes);
+
+    /**
+     * Mechanism core: correctness margin (V) of a comparison between
+     * terminal voltages @p vA and @p vB. The "correct" outcome is the
+     * one the ideal voltages imply; the margin is |vA - vB| scaled,
+     * minus all penalties.
+     */
+    Volt comparisonMargin(Volt vA, Volt vB,
+                          const ComparisonContext &ctx) const;
+
+    /**
+     * Mechanism core: drive (restore) margin of a NOT/RowClone-style
+     * overdrive into @p totalActivatedRows rows.
+     */
+    Volt driveMarginMech(int totalActivatedRows,
+                         const ComparisonContext &ctx) const;
+
+    /** Analytic margin (V) of a NOT drive event. */
+    Volt notMargin(const NotContext &ctx) const;
+
+    /**
+     * Analytic margin (V) of a logic sensing event assuming ideal
+     * initialization. NAND/NOR margins equal their AND/OR
+     * counterparts minus the inverted-side penalty.
+     */
+    Volt logicMargin(const LogicContext &ctx) const;
+
+    /**
+     * Probability that a given sense amplifier structurally fails
+     * under @p rowPairLoad simultaneously driven row pairs.
+     */
+    double structuralFailFraction(int rowPairLoad) const;
+
+    /**
+     * True if the SA at (bank, stripe, col) structurally fails under
+     * @p rowPairLoad (deterministic per chip; the failing population
+     * grows monotonically with the load).
+     */
+    bool structuralFail(BankId bank, StripeId stripe, ColId col,
+                        int rowPairLoad) const;
+
+    /** Static offset (V): cell threshold plus SA offset. */
+    Volt staticOffset(BankId bank, RowId row, ColId col,
+                      StripeId stripe) const;
+
+    /**
+     * Analytic per-trial success probability for a specific cell.
+     *
+     * @param margin Operation margin from notMargin/logicMargin.
+     * @param staticOff The cell's static offset.
+     * @param structFail Whether the SA structurally fails at this load.
+     */
+    double cellSuccessProbability(Volt margin, Volt staticOff,
+                                  bool structFail) const;
+
+    /**
+     * Population-average success probability, integrating the static
+     * offsets out analytically (used for fast closed-form sweeps).
+     *
+     * @param margin Operation margin.
+     * @param rowPairLoad Load for the structural-failure fraction.
+     */
+    double averageSuccessProbability(Volt margin, int rowPairLoad) const;
+
+    /** Sample one trial outcome for a specific cell. */
+    bool sampleTrial(Volt margin, Volt staticOff, bool structFail,
+                     Rng &rng) const;
+
+    const ChipProfile &profile() const { return profile_; }
+    const VariationMap &variation() const { return variation_; }
+    const SenseAmpModel &senseAmp() const { return senseAmp_; }
+
+  private:
+    /** Coupling + temperature + (conditional) latch-window penalty. */
+    Volt environmentPenalty(Ns glitchGapNs, Celsius temperature,
+                            double couplingFraction,
+                            bool sequential) const;
+
+    ChipProfile profile_;
+    VariationMap variation_;
+    SenseAmpModel senseAmp_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_SUCCESSMODEL_HH

@@ -1,0 +1,11 @@
+#include "analog/temperature.hh"
+
+namespace fcdram {
+
+Volt
+temperaturePenalty(const AnalogParams &params, Celsius temperature)
+{
+    return params.tempCoeff * (temperature - kDefaultTemperature);
+}
+
+} // namespace fcdram

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Temperature dependence of the sensing/drive margin. The paper
+ * finds the effect small (Observations 7 and 17, at most 1.66%
+ * between 50 C and 95 C); the model is a mild linear margin loss.
+ */
+
+#ifndef FCDRAM_ANALOG_TEMPERATURE_HH
+#define FCDRAM_ANALOG_TEMPERATURE_HH
+
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/**
+ * Margin penalty (V) at @p temperature relative to the 50 C baseline.
+ * Negative temperatures below the baseline would yield a small bonus.
+ */
+Volt temperaturePenalty(const AnalogParams &params, Celsius temperature);
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_TEMPERATURE_HH

@@ -1,0 +1,82 @@
+#include "analog/variation.hh"
+
+#include "common/mathutil.hh"
+#include "common/rng.hh"
+
+namespace fcdram {
+
+namespace {
+
+// Domain separators so the different variation quantities derived for
+// the same coordinates are statistically independent.
+constexpr std::uint64_t kCellDomain = 0x43454c4cULL;   // "CELL"
+constexpr std::uint64_t kSaDomain = 0x53414d50ULL;     // "SAMP"
+constexpr std::uint64_t kFailDomain = 0x4641494cULL;   // "FAIL"
+constexpr std::uint64_t kHammerDomain = 0x48414d52ULL; // "HAMR"
+
+std::uint64_t
+coordKey(std::uint64_t domain, std::uint64_t seed, std::uint64_t a,
+         std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t key = hashCombine(domain, seed);
+    key = hashCombine(key, a);
+    key = hashCombine(key, b);
+    key = hashCombine(key, c);
+    return key;
+}
+
+} // namespace
+
+VariationMap::VariationMap(std::uint64_t chipSeed,
+                           const AnalogParams &params)
+    : chipSeed_(chipSeed), params_(params)
+{
+}
+
+double
+VariationMap::gaussianFromKey(std::uint64_t key) const
+{
+    // Map the hash to (0, 1) and through the normal quantile. The
+    // +0.5 offset keeps the argument strictly inside the open
+    // interval.
+    const double u =
+        (static_cast<double>(key >> 11) + 0.5) * 0x1.0p-53;
+    return normalQuantile(u);
+}
+
+double
+VariationMap::uniformFromKey(std::uint64_t key) const
+{
+    return (static_cast<double>(key >> 11) + 0.5) * 0x1.0p-53;
+}
+
+Volt
+VariationMap::cellOffset(BankId bank, RowId row, ColId col) const
+{
+    const auto key = coordKey(kCellDomain, chipSeed_, bank, row, col);
+    return params_.cellOffsetSigma * gaussianFromKey(key);
+}
+
+Volt
+VariationMap::saOffset(BankId bank, StripeId stripe, ColId col) const
+{
+    const auto key = coordKey(kSaDomain, chipSeed_, bank, stripe, col);
+    return params_.saOffsetSigma * gaussianFromKey(key);
+}
+
+bool
+VariationMap::structuralFailUnder(BankId bank, StripeId stripe,
+                                  ColId col, double failFraction) const
+{
+    const auto key = coordKey(kFailDomain, chipSeed_, bank, stripe, col);
+    return uniformFromKey(key) < failFraction;
+}
+
+double
+VariationMap::hammerVulnerability(BankId bank, RowId row, ColId col) const
+{
+    const auto key = coordKey(kHammerDomain, chipSeed_, bank, row, col);
+    return uniformFromKey(key);
+}
+
+} // namespace fcdram

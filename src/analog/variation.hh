@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic process-variation maps.
+ *
+ * Every cell and sense amplifier in a chip has static, manufacturing-
+ * time variation (threshold offsets, weak contacts). We derive these
+ * from a stateless hash of the chip seed and the component coordinates
+ * so that the same chip always exhibits the same variation, across
+ * trials and across analytic/Monte-Carlo engines.
+ */
+
+#ifndef FCDRAM_ANALOG_VARIATION_HH
+#define FCDRAM_ANALOG_VARIATION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/**
+ * Per-chip static variation source. All values are deterministic
+ * functions of (chipSeed, coordinates).
+ */
+class VariationMap
+{
+  public:
+    /**
+     * @param chipSeed Unique seed of the simulated chip.
+     * @param params Analog parameter pack supplying the sigmas.
+     */
+    VariationMap(std::uint64_t chipSeed, const AnalogParams &params);
+
+    /** Static threshold offset (V) of the cell at (bank, row, col). */
+    Volt cellOffset(BankId bank, RowId row, ColId col) const;
+
+    /**
+     * Static input-referred offset (V) of the sense amplifier at
+     * (bank, stripe, col).
+     */
+    Volt saOffset(BankId bank, StripeId stripe, ColId col) const;
+
+    /**
+     * True if the sense amplifier at (bank, stripe, col) structurally
+     * cannot support multi-row operation at the given population
+     * fail fraction (its outcome is then a metastable coin flip).
+     * Each SA has a fixed strength percentile, so the failing
+     * population grows monotonically with @p failFraction.
+     */
+    bool structuralFailUnder(BankId bank, StripeId stripe, ColId col,
+                             double failFraction) const;
+
+    /**
+     * Per-cell RowHammer vulnerability factor in [0, 1] (used by the
+     * row-order reverse-engineering methodology).
+     */
+    double hammerVulnerability(BankId bank, RowId row, ColId col) const;
+
+    /** Chip seed this map was built from. */
+    std::uint64_t chipSeed() const { return chipSeed_; }
+
+  private:
+    /** Standard-normal deviate derived from a hash key. */
+    double gaussianFromKey(std::uint64_t key) const;
+
+    /** Uniform [0,1) derived from a hash key. */
+    double uniformFromKey(std::uint64_t key) const;
+
+    std::uint64_t chipSeed_;
+    AnalogParams params_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_ANALOG_VARIATION_HH

@@ -1,0 +1,32 @@
+#include "bender/command.hh"
+
+#include <sstream>
+
+namespace fcdram {
+
+const char *
+toString(CommandType type)
+{
+    switch (type) {
+      case CommandType::Act: return "ACT";
+      case CommandType::Pre: return "PRE";
+      case CommandType::Rd: return "RD";
+      case CommandType::Wr: return "WR";
+      case CommandType::Ref: return "REF";
+      case CommandType::Nop: return "NOP";
+    }
+    return "???";
+}
+
+std::string
+Command::toString() const
+{
+    std::ostringstream oss;
+    oss << fcdram::toString(type) << " b" << static_cast<int>(bank);
+    if (type == CommandType::Act)
+        oss << " r" << row;
+    oss << " @" << issueNs << "ns";
+    return oss.str();
+}
+
+} // namespace fcdram

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * DDR4 command set as issued by the testing infrastructure, with
+ * absolute issue timestamps (the infrastructure controls timing at
+ * clock-cycle granularity, which is what makes timing violations
+ * expressible).
+ */
+
+#ifndef FCDRAM_BENDER_COMMAND_HH
+#define FCDRAM_BENDER_COMMAND_HH
+
+#include <string>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+
+namespace fcdram {
+
+/** DDR4 command kinds used by the characterization programs. */
+enum class CommandType : std::uint8_t {
+    Act, ///< Row activation.
+    Pre, ///< Bank precharge.
+    Rd,  ///< Row read (whole simulated row for convenience).
+    Wr,  ///< Row write (whole simulated row).
+    Ref, ///< Refresh (modeled as a no-op).
+    Nop, ///< Timing filler.
+};
+
+/** Printable name of a command type. */
+const char *toString(CommandType type);
+
+/** One command with its absolute issue time. */
+struct Command
+{
+    CommandType type = CommandType::Nop;
+    BankId bank = 0;
+    RowId row = 0;      ///< For Act (bank-global row id).
+    Ns issueNs = 0.0;   ///< Absolute issue time.
+    BitVector data;     ///< For Wr.
+
+    /** Debug rendering, e.g. "ACT b0 r129 @12.5ns". */
+    std::string toString() const;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_BENDER_COMMAND_HH

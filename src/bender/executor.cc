@@ -1,0 +1,708 @@
+#include "bender/executor.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "analog/chargesharing.hh"
+#include "dram/address.hh"
+#include "dram/openbitline.hh"
+
+namespace fcdram {
+
+namespace {
+
+/** Sensing starts this long after an ACT (charge-sharing time). */
+constexpr Ns kSenseStartNs = 2.0;
+
+/** Full restore takes this long after an ACT. */
+constexpr Ns kRestoreDoneNs = 20.0;
+
+/** Voltages this close to VDD/2 sense metastably. */
+constexpr Volt kMetastableBand = 0.02;
+
+/** Ambiguity window for lazily resolved single-row sensing. */
+constexpr Volt kAmbiguousBand = 0.15;
+
+} // namespace
+
+Executor::Executor(Chip &chip, std::uint64_t trialSeed,
+                   const TimingParams &timing)
+    : chip_(chip), timing_(timing),
+      rng_(hashCombine(chip.seed(), trialSeed)),
+      banks_(static_cast<std::size_t>(chip.numBanks()))
+{
+}
+
+ExecResult
+Executor::run(const Program &program)
+{
+    ExecResult result;
+    for (const Command &command : program.commands) {
+        assert(command.bank < banks_.size());
+        switch (command.type) {
+          case CommandType::Act:
+            handleAct(command, result);
+            break;
+          case CommandType::Pre:
+            handlePre(command);
+            break;
+          case CommandType::Wr:
+            handleWr(command);
+            break;
+          case CommandType::Rd:
+            handleRd(command, result);
+            break;
+          case CommandType::Ref:
+          case CommandType::Nop:
+            break;
+        }
+    }
+    return result;
+}
+
+double
+Executor::restoreProgress(Ns gapNs) const
+{
+    if (gapNs <= kSenseStartNs)
+        return 0.0;
+    if (gapNs >= kRestoreDoneNs)
+        return 1.0;
+    return (gapNs - kSenseStartNs) / (kRestoreDoneNs - kSenseStartNs);
+}
+
+double
+Executor::couplingFractionAt(const BitVector &pattern, ColId col)
+{
+    if (pattern.size() == 0)
+        return 0.0;
+    const bool value = pattern.get(col);
+    double neighbors = 0.0;
+    double differing = 0.0;
+    if (col > 0) {
+        neighbors += 1.0;
+        differing += pattern.get(col - 1) != value ? 1.0 : 0.0;
+    }
+    if (col + 1 < pattern.size()) {
+        neighbors += 1.0;
+        differing += pattern.get(col + 1) != value ? 1.0 : 0.0;
+    }
+    return neighbors > 0.0 ? differing / neighbors : 0.0;
+}
+
+void
+Executor::normalAct(BankState &state, BankId bank, RowId row, Ns now)
+{
+    (void)bank;
+    state.open = true;
+    state.glitchArmed = false;
+    state.resolved = false;
+    state.multi = false;
+    state.pendingMaj = false;
+    state.firstRow = row;
+    state.lastActNs = now;
+    state.openRows = {row};
+}
+
+void
+Executor::resolveIfDue(BankState &state, BankId bank, Ns now)
+{
+    if (!state.open || state.resolved)
+        return;
+    if (now - state.lastActNs < timing_.fracThreshold)
+        return;
+    Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+
+    if (state.pendingMaj) {
+        // Deferred in-subarray multi-row charge share: sense the
+        // bitline voltages captured at activation time and restore.
+        const RowAddress first = decomposeRow(geometry, state.firstRow);
+        std::vector<RowId> local_rows;
+        local_rows.reserve(state.openRows.size());
+        for (const RowId row : state.openRows)
+            local_rows.push_back(decomposeRow(geometry, row).localRow);
+        std::vector<ColId> all_columns;
+        std::vector<Volt> bl_volts;
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            all_columns.push_back(col);
+            bl_volts.push_back(state.pendingBitline[col]);
+        }
+        majResolve(bank, first.subarray, local_rows, all_columns,
+                   bl_volts, -1.0, static_cast<int>(local_rows.size()));
+        state.pendingMaj = false;
+        state.pendingBitline.clear();
+        state.resolved = true;
+        return;
+    }
+
+    // Ordinary single-row sensing + restore: deterministic except in
+    // the ambiguity band around VDD/2 (e.g. Frac-initialized cells).
+    const AnalogParams &analog = chip_.profile().analog;
+    const double transfer =
+        analog.cellCap / (analog.cellCap + analog.bitlineCap);
+    for (const RowId row : state.openRows) {
+        const RowAddress address = decomposeRow(geometry, row);
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            const Volt v = bank_ref.cellVolt(row, col);
+            bool bit = v > kVddHalf;
+            if (std::abs(v - kVddHalf) < kAmbiguousBand) {
+                const StripeId stripe =
+                    stripeFor(address.subarray, col);
+                const Volt margin =
+                    (v - kVddHalf) * transfer -
+                    chip_.model().staticOffset(bank, row, col, stripe);
+                bit = chip_.model().senseAmp().sample(margin, rng_);
+            }
+            bank_ref.setCellVolt(row, col, bit ? kVdd : kGnd);
+        }
+    }
+    state.resolved = true;
+}
+
+void
+Executor::partialRestore(BankState &state, BankId bank, Ns gapNs)
+{
+    if (state.resolved)
+        return;
+    const double progress = restoreProgress(gapNs);
+    Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    if (state.pendingMaj) {
+        // The connected cells sit at the charge-shared bitline level;
+        // the interrupt freezes them there (plus any partial
+        // amplification drift). This is the Frac mechanism.
+        for (const RowId row : state.openRows) {
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                const Volt v = state.pendingBitline[col];
+                Volt settled = v;
+                if (std::abs(v - kVddHalf) >= kMetastableBand) {
+                    const Volt rail = v > kVddHalf ? kVdd : kGnd;
+                    settled = v + progress * (rail - v);
+                }
+                bank_ref.setCellVolt(row, col, settled);
+            }
+        }
+        state.pendingMaj = false;
+        state.pendingBitline.clear();
+        state.resolved = true;
+        return;
+    }
+    if (progress <= 0.0)
+        return;
+    for (const RowId row : state.openRows) {
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            const Volt v = bank_ref.cellVolt(row, col);
+            if (std::abs(v - kVddHalf) < kMetastableBand)
+                continue; // Metastable: the bitline has not moved.
+            const Volt rail = v > kVddHalf ? kVdd : kGnd;
+            bank_ref.setCellVolt(row, col, v + progress * (rail - v));
+        }
+    }
+}
+
+void
+Executor::handlePre(const Command &command)
+{
+    BankState &state = banks_[command.bank];
+    if (!state.open)
+        return;
+    const Ns gap = command.issueNs - state.lastActNs;
+    if (chip_.profile().decoder.ignoresViolatedCommands &&
+        grosslyViolated(gap, timing_.tRas)) {
+        return; // Micron-style: the violated PRE never lands.
+    }
+    if (classifyRestore(timing_, gap) == RestoreClass::Interrupted) {
+        partialRestore(state, command.bank, gap);
+    } else {
+        resolveIfDue(state, command.bank, command.issueNs);
+    }
+    state.open = false;
+    state.glitchArmed = true;
+    state.preNs = command.issueNs;
+}
+
+void
+Executor::handleAct(const Command &command, ExecResult &result)
+{
+    BankState &state = banks_[command.bank];
+    if (state.open) {
+        return; // ACT on an open bank: ignored.
+    }
+    if (state.glitchArmed) {
+        const Ns gap = command.issueNs - state.preNs;
+        if (chip_.profile().decoder.ignoresViolatedCommands &&
+            grosslyViolated(gap, timing_.tRp)) {
+            return; // Micron-style: the violated ACT never lands.
+        }
+        if (classifyPrecharge(timing_, gap) == PrechargeClass::Glitch &&
+            state.firstRow != kInvalidRow) {
+            glitchAct(state, command.bank, command.row, command.issueNs,
+                      result);
+            return;
+        }
+    }
+    normalAct(state, command.bank, command.row, command.issueNs);
+}
+
+void
+Executor::glitchAct(BankState &state, BankId bank, RowId rlRow, Ns now,
+                    ExecResult &result)
+{
+    const GeometryConfig &geometry = chip_.geometry();
+    const RowAddress rf = decomposeRow(geometry, state.firstRow);
+    const RowAddress rl = decomposeRow(geometry, rlRow);
+    const Ns gap = now - state.preNs;
+    const bool first_restored = state.resolved;
+
+    if (rf.subarray == rl.subarray) {
+        const auto local_rows =
+            chip_.decoder().sameSubarrayActivation(rf.localRow,
+                                                   rl.localRow);
+        state.open = true;
+        state.glitchArmed = false;
+        state.lastActNs = now;
+        state.openRows.clear();
+        for (const RowId local : local_rows) {
+            state.openRows.push_back(
+                composeRow(geometry, rf.subarray, local));
+        }
+        state.multi = state.openRows.size() > 1;
+        if (first_restored) {
+            // RowClone: the latched first row overdrives the set.
+            applyRowClone(state, bank, rf.subarray, local_rows, gap);
+            state.resolved = true;
+            state.pendingMaj = false;
+        } else if (state.openRows.size() > 1) {
+            // Charge sharing among the set: in-subarray MAJ, resolved
+            // lazily so a fast PRE can interrupt it (Frac). The
+            // equalized bitline level is captured now.
+            state.resolved = false;
+            state.pendingMaj = true;
+            state.pendingBitline.assign(
+                static_cast<std::size_t>(geometry.columns), 0.0f);
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                state.pendingBitline[col] = static_cast<float>(
+                    sharedVoltageAt(bank, rf.subarray, local_rows,
+                                    col));
+            }
+        } else {
+            state.resolved = false;
+            state.pendingMaj = false;
+            state.firstRow = rlRow;
+        }
+        if (state.multi) {
+            ActivationEvent event;
+            event.bank = bank;
+            event.firstSubarray = rf.subarray;
+            event.secondSubarray = rf.subarray;
+            event.firstLocalRow = rf.localRow;
+            event.secondLocalRow = rl.localRow;
+            for (const RowId local : local_rows)
+                event.sets.secondRows.push_back(local);
+            event.sets.simultaneous = true;
+            result.activations.push_back(event);
+        }
+        return;
+    }
+
+    const bool neighbors =
+        std::abs(static_cast<int>(rf.subarray) -
+                 static_cast<int>(rl.subarray)) == 1;
+    if (!neighbors) {
+        // Electrically isolated subarrays (HiRA-style): the second
+        // activation proceeds independently; we model it as a normal
+        // activation of RL.
+        normalAct(state, bank, rlRow, now);
+        return;
+    }
+
+    const ActivationSets sets =
+        chip_.decoder().neighborActivation(rf.localRow, rl.localRow);
+    if (!sets.simultaneous && !sets.sequential) {
+        normalAct(state, bank, rlRow, now);
+        return;
+    }
+    if (sets.sequential && !first_restored) {
+        // Sequential designs cannot charge-share across subarrays;
+        // the second row simply activates.
+        normalAct(state, bank, rlRow, now);
+        return;
+    }
+
+    ActivationEvent event;
+    event.bank = bank;
+    event.firstSubarray = rf.subarray;
+    event.secondSubarray = rl.subarray;
+    event.firstLocalRow = rf.localRow;
+    event.secondLocalRow = rl.localRow;
+    event.sets = sets;
+    result.activations.push_back(event);
+
+    state.open = true;
+    state.glitchArmed = false;
+    state.lastActNs = now;
+    state.multi = true;
+    state.pendingMaj = false;
+    state.openRows.clear();
+    for (const RowId local : sets.firstRows)
+        state.openRows.push_back(composeRow(geometry, rf.subarray, local));
+    for (const RowId local : sets.secondRows)
+        state.openRows.push_back(composeRow(geometry, rl.subarray, local));
+
+    if (first_restored)
+        applyNot(state, bank, event, gap);
+    else
+        applyLogic(state, bank, event, gap);
+    state.resolved = true;
+}
+
+void
+Executor::applyRowClone(BankState &state, BankId bank,
+                        SubarrayId subarray,
+                        const std::vector<RowId> &localRows, Ns gapNs)
+{
+    (void)state;
+    Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    const RowAddress src = decomposeRow(geometry, state.firstRow);
+    assert(src.subarray == subarray);
+    const BitVector pattern =
+        bank_ref.readRowBits(state.firstRow);
+    const int total = static_cast<int>(localRows.size()) + 1;
+    const SuccessModel &model = chip_.model();
+
+    for (const RowId local : localRows) {
+        if (local == src.localRow)
+            continue;
+        const RowId global = composeRow(geometry, subarray, local);
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            const StripeId stripe = stripeFor(subarray, col);
+            ComparisonContext ctx;
+            ctx.cellsPerSide = total;
+            ctx.glitchGapNs = gapNs;
+            ctx.couplingFraction = couplingFractionAt(pattern, col);
+            ctx.temperature = chip_.temperature();
+            const Volt margin = model.driveMarginMech(total + 1, ctx);
+            const Volt offset =
+                model.staticOffset(bank, global, col, stripe);
+            const bool fail_struct = model.structuralFail(
+                bank, stripe, col, (total + 1) / 2);
+            if (model.sampleTrial(margin, offset, fail_struct, rng_))
+                bank_ref.setCellVolt(global, col,
+                                     pattern.get(col) ? kVdd : kGnd);
+            // On failure the destination cell retains its charge.
+        }
+    }
+}
+
+Volt
+Executor::sharedVoltageAt(BankId bank, SubarrayId subarray,
+                          const std::vector<RowId> &localRows,
+                          ColId col) const
+{
+    const Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    std::vector<Volt> cell_volts;
+    cell_volts.reserve(localRows.size());
+    for (const RowId local : localRows) {
+        cell_volts.push_back(
+            bank_ref.cellVolt(composeRow(geometry, subarray, local),
+                              col));
+    }
+    return sharedBitlineVoltage(cell_volts, chip_.profile().analog);
+}
+
+void
+Executor::majResolve(BankId bank, SubarrayId subarray,
+                     const std::vector<RowId> &localRows,
+                     const std::vector<ColId> &columns,
+                     const std::vector<Volt> &blVolts, Ns gapNs,
+                     int totalActivatedRows)
+{
+    assert(columns.size() == blVolts.size());
+    Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    const SuccessModel &model = chip_.model();
+
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        const ColId col = columns[i];
+        const Volt v_shared = blVolts[i];
+        const StripeId stripe = stripeFor(subarray, col);
+        ComparisonContext ctx;
+        ctx.cellsPerSide = static_cast<int>(localRows.size());
+        ctx.glitchGapNs = gapNs;
+        ctx.couplingFraction = 0.5;
+        ctx.temperature = chip_.temperature();
+        const Volt margin =
+            model.comparisonMargin(v_shared, kVddHalf, ctx);
+        const bool ideal = v_shared > kVddHalf;
+        for (const RowId local : localRows) {
+            const RowId global = composeRow(geometry, subarray, local);
+            const Volt offset =
+                model.staticOffset(bank, global, col, stripe);
+            const bool fail_struct = model.structuralFail(
+                bank, stripe, col, (totalActivatedRows + 1) / 2);
+            const bool correct =
+                model.sampleTrial(margin, offset, fail_struct, rng_);
+            const bool bit = correct ? ideal : !ideal;
+            bank_ref.setCellVolt(global, col, bit ? kVdd : kGnd);
+        }
+    }
+}
+
+void
+Executor::applyNot(BankState &state, BankId bank,
+                   const ActivationEvent &event, Ns gapNs)
+{
+    (void)state;
+    Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    const SuccessModel &model = chip_.model();
+    const RowAddress src = decomposeRow(geometry, state.firstRow);
+    const SubarrayId src_sa = event.firstSubarray;
+    const SubarrayId dst_sa = event.secondSubarray;
+    const StripeId stripe = sharedStripe(src_sa, dst_sa);
+    const Subarray &src_sub = bank_ref.subarray(src_sa);
+    Subarray &dst_sub = bank_ref.subarray(dst_sa);
+    const BitVector pattern = bank_ref.readRowBits(state.firstRow);
+    const int total = static_cast<int>(event.sets.firstRows.size() +
+                                       event.sets.secondRows.size());
+    const Region src_region = src_sub.regionFor(src.localRow, stripe);
+    const AnalogParams &analog = chip_.profile().analog;
+
+    auto drive = [&](SubarrayId subarray, RowId local, ColId col,
+                     bool target_bit, Region dst_region) {
+        const RowId global = composeRow(geometry, subarray, local);
+        ComparisonContext ctx;
+        ctx.cellsPerSide = (total + 1) / 2;
+        ctx.glitchGapNs = gapNs;
+        ctx.couplingFraction = couplingFractionAt(pattern, col);
+        ctx.temperature = chip_.temperature();
+        ctx.sequential = event.sets.sequential;
+        ctx.regionMargin =
+            analog.srcRegionMargin[static_cast<int>(src_region)] +
+            analog.dstRegionMargin[static_cast<int>(dst_region)];
+        const Volt margin = model.driveMarginMech(total, ctx);
+        const Volt offset = model.staticOffset(bank, global, col, stripe);
+        const bool fail_struct =
+            model.structuralFail(bank, stripe, col, (total + 1) / 2);
+        if (model.sampleTrial(margin, offset, fail_struct, rng_)) {
+            bank_ref.setCellVolt(global, col,
+                                 target_bit ? kVdd : kGnd);
+        }
+        // On failure the cell retains its previous charge.
+    };
+
+    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+         ++col) {
+        const bool shared = columnShared(src_sa, dst_sa, col);
+        const bool src_bit = pattern.get(col);
+        // Extra rows in the source subarray get the source value on
+        // every column (their non-shared columns are latched by the
+        // stripe on the other side, which also holds the source row's
+        // values).
+        for (const RowId local : event.sets.firstRows) {
+            if (local == src.localRow)
+                continue;
+            drive(src_sa, local, col, src_bit,
+                  src_sub.regionFor(local, stripe));
+        }
+        if (!shared)
+            continue;
+        // Destination rows get the complement on shared columns only.
+        for (const RowId local : event.sets.secondRows) {
+            drive(dst_sa, local, col, !src_bit,
+                  dst_sub.regionFor(local, stripe));
+        }
+    }
+
+    // Non-shared columns of the destination subarray resolve among
+    // the simultaneously activated destination rows themselves.
+    if (event.sets.secondRows.size() > 1) {
+        std::vector<ColId> non_shared;
+        std::vector<Volt> bl_volts;
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            if (!columnShared(src_sa, dst_sa, col)) {
+                non_shared.push_back(col);
+                bl_volts.push_back(sharedVoltageAt(
+                    bank, dst_sa, event.sets.secondRows, col));
+            }
+        }
+        majResolve(bank, dst_sa, event.sets.secondRows, non_shared,
+                   bl_volts, gapNs, total);
+    }
+}
+
+void
+Executor::applyLogic(BankState &state, BankId bank,
+                     const ActivationEvent &event, Ns gapNs)
+{
+    (void)state;
+    Bank &bank_ref = chip_.bank(bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    const SuccessModel &model = chip_.model();
+    const AnalogParams &analog = chip_.profile().analog;
+    const SubarrayId first_sa = event.firstSubarray;
+    const SubarrayId second_sa = event.secondSubarray;
+    const StripeId stripe = sharedStripe(first_sa, second_sa);
+    Subarray &first_sub = bank_ref.subarray(first_sa);
+    Subarray &second_sub = bank_ref.subarray(second_sa);
+    const RowAddress rf = decomposeRow(geometry, state.firstRow);
+    const int n_first = static_cast<int>(event.sets.firstRows.size());
+    const int n_second = static_cast<int>(event.sets.secondRows.size());
+    const int pair_load = (n_first + n_second + 1) / 2;
+
+    // Representative regions: the first-activated (reference) side is
+    // indexed by the dst table, the second (compute) side by the src
+    // table, matching the analytic LogicContext convention.
+    const Region ref_region = first_sub.regionFor(rf.localRow, stripe);
+    const Region com_region =
+        second_sub.regionFor(event.secondLocalRow, stripe);
+
+    const BitVector first_pattern = bank_ref.readRowBits(state.firstRow);
+
+    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+         ++col) {
+        if (!columnShared(first_sa, second_sa, col))
+            continue;
+        std::vector<Volt> first_volts;
+        for (const RowId local : event.sets.firstRows) {
+            first_volts.push_back(bank_ref.cellVolt(
+                composeRow(geometry, first_sa, local), col));
+        }
+        std::vector<Volt> second_volts;
+        for (const RowId local : event.sets.secondRows) {
+            second_volts.push_back(bank_ref.cellVolt(
+                composeRow(geometry, second_sa, local), col));
+        }
+        const Volt v_first = sharedBitlineVoltage(first_volts, analog);
+        const Volt v_second = sharedBitlineVoltage(second_volts, analog);
+        // Ideal outcome: the higher side senses to 1; the complement
+        // terminal receives the inverse.
+        const bool first_on_complement =
+            onComplementTerminal(first_sa, stripe);
+        const bool true_side_high =
+            first_on_complement ? v_second > v_first
+                                : v_first > v_second;
+
+        auto sense = [&](SubarrayId subarray, RowId local,
+                         bool on_complement, Region own_region,
+                         Region other_region) {
+            const RowId global = composeRow(geometry, subarray, local);
+            ComparisonContext ctx;
+            ctx.cellsPerSide = (n_first + n_second + 1) / 2;
+            ctx.glitchGapNs = gapNs;
+            ctx.couplingFraction = couplingFractionAt(first_pattern, col);
+            ctx.temperature = chip_.temperature();
+            ctx.invertedSide = on_complement;
+            ctx.regionMargin =
+                analog.srcRegionMargin[static_cast<int>(
+                    subarray == second_sa ? own_region : other_region)] +
+                analog.dstRegionMargin[static_cast<int>(
+                    subarray == first_sa ? own_region : other_region)];
+            (void)other_region;
+            const Volt margin =
+                model.comparisonMargin(v_first, v_second, ctx);
+            const Volt offset =
+                model.staticOffset(bank, global, col, stripe);
+            const bool fail_struct =
+                model.structuralFail(bank, stripe, col, pair_load);
+            const bool correct =
+                model.sampleTrial(margin, offset, fail_struct, rng_);
+            const bool ideal_bit =
+                on_complement ? !true_side_high : true_side_high;
+            const bool bit = correct ? ideal_bit : !ideal_bit;
+            bank_ref.setCellVolt(global, col, bit ? kVdd : kGnd);
+        };
+
+        for (const RowId local : event.sets.firstRows) {
+            sense(first_sa, local, first_on_complement,
+                  first_sub.regionFor(local, stripe), com_region);
+        }
+        for (const RowId local : event.sets.secondRows) {
+            sense(second_sa, local, !first_on_complement,
+                  second_sub.regionFor(local, stripe), ref_region);
+        }
+    }
+
+    // Non-shared columns of each side resolve among that side's own
+    // activated rows.
+    auto resolve_non_shared = [&](SubarrayId subarray,
+                                  const std::vector<RowId> &rows) {
+        if (rows.size() < 2)
+            return;
+        std::vector<ColId> non_shared;
+        std::vector<Volt> bl_volts;
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            if (!columnShared(first_sa, second_sa, col)) {
+                non_shared.push_back(col);
+                bl_volts.push_back(
+                    sharedVoltageAt(bank, subarray, rows, col));
+            }
+        }
+        majResolve(bank, subarray, rows, non_shared, bl_volts, gapNs,
+                   n_first + n_second);
+    };
+    resolve_non_shared(first_sa, event.sets.firstRows);
+    resolve_non_shared(second_sa, event.sets.secondRows);
+}
+
+void
+Executor::handleWr(const Command &command)
+{
+    BankState &state = banks_[command.bank];
+    if (!state.open)
+        return;
+    resolveIfDue(state, command.bank, command.issueNs);
+    Bank &bank_ref = chip_.bank(command.bank);
+    const GeometryConfig &geometry = chip_.geometry();
+    assert(static_cast<int>(command.data.size()) == geometry.columns);
+
+    if (!state.multi) {
+        bank_ref.writeRowBits(state.openRows.front(), command.data);
+        state.resolved = true;
+        return;
+    }
+
+    // Multi-row write (the Section 4.2 characterization idiom): rows
+    // in the first subarray get the written pattern on every column;
+    // rows in the second subarray get its complement on the shared
+    // columns and keep their (just resolved) values elsewhere.
+    const RowAddress rf = decomposeRow(geometry, state.firstRow);
+    for (const RowId row : state.openRows) {
+        const RowAddress address = decomposeRow(geometry, row);
+        if (address.subarray == rf.subarray) {
+            bank_ref.writeRowBits(row, command.data);
+        } else {
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                if (columnShared(rf.subarray, address.subarray, col)) {
+                    bank_ref.setCellVolt(row, col,
+                                         command.data.get(col) ? kGnd
+                                                               : kVdd);
+                }
+            }
+        }
+    }
+    state.resolved = true;
+}
+
+void
+Executor::handleRd(const Command &command, ExecResult &result)
+{
+    BankState &state = banks_[command.bank];
+    if (state.open)
+        resolveIfDue(state, command.bank, command.issueNs);
+    result.reads.push_back(
+        chip_.bank(command.bank).readRowBits(command.row));
+}
+
+} // namespace fcdram

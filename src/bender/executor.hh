@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Command-level executor: interprets a Program against one simulated
+ * chip, detecting timing-violation idioms and applying the analog
+ * mechanisms they trigger:
+ *
+ *  - normal activation/restore/read/write,
+ *  - interrupted restore (Frac initialization),
+ *  - RowClone (same-subarray copy after a restored first ACT),
+ *  - in-subarray MAJ (same-subarray charge sharing),
+ *  - cross-subarray NOT (restored first ACT, neighboring subarrays),
+ *  - cross-subarray N-input logic (charge-shared comparison).
+ *
+ * All stochastic outcomes draw from the chip's SuccessModel so the
+ * Monte-Carlo behaviour matches the analytic engine by construction.
+ */
+
+#ifndef FCDRAM_BENDER_EXECUTOR_HH
+#define FCDRAM_BENDER_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/program.hh"
+#include "bender/timingcheck.hh"
+#include "common/rng.hh"
+#include "dram/chip.hh"
+
+namespace fcdram {
+
+/** One multi-row activation observed during execution (diagnostics). */
+struct ActivationEvent
+{
+    BankId bank = 0;
+    SubarrayId firstSubarray = 0;
+    SubarrayId secondSubarray = 0;
+    RowId firstLocalRow = 0;  ///< RF's in-subarray index.
+    RowId secondLocalRow = 0; ///< RL's in-subarray index.
+    ActivationSets sets;
+};
+
+/** Outputs of one program execution. */
+struct ExecResult
+{
+    /** One entry per RD command, in program order. */
+    std::vector<BitVector> reads;
+
+    /** Multi-row activation events, in occurrence order. */
+    std::vector<ActivationEvent> activations;
+};
+
+/** Interprets programs against a chip. */
+class Executor
+{
+  public:
+    /**
+     * @param chip Chip to mutate.
+     * @param trialSeed Seed of this execution's noise stream.
+     * @param timing Timing parameters for gap classification.
+     */
+    Executor(Chip &chip, std::uint64_t trialSeed,
+             const TimingParams &timing = TimingParams::nominal());
+
+    /** Run a program to completion. */
+    ExecResult run(const Program &program);
+
+  private:
+    /** Per-bank interpreter state. */
+    struct BankState
+    {
+        bool open = false;
+        bool glitchArmed = false;
+        bool resolved = false;
+        bool multi = false;
+
+        /** Pending same-subarray multi-row charge-share (MAJ mode). */
+        bool pendingMaj = false;
+
+        RowId firstRow = kInvalidRow; ///< Global id of the first ACT.
+        Ns lastActNs = 0.0;
+        Ns preNs = 0.0;
+
+        /** Rows currently latched (global ids). */
+        std::vector<RowId> openRows;
+
+        /**
+         * Charge-shared bitline voltage per column for a pending
+         * in-subarray multi-row activation (valid while pendingMaj).
+         */
+        std::vector<float> pendingBitline;
+    };
+
+    void handleAct(const Command &command, ExecResult &result);
+    void handlePre(const Command &command);
+    void handleWr(const Command &command);
+    void handleRd(const Command &command, ExecResult &result);
+
+    /** Open a single row normally (state only; sensing is lazy). */
+    void normalAct(BankState &state, BankId bank, RowId row, Ns now);
+
+    /** Complete any pending sensing/restore if enough time elapsed. */
+    void resolveIfDue(BankState &state, BankId bank, Ns now);
+
+    /** Partial (interrupted) restore of the open rows. */
+    void partialRestore(BankState &state, BankId bank, Ns gapNs);
+
+    /** Glitched double activation (same or neighboring subarray). */
+    void glitchAct(BankState &state, BankId bank, RowId rlRow, Ns now,
+                   ExecResult &result);
+
+    /** Cross-subarray NOT drive. */
+    void applyNot(BankState &state, BankId bank,
+                  const ActivationEvent &event, Ns gapNs);
+
+    /** Cross-subarray charge-shared logic. */
+    void applyLogic(BankState &state, BankId bank,
+                    const ActivationEvent &event, Ns gapNs);
+
+    /** RowClone-style copy of the first row into the activated set. */
+    void applyRowClone(BankState &state, BankId bank,
+                       SubarrayId subarray,
+                       const std::vector<RowId> &localRows, Ns gapNs);
+
+    /**
+     * Sense the given charge-shared bitline voltages against the
+     * precharged opposite terminal and restore the outcome into all
+     * of the given rows (in-subarray MAJ; also the fate of the
+     * non-shared columns of a multi-activated subarray).
+     *
+     * @param blVolts Bitline voltage per entry of @p columns.
+     */
+    void majResolve(BankId bank, SubarrayId subarray,
+                    const std::vector<RowId> &localRows,
+                    const std::vector<ColId> &columns,
+                    const std::vector<Volt> &blVolts, Ns gapNs,
+                    int totalActivatedRows);
+
+    /** Charge-shared voltage of one subarray's rows at a column. */
+    Volt sharedVoltageAt(BankId bank, SubarrayId subarray,
+                         const std::vector<RowId> &localRows,
+                         ColId col) const;
+
+    /** Neighbor-disagreement fraction around a column of a pattern. */
+    static double couplingFractionAt(const BitVector &pattern, ColId col);
+
+    /** Restore progress fraction for an interrupted gap. */
+    double restoreProgress(Ns gapNs) const;
+
+    Chip &chip_;
+    TimingParams timing_;
+    Rng rng_;
+    std::vector<BankState> banks_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_BENDER_EXECUTOR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Command programs and the builder that assembles them with
+ * clock-quantized gaps, mirroring how the FPGA infrastructure issues
+ * command traces.
+ */
+
+#ifndef FCDRAM_BENDER_PROGRAM_HH
+#define FCDRAM_BENDER_PROGRAM_HH
+
+#include <vector>
+
+#include "bender/command.hh"
+#include "config/timing.hh"
+
+namespace fcdram {
+
+/** An ordered command trace. */
+struct Program
+{
+    std::vector<Command> commands;
+
+    bool empty() const { return commands.empty(); }
+    std::size_t size() const { return commands.size(); }
+};
+
+/**
+ * Builds programs with explicit inter-command gaps. Every requested
+ * gap is rounded *up* to a whole number of command-clock cycles, the
+ * way a real memory controller/FPGA issues commands; this is what
+ * couples violated-timing behaviour to the module's speed grade.
+ */
+class ProgramBuilder
+{
+  public:
+    /**
+     * @param speed Module speed grade (sets the clock quantum).
+     * @param timing Nominal timing parameters for the *Nominal helpers.
+     */
+    explicit ProgramBuilder(const SpeedGrade &speed,
+                            const TimingParams &timing =
+                                TimingParams::nominal());
+
+    /** Append ACT after @p gapNs (quantized). */
+    ProgramBuilder &act(BankId bank, RowId row, Ns gapNs);
+
+    /** Append PRE after @p gapNs (quantized). */
+    ProgramBuilder &pre(BankId bank, Ns gapNs);
+
+    /** Append WR of a full row pattern after @p gapNs. */
+    ProgramBuilder &write(BankId bank, RowId row, BitVector data,
+                          Ns gapNs);
+
+    /** Append RD of a row after @p gapNs. */
+    ProgramBuilder &read(BankId bank, RowId row, Ns gapNs);
+
+    /** ACT with nominal spacing (tRP after a PRE). */
+    ProgramBuilder &actNominal(BankId bank, RowId row);
+
+    /** PRE with nominal spacing (tRAS after the ACT). */
+    ProgramBuilder &preNominal(BankId bank);
+
+    /** RD with nominal spacing (tRCD after the ACT). */
+    ProgramBuilder &readNominal(BankId bank, RowId row);
+
+    /** WR with nominal spacing. */
+    ProgramBuilder &writeNominal(BankId bank, RowId row, BitVector data);
+
+    /**
+     * The violated-timing gap the infrastructure can actually realize
+     * when targeting kViolatedGapTargetNs.
+     */
+    Ns violatedGapNs() const;
+
+    /** Current end-of-trace time. */
+    Ns nowNs() const { return nowNs_; }
+
+    /** Finish and return the program. */
+    Program build();
+
+  private:
+    ProgramBuilder &append(Command command, Ns gapNs);
+
+    SpeedGrade speed_;
+    TimingParams timing_;
+    Ns nowNs_;
+    Program program_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_BENDER_PROGRAM_HH

@@ -1,0 +1,29 @@
+#include "bender/timingcheck.hh"
+
+namespace fcdram {
+
+RestoreClass
+classifyRestore(const TimingParams &timing, Ns gapNs)
+{
+    if (gapNs >= timing.fracThreshold)
+        return RestoreClass::Complete;
+    return RestoreClass::Interrupted;
+}
+
+PrechargeClass
+classifyPrecharge(const TimingParams &timing, Ns gapNs)
+{
+    if (gapNs >= timing.tRp)
+        return PrechargeClass::Complete;
+    if (gapNs < timing.glitchThreshold)
+        return PrechargeClass::Glitch;
+    return PrechargeClass::Short;
+}
+
+bool
+grosslyViolated(Ns gapNs, Ns nominalNs)
+{
+    return gapNs < 0.8 * nominalNs;
+}
+
+} // namespace fcdram

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Gap classification for violated-timing command sequences.
+ */
+
+#ifndef FCDRAM_BENDER_TIMINGCHECK_HH
+#define FCDRAM_BENDER_TIMINGCHECK_HH
+
+#include "common/types.hh"
+#include "config/timing.hh"
+
+namespace fcdram {
+
+/** How an ACT -> PRE gap relates to the analog restore process. */
+enum class RestoreClass : std::uint8_t {
+    /** Gap >= tRAS: charge fully restored (standard operation). */
+    Complete,
+    /** Gap in the interrupted-restore window: cells left partial. */
+    Interrupted,
+};
+
+/** How a PRE -> ACT gap relates to the decoder latch glitch. */
+enum class PrechargeClass : std::uint8_t {
+    /** Gap >= tRP: latches de-asserted, bank properly precharged. */
+    Complete,
+    /** Gap below the glitch threshold: latches survive into next ACT. */
+    Glitch,
+    /** Between glitch threshold and tRP: undefined zone (no glitch). */
+    Short,
+};
+
+/** Classify an ACT -> PRE gap. */
+RestoreClass classifyRestore(const TimingParams &timing, Ns gapNs);
+
+/** Classify a PRE -> ACT gap. */
+PrechargeClass classifyPrecharge(const TimingParams &timing, Ns gapNs);
+
+/**
+ * True if the gap is so far below nominal that a Micron-style chip
+ * ignores the command altogether (Section 7, Limitation 1).
+ */
+bool grosslyViolated(Ns gapNs, Ns nominalNs);
+
+} // namespace fcdram
+
+#endif // FCDRAM_BENDER_TIMINGCHECK_HH

@@ -1,0 +1,163 @@
+#include "common/bitvector.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+namespace {
+
+constexpr std::size_t kBitsPerWord = 64;
+
+std::size_t
+wordCount(std::size_t bits)
+{
+    return (bits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+} // namespace
+
+BitVector::BitVector() : size_(0) {}
+
+BitVector::BitVector(std::size_t size, bool value)
+    : size_(size),
+      words_(wordCount(size), value ? ~std::uint64_t{0} : std::uint64_t{0})
+{
+    maskTail();
+}
+
+bool
+BitVector::get(std::size_t i) const
+{
+    assert(i < size_);
+    return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
+}
+
+void
+BitVector::set(std::size_t i, bool value)
+{
+    assert(i < size_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % kBitsPerWord);
+    if (value)
+        words_[i / kBitsPerWord] |= mask;
+    else
+        words_[i / kBitsPerWord] &= ~mask;
+}
+
+void
+BitVector::fill(bool value)
+{
+    for (auto &w : words_)
+        w = value ? ~std::uint64_t{0} : std::uint64_t{0};
+    maskTail();
+}
+
+void
+BitVector::randomize(Rng &rng)
+{
+    for (auto &w : words_)
+        w = rng.next();
+    maskTail();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t count = 0;
+    for (const auto &w : words_)
+        count += static_cast<std::size_t>(std::popcount(w));
+    return count;
+}
+
+bool
+BitVector::all(bool value) const
+{
+    if (size_ == 0)
+        return true;
+    return value ? popcount() == size_ : popcount() == 0;
+}
+
+BitVector
+BitVector::operator~() const
+{
+    BitVector result(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        result.words_[i] = ~words_[i];
+    result.maskTail();
+    return result;
+}
+
+BitVector
+BitVector::operator&(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    BitVector result(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        result.words_[i] = words_[i] & other.words_[i];
+    return result;
+}
+
+BitVector
+BitVector::operator|(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    BitVector result(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        result.words_[i] = words_[i] | other.words_[i];
+    return result;
+}
+
+BitVector
+BitVector::operator^(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    BitVector result(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        result.words_[i] = words_[i] ^ other.words_[i];
+    return result;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+bool
+BitVector::operator!=(const BitVector &other) const
+{
+    return !(*this == other);
+}
+
+std::size_t
+BitVector::hammingDistance(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        count += static_cast<std::size_t>(
+            std::popcount(words_[i] ^ other.words_[i]));
+    return count;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        s.push_back(get(i) ? '1' : '0');
+    return s;
+}
+
+void
+BitVector::maskTail()
+{
+    const std::size_t tail = size_ % kBitsPerWord;
+    if (tail != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+} // namespace fcdram

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Packed bit vector used for row data, golden-model computation, and
+ * bulk bitwise workloads in the examples.
+ */
+
+#ifndef FCDRAM_COMMON_BITVECTOR_HH
+#define FCDRAM_COMMON_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcdram {
+
+class Rng;
+
+/**
+ * Fixed-size packed vector of bits with the bulk bitwise operations the
+ * FCDRAM substrate computes. Bit i of the vector models column i of a
+ * DRAM row.
+ */
+class BitVector
+{
+  public:
+    /** Empty vector. */
+    BitVector();
+
+    /** Vector of @p size bits, all initialized to @p value. */
+    explicit BitVector(std::size_t size, bool value = false);
+
+    /** Number of bits. */
+    std::size_t size() const { return size_; }
+
+    /** Read bit @p i. @pre i < size() */
+    bool get(std::size_t i) const;
+
+    /** Write bit @p i. @pre i < size() */
+    void set(std::size_t i, bool value);
+
+    /** Set all bits to @p value. */
+    void fill(bool value);
+
+    /** Fill with uniform random bits drawn from @p rng. */
+    void randomize(Rng &rng);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** True if every bit equals @p value. */
+    bool all(bool value) const;
+
+    /** Bitwise complement. */
+    BitVector operator~() const;
+
+    BitVector operator&(const BitVector &other) const;
+    BitVector operator|(const BitVector &other) const;
+    BitVector operator^(const BitVector &other) const;
+
+    bool operator==(const BitVector &other) const;
+    bool operator!=(const BitVector &other) const;
+
+    /** Number of bit positions where this and @p other differ. */
+    std::size_t hammingDistance(const BitVector &other) const;
+
+    /** Render as a 0/1 string, bit 0 first (for debugging). */
+    std::string toString() const;
+
+  private:
+    void maskTail();
+
+    std::size_t size_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_COMMON_BITVECTOR_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small numeric helpers used by the analog models and statistics.
+ */
+
+#ifndef FCDRAM_COMMON_MATHUTIL_HH
+#define FCDRAM_COMMON_MATHUTIL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fcdram {
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double x);
+
+/** Inverse standard normal CDF (Acklam's rational approximation). */
+double normalQuantile(double p);
+
+/** Clamp x to [lo, hi]. */
+double clampTo(double x, double lo, double hi);
+
+/** Arithmetic mean of a sample set. @pre !values.empty() */
+double meanOf(const std::vector<double> &values);
+
+/**
+ * Linearly interpolated quantile of a sample set (type-7, the same
+ * convention as numpy.percentile), used for box-and-whiskers summaries.
+ *
+ * @param sorted Ascending-sorted samples. @pre !sorted.empty()
+ * @param q Quantile in [0, 1].
+ */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+} // namespace fcdram
+
+#endif // FCDRAM_COMMON_MATHUTIL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Everything in the simulator that looks random (process variation,
+ * per-trial sensing noise, random data patterns) must be reproducible
+ * from explicit seeds so that experiments and tests are deterministic.
+ * We use SplitMix64 for seeding/hashing and xoshiro256** as the bulk
+ * generator, both public-domain algorithms.
+ */
+
+#ifndef FCDRAM_COMMON_RNG_HH
+#define FCDRAM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace fcdram {
+
+/**
+ * SplitMix64 mixing step. Useful both as a seed expander and as a
+ * cheap stateless hash for deterministic per-cell variation values.
+ *
+ * @param x Input state/key.
+ * @return Mixed 64-bit value.
+ */
+std::uint64_t splitMix64(std::uint64_t x);
+
+/** Combine two 64-bit keys into one (order-sensitive). */
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+/**
+ * xoshiro256** pseudo random generator with helpers for the
+ * distributions the analog models need.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Standard normal deviate (Box-Muller, cached second value). */
+    double gaussian();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Binomial(n, p) sample. Uses a normal approximation for large n. */
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+  private:
+    std::uint64_t s_[4];
+    double cachedGaussian_;
+    bool hasCachedGaussian_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_COMMON_RNG_HH

@@ -1,0 +1,102 @@
+#include "common/table.hh"
+
+#include <cassert>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace fcdram {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::addCell(const std::string &value)
+{
+    assert(!rows_.empty());
+    assert(rows_.back().size() < headers_.size());
+    rows_.back().push_back(value);
+}
+
+void
+Table::addCell(double value, int precision)
+{
+    addCell(formatDouble(value, precision));
+}
+
+void
+Table::addCell(std::uint64_t value)
+{
+    addCell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << std::left << cell << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n" << std::string(72, '=') << "\n"
+       << title << "\n"
+       << std::string(72, '=') << "\n";
+}
+
+} // namespace fcdram

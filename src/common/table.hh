@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Plain-text table writer used by the benchmark harnesses to print the
+ * rows/series that correspond to the paper's tables and figures.
+ */
+
+#ifndef FCDRAM_COMMON_TABLE_HH
+#define FCDRAM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fcdram {
+
+/**
+ * Column-aligned ASCII table with an optional CSV rendering. Cells are
+ * strings; numeric helpers format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new (empty) row. */
+    void addRow();
+
+    /** Append a string cell to the current row. */
+    void addCell(const std::string &value);
+
+    /** Append a numeric cell with @p precision fractional digits. */
+    void addCell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    void addCell(std::uint64_t value);
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render aligned ASCII to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p precision fractional digits. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Print a section banner (used by figure benches). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace fcdram
+
+#endif // FCDRAM_COMMON_TABLE_HH

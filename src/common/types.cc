@@ -1,0 +1,36 @@
+#include "common/types.hh"
+
+namespace fcdram {
+
+const char *
+toString(Manufacturer mfr)
+{
+    switch (mfr) {
+      case Manufacturer::SkHynix: return "SK Hynix";
+      case Manufacturer::Samsung: return "Samsung";
+      case Manufacturer::Micron: return "Micron";
+    }
+    return "Unknown";
+}
+
+const char *
+toString(BoolOp op)
+{
+    switch (op) {
+      case BoolOp::Not: return "NOT";
+      case BoolOp::And: return "AND";
+      case BoolOp::Or: return "OR";
+      case BoolOp::Nand: return "NAND";
+      case BoolOp::Nor: return "NOR";
+      case BoolOp::Maj3: return "MAJ3";
+    }
+    return "Unknown";
+}
+
+bool
+isInvertedOp(BoolOp op)
+{
+    return op == BoolOp::Not || op == BoolOp::Nand || op == BoolOp::Nor;
+}
+
+} // namespace fcdram

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fundamental type aliases and constants shared across the FCDRAM
+ * simulator and characterization library.
+ */
+
+#ifndef FCDRAM_COMMON_TYPES_HH
+#define FCDRAM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fcdram {
+
+/** Voltage in volts. All analog state is expressed in volts. */
+using Volt = double;
+
+/** Time in nanoseconds. Command timestamps and timing parameters. */
+using Ns = double;
+
+/** DRAM clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Row index within a bank (global row address). */
+using RowId = std::uint32_t;
+
+/** Column (bitline) index within a row. */
+using ColId = std::uint32_t;
+
+/** Bank index within a chip. */
+using BankId = std::uint8_t;
+
+/** Subarray index within a bank. */
+using SubarrayId = std::uint16_t;
+
+/** Index of a sense-amplifier stripe within a bank (numSubarrays + 1). */
+using StripeId = std::uint16_t;
+
+/** Invalid row sentinel. */
+inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
+
+/** Supply voltage of the modeled DDR4 array core. */
+inline constexpr Volt kVdd = 1.2;
+
+/** Ground voltage. */
+inline constexpr Volt kGnd = 0.0;
+
+/** Precharged bitline voltage. */
+inline constexpr Volt kVddHalf = kVdd / 2.0;
+
+/** DRAM chip temperature in degrees Celsius. */
+using Celsius = double;
+
+/** Default characterization temperature used throughout the paper. */
+inline constexpr Celsius kDefaultTemperature = 50.0;
+
+/**
+ * DRAM chip manufacturer. The paper observes qualitatively different
+ * multi-row activation capabilities per manufacturer (Section 7).
+ */
+enum class Manufacturer : std::uint8_t {
+    SkHynix,
+    Samsung,
+    Micron,
+};
+
+/** Printable name of a manufacturer. */
+const char *toString(Manufacturer mfr);
+
+/**
+ * Boolean operation characterized by the paper. Maj3 is the prior-work
+ * baseline (Ambit/ComputeDRAM); the rest are FCDRAM's new operations.
+ */
+enum class BoolOp : std::uint8_t {
+    Not,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Maj3,
+};
+
+/** Printable name of a Boolean operation. */
+const char *toString(BoolOp op);
+
+/** True for operations whose result appears inverted (reference side). */
+bool isInvertedOp(BoolOp op);
+
+} // namespace fcdram
+
+#endif // FCDRAM_COMMON_TYPES_HH

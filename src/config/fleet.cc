@@ -1,0 +1,69 @@
+#include "config/fleet.hh"
+
+#include <cassert>
+
+namespace fcdram {
+
+ChipProfile
+ModuleSpec::profile() const
+{
+    return ChipProfile::make(manufacturer, densityGbit, dieRevision,
+                             organization, speedMt);
+}
+
+int
+ModuleSpec::chipsPerModule() const
+{
+    assert(numModules > 0);
+    return numChips / numModules;
+}
+
+std::vector<ModuleSpec>
+table1Fleet()
+{
+    using M = Manufacturer;
+    return {
+        // Chip Mfr., #Modules, #Chips, Die, Date, Density, Org, MT/s
+        {M::SkHynix, 9, 72, 'M', "N/A", 4, 8, 2666},
+        {M::SkHynix, 5, 40, 'A', "N/A", 4, 8, 2133},
+        {M::SkHynix, 1, 16, 'A', "N/A", 8, 8, 2666},
+        {M::SkHynix, 1, 32, 'A', "18-14", 4, 4, 2400},
+        {M::SkHynix, 1, 32, 'A', "16-49", 8, 4, 2400},
+        {M::SkHynix, 1, 32, 'M', "16-22", 8, 4, 2666},
+        {M::Samsung, 1, 8, 'F', "21-02", 4, 8, 2666},
+        {M::Samsung, 2, 16, 'D', "21-10", 8, 8, 2133},
+        {M::Samsung, 1, 8, 'A', "22-12", 8, 8, 3200},
+    };
+}
+
+std::vector<ModuleSpec>
+fullFleet()
+{
+    auto fleet = table1Fleet();
+    using M = Manufacturer;
+    // Section 7: six additional Micron modules (24 chips) show neither
+    // simultaneous nor sequential neighbor-subarray activation.
+    fleet.push_back({M::Micron, 3, 12, 'B', "N/A", 8, 8, 2666});
+    fleet.push_back({M::Micron, 3, 12, 'E', "N/A", 16, 8, 3200});
+    return fleet;
+}
+
+int
+totalModules(const std::vector<ModuleSpec> &fleet)
+{
+    int count = 0;
+    for (const auto &spec : fleet)
+        count += spec.numModules;
+    return count;
+}
+
+int
+totalChips(const std::vector<ModuleSpec> &fleet)
+{
+    int count = 0;
+    for (const auto &spec : fleet)
+        count += spec.numChips;
+    return count;
+}
+
+} // namespace fcdram

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The tested-module inventory of the paper's Table 1 plus the Micron
+ * modules discussed in Section 7, as simulation configurations.
+ */
+
+#ifndef FCDRAM_CONFIG_FLEET_HH
+#define FCDRAM_CONFIG_FLEET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/** One row of Table 1: a group of identical modules. */
+struct ModuleSpec
+{
+    Manufacturer manufacturer;
+    int numModules;
+    int numChips;
+    char dieRevision;
+    std::string mfrDate;  ///< year-week or "N/A".
+    int densityGbit;
+    int organization;     ///< x4 / x8.
+    std::uint32_t speedMt;
+
+    /** Chip profile for this module group. */
+    ChipProfile profile() const;
+
+    /** Chips per module (numChips / numModules). */
+    int chipsPerModule() const;
+};
+
+/**
+ * The 22 SK Hynix + Samsung module groups of Table 1 (256 chips) that
+ * the paper's analysis focuses on.
+ */
+std::vector<ModuleSpec> table1Fleet();
+
+/**
+ * The full 28-module fleet including the Micron modules that show no
+ * multi-row activation (Section 7, Limitation 1).
+ */
+std::vector<ModuleSpec> fullFleet();
+
+/** Total module count across a fleet. */
+int totalModules(const std::vector<ModuleSpec> &fleet);
+
+/** Total chip count across a fleet. */
+int totalChips(const std::vector<ModuleSpec> &fleet);
+
+} // namespace fcdram
+
+#endif // FCDRAM_CONFIG_FLEET_HH

@@ -1,0 +1,47 @@
+#include "config/timing.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace fcdram {
+
+SpeedGrade::SpeedGrade(std::uint32_t mtPerSec)
+    : mtPerSec_(mtPerSec)
+{
+    assert(mtPerSec > 0);
+}
+
+Ns
+SpeedGrade::tCk() const
+{
+    // DDR: two transfers per clock; MT/s -> clock MHz is rate/2.
+    return 2000.0 / static_cast<double>(mtPerSec_);
+}
+
+Cycle
+SpeedGrade::cyclesFor(Ns ns) const
+{
+    const double cycles = ns / tCk();
+    const double rounded = std::ceil(cycles - 1e-9);
+    return rounded < 1.0 ? 1 : static_cast<Cycle>(rounded);
+}
+
+Ns
+SpeedGrade::quantizedGapNs(Ns targetNs) const
+{
+    return static_cast<double>(cyclesFor(targetNs)) * tCk();
+}
+
+bool
+SpeedGrade::operator==(const SpeedGrade &other) const
+{
+    return mtPerSec_ == other.mtPerSec_;
+}
+
+TimingParams
+TimingParams::nominal()
+{
+    return TimingParams{};
+}
+
+} // namespace fcdram

@@ -1,0 +1,52 @@
+#include "dram/address.hh"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace fcdram {
+
+bool
+RowAddress::operator==(const RowAddress &other) const
+{
+    return subarray == other.subarray && localRow == other.localRow;
+}
+
+RowAddress
+decomposeRow(const GeometryConfig &geometry, RowId globalRow)
+{
+    assert(static_cast<int>(globalRow) < geometry.rowsPerBank());
+    RowAddress address;
+    address.subarray = static_cast<SubarrayId>(
+        globalRow / static_cast<RowId>(geometry.rowsPerSubarray));
+    address.localRow =
+        globalRow % static_cast<RowId>(geometry.rowsPerSubarray);
+    return address;
+}
+
+RowId
+composeRow(const GeometryConfig &geometry, SubarrayId subarray,
+           RowId localRow)
+{
+    assert(subarray < geometry.subarraysPerBank);
+    assert(static_cast<int>(localRow) < geometry.rowsPerSubarray);
+    return static_cast<RowId>(subarray) *
+               static_cast<RowId>(geometry.rowsPerSubarray) +
+           localRow;
+}
+
+bool
+sameSubarray(const GeometryConfig &geometry, RowId a, RowId b)
+{
+    return decomposeRow(geometry, a).subarray ==
+           decomposeRow(geometry, b).subarray;
+}
+
+bool
+neighboringSubarrays(const GeometryConfig &geometry, RowId a, RowId b)
+{
+    const int sa = decomposeRow(geometry, a).subarray;
+    const int sb = decomposeRow(geometry, b).subarray;
+    return std::abs(sa - sb) == 1;
+}
+
+} // namespace fcdram

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Row address decomposition between bank-global row ids and
+ * (subarray, local-row) coordinates.
+ */
+
+#ifndef FCDRAM_DRAM_ADDRESS_HH
+#define FCDRAM_DRAM_ADDRESS_HH
+
+#include "common/types.hh"
+#include "dram/geometry.hh"
+
+namespace fcdram {
+
+/** A row identified by its subarray and in-subarray (local) index. */
+struct RowAddress
+{
+    SubarrayId subarray = 0;
+    RowId localRow = 0;
+
+    bool operator==(const RowAddress &other) const;
+};
+
+/** Decompose a bank-global row id. */
+RowAddress decomposeRow(const GeometryConfig &geometry, RowId globalRow);
+
+/** Compose a bank-global row id. */
+RowId composeRow(const GeometryConfig &geometry, SubarrayId subarray,
+                 RowId localRow);
+
+/** True if the two global rows live in the same subarray. */
+bool sameSubarray(const GeometryConfig &geometry, RowId a, RowId b);
+
+/** True if the two global rows live in physically adjacent subarrays. */
+bool neighboringSubarrays(const GeometryConfig &geometry, RowId a,
+                          RowId b);
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_ADDRESS_HH

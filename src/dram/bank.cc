@@ -1,0 +1,73 @@
+#include "dram/bank.hh"
+
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+Bank::Bank(BankId id, const GeometryConfig &geometry,
+           std::uint64_t chipSeed)
+    : id_(id), geometry_(geometry)
+{
+    assert(geometry.valid());
+    subarrays_.reserve(static_cast<std::size_t>(geometry.subarraysPerBank));
+    const std::uint64_t bank_seed = hashCombine(chipSeed, id);
+    for (int sa = 0; sa < geometry.subarraysPerBank; ++sa) {
+        subarrays_.emplace_back(static_cast<SubarrayId>(sa), geometry,
+                                bank_seed);
+    }
+}
+
+Subarray &
+Bank::subarray(SubarrayId sa)
+{
+    assert(sa < subarrays_.size());
+    return subarrays_[sa];
+}
+
+const Subarray &
+Bank::subarray(SubarrayId sa) const
+{
+    assert(sa < subarrays_.size());
+    return subarrays_[sa];
+}
+
+Volt
+Bank::cellVolt(RowId globalRow, ColId col) const
+{
+    const RowAddress address = decomposeRow(geometry_, globalRow);
+    return subarrays_[address.subarray].cells().volt(address.localRow,
+                                                     col);
+}
+
+void
+Bank::setCellVolt(RowId globalRow, ColId col, Volt value)
+{
+    const RowAddress address = decomposeRow(geometry_, globalRow);
+    subarrays_[address.subarray].cells().setVolt(address.localRow, col,
+                                                 value);
+}
+
+void
+Bank::writeRowBits(RowId globalRow, const BitVector &bits)
+{
+    const RowAddress address = decomposeRow(geometry_, globalRow);
+    subarrays_[address.subarray].cells().writeRow(address.localRow, bits);
+}
+
+BitVector
+Bank::readRowBits(RowId globalRow) const
+{
+    const RowAddress address = decomposeRow(geometry_, globalRow);
+    return subarrays_[address.subarray].cells().readRow(address.localRow);
+}
+
+void
+Bank::fill(bool value)
+{
+    for (auto &sa : subarrays_)
+        sa.cells().fill(value);
+}
+
+} // namespace fcdram

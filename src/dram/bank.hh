@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A DRAM bank: a stack of subarrays separated by sense-amplifier
+ * stripes, with bank-global row addressing.
+ */
+
+#ifndef FCDRAM_DRAM_BANK_HH
+#define FCDRAM_DRAM_BANK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "dram/address.hh"
+#include "dram/subarray.hh"
+
+namespace fcdram {
+
+/** One bank of a simulated chip. */
+class Bank
+{
+  public:
+    /**
+     * @param id Bank index within the chip.
+     * @param geometry Chip geometry.
+     * @param chipSeed Chip seed (feeds the row-order scramble).
+     */
+    Bank(BankId id, const GeometryConfig &geometry,
+         std::uint64_t chipSeed);
+
+    BankId id() const { return id_; }
+
+    const GeometryConfig &geometry() const { return geometry_; }
+
+    Subarray &subarray(SubarrayId sa);
+    const Subarray &subarray(SubarrayId sa) const;
+
+    int numSubarrays() const { return static_cast<int>(subarrays_.size()); }
+
+    /** Cell voltage by bank-global row. */
+    Volt cellVolt(RowId globalRow, ColId col) const;
+
+    /** Set cell voltage by bank-global row. */
+    void setCellVolt(RowId globalRow, ColId col, Volt value);
+
+    /** Digital write of a full row (rail voltages). */
+    void writeRowBits(RowId globalRow, const BitVector &bits);
+
+    /** Digital read of a full row (thresholded). */
+    BitVector readRowBits(RowId globalRow) const;
+
+    /** Fill every cell in the bank from a single bit value. */
+    void fill(bool value);
+
+  private:
+    BankId id_;
+    GeometryConfig geometry_;
+    std::vector<Subarray> subarrays_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_BANK_HH

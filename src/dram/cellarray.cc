@@ -1,0 +1,75 @@
+#include "dram/cellarray.hh"
+
+#include <cassert>
+
+namespace fcdram {
+
+CellArray::CellArray(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      volts_(static_cast<std::size_t>(rows) *
+                 static_cast<std::size_t>(cols),
+             static_cast<float>(kGnd))
+{
+    assert(rows > 0 && cols > 0);
+}
+
+std::size_t
+CellArray::index(RowId row, ColId col) const
+{
+    assert(static_cast<int>(row) < rows_);
+    assert(static_cast<int>(col) < cols_);
+    return static_cast<std::size_t>(row) *
+               static_cast<std::size_t>(cols_) +
+           col;
+}
+
+Volt
+CellArray::volt(RowId row, ColId col) const
+{
+    return volts_[index(row, col)];
+}
+
+void
+CellArray::setVolt(RowId row, ColId col, Volt value)
+{
+    volts_[index(row, col)] = static_cast<float>(value);
+}
+
+bool
+CellArray::bit(RowId row, ColId col) const
+{
+    return volt(row, col) > kVddHalf;
+}
+
+void
+CellArray::setBit(RowId row, ColId col, bool value)
+{
+    setVolt(row, col, value ? kVdd : kGnd);
+}
+
+void
+CellArray::writeRow(RowId row, const BitVector &bits)
+{
+    assert(static_cast<int>(bits.size()) == cols_);
+    for (ColId col = 0; col < static_cast<ColId>(cols_); ++col)
+        setBit(row, col, bits.get(col));
+}
+
+BitVector
+CellArray::readRow(RowId row) const
+{
+    BitVector bits(static_cast<std::size_t>(cols_));
+    for (ColId col = 0; col < static_cast<ColId>(cols_); ++col)
+        bits.set(col, bit(row, col));
+    return bits;
+}
+
+void
+CellArray::fill(bool value)
+{
+    const auto volt = static_cast<float>(value ? kVdd : kGnd);
+    for (auto &v : volts_)
+        v = volt;
+}
+
+} // namespace fcdram

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analog cell storage: a dense 2-D array of capacitor voltages.
+ * Storing voltages (not bits) lets Frac initialization, interrupted
+ * restores, and charge-sharing operate naturally.
+ */
+
+#ifndef FCDRAM_DRAM_CELLARRAY_HH
+#define FCDRAM_DRAM_CELLARRAY_HH
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+
+namespace fcdram {
+
+/** Rows x columns matrix of cell voltages. */
+class CellArray
+{
+  public:
+    CellArray(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Cell voltage. @pre coordinates in range */
+    Volt volt(RowId row, ColId col) const;
+
+    /** Set cell voltage. */
+    void setVolt(RowId row, ColId col, Volt value);
+
+    /** Digital readout: true if voltage is above VDD/2. */
+    bool bit(RowId row, ColId col) const;
+
+    /** Set a cell to full VDD (true) or GND (false). */
+    void setBit(RowId row, ColId col, bool value);
+
+    /** Write a full row of bits at full rail voltages. */
+    void writeRow(RowId row, const BitVector &bits);
+
+    /** Read a full row as thresholded bits. */
+    BitVector readRow(RowId row) const;
+
+    /** Fill the entire array at full rail from a single bit value. */
+    void fill(bool value);
+
+  private:
+    std::size_t index(RowId row, ColId col) const;
+
+    int rows_;
+    int cols_;
+    std::vector<float> volts_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_CELLARRAY_HH

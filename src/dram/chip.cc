@@ -1,0 +1,37 @@
+#include "dram/chip.hh"
+
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+Chip::Chip(const ChipProfile &profile, const GeometryConfig &geometry,
+           std::uint64_t seed)
+    : profile_(profile), geometry_(geometry), seed_(seed),
+      decoder_(profile.decoder, geometry, seed),
+      model_(profile, seed), temperature_(kDefaultTemperature)
+{
+    assert(geometry.valid());
+    banks_.reserve(static_cast<std::size_t>(geometry.numBanks));
+    for (int b = 0; b < geometry.numBanks; ++b) {
+        banks_.emplace_back(static_cast<BankId>(b), geometry,
+                            hashCombine(seed, 0xBA00 + b));
+    }
+}
+
+Bank &
+Chip::bank(BankId id)
+{
+    assert(id < banks_.size());
+    return banks_[id];
+}
+
+const Bank &
+Chip::bank(BankId id) const
+{
+    assert(id < banks_.size());
+    return banks_[id];
+}
+
+} // namespace fcdram

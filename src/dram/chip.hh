@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A simulated DRAM chip: banks of subarrays plus the chip-specific
+ * models (variation, reliability, row decoder).
+ */
+
+#ifndef FCDRAM_DRAM_CHIP_HH
+#define FCDRAM_DRAM_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analog/successmodel.hh"
+#include "config/chipprofile.hh"
+#include "dram/bank.hh"
+#include "dram/geometry.hh"
+#include "dram/rowdecoder.hh"
+
+namespace fcdram {
+
+/** One DRAM chip under test. */
+class Chip
+{
+  public:
+    /**
+     * @param profile Design parameters.
+     * @param geometry Simulated dimensions.
+     * @param seed Unique chip seed (drives all variation).
+     */
+    Chip(const ChipProfile &profile, const GeometryConfig &geometry,
+         std::uint64_t seed);
+
+    const ChipProfile &profile() const { return profile_; }
+    const GeometryConfig &geometry() const { return geometry_; }
+    std::uint64_t seed() const { return seed_; }
+
+    Bank &bank(BankId id);
+    const Bank &bank(BankId id) const;
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+
+    const RowDecoder &decoder() const { return decoder_; }
+    const SuccessModel &model() const { return model_; }
+
+    /** Chip temperature used by subsequent operations. */
+    Celsius temperature() const { return temperature_; }
+    void setTemperature(Celsius temperature) { temperature_ = temperature; }
+
+  private:
+    ChipProfile profile_;
+    GeometryConfig geometry_;
+    std::uint64_t seed_;
+    std::vector<Bank> banks_;
+    RowDecoder decoder_;
+    SuccessModel model_;
+    Celsius temperature_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_CHIP_HH

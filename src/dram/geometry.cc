@@ -1,0 +1,51 @@
+#include "dram/geometry.hh"
+
+#include <bit>
+
+namespace fcdram {
+
+int
+GeometryConfig::rowBits() const
+{
+    return std::bit_width(static_cast<unsigned>(rowsPerSubarray)) - 1;
+}
+
+int
+GeometryConfig::rowsPerBank() const
+{
+    return subarraysPerBank * rowsPerSubarray;
+}
+
+bool
+GeometryConfig::valid() const
+{
+    if (numBanks <= 0 || subarraysPerBank < 2 || columns < 2)
+        return false;
+    if (rowsPerSubarray < 16)
+        return false;
+    return std::has_single_bit(static_cast<unsigned>(rowsPerSubarray));
+}
+
+GeometryConfig
+GeometryConfig::tiny()
+{
+    GeometryConfig config;
+    config.numBanks = 1;
+    config.subarraysPerBank = 4;
+    config.rowsPerSubarray = 32;
+    config.columns = 64;
+    return config;
+}
+
+GeometryConfig
+GeometryConfig::standard()
+{
+    GeometryConfig config;
+    config.numBanks = 2;
+    config.subarraysPerBank = 8;
+    config.rowsPerSubarray = 512;
+    config.columns = 256;
+    return config;
+}
+
+} // namespace fcdram

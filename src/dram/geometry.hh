@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated DRAM geometry configuration.
+ *
+ * Real DDR4 banks have tens of subarrays with 512-1024 rows each and
+ * 8K+ columns; the simulator keeps the same structure with
+ * configurable (usually smaller) dimensions since the characterization
+ * methodology samples subarray pairs anyway.
+ */
+
+#ifndef FCDRAM_DRAM_GEOMETRY_HH
+#define FCDRAM_DRAM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fcdram {
+
+/** Dimensions and behaviour switches of a simulated chip. */
+struct GeometryConfig
+{
+    int numBanks = 2;
+    int subarraysPerBank = 8;
+
+    /** Rows per subarray; must be a power of two >= 16. */
+    int rowsPerSubarray = 512;
+
+    /** Columns (bitlines) per subarray. */
+    int columns = 256;
+
+    /**
+     * If true, the logical-to-physical row mapping inside each
+     * subarray is scrambled (as in real chips), and must be reverse
+     * engineered via the RowHammer methodology.
+     */
+    bool scrambleRowOrder = false;
+
+    /** Number of address bits of a local (in-subarray) row. */
+    int rowBits() const;
+
+    /** Rows per bank. */
+    int rowsPerBank() const;
+
+    /** Sense-amplifier stripes per bank (subarrays + 1). */
+    int stripesPerBank() const { return subarraysPerBank + 1; }
+
+    /** Validate invariants (power-of-two rows, positive sizes). */
+    bool valid() const;
+
+    /** Small geometry for unit tests (fast). */
+    static GeometryConfig tiny();
+
+    /** Full-size geometry for characterization benches. */
+    static GeometryConfig standard();
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_GEOMETRY_HH

@@ -1,0 +1,47 @@
+#include "dram/module.hh"
+
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+Module::Module(const ChipProfile &profile, const GeometryConfig &geometry,
+               std::uint64_t seed, int numChips)
+    : profile_(profile)
+{
+    assert(numChips >= 1);
+    chips_.reserve(static_cast<std::size_t>(numChips));
+    for (int i = 0; i < numChips; ++i)
+        chips_.emplace_back(profile, geometry, hashCombine(seed, i));
+}
+
+Module
+Module::fromSpec(const ModuleSpec &spec, const GeometryConfig &geometry,
+                 std::uint64_t seed, int numChips)
+{
+    return Module(spec.profile(), geometry, seed, numChips);
+}
+
+Chip &
+Module::chip(int index)
+{
+    assert(index >= 0 && index < numChips());
+    return chips_[static_cast<std::size_t>(index)];
+}
+
+const Chip &
+Module::chip(int index) const
+{
+    assert(index >= 0 && index < numChips());
+    return chips_[static_cast<std::size_t>(index)];
+}
+
+void
+Module::setTemperature(Celsius temperature)
+{
+    for (auto &chip : chips_)
+        chip.setTemperature(temperature);
+}
+
+} // namespace fcdram

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A DRAM module: a rank of chips operating in lock-step. Commands
+ * broadcast to every chip; data differs per chip because variation
+ * does.
+ */
+
+#ifndef FCDRAM_DRAM_MODULE_HH
+#define FCDRAM_DRAM_MODULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/fleet.hh"
+#include "dram/chip.hh"
+
+namespace fcdram {
+
+/** One DRAM module (rank of lock-step chips). */
+class Module
+{
+  public:
+    /**
+     * @param profile Chip design shared by all chips on the module.
+     * @param geometry Simulated dimensions.
+     * @param seed Module seed; chip i derives seed hash(seed, i).
+     * @param numChips Chips on the module.
+     */
+    Module(const ChipProfile &profile, const GeometryConfig &geometry,
+           std::uint64_t seed, int numChips = 1);
+
+    /** Build a module from a Table-1 fleet entry. */
+    static Module fromSpec(const ModuleSpec &spec,
+                           const GeometryConfig &geometry,
+                           std::uint64_t seed, int numChips = 1);
+
+    const ChipProfile &profile() const { return profile_; }
+
+    Chip &chip(int index);
+    const Chip &chip(int index) const;
+    int numChips() const { return static_cast<int>(chips_.size()); }
+
+    /** Set the temperature of every chip on the module. */
+    void setTemperature(Celsius temperature);
+
+  private:
+    ChipProfile profile_;
+    std::vector<Chip> chips_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_MODULE_HH

@@ -1,0 +1,131 @@
+#include "dram/rowdecoder.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+namespace {
+
+constexpr std::uint64_t kGateDomain = 0x47415445ULL; // "GATE"
+
+} // namespace
+
+RowDecoder::RowDecoder(const DecoderParams &params,
+                       const GeometryConfig &geometry,
+                       std::uint64_t chipSeed)
+    : params_(params), rowBits_(geometry.rowBits()),
+      chipSeed_(chipSeed)
+{
+    assert(geometry.valid());
+    halfBit_ = rowBits_ - 1;
+    // Each glitchable stage predecodes two address bits below the
+    // half-select bit.
+    numStages_ = std::min(params.latchStages, halfBit_ / 2);
+}
+
+bool
+RowDecoder::glitchOccurs(RowId rfLocal, RowId rlLocal) const
+{
+    if (params_.ignoresViolatedCommands)
+        return false;
+    const std::uint64_t key = hashCombine(
+        hashCombine(kGateDomain, chipSeed_),
+        (static_cast<std::uint64_t>(rfLocal) << 32) | rlLocal);
+    const double u =
+        (static_cast<double>(key >> 11) + 0.5) * 0x1.0p-53;
+    return u < params_.coverageGate;
+}
+
+std::vector<RowId>
+RowDecoder::expandRows(RowId rfLocal, RowId rlLocal,
+                       RowId fixedHighBits) const
+{
+    // Per glitching stage, the asserted predecode values are the union
+    // of RF's and RL's 2-bit fields. Bits above the stages (except the
+    // half-select bit, handled by the caller) follow fixedHighBits.
+    std::vector<RowId> rows{0};
+    for (int stage = 0; stage < numStages_; ++stage) {
+        const int shift = 2 * stage;
+        const RowId rf_field = (rfLocal >> shift) & 3;
+        const RowId rl_field = (rlLocal >> shift) & 3;
+        std::vector<RowId> expanded;
+        expanded.reserve(rows.size() * 2);
+        for (const RowId base : rows) {
+            expanded.push_back(base | (rl_field << shift));
+            if (rf_field != rl_field)
+                expanded.push_back(base | (rf_field << shift));
+        }
+        rows.swap(expanded);
+    }
+    // Bits between the last stage and the half-select bit are not
+    // latched; they follow the fixed (per-subarray) value, as does
+    // everything above.
+    RowId high_mask = 0;
+    for (int bit = 2 * numStages_; bit < rowBits_; ++bit)
+        high_mask |= RowId{1} << bit;
+    for (auto &row : rows)
+        row |= fixedHighBits & high_mask;
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+ActivationSets
+RowDecoder::neighborActivation(RowId rfLocal, RowId rlLocal) const
+{
+    ActivationSets sets;
+    if (!glitchOccurs(rfLocal, rlLocal)) {
+        sets.secondRows = {rlLocal};
+        return sets;
+    }
+    if (params_.sequentialNeighborOnly) {
+        sets.sequential = true;
+        sets.firstRows = {rfLocal};
+        sets.secondRows = {rlLocal};
+        return sets;
+    }
+    if (!params_.simultaneousNeighbor) {
+        sets.secondRows = {rlLocal};
+        return sets;
+    }
+    sets.simultaneous = true;
+    sets.firstRows = expandRows(rfLocal, rlLocal, rfLocal);
+    const RowId half_mask = RowId{1} << halfBit_;
+    const bool half_differs = ((rfLocal ^ rlLocal) & half_mask) != 0;
+    if (params_.supportsN2N && half_differs) {
+        // The last ACT re-fires the half-select with both latched
+        // values: RL's subarray opens both halves (N:2N).
+        auto lower = expandRows(rfLocal, rlLocal, rlLocal & ~half_mask);
+        auto upper = expandRows(rfLocal, rlLocal, rlLocal | half_mask);
+        sets.secondRows = std::move(lower);
+        sets.secondRows.insert(sets.secondRows.end(), upper.begin(),
+                               upper.end());
+        std::sort(sets.secondRows.begin(), sets.secondRows.end());
+    } else {
+        sets.secondRows = expandRows(rfLocal, rlLocal, rlLocal);
+    }
+    return sets;
+}
+
+std::vector<RowId>
+RowDecoder::sameSubarrayActivation(RowId rfLocal, RowId rlLocal) const
+{
+    if (params_.ignoresViolatedCommands)
+        return {rlLocal};
+    if (!glitchOccurs(rfLocal, rlLocal))
+        return {rlLocal};
+    // Within one subarray the half-select bit is part of the ordinary
+    // address; rows differing only there activate both.
+    auto rows = expandRows(rfLocal, rlLocal, rlLocal);
+    const RowId half_mask = RowId{1} << halfBit_;
+    if (((rfLocal ^ rlLocal) & half_mask) != 0) {
+        auto other = expandRows(rfLocal, rlLocal, rlLocal ^ half_mask);
+        rows.insert(rows.end(), other.begin(), other.end());
+        std::sort(rows.begin(), rows.end());
+    }
+    return rows;
+}
+
+} // namespace fcdram

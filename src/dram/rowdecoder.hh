@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hierarchical row-decoder glitch model.
+ *
+ * Modern DRAM row decoders expand a row address through multiple
+ * predecode stages whose outputs are latched. An
+ * ACT RF -> PRE -> ACT RL sequence with a violated tRP prevents the
+ * PRE from de-asserting the RF predecode latches, so after the second
+ * ACT each glitching 2-bit predecode stage asserts the *union* of
+ * RF's and RL's values. The set of activated wordlines is the cross
+ * product of the asserted values, which yields the paper's observed
+ * N:N activation pattern (N = 2^(number of differing stages)); when
+ * the half-subarray select bit differs and the design latches it too,
+ * the last-activated subarray opens both halves, yielding N:2N
+ * (Observation 2, and the PULSAR hypothetical decoder).
+ */
+
+#ifndef FCDRAM_DRAM_ROWDECODER_HH
+#define FCDRAM_DRAM_ROWDECODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config/chipprofile.hh"
+#include "dram/geometry.hh"
+
+namespace fcdram {
+
+/** Result of a violated-timing double activation. */
+struct ActivationSets
+{
+    /** True if a multi/simultaneous activation glitch occurred. */
+    bool simultaneous = false;
+
+    /**
+     * True if the chip performed *sequential* two-row activation
+     * (Samsung behaviour): the first row stays active while the
+     * second connects, enabling NOT but no charge-sharing logic.
+     */
+    bool sequential = false;
+
+    /** Local rows activated in RF's subarray (empty if no glitch). */
+    std::vector<RowId> firstRows;
+
+    /** Local rows activated in RL's subarray. */
+    std::vector<RowId> secondRows;
+
+    /** NRF:NRL descriptor, e.g. {4, 8} for 4:8. */
+    int nrf() const { return static_cast<int>(firstRows.size()); }
+    int nrl() const { return static_cast<int>(secondRows.size()); }
+
+    /** True for the N:2N pattern. */
+    bool isN2N() const { return nrl() == 2 * nrf(); }
+};
+
+/**
+ * Per-chip decoder instance. Deterministic: the same (RF, RL) pair
+ * always produces the same activation sets on the same chip.
+ */
+class RowDecoder
+{
+  public:
+    /**
+     * @param params Decoder capability knobs.
+     * @param geometry Chip geometry (bounds the stage count).
+     * @param chipSeed Seed for the coverage-gate address hash.
+     */
+    RowDecoder(const DecoderParams &params,
+               const GeometryConfig &geometry, std::uint64_t chipSeed);
+
+    /** Number of glitch-capable 2-bit predecode stages. */
+    int numStages() const { return numStages_; }
+
+    /** Index of the half-subarray select bit. */
+    int halfSelectBit() const { return halfBit_; }
+
+    /**
+     * True if the glitch fires for this (RF, RL) local-address pair
+     * (the coverage gate models internal address scrambling and
+     * decoder timing margins).
+     */
+    bool glitchOccurs(RowId rfLocal, RowId rlLocal) const;
+
+    /**
+     * Activation sets for ACT RF -> PRE -> ACT RL targeting
+     * *neighboring* subarrays, with both timing violations in place.
+     * Returns simultaneous == false (second row activated normally,
+     * alone) when the design does not glitch for this pair.
+     */
+    ActivationSets neighborActivation(RowId rfLocal,
+                                      RowId rlLocal) const;
+
+    /**
+     * Rows activated when RF and RL are in the *same* subarray:
+     * the union cross-product in one subarray (RowClone and
+     * in-subarray MAJ operations). Returns {rlLocal} when no glitch
+     * occurs.
+     */
+    std::vector<RowId> sameSubarrayActivation(RowId rfLocal,
+                                              RowId rlLocal) const;
+
+  private:
+    /** Cross-product row set from per-stage assertions. */
+    std::vector<RowId> expandRows(RowId rfLocal, RowId rlLocal,
+                                  RowId fixedHighBits) const;
+
+    DecoderParams params_;
+    int rowBits_;
+    int numStages_;
+    int halfBit_;
+    std::uint64_t chipSeed_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_ROWDECODER_HH

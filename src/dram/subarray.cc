@@ -1,0 +1,87 @@
+#include "dram/subarray.hh"
+
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+namespace {
+
+/** Modular inverse of an odd multiplier modulo a power of two. */
+RowId
+oddInverse(RowId a, RowId modulus)
+{
+    // Newton iteration doubles the number of correct low bits.
+    RowId x = a; // correct to 3 bits for odd a.
+    for (int i = 0; i < 5; ++i)
+        x = x * (2 - a * x);
+    return x & (modulus - 1);
+}
+
+} // namespace
+
+Subarray::Subarray(SubarrayId id, const GeometryConfig &geometry,
+                   std::uint64_t chipSeed)
+    : id_(id), cells_(geometry.rowsPerSubarray, geometry.columns),
+      scrambled_(geometry.scrambleRowOrder), mulForward_(1),
+      mulInverse_(1), offset_(0)
+{
+    assert(geometry.valid());
+    if (scrambled_) {
+        const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+        const std::uint64_t key =
+            hashCombine(hashCombine(chipSeed, 0x534152ULL), id);
+        mulForward_ = static_cast<RowId>(splitMix64(key) | 1) &
+                      (rows - 1);
+        if (mulForward_ == 0)
+            mulForward_ = 1;
+        mulForward_ |= 1;
+        offset_ = static_cast<RowId>(splitMix64(key + 1)) & (rows - 1);
+        mulInverse_ = oddInverse(mulForward_, rows);
+    }
+}
+
+RowId
+Subarray::physicalRow(RowId logicalRow) const
+{
+    assert(static_cast<int>(logicalRow) < rows());
+    if (!scrambled_)
+        return logicalRow;
+    const auto rows_mask = static_cast<RowId>(rows() - 1);
+    return (logicalRow * mulForward_ + offset_) & rows_mask;
+}
+
+RowId
+Subarray::logicalRow(RowId physicalRow) const
+{
+    assert(static_cast<int>(physicalRow) < rows());
+    if (!scrambled_)
+        return physicalRow;
+    const auto rows_mask = static_cast<RowId>(rows() - 1);
+    return ((physicalRow - offset_) * mulInverse_) & rows_mask;
+}
+
+int
+Subarray::distanceTo(RowId logicalRow, StripeId stripe) const
+{
+    assert(stripe == id_ || stripe == id_ + 1);
+    const RowId physical = physicalRow(logicalRow);
+    if (stripe == id_)
+        return static_cast<int>(physical);
+    return rows() - 1 - static_cast<int>(physical);
+}
+
+Region
+Subarray::regionFor(RowId logicalRow, StripeId stripe) const
+{
+    const int distance = distanceTo(logicalRow, stripe);
+    const int third = rows() / 3;
+    if (distance < third)
+        return Region::Close;
+    if (distance < 2 * third)
+        return Region::Middle;
+    return Region::Far;
+}
+
+} // namespace fcdram

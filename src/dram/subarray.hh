@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A DRAM subarray: analog cell storage plus the logical-to-physical
+ * row mapping that determines each row's distance to the two
+ * sense-amplifier stripes bounding the subarray.
+ */
+
+#ifndef FCDRAM_DRAM_SUBARRAY_HH
+#define FCDRAM_DRAM_SUBARRAY_HH
+
+#include <cstdint>
+
+#include "config/chipprofile.hh"
+#include "dram/cellarray.hh"
+#include "dram/geometry.hh"
+
+namespace fcdram {
+
+/**
+ * One subarray of a bank. Physical row position 0 is adjacent to the
+ * upper stripe (stripe id == subarray id), position rows-1 is adjacent
+ * to the lower stripe (id + 1).
+ */
+class Subarray
+{
+  public:
+    /**
+     * @param id Subarray index within the bank.
+     * @param geometry Chip geometry.
+     * @param chipSeed Seed for the scrambled row order (if enabled).
+     */
+    Subarray(SubarrayId id, const GeometryConfig &geometry,
+             std::uint64_t chipSeed);
+
+    SubarrayId id() const { return id_; }
+
+    CellArray &cells() { return cells_; }
+    const CellArray &cells() const { return cells_; }
+
+    int rows() const { return cells_.rows(); }
+
+    /** Physical position of a logical row. */
+    RowId physicalRow(RowId logicalRow) const;
+
+    /** Logical row at a physical position. */
+    RowId logicalRow(RowId physicalRow) const;
+
+    /**
+     * Distance class of a logical row relative to the given bounding
+     * stripe (which must be id or id + 1).
+     */
+    Region regionFor(RowId logicalRow, StripeId stripe) const;
+
+    /**
+     * Distance (in rows) of a logical row from the given bounding
+     * stripe; 0 means physically adjacent.
+     */
+    int distanceTo(RowId logicalRow, StripeId stripe) const;
+
+  private:
+    SubarrayId id_;
+    CellArray cells_;
+    bool scrambled_;
+    RowId mulForward_;
+    RowId mulInverse_;
+    RowId offset_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_DRAM_SUBARRAY_HH

@@ -1,0 +1,210 @@
+#include "fcdram/analytic.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "dram/address.hh"
+#include "dram/openbitline.hh"
+
+namespace fcdram {
+
+AnalyticAnalyzer::AnalyticAnalyzer(const Chip &chip,
+                                   const AnalyticConfig &config,
+                                   std::uint64_t seed)
+    : chip_(chip), config_(config),
+      rng_(hashCombine(chip.seed(), seed))
+{
+}
+
+double
+AnalyticAnalyzer::toPercent(double probability)
+{
+    if (!config_.sampleBinomial)
+        return 100.0 * probability;
+    const auto trials = static_cast<std::uint64_t>(config_.trials);
+    const auto successes = rng_.binomial(trials, probability);
+    return 100.0 * static_cast<double>(successes) /
+           static_cast<double>(trials);
+}
+
+SampleSet
+AnalyticAnalyzer::toSampleSet(const std::vector<CellSample> &samples)
+{
+    SampleSet set;
+    for (const CellSample &sample : samples)
+        set.add(toPercent(sample.probability));
+    return set;
+}
+
+std::vector<double>
+AnalyticAnalyzer::onesWeights(PatternClass pattern, int n)
+{
+    std::vector<double> weights(static_cast<std::size_t>(n) + 1, 0.0);
+    switch (pattern) {
+      case PatternClass::Random:
+      case PatternClass::AllOnes:
+      case PatternClass::AllZeros: {
+        // Per-column operand bits (Random) and uniformly drawn
+        // all-1s/all-0s row assignments both make numOnes
+        // Binomial(n, 1/2); the classes differ only in coupling.
+        double binom = 1.0;
+        const double scale = std::pow(0.5, n);
+        for (int k = 0; k <= n; ++k) {
+            weights[static_cast<std::size_t>(k)] = binom * scale;
+            binom = binom * static_cast<double>(n - k) /
+                    static_cast<double>(k + 1);
+        }
+        break;
+      }
+      case PatternClass::FixedOnes:
+        // Caller supplies the ones count explicitly; not used here.
+        break;
+    }
+    return weights;
+}
+
+std::vector<CellSample>
+AnalyticAnalyzer::notSamples(BankId bank, RowId srcGlobal,
+                             RowId dstGlobal,
+                             const OpConditions &cond) const
+{
+    const GeometryConfig &geometry = chip_.geometry();
+    const RowAddress src = decomposeRow(geometry, srcGlobal);
+    const RowAddress dst = decomposeRow(geometry, dstGlobal);
+    const ActivationSets sets =
+        chip_.decoder().neighborActivation(src.localRow, dst.localRow);
+    std::vector<CellSample> samples;
+    if (!sets.simultaneous && !sets.sequential)
+        return samples;
+
+    const SuccessModel &model = chip_.model();
+    const Bank &bank_ref = chip_.bank(bank);
+    const Subarray &src_sub = bank_ref.subarray(src.subarray);
+    const Subarray &dst_sub = bank_ref.subarray(dst.subarray);
+    const StripeId stripe = sharedStripe(src.subarray, dst.subarray);
+    const auto columns =
+        sharedColumns(geometry, src.subarray, dst.subarray);
+    const int total = sets.nrf() + sets.nrl();
+    const int pair_load = (total + 1) / 2;
+
+    NotContext ctx;
+    ctx.totalActivatedRows = total;
+    ctx.srcRegion = src_sub.regionFor(src.localRow, stripe);
+    ctx.cond = cond;
+
+    samples.reserve(sets.secondRows.size() * columns.size());
+    for (const RowId local : sets.secondRows) {
+        ctx.dstRegion = dst_sub.regionFor(local, stripe);
+        const Volt margin = model.notMargin(ctx);
+        const RowId global = composeRow(geometry, dst.subarray, local);
+        for (const ColId col : columns) {
+            const Volt offset =
+                model.staticOffset(bank, global, col, stripe);
+            const bool fail_struct =
+                model.structuralFail(bank, stripe, col, pair_load);
+            CellSample sample;
+            sample.rowLocal = local;
+            sample.col = col;
+            sample.ownRegion = ctx.dstRegion;
+            sample.otherRegion = ctx.srcRegion;
+            sample.probability = model.cellSuccessProbability(
+                margin, offset, fail_struct);
+            samples.push_back(sample);
+        }
+    }
+    return samples;
+}
+
+std::vector<CellSample>
+AnalyticAnalyzer::logicSamples(BankId bank, BoolOp op, RowId refGlobal,
+                               RowId comGlobal, const OpConditions &cond,
+                               PatternClass pattern, int fixedOnes) const
+{
+    std::vector<CellSample> samples;
+    const GeometryConfig &geometry = chip_.geometry();
+    const RowAddress ref = decomposeRow(geometry, refGlobal);
+    const RowAddress com = decomposeRow(geometry, comGlobal);
+    const ActivationSets sets =
+        chip_.decoder().neighborActivation(ref.localRow, com.localRow);
+    if (!sets.simultaneous || sets.nrf() != sets.nrl())
+        return samples;
+    const int n = sets.nrl();
+    assert(fixedOnes <= n);
+
+    const SuccessModel &model = chip_.model();
+    const Bank &bank_ref = chip_.bank(bank);
+    const Subarray &ref_sub = bank_ref.subarray(ref.subarray);
+    const Subarray &com_sub = bank_ref.subarray(com.subarray);
+    const StripeId stripe = sharedStripe(ref.subarray, com.subarray);
+    const auto columns =
+        sharedColumns(geometry, ref.subarray, com.subarray);
+
+    // All-1s/all-0s row patterns (and Fig. 16 sweeps) have no
+    // neighbor disagreement.
+    OpConditions effective = cond;
+    if (pattern != PatternClass::Random)
+        effective.couplingFraction = 0.0;
+
+    std::vector<double> weights;
+    if (fixedOnes >= 0) {
+        weights.assign(static_cast<std::size_t>(n) + 1, 0.0);
+        weights[static_cast<std::size_t>(fixedOnes)] = 1.0;
+    } else {
+        weights = onesWeights(pattern, n);
+    }
+
+    const bool measure_ref = isInvertedOp(op);
+    const auto &rows = measure_ref ? sets.firstRows : sets.secondRows;
+    const SubarrayId row_sa = measure_ref ? ref.subarray : com.subarray;
+    const Subarray &row_sub = measure_ref ? ref_sub : com_sub;
+    const Region ref_rep = ref_sub.regionFor(ref.localRow, stripe);
+    const Region com_rep = com_sub.regionFor(com.localRow, stripe);
+
+    LogicContext ctx;
+    ctx.op = op;
+    ctx.numInputs = n;
+    ctx.cond = effective;
+
+    samples.reserve(rows.size() * columns.size());
+    for (const RowId local : rows) {
+        const Region own = row_sub.regionFor(local, stripe);
+        if (measure_ref) {
+            ctx.refRegion = own;
+            ctx.comRegion = com_rep;
+        } else {
+            ctx.comRegion = own;
+            ctx.refRegion = ref_rep;
+        }
+        // Margins per numOnes are shared across this row's columns.
+        std::vector<Volt> margins(weights.size());
+        for (int k = 0; k < static_cast<int>(weights.size()); ++k) {
+            ctx.numOnes = k;
+            margins[static_cast<std::size_t>(k)] =
+                model.logicMargin(ctx);
+        }
+        const RowId global = composeRow(geometry, row_sa, local);
+        for (const ColId col : columns) {
+            const Volt offset =
+                model.staticOffset(bank, global, col, stripe);
+            const bool fail_struct =
+                model.structuralFail(bank, stripe, col, n);
+            double p = 0.0;
+            for (std::size_t k = 0; k < weights.size(); ++k) {
+                if (weights[k] == 0.0)
+                    continue;
+                p += weights[k] * model.cellSuccessProbability(
+                                      margins[k], offset, fail_struct);
+            }
+            CellSample sample;
+            sample.rowLocal = local;
+            sample.col = col;
+            sample.ownRegion = own;
+            sample.otherRegion = measure_ref ? com_rep : ref_rep;
+            sample.probability = p;
+            samples.push_back(sample);
+        }
+    }
+    return samples;
+}
+
+} // namespace fcdram

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Analytic success-rate engine: evaluates the same margin model as
+ * the Monte-Carlo executor in closed form, per cell, and (optionally)
+ * samples a binomial at the paper's 10,000-trial budget so the
+ * resulting distributions have realistic sampling texture.
+ */
+
+#ifndef FCDRAM_FCDRAM_ANALYTIC_HH
+#define FCDRAM_FCDRAM_ANALYTIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/chip.hh"
+#include "fcdram/analyzer.hh"
+#include "stats/summary.hh"
+
+namespace fcdram {
+
+/** Analytic evaluation options. */
+struct AnalyticConfig
+{
+    /** Trial budget for the binomial sampling (paper: 10,000). */
+    int trials = 10000;
+
+    /** If false, report exact probabilities instead of sampling. */
+    bool sampleBinomial = true;
+};
+
+/** One evaluated cell with its physical context. */
+struct CellSample
+{
+    RowId rowLocal = 0;   ///< Local row of the measured cell.
+    ColId col = 0;
+    Region ownRegion = Region::Middle;   ///< Measured row's region.
+    Region otherRegion = Region::Middle; ///< Opposite side's region.
+    double probability = 0.0; ///< Per-trial success probability.
+};
+
+/**
+ * Closed-form per-cell success-rate evaluation for one chip.
+ */
+class AnalyticAnalyzer
+{
+  public:
+    /**
+     * @param chip Chip under test (not mutated).
+     * @param config Evaluation options.
+     * @param seed Seed for the binomial sampling.
+     */
+    AnalyticAnalyzer(const Chip &chip, const AnalyticConfig &config,
+                     std::uint64_t seed);
+
+    /**
+     * Per-cell samples of the NOT operation for one (src, dst) pair;
+     * cells are all (destination row, shared column) combinations,
+     * ownRegion = destination row's region, otherRegion = source
+     * row's. Empty if the pair does not activate.
+     */
+    std::vector<CellSample> notSamples(BankId bank, RowId srcGlobal,
+                                       RowId dstGlobal,
+                                       const OpConditions &cond) const;
+
+    /**
+     * Per-cell samples of a logic operation for one N:N
+     * (RF=reference, RL=compute) pair. For And/Or the compute side is
+     * measured (ownRegion = compute row's region); for Nand/Nor the
+     * reference side.
+     *
+     * @param pattern Random integrates over Binomial(N, 1/2) operand
+     *        counts with coupling 0.5; AllOnes/AllZeros use the same
+     *        weights with zero coupling (the paper's all-1s/0s class).
+     * @param fixedOnes When >= 0, overrides the integration with a
+     *        fixed operand ones-count (Fig. 16 sweeps).
+     */
+    std::vector<CellSample> logicSamples(BankId bank, BoolOp op,
+                                         RowId refGlobal,
+                                         RowId comGlobal,
+                                         const OpConditions &cond,
+                                         PatternClass pattern,
+                                         int fixedOnes = -1) const;
+
+    /** Collapse samples into a (possibly binomial-sampled) SampleSet. */
+    SampleSet toSampleSet(const std::vector<CellSample> &samples);
+
+    /** Convert one probability to a (possibly sampled) percentage. */
+    double toPercent(double probability);
+
+    const Chip &chip() const { return chip_; }
+
+  private:
+    /** Weight of each numOnes under a pattern class. */
+    static std::vector<double> onesWeights(PatternClass pattern, int n);
+
+    const Chip &chip_;
+    AnalyticConfig config_;
+    Rng rng_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_ANALYTIC_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Monte-Carlo success-rate analyzer: runs the paper's trial
+ * methodology (Sections 5.2 and 6.2) at command granularity through
+ * the executor and accumulates per-cell success rates.
+ */
+
+#ifndef FCDRAM_FCDRAM_ANALYZER_HH
+#define FCDRAM_FCDRAM_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fcdram/ops.hh"
+#include "stats/successrate.hh"
+
+namespace fcdram {
+
+/** Data-pattern class used by the characterization. */
+enum class PatternClass : std::uint8_t {
+    Random,   ///< Fresh random operands per trial.
+    AllOnes,  ///< Every operand row all logic-1.
+    AllZeros, ///< Every operand row all logic-0.
+    FixedOnes ///< Exactly k operand rows all-1 (Fig. 16 sweeps).
+};
+
+/** Configuration of a NOT characterization run. */
+struct NotTrialConfig
+{
+    BankId bank = 0;
+    RowId srcGlobal = 0; ///< RF of the violated sequence.
+    RowId dstGlobal = 0; ///< RL.
+    int trials = 200;
+    PatternClass pattern = PatternClass::Random;
+};
+
+/** Result of a NOT characterization run. */
+struct NotTrialResult
+{
+    /** Destination rows actually activated (global ids). */
+    std::vector<RowId> destinationRows;
+
+    /** Shared columns measured. */
+    std::vector<ColId> columns;
+
+    /** Per-cell success counts (cell = dstRowIdx * columns + colIdx). */
+    SuccessRateAccumulator cells{0};
+};
+
+/** Configuration of a logic-op characterization run. */
+struct LogicTrialConfig
+{
+    BankId bank = 0;
+    BoolOp op = BoolOp::And; ///< And/Nand measure the same sequence.
+    RowId refGlobal = 0;     ///< RF: a row of the reference subarray.
+    RowId comGlobal = 0;     ///< RL: a row of the compute subarray.
+    int trials = 200;
+    PatternClass pattern = PatternClass::Random;
+    int fixedOnes = 0; ///< For PatternClass::FixedOnes.
+};
+
+/** Result of a logic-op characterization run. */
+struct LogicTrialResult
+{
+    int numInputs = 0;
+
+    std::vector<RowId> referenceRows; ///< Global ids.
+    std::vector<RowId> computeRows;   ///< Global ids.
+    std::vector<ColId> columns;       ///< Shared columns measured.
+
+    /** Compute-side (AND/OR) per-cell successes. */
+    SuccessRateAccumulator computeCells{0};
+
+    /** Reference-side (NAND/NOR) per-cell successes. */
+    SuccessRateAccumulator referenceCells{0};
+};
+
+/**
+ * Runs trial campaigns against one chip through the full
+ * command-level simulation path.
+ */
+class SuccessRateAnalyzer
+{
+  public:
+    /**
+     * @param bender Testing session for the chip under test.
+     * @param seed Seed for the per-trial data patterns.
+     */
+    SuccessRateAnalyzer(DramBender &bender, std::uint64_t seed);
+
+    /**
+     * Characterize the NOT operation for one (src, dst) pair.
+     * Destination rows are initialized with the source pattern each
+     * trial, so a cell that retains its value always counts as a
+     * failure.
+     */
+    NotTrialResult runNot(const NotTrialConfig &config);
+
+    /**
+     * Characterize an N-input logic operation for one (RF, RL) pair.
+     * The activation must have the N:N shape; N is discovered from
+     * the decoder. Reference rows are (re)initialized every trial.
+     */
+    LogicTrialResult runLogic(const LogicTrialConfig &config);
+
+  private:
+    DramBender &bender_;
+    Ops ops_;
+    Rng rng_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_ANALYZER_HH

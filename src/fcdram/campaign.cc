@@ -1,0 +1,747 @@
+#include "fcdram/campaign.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "dram/address.hh"
+#include "dram/openbitline.hh"
+
+namespace fcdram {
+
+namespace {
+
+/** Destination-row counts characterized by Fig. 7 and friends. */
+constexpr int kDestRowCounts[] = {1, 2, 4, 8, 16, 32};
+
+/** Input counts characterized by Fig. 15 and friends. */
+constexpr int kInputCounts[] = {2, 4, 8, 16};
+
+/** The four logic operations. */
+constexpr BoolOp kLogicOps[] = {BoolOp::And, BoolOp::Nand, BoolOp::Or,
+                                BoolOp::Nor};
+
+} // namespace
+
+CampaignConfig::CampaignConfig()
+{
+    geometry = GeometryConfig::standard();
+    geometry.columns = 128;
+}
+
+CampaignConfig
+CampaignConfig::forTests()
+{
+    CampaignConfig config;
+    config.geometry = GeometryConfig::standard();
+    config.geometry.columns = 32;
+    config.geometry.numBanks = 1;
+    config.geometry.subarraysPerBank = 4;
+    config.banksPerChip = 1;
+    config.subarrayPairsPerBank = 2;
+    config.pairSamplesPerConfig = 6;
+    config.probesPerPair = 4000;
+    config.analytic.trials = 2000;
+    return config;
+}
+
+std::string
+dieLabel(const ModuleSpec &spec)
+{
+    std::ostringstream oss;
+    oss << (spec.manufacturer == Manufacturer::SkHynix ? "SKHynix"
+            : spec.manufacturer == Manufacturer::Samsung ? "Samsung"
+                                                         : "Micron")
+        << "-" << spec.densityGbit << "Gb-" << spec.dieRevision;
+    return oss.str();
+}
+
+Campaign::Campaign(const CampaignConfig &config) : config_(config)
+{
+    assert(config_.geometry.valid());
+}
+
+std::vector<ModuleSpec>
+Campaign::skHynixFleet() const
+{
+    std::vector<ModuleSpec> fleet;
+    for (const ModuleSpec &spec : table1Fleet())
+        if (spec.manufacturer == Manufacturer::SkHynix)
+            fleet.push_back(spec);
+    return fleet;
+}
+
+std::vector<ModuleSpec>
+Campaign::table1() const
+{
+    return table1Fleet();
+}
+
+void
+Campaign::forEachChip(
+    const std::vector<ModuleSpec> &fleet,
+    const std::function<void(const ModuleSpec &, const Chip &,
+                             std::uint64_t)> &visit)
+{
+    std::uint64_t module_index = 0;
+    for (const ModuleSpec &spec : fleet) {
+        for (int m = 0; m < spec.numModules; ++m) {
+            const std::uint64_t seed =
+                hashCombine(config_.seed, ++module_index);
+            const Chip chip(spec.profile(), config_.geometry, seed);
+            visit(spec, chip, seed);
+        }
+    }
+}
+
+std::vector<Campaign::PairContext>
+Campaign::samplePairs(const Chip &chip, std::uint64_t seed) const
+{
+    std::vector<PairContext> contexts;
+    Rng rng(hashCombine(seed, 0x5041ULL));
+    const int banks = std::min(config_.banksPerChip, chip.numBanks());
+    const int max_low = chip.geometry().subarraysPerBank - 1;
+    for (int b = 0; b < banks; ++b) {
+        for (int p = 0; p < config_.subarrayPairsPerBank; ++p) {
+            PairContext context;
+            context.bank = static_cast<BankId>(b);
+            context.lowSubarray = static_cast<SubarrayId>(
+                rng.below(static_cast<std::uint64_t>(max_low)));
+            contexts.push_back(context);
+        }
+    }
+    return contexts;
+}
+
+std::vector<std::pair<RowId, RowId>>
+Campaign::findPairs(
+    const Chip &chip, const PairContext &context,
+    const std::function<bool(const ActivationSets &)> &predicate,
+    int maxPairs, std::uint64_t seed) const
+{
+    std::vector<std::pair<RowId, RowId>> pairs;
+    const GeometryConfig &geometry = chip.geometry();
+    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+    Rng rng(seed);
+    for (int probe = 0; probe < config_.probesPerPair &&
+                        static_cast<int>(pairs.size()) < maxPairs;
+         ++probe) {
+        const auto rf = static_cast<RowId>(rng.below(rows));
+        const auto rl = static_cast<RowId>(rng.below(rows));
+        const ActivationSets sets =
+            chip.decoder().neighborActivation(rf, rl);
+        if (!predicate(sets))
+            continue;
+        pairs.emplace_back(
+            composeRow(geometry, context.lowSubarray, rf),
+            composeRow(geometry, context.lowSubarray + 1, rl));
+    }
+    return pairs;
+}
+
+std::map<std::string, SampleSet>
+Campaign::activationCoverage()
+{
+    std::map<std::string, SampleSet> coverage;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        const GeometryConfig &geometry = chip.geometry();
+        const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            (void)context;
+            std::map<std::string, std::uint64_t> counts;
+            Rng rng(hashCombine(seed, 0xC0FEULL + context.bank +
+                                          context.lowSubarray));
+            const int probes = config_.probesPerPair;
+            for (int i = 0; i < probes; ++i) {
+                const auto rf = static_cast<RowId>(rng.below(rows));
+                const auto rl = static_cast<RowId>(rng.below(rows));
+                const ActivationSets sets =
+                    chip.decoder().neighborActivation(rf, rl);
+                if (!sets.simultaneous)
+                    continue;
+                std::ostringstream oss;
+                oss << sets.nrf() << ":" << sets.nrl();
+                ++counts[oss.str()];
+            }
+            // Every known activation type contributes a sample per
+            // (module, subarray pair) context, including zero
+            // coverage; otherwise modules lacking a capability (e.g.
+            // N:2N) would be silently dropped from its distribution.
+            static const char *kKnownTypes[] = {
+                "1:1", "1:2", "2:2", "2:4", "4:4",
+                "4:8", "8:8", "8:16", "16:16", "16:32"};
+            for (const char *type : kKnownTypes) {
+                const auto it = counts.find(type);
+                const double count =
+                    it == counts.end()
+                        ? 0.0
+                        : static_cast<double>(it->second);
+                coverage[type].add(100.0 * count /
+                                   static_cast<double>(probes));
+                if (it != counts.end())
+                    counts.erase(it);
+            }
+            for (const auto &[type, count] : counts) {
+                coverage[type].add(100.0 * static_cast<double>(count) /
+                                   static_cast<double>(probes));
+            }
+        }
+    });
+    return coverage;
+}
+
+std::map<int, SampleSet>
+Campaign::notVsDestRows(const OpConditions &cond)
+{
+    std::map<int, SampleSet> result;
+    forEachChip(table1(), [&](const ModuleSpec &, const Chip &chip,
+                              std::uint64_t seed) {
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int dest : kDestRowCounts) {
+                const auto pairs = findPairs(
+                    chip, context,
+                    [dest](const ActivationSets &sets) {
+                        return (sets.simultaneous || sets.sequential) &&
+                               sets.nrl() == dest;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x700 + dest + context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[src, dst] : pairs) {
+                    const auto samples = analyzer.notSamples(
+                        context.bank, src, dst, cond);
+                    for (const CellSample &sample : samples) {
+                        result[dest].add(
+                            analyzer.toPercent(sample.probability));
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+std::map<std::string, SampleSet>
+Campaign::notVsActivationType()
+{
+    std::map<std::string, SampleSet> result;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int dest : kDestRowCounts) {
+                const auto pairs = findPairs(
+                    chip, context,
+                    [dest](const ActivationSets &sets) {
+                        return sets.simultaneous && sets.nrl() == dest;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x800 + dest + context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[src, dst] : pairs) {
+                    const GeometryConfig &geometry = chip.geometry();
+                    const RowAddress rf = decomposeRow(geometry, src);
+                    const RowAddress rl = decomposeRow(geometry, dst);
+                    const ActivationSets sets =
+                        chip.decoder().neighborActivation(rf.localRow,
+                                                          rl.localRow);
+                    std::ostringstream oss;
+                    oss << sets.nrf() << ":" << sets.nrl();
+                    const auto samples = analyzer.notSamples(
+                        context.bank, src, dst, OpConditions());
+                    for (const CellSample &sample : samples) {
+                        result[oss.str()].add(
+                            analyzer.toPercent(sample.probability));
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+RegionHeatmap
+Campaign::notRegionHeatmap()
+{
+    RegionHeatmap heatmap{};
+    std::array<std::array<SampleSet, 3>, 3> buckets;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int dest : kDestRowCounts) {
+                const auto pairs = findPairs(
+                    chip, context,
+                    [dest](const ActivationSets &sets) {
+                        return sets.simultaneous && sets.nrl() == dest;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x900 + dest + context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[src, dst] : pairs) {
+                    const auto samples = analyzer.notSamples(
+                        context.bank, src, dst, OpConditions());
+                    for (const CellSample &sample : samples) {
+                        buckets[static_cast<int>(sample.otherRegion)]
+                               [static_cast<int>(sample.ownRegion)]
+                                   .add(100.0 * sample.probability);
+                    }
+                }
+            }
+        }
+    });
+    for (int s = 0; s < 3; ++s)
+        for (int d = 0; d < 3; ++d)
+            heatmap[s][d] = buckets[s][d].empty()
+                                ? 0.0
+                                : buckets[s][d].mean();
+    return heatmap;
+}
+
+std::map<int, std::map<int, double>>
+Campaign::notVsTemperature(const std::vector<int> &temperatures)
+{
+    std::map<int, std::map<int, SampleSet>> buckets;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int dest : kDestRowCounts) {
+                const auto pairs = findPairs(
+                    chip, context,
+                    [dest](const ActivationSets &sets) {
+                        return sets.simultaneous && sets.nrl() == dest;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0xA00 + dest + context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[src, dst] : pairs) {
+                    const auto base = analyzer.notSamples(
+                        context.bank, src, dst, OpConditions());
+                    for (const int temp : temperatures) {
+                        OpConditions cond;
+                        cond.temperature = temp;
+                        const auto samples = analyzer.notSamples(
+                            context.bank, src, dst, cond);
+                        for (std::size_t i = 0; i < samples.size();
+                             ++i) {
+                            // Only cells with >90% success at the
+                            // 50 C baseline are tracked (paper
+                            // footnote 8).
+                            if (base[i].probability <= 0.9)
+                                continue;
+                            buckets[dest][temp].add(
+                                100.0 * samples[i].probability);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    std::map<int, std::map<int, double>> result;
+    for (const auto &[dest, by_temp] : buckets)
+        for (const auto &[temp, set] : by_temp)
+            result[dest][temp] = set.empty() ? 0.0 : set.mean();
+    return result;
+}
+
+std::map<std::uint32_t, std::map<int, SampleSet>>
+Campaign::notVsSpeed()
+{
+    std::map<std::uint32_t, std::map<int, SampleSet>> result;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &spec,
+                                    const Chip &chip,
+                                    std::uint64_t seed) {
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int dest : kDestRowCounts) {
+                const auto pairs = findPairs(
+                    chip, context,
+                    [dest](const ActivationSets &sets) {
+                        return sets.simultaneous && sets.nrl() == dest;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0xB00 + dest + context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[src, dst] : pairs) {
+                    const auto samples = analyzer.notSamples(
+                        context.bank, src, dst, OpConditions());
+                    for (const CellSample &sample : samples) {
+                        result[spec.speedMt][dest].add(
+                            analyzer.toPercent(sample.probability));
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+std::vector<std::pair<std::string, SampleSet>>
+Campaign::notByDie()
+{
+    std::map<std::string, SampleSet> by_die;
+    forEachChip(table1(), [&](const ModuleSpec &spec, const Chip &chip,
+                              std::uint64_t seed) {
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            const auto pairs = findPairs(
+                chip, context,
+                [](const ActivationSets &sets) {
+                    return (sets.simultaneous || sets.sequential) &&
+                           sets.nrl() == 1;
+                },
+                config_.pairSamplesPerConfig,
+                hashCombine(seed, 0xC00 + context.bank * 977 +
+                                      context.lowSubarray * 131));
+            for (const auto &[src, dst] : pairs) {
+                const auto samples = analyzer.notSamples(
+                    context.bank, src, dst, OpConditions());
+                for (const CellSample &sample : samples) {
+                    by_die[dieLabel(spec)].add(
+                        analyzer.toPercent(sample.probability));
+                }
+            }
+        }
+    });
+    return {by_die.begin(), by_die.end()};
+}
+
+std::map<BoolOp, std::map<int, SampleSet>>
+Campaign::logicVsInputs()
+{
+    std::map<BoolOp, std::map<int, SampleSet>> result;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps())
+            return;
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int inputs : kInputCounts) {
+                if (inputs > chip.profile().maxLogicInputs())
+                    continue;
+                const auto pairs = findPairs(
+                    chip, context,
+                    [inputs](const ActivationSets &sets) {
+                        return sets.simultaneous &&
+                               sets.nrf() == inputs &&
+                               sets.nrl() == inputs;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0xD00 + inputs +
+                                          context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[ref, com] : pairs) {
+                    for (const BoolOp op : kLogicOps) {
+                        const auto samples = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::Random);
+                        for (const CellSample &sample : samples) {
+                            result[op][inputs].add(
+                                analyzer.toPercent(sample.probability));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+std::map<int, double>
+Campaign::logicVsOnes(BoolOp op, int numInputs)
+{
+    std::map<int, SampleSet> buckets;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps() ||
+            numInputs > chip.profile().maxLogicInputs()) {
+            return;
+        }
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            const auto pairs = findPairs(
+                chip, context,
+                [numInputs](const ActivationSets &sets) {
+                    return sets.simultaneous &&
+                           sets.nrf() == numInputs &&
+                           sets.nrl() == numInputs;
+                },
+                config_.pairSamplesPerConfig,
+                hashCombine(seed, 0xE00 + numInputs +
+                                      context.bank * 977 +
+                                      context.lowSubarray * 131));
+            for (const auto &[ref, com] : pairs) {
+                for (int ones = 0; ones <= numInputs; ++ones) {
+                    const auto samples = analyzer.logicSamples(
+                        context.bank, op, ref, com, OpConditions(),
+                        PatternClass::FixedOnes, ones);
+                    for (const CellSample &sample : samples)
+                        buckets[ones].add(100.0 * sample.probability);
+                }
+            }
+        }
+    });
+    std::map<int, double> result;
+    for (const auto &[ones, set] : buckets)
+        result[ones] = set.empty() ? 0.0 : set.mean();
+    return result;
+}
+
+std::map<BoolOp, RegionHeatmap>
+Campaign::logicRegionHeatmap()
+{
+    std::map<BoolOp, std::array<std::array<SampleSet, 3>, 3>> buckets;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps())
+            return;
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int inputs : kInputCounts) {
+                if (inputs > chip.profile().maxLogicInputs())
+                    continue;
+                const auto pairs = findPairs(
+                    chip, context,
+                    [inputs](const ActivationSets &sets) {
+                        return sets.simultaneous &&
+                               sets.nrf() == inputs &&
+                               sets.nrl() == inputs;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0xF00 + inputs +
+                                          context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[ref, com] : pairs) {
+                    for (const BoolOp op : kLogicOps) {
+                        const auto samples = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::Random);
+                        for (const CellSample &sample : samples) {
+                            const int own =
+                                static_cast<int>(sample.ownRegion);
+                            const int other =
+                                static_cast<int>(sample.otherRegion);
+                            // Index convention: [compute][reference].
+                            const bool own_is_ref = isInvertedOp(op);
+                            const int com_idx =
+                                own_is_ref ? other : own;
+                            const int ref_idx =
+                                own_is_ref ? own : other;
+                            buckets[op][com_idx][ref_idx].add(
+                                100.0 * sample.probability);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    std::map<BoolOp, RegionHeatmap> result;
+    for (const BoolOp op : kLogicOps) {
+        RegionHeatmap heatmap{};
+        for (int c = 0; c < 3; ++c) {
+            for (int r = 0; r < 3; ++r) {
+                const SampleSet &set = buckets[op][c][r];
+                heatmap[c][r] = set.empty() ? 0.0 : set.mean();
+            }
+        }
+        result[op] = heatmap;
+    }
+    return result;
+}
+
+std::map<BoolOp, std::map<int, std::pair<SampleSet, SampleSet>>>
+Campaign::logicDataPattern()
+{
+    std::map<BoolOp, std::map<int, std::pair<SampleSet, SampleSet>>>
+        result;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps())
+            return;
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int inputs : kInputCounts) {
+                if (inputs > chip.profile().maxLogicInputs())
+                    continue;
+                const auto pairs = findPairs(
+                    chip, context,
+                    [inputs](const ActivationSets &sets) {
+                        return sets.simultaneous &&
+                               sets.nrf() == inputs &&
+                               sets.nrl() == inputs;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x1100 + inputs +
+                                          context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[ref, com] : pairs) {
+                    for (const BoolOp op : kLogicOps) {
+                        const auto fixed = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::AllOnes);
+                        const auto random = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::Random);
+                        auto &bucket = result[op][inputs];
+                        for (const CellSample &sample : fixed) {
+                            bucket.first.add(
+                                analyzer.toPercent(sample.probability));
+                        }
+                        for (const CellSample &sample : random) {
+                            bucket.second.add(
+                                analyzer.toPercent(sample.probability));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+std::map<BoolOp, std::map<int, std::map<int, double>>>
+Campaign::logicVsTemperature(const std::vector<int> &temperatures)
+{
+    std::map<BoolOp, std::map<int, std::map<int, SampleSet>>> buckets;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps())
+            return;
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int inputs : kInputCounts) {
+                if (inputs > chip.profile().maxLogicInputs())
+                    continue;
+                const auto pairs = findPairs(
+                    chip, context,
+                    [inputs](const ActivationSets &sets) {
+                        return sets.simultaneous &&
+                               sets.nrf() == inputs &&
+                               sets.nrl() == inputs;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x1200 + inputs +
+                                          context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[ref, com] : pairs) {
+                    for (const BoolOp op : kLogicOps) {
+                        const auto base = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::Random);
+                        for (const int temp : temperatures) {
+                            OpConditions cond;
+                            cond.temperature = temp;
+                            const auto samples = analyzer.logicSamples(
+                                context.bank, op, ref, com, cond,
+                                PatternClass::Random);
+                            for (std::size_t i = 0; i < samples.size();
+                                 ++i) {
+                                if (base[i].probability <= 0.9)
+                                    continue;
+                                buckets[op][inputs][temp].add(
+                                    100.0 * samples[i].probability);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    std::map<BoolOp, std::map<int, std::map<int, double>>> result;
+    for (const auto &[op, by_inputs] : buckets)
+        for (const auto &[inputs, by_temp] : by_inputs)
+            for (const auto &[temp, set] : by_temp)
+                result[op][inputs][temp] =
+                    set.empty() ? 0.0 : set.mean();
+    return result;
+}
+
+std::map<BoolOp, std::map<std::uint32_t, std::map<int, SampleSet>>>
+Campaign::logicVsSpeed()
+{
+    std::map<BoolOp, std::map<std::uint32_t, std::map<int, SampleSet>>>
+        result;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &spec,
+                                    const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps())
+            return;
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int inputs : kInputCounts) {
+                if (inputs > chip.profile().maxLogicInputs())
+                    continue;
+                const auto pairs = findPairs(
+                    chip, context,
+                    [inputs](const ActivationSets &sets) {
+                        return sets.simultaneous &&
+                               sets.nrf() == inputs &&
+                               sets.nrl() == inputs;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x1300 + inputs +
+                                          context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[ref, com] : pairs) {
+                    for (const BoolOp op : kLogicOps) {
+                        const auto samples = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::Random);
+                        for (const CellSample &sample : samples) {
+                            result[op][spec.speedMt][inputs].add(
+                                analyzer.toPercent(sample.probability));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+std::map<std::string, std::map<BoolOp, SampleSet>>
+Campaign::logicByDie()
+{
+    std::map<std::string, std::map<BoolOp, SampleSet>> result;
+    forEachChip(skHynixFleet(), [&](const ModuleSpec &spec,
+                                    const Chip &chip,
+                                    std::uint64_t seed) {
+        if (!chip.profile().supportsLogicOps())
+            return;
+        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
+        for (const PairContext &context : samplePairs(chip, seed)) {
+            for (const int inputs : kInputCounts) {
+                if (inputs > chip.profile().maxLogicInputs())
+                    continue;
+                const auto pairs = findPairs(
+                    chip, context,
+                    [inputs](const ActivationSets &sets) {
+                        return sets.simultaneous &&
+                               sets.nrf() == inputs &&
+                               sets.nrl() == inputs;
+                    },
+                    config_.pairSamplesPerConfig,
+                    hashCombine(seed, 0x1400 + inputs +
+                                          context.bank * 977 +
+                                          context.lowSubarray * 131));
+                for (const auto &[ref, com] : pairs) {
+                    for (const BoolOp op : kLogicOps) {
+                        const auto samples = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::Random);
+                        for (const CellSample &sample : samples) {
+                            result[dieLabel(spec)][op].add(
+                                analyzer.toPercent(sample.probability));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    return result;
+}
+
+} // namespace fcdram

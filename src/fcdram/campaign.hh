@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Characterization campaign: orchestrates the paper's experiments
+ * across the simulated Table-1 fleet and aggregates per-cell success
+ * rates into the distributions each figure reports.
+ */
+
+#ifndef FCDRAM_FCDRAM_CAMPAIGN_HH
+#define FCDRAM_FCDRAM_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/fleet.hh"
+#include "dram/module.hh"
+#include "fcdram/analytic.hh"
+#include "stats/summary.hh"
+
+namespace fcdram {
+
+/** Campaign-wide knobs. */
+struct CampaignConfig
+{
+    /** Simulated chip dimensions (defaults to a bench-sized chip). */
+    GeometryConfig geometry;
+
+    /** Banks sampled per chip. */
+    int banksPerChip = 1;
+
+    /** Neighboring subarray pairs sampled per bank. */
+    int subarrayPairsPerBank = 4;
+
+    /** Qualifying (RF, RL) pairs kept per chip and configuration. */
+    int pairSamplesPerConfig = 8;
+
+    /** Random (RF, RL) probes used to find qualifying pairs. */
+    int probesPerPair = 4000;
+
+    /** Analytic engine options (trial budget etc.). */
+    AnalyticConfig analytic;
+
+    std::uint64_t seed = 0xF00DULL;
+
+    CampaignConfig();
+
+    /** Scaled-down configuration for unit tests. */
+    static CampaignConfig forTests();
+};
+
+/** 3x3 (measured-side region x other-side region) heatmap of means. */
+using RegionHeatmap = std::array<std::array<double, 3>, 3>;
+
+/**
+ * Experiment orchestrator. Each method reproduces one figure's data.
+ */
+class Campaign
+{
+  public:
+    explicit Campaign(const CampaignConfig &config = CampaignConfig());
+
+    const CampaignConfig &config() const { return config_; }
+
+    /** SK Hynix entries of the Table-1 fleet. */
+    std::vector<ModuleSpec> skHynixFleet() const;
+
+    /** Full Table-1 fleet (SK Hynix + Samsung). */
+    std::vector<ModuleSpec> table1() const;
+
+    /**
+     * Fig. 5: coverage of each NRF:NRL activation type across sampled
+     * (RF, RL) pairs; one coverage sample per (module, subarray pair).
+     */
+    std::map<std::string, SampleSet> activationCoverage();
+
+    /** Fig. 7: NOT success-rate distribution vs destination rows. */
+    std::map<int, SampleSet> notVsDestRows(
+        const OpConditions &cond = OpConditions());
+
+    /** Fig. 8: NOT success rate per NRF:NRL activation type. */
+    std::map<std::string, SampleSet> notVsActivationType();
+
+    /**
+     * Fig. 9: NOT mean success rate per (source region, destination
+     * region); indexed [src][dst].
+     */
+    RegionHeatmap notRegionHeatmap();
+
+    /**
+     * Fig. 10: NOT mean success rate per (destination rows,
+     * temperature), restricted to cells with >90% success at 50 C.
+     */
+    std::map<int, std::map<int, double>>
+    notVsTemperature(const std::vector<int> &temperatures);
+
+    /** Fig. 11: NOT distribution per (speed grade, destination rows). */
+    std::map<std::uint32_t, std::map<int, SampleSet>> notVsSpeed();
+
+    /**
+     * Fig. 12: NOT distribution (one destination row) per
+     * density/die-revision group, both manufacturers.
+     */
+    std::vector<std::pair<std::string, SampleSet>> notByDie();
+
+    /** Fig. 15: logic-op distribution per (op, input count). */
+    std::map<BoolOp, std::map<int, SampleSet>> logicVsInputs();
+
+    /**
+     * Fig. 16: AND/OR mean success rate vs the number of logic-1
+     * operand rows, for the given input count.
+     */
+    std::map<int, double> logicVsOnes(BoolOp op, int numInputs);
+
+    /** Fig. 17: logic heatmap per op, indexed [compute][reference]. */
+    std::map<BoolOp, RegionHeatmap> logicRegionHeatmap();
+
+    /**
+     * Fig. 18: per (op, input count), the all-1s/0s class vs the
+     * random class distributions.
+     */
+    std::map<BoolOp, std::map<int, std::pair<SampleSet, SampleSet>>>
+    logicDataPattern();
+
+    /**
+     * Fig. 19: logic mean success per (op, input count, temperature),
+     * restricted to cells with >90% success at 50 C.
+     */
+    std::map<BoolOp, std::map<int, std::map<int, double>>>
+    logicVsTemperature(const std::vector<int> &temperatures);
+
+    /** Fig. 20: logic distribution per (op, speed grade, inputs). */
+    std::map<BoolOp,
+             std::map<std::uint32_t, std::map<int, SampleSet>>>
+    logicVsSpeed();
+
+    /**
+     * Fig. 21: logic distribution per (density/die label, op),
+     * aggregated over the supported input counts.
+     */
+    std::map<std::string, std::map<BoolOp, SampleSet>> logicByDie();
+
+  private:
+    /** One sampled subarray-pair context on a chip. */
+    struct PairContext
+    {
+        BankId bank = 0;
+        SubarrayId lowSubarray = 0; ///< Pairs with lowSubarray + 1.
+    };
+
+    /** Visit one freshly constructed chip per module of @p fleet. */
+    void forEachChip(
+        const std::vector<ModuleSpec> &fleet,
+        const std::function<void(const ModuleSpec &, const Chip &,
+                                 std::uint64_t)> &visit);
+
+    /** Sampled subarray pairs for a chip. */
+    std::vector<PairContext> samplePairs(const Chip &chip,
+                                         std::uint64_t seed) const;
+
+    /**
+     * Find (RF, RL) global-row pairs in a pair context matching a
+     * predicate on the activation sets.
+     */
+    std::vector<std::pair<RowId, RowId>> findPairs(
+        const Chip &chip, const PairContext &context,
+        const std::function<bool(const ActivationSets &)> &predicate,
+        int maxPairs, std::uint64_t seed) const;
+
+    CampaignConfig config_;
+};
+
+/** Short label like "SKHynix-4Gb-M" for grouping by die. */
+std::string dieLabel(const ModuleSpec &spec);
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_CAMPAIGN_HH

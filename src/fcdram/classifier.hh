@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Activation-pattern classifier: the Section 4.2 methodology that
+ * discovers which rows an ACT RF -> PRE -> ACT RL sequence activates,
+ * using a WR overdrive and full readback, and the coverage statistics
+ * over sampled (RF, RL) pairs (Fig. 5).
+ */
+
+#ifndef FCDRAM_FCDRAM_CLASSIFIER_HH
+#define FCDRAM_FCDRAM_CLASSIFIER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bender/bender.hh"
+
+namespace fcdram {
+
+/** Discovered activation of one (RF, RL) pair. */
+struct ClassifiedActivation
+{
+    bool simultaneous = false;
+
+    /** Local rows (RF subarray) that captured the written pattern. */
+    std::vector<RowId> firstRows;
+
+    /** Local rows (RL subarray) that captured its complement. */
+    std::vector<RowId> secondRows;
+
+    /** "4:8"-style descriptor; "none" if not simultaneous. */
+    std::string typeName() const;
+};
+
+/** Coverage statistics over a sampled pair population. */
+struct CoverageStats
+{
+    /** Pairs per NRF:NRL type name. */
+    std::map<std::string, std::uint64_t> counts;
+
+    std::uint64_t totalPairs = 0;
+
+    /** Coverage (fraction of all sampled pairs) of a type. */
+    double coverage(const std::string &type) const;
+};
+
+/**
+ * WR-readback activation classifier.
+ */
+class ActivationClassifier
+{
+  public:
+    /**
+     * @param bender Session on the chip under test.
+     * @param seed Seed for pair sampling and probe patterns.
+     */
+    ActivationClassifier(DramBender &bender, std::uint64_t seed);
+
+    /**
+     * Classify one (RF, RL) pair across a neighboring subarray pair.
+     *
+     * @param bank Bank under test.
+     * @param firstSubarray RF's subarray.
+     * @param rfLocal RF's local row.
+     * @param secondSubarray RL's subarray (must neighbor the first).
+     * @param rlLocal RL's local row.
+     */
+    ClassifiedActivation classify(BankId bank, SubarrayId firstSubarray,
+                                  RowId rfLocal,
+                                  SubarrayId secondSubarray,
+                                  RowId rlLocal);
+
+    /**
+     * Sample @p pairs random (RF, RL) combinations on a neighboring
+     * subarray pair and accumulate coverage per activation type.
+     */
+    CoverageStats sampleCoverage(BankId bank, SubarrayId firstSubarray,
+                                 SubarrayId secondSubarray, int pairs);
+
+  private:
+    DramBender &bender_;
+    Rng rng_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_CLASSIFIER_HH

@@ -1,0 +1,75 @@
+#include "fcdram/golden.hh"
+
+#include <cassert>
+
+namespace fcdram {
+
+BitVector
+goldenNot(const BitVector &input)
+{
+    return ~input;
+}
+
+BitVector
+goldenAnd(const std::vector<BitVector> &inputs)
+{
+    assert(!inputs.empty());
+    BitVector result = inputs.front();
+    for (std::size_t i = 1; i < inputs.size(); ++i)
+        result = result & inputs[i];
+    return result;
+}
+
+BitVector
+goldenOr(const std::vector<BitVector> &inputs)
+{
+    assert(!inputs.empty());
+    BitVector result = inputs.front();
+    for (std::size_t i = 1; i < inputs.size(); ++i)
+        result = result | inputs[i];
+    return result;
+}
+
+BitVector
+goldenNand(const std::vector<BitVector> &inputs)
+{
+    return ~goldenAnd(inputs);
+}
+
+BitVector
+goldenNor(const std::vector<BitVector> &inputs)
+{
+    return ~goldenOr(inputs);
+}
+
+BitVector
+goldenMaj(const std::vector<BitVector> &inputs)
+{
+    assert(!inputs.empty());
+    assert(inputs.size() % 2 == 1);
+    const std::size_t size = inputs.front().size();
+    BitVector result(size);
+    for (std::size_t bit = 0; bit < size; ++bit) {
+        std::size_t ones = 0;
+        for (const auto &input : inputs)
+            ones += input.get(bit) ? 1 : 0;
+        result.set(bit, 2 * ones > inputs.size());
+    }
+    return result;
+}
+
+BitVector
+goldenOp(BoolOp op, const std::vector<BitVector> &inputs)
+{
+    switch (op) {
+      case BoolOp::Not: return goldenNot(inputs.front());
+      case BoolOp::And: return goldenAnd(inputs);
+      case BoolOp::Or: return goldenOr(inputs);
+      case BoolOp::Nand: return goldenNand(inputs);
+      case BoolOp::Nor: return goldenNor(inputs);
+      case BoolOp::Maj3: return goldenMaj(inputs);
+    }
+    return BitVector();
+}
+
+} // namespace fcdram

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Golden (software) reference implementations of the bulk bitwise
+ * operations, used to verify in-DRAM results and to drive the
+ * success-rate comparisons.
+ */
+
+#ifndef FCDRAM_FCDRAM_GOLDEN_HH
+#define FCDRAM_FCDRAM_GOLDEN_HH
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+
+namespace fcdram {
+
+/** Bitwise NOT. */
+BitVector goldenNot(const BitVector &input);
+
+/** N-input bitwise AND. @pre !inputs.empty() */
+BitVector goldenAnd(const std::vector<BitVector> &inputs);
+
+/** N-input bitwise OR. @pre !inputs.empty() */
+BitVector goldenOr(const std::vector<BitVector> &inputs);
+
+/** N-input bitwise NAND. @pre !inputs.empty() */
+BitVector goldenNand(const std::vector<BitVector> &inputs);
+
+/** N-input bitwise NOR. @pre !inputs.empty() */
+BitVector goldenNor(const std::vector<BitVector> &inputs);
+
+/** Bitwise majority over an odd number of inputs. */
+BitVector goldenMaj(const std::vector<BitVector> &inputs);
+
+/** Dispatch by op (Not uses inputs[0] only). */
+BitVector goldenOp(BoolOp op, const std::vector<BitVector> &inputs);
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_GOLDEN_HH

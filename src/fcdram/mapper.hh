@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Subarray-boundary reverse engineering via RowClone probing (paper
+ * Section 4.2): a RowClone only copies when source and destination
+ * share a subarray, so scanning copy success over row pairs exposes
+ * the boundaries.
+ */
+
+#ifndef FCDRAM_FCDRAM_MAPPER_HH
+#define FCDRAM_FCDRAM_MAPPER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/bender.hh"
+
+namespace fcdram {
+
+/** Recovered subarray map of one bank. */
+struct SubarrayMap
+{
+    /** First global row of each discovered subarray, ascending. */
+    std::vector<RowId> boundaries;
+
+    /** Number of discovered subarrays. */
+    int numSubarrays() const
+    {
+        return static_cast<int>(boundaries.size());
+    }
+
+    /** Discovered subarray index of a global row. */
+    int subarrayOf(RowId globalRow) const;
+};
+
+/**
+ * RowClone-probing mapper. Stateless apart from the bender session.
+ */
+class SubarrayMapper
+{
+  public:
+    /**
+     * @param bender Session on the chip under test.
+     * @param seed Seed for probe data patterns.
+     */
+    SubarrayMapper(DramBender &bender, std::uint64_t seed);
+
+    /**
+     * True if a RowClone from @p src to @p dst succeeds (same
+     * subarray). Retries with fresh patterns to tolerate pairs the
+     * decoder's coverage gate rejects.
+     *
+     * @param attempts Probe repetitions before giving up.
+     */
+    bool sameSubarrayProbe(BankId bank, RowId src, RowId dst,
+                           int attempts = 4);
+
+    /**
+     * Reverse engineer the subarray boundaries of a bank by probing
+     * consecutive rows (with multi-partner retries around suspected
+     * boundaries).
+     */
+    SubarrayMap mapBank(BankId bank);
+
+  private:
+    DramBender &bender_;
+    Rng rng_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_MAPPER_HH

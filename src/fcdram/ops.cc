@@ -1,0 +1,184 @@
+#include "fcdram/ops.hh"
+
+#include <cassert>
+
+#include "common/rng.hh"
+#include "dram/openbitline.hh"
+
+namespace fcdram {
+
+Ops::Ops(DramBender &bender) : bender_(bender)
+{
+}
+
+Program
+Ops::buildDoubleAct(BankId bank, RowId firstGlobal,
+                    RowId secondGlobal) const
+{
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(bank, firstGlobal, 0.0)
+        .pre(bank, kViolatedGapTargetNs)
+        .act(bank, secondGlobal, kViolatedGapTargetNs)
+        .preNominal(bank);
+    return builder.build();
+}
+
+Program
+Ops::buildNot(BankId bank, RowId srcGlobal, RowId dstGlobal) const
+{
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(bank, srcGlobal, 0.0)
+        .pre(bank, TimingParams::nominal().tRas)
+        .act(bank, dstGlobal, kViolatedGapTargetNs)
+        .preNominal(bank);
+    return builder.build();
+}
+
+Program
+Ops::buildRowClone(BankId bank, RowId srcGlobal, RowId dstGlobal) const
+{
+    return buildNot(bank, srcGlobal, dstGlobal);
+}
+
+std::vector<RowId>
+Ops::executeNot(BankId bank, RowId srcGlobal, RowId dstGlobal)
+{
+    const ExecResult result =
+        bender_.execute(buildNot(bank, srcGlobal, dstGlobal));
+    std::vector<RowId> destinations;
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    for (const ActivationEvent &event : result.activations) {
+        if (event.firstSubarray == event.secondSubarray)
+            continue;
+        for (const RowId local : event.sets.secondRows) {
+            destinations.push_back(
+                composeRow(geometry, event.secondSubarray, local));
+        }
+    }
+    return destinations;
+}
+
+bool
+Ops::executeRowClone(BankId bank, RowId srcGlobal, RowId dstGlobal)
+{
+    assert(sameSubarray(bender_.chip().geometry(), srcGlobal, dstGlobal));
+    const ExecResult result =
+        bender_.execute(buildRowClone(bank, srcGlobal, dstGlobal));
+    return !result.activations.empty();
+}
+
+std::optional<RowId>
+Ops::fracInit(BankId bank, RowId rowGlobal,
+              const std::vector<RowId> &avoid)
+{
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    const RowAddress address = decomposeRow(geometry, rowGlobal);
+    const RowDecoder &decoder = bender_.chip().decoder();
+    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+
+    for (RowId flip = 1; flip < rows; ++flip) {
+        const RowId helper_local = address.localRow ^ flip;
+        const RowId helper =
+            composeRow(geometry, address.subarray, helper_local);
+        if (helper == rowGlobal)
+            continue;
+        bool excluded = false;
+        for (const RowId r : avoid)
+            excluded |= r == helper;
+        if (excluded)
+            continue;
+        const auto set =
+            decoder.sameSubarrayActivation(helper_local,
+                                           address.localRow);
+        if (set.size() != 2)
+            continue;
+        // Charge-share an all-1s helper with an all-0s target and
+        // interrupt the restore: both rows settle near VDD/2.
+        BitVector ones(static_cast<std::size_t>(geometry.columns), true);
+        BitVector zeros(static_cast<std::size_t>(geometry.columns),
+                        false);
+        bender_.writeRow(bank, helper, ones);
+        bender_.writeRow(bank, rowGlobal, zeros);
+        ProgramBuilder builder = bender_.newProgram();
+        builder.act(bank, helper, 0.0)
+            .pre(bank, kViolatedGapTargetNs)
+            .act(bank, rowGlobal, kViolatedGapTargetNs)
+            .pre(bank, kViolatedGapTargetNs);
+        bender_.execute(builder.build());
+        return helper;
+    }
+    return std::nullopt;
+}
+
+bool
+Ops::initReference(BankId bank, BoolOp op,
+                   const std::vector<RowId> &refRows)
+{
+    assert(!refRows.empty());
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    const bool and_family = op == BoolOp::And || op == BoolOp::Nand;
+    BitVector constant(static_cast<std::size_t>(geometry.columns),
+                       and_family);
+    // The Frac row must be initialized last: its helper activation
+    // would otherwise be disturbed by later writes.
+    for (std::size_t i = 0; i + 1 < refRows.size(); ++i)
+        bender_.writeRow(bank, refRows[i], constant);
+    const auto helper = fracInit(bank, refRows.back(), refRows);
+    if (!helper)
+        return false;
+    // Re-write the constants in case the Frac helper overlapped a
+    // constant row's bitline transient (cheap and safe).
+    for (std::size_t i = 0; i + 1 < refRows.size(); ++i)
+        bender_.writeRow(bank, refRows[i], constant);
+    return true;
+}
+
+LogicOpResult
+Ops::executeLogic(BankId bank, BoolOp op, RowId refAnchor,
+                  RowId comAnchor, const std::vector<RowId> &refRows,
+                  const std::vector<RowId> &computeRows)
+{
+    (void)op;
+    assert(!refRows.empty() && !computeRows.empty());
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    const RowAddress ref = decomposeRow(geometry, refAnchor);
+    const RowAddress com = decomposeRow(geometry, comAnchor);
+
+    const ExecResult exec =
+        bender_.execute(buildDoubleAct(bank, refAnchor, comAnchor));
+    (void)exec;
+
+    LogicOpResult result;
+    result.columns = sharedColumns(geometry, ref.subarray, com.subarray);
+    result.computeResult = bender_.readRow(bank, computeRows.front());
+    result.referenceResult = bender_.readRow(bank, refRows.front());
+    return result;
+}
+
+std::vector<std::pair<RowId, RowId>>
+findActivationPairs(const Chip &chip, int nrf, int nrl, int maxPairs,
+                    std::uint64_t seed)
+{
+    std::vector<std::pair<RowId, RowId>> pairs;
+    const auto rows =
+        static_cast<RowId>(chip.geometry().rowsPerSubarray);
+    Rng rng(seed);
+    // Bounded random probing; the decoder is deterministic, so each
+    // (rf, rl) candidate needs only one query.
+    const int max_probes = 20000;
+    for (int probe = 0; probe < max_probes &&
+                        static_cast<int>(pairs.size()) < maxPairs;
+         ++probe) {
+        const auto rf = static_cast<RowId>(rng.below(rows));
+        const auto rl = static_cast<RowId>(rng.below(rows));
+        const ActivationSets sets =
+            chip.decoder().neighborActivation(rf, rl);
+        if (!sets.simultaneous && !sets.sequential)
+            continue;
+        if (sets.nrf() == nrf && sets.nrl() == nrl)
+            pairs.emplace_back(rf, rl);
+    }
+    return pairs;
+}
+
+} // namespace fcdram

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reliable-cell masks: the paper restricts several experiments to
+ * cells with >90% success (footnote 8), and any deployment of FCDRAM
+ * operations needs the same machinery — identify the dependable
+ * columns for a given operation and compute only there.
+ */
+
+#ifndef FCDRAM_FCDRAM_RELIABLEMASK_HH
+#define FCDRAM_FCDRAM_RELIABLEMASK_HH
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "fcdram/analytic.hh"
+
+namespace fcdram {
+
+/**
+ * Builds per-operation reliability masks for a chip from the
+ * analytic model (profiling), mirroring what a deployment would
+ * obtain from a measurement pass.
+ */
+class ReliableMask
+{
+  public:
+    /**
+     * @param chip Chip under test.
+     * @param thresholdPercent Minimum per-cell success rate.
+     */
+    ReliableMask(const Chip &chip, double thresholdPercent = 90.0);
+
+    /**
+     * Mask over all columns for the NOT operation on a (src, dst)
+     * pair: bit c set iff column c is shared with the destination
+     * subarray AND every destination-row cell in that column meets
+     * the threshold. Empty vector if the pair does not activate.
+     */
+    BitVector notMask(BankId bank, RowId srcGlobal, RowId dstGlobal,
+                      const OpConditions &cond = OpConditions()) const;
+
+    /**
+     * Mask over all columns for an N:N logic op on a (ref, com)
+     * pair; measured side selected by @p op.
+     */
+    BitVector logicMask(BankId bank, BoolOp op, RowId refGlobal,
+                        RowId comGlobal,
+                        const OpConditions &cond = OpConditions()) const;
+
+    /** Fraction of set bits in a mask (0 if empty). */
+    static double maskDensity(const BitVector &mask);
+
+    double thresholdPercent() const { return thresholdPercent_; }
+
+  private:
+    const Chip &chip_;
+    double thresholdPercent_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_RELIABLEMASK_HH

@@ -1,0 +1,115 @@
+#include "fcdram/roworder.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dram/address.hh"
+
+namespace fcdram {
+
+int
+RowOrder::positionOf(RowId localRow) const
+{
+    for (std::size_t i = 0; i < physicalOrder.size(); ++i)
+        if (physicalOrder[i] == localRow)
+            return static_cast<int>(i);
+    return -1;
+}
+
+Region
+RowOrder::regionFor(RowId localRow, bool lowerStripe) const
+{
+    const int position = positionOf(localRow);
+    assert(position >= 0);
+    const int rows = static_cast<int>(physicalOrder.size());
+    const int distance =
+        lowerStripe ? rows - 1 - position : position;
+    const int third = rows / 3;
+    if (distance < third)
+        return Region::Close;
+    if (distance < 2 * third)
+        return Region::Middle;
+    return Region::Far;
+}
+
+RowOrderMapper::RowOrderMapper(DramBender &bender,
+                               std::uint64_t hammerCount)
+    : bender_(bender), hammerCount_(hammerCount)
+{
+}
+
+std::vector<RowId>
+RowOrderMapper::neighborsOf(BankId bank, SubarrayId subarray,
+                            RowId aggressorLocal)
+{
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+    BitVector ones(static_cast<std::size_t>(geometry.columns), true);
+    for (RowId local = 0; local < rows; ++local) {
+        bender_.writeRow(bank, composeRow(geometry, subarray, local),
+                         ones);
+    }
+    bender_.hammerRow(
+        bank, composeRow(geometry, subarray, aggressorLocal),
+        hammerCount_);
+    std::vector<RowId> neighbors;
+    for (RowId local = 0; local < rows; ++local) {
+        if (local == aggressorLocal)
+            continue;
+        const BitVector readback = bender_.readRow(
+            bank, composeRow(geometry, subarray, local));
+        // A handful of flips marks a physically adjacent victim.
+        if (readback.hammingDistance(ones) >
+            readback.size() / 32) {
+            neighbors.push_back(local);
+        }
+    }
+    return neighbors;
+}
+
+RowOrder
+RowOrderMapper::mapSubarray(BankId bank, SubarrayId subarray)
+{
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+
+    std::vector<std::vector<RowId>> adjacency(rows);
+    std::vector<RowId> edges;
+    for (RowId local = 0; local < rows; ++local) {
+        adjacency[local] = neighborsOf(bank, subarray, local);
+        if (adjacency[local].size() == 1)
+            edges.push_back(local);
+    }
+
+    RowOrder order;
+    if (edges.empty())
+        return order;
+    // Orientation is ambiguous from disturbance data alone (both
+    // edges look alike); start from the lower-numbered edge row for
+    // determinism. Callers comparing against ground truth must accept
+    // the reversed order too.
+    std::sort(edges.begin(), edges.end());
+    RowId current = edges.front();
+    RowId previous = current; // Sentinel: no predecessor yet.
+    order.physicalOrder.push_back(current);
+    while (order.physicalOrder.size() < rows) {
+        bool found = false;
+        for (const RowId candidate : adjacency[current]) {
+            if (candidate != previous) {
+                previous = current;
+                current = candidate;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            // Degenerate adjacency (noise): bail out with a partial
+            // order; callers treat short orders as a failed probe.
+            break;
+        }
+        order.physicalOrder.push_back(current);
+    }
+    return order;
+}
+
+} // namespace fcdram

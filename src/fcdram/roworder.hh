@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical row-order reverse engineering via RowHammer (paper
+ * Section 5.2): hammering an aggressor flips bits in the physically
+ * adjacent rows; a row with only one flipping neighbor sits at a
+ * subarray edge (adjacent to a sense-amplifier stripe). Walking the
+ * adjacency chain recovers the full physical order, from which the
+ * Close/Middle/Far distance regions are derived.
+ */
+
+#ifndef FCDRAM_FCDRAM_ROWORDER_HH
+#define FCDRAM_FCDRAM_ROWORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/bender.hh"
+#include "config/chipprofile.hh"
+
+namespace fcdram {
+
+/** Recovered physical order of one subarray. */
+struct RowOrder
+{
+    /**
+     * Logical local row ids in physical order; physicalOrder.front()
+     * is adjacent to the upper stripe (same index as the subarray).
+     */
+    std::vector<RowId> physicalOrder;
+
+    /** Physical position of a logical local row (-1 if unknown). */
+    int positionOf(RowId localRow) const;
+
+    /**
+     * Distance region of a logical row relative to a bounding stripe
+     * (stripe == subarray id -> upper, subarray id + 1 -> lower).
+     */
+    Region regionFor(RowId localRow, bool lowerStripe) const;
+};
+
+/** RowHammer-based row-order mapper. */
+class RowOrderMapper
+{
+  public:
+    /**
+     * @param bender Session on the chip under test.
+     * @param hammerCount Aggressor activations per probe.
+     */
+    RowOrderMapper(DramBender &bender,
+                   std::uint64_t hammerCount = 200000);
+
+    /**
+     * Logical local rows whose cells flip when @p aggressorLocal is
+     * hammered (the physical neighbors).
+     */
+    std::vector<RowId> neighborsOf(BankId bank, SubarrayId subarray,
+                                   RowId aggressorLocal);
+
+    /**
+     * Recover the physical order of a subarray by walking the
+     * neighbor relation from an edge row.
+     */
+    RowOrder mapSubarray(BankId bank, SubarrayId subarray);
+
+  private:
+    DramBender &bender_;
+    std::uint64_t hammerCount_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_ROWORDER_HH

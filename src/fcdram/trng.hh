@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRAM-based true random number generation from metastable
+ * charge sharing — the extension the paper's Section 8.1 suggests:
+ * simultaneously activating Frac-initialized (VDD/2) rows leaves the
+ * bitlines exactly at the sense amplifiers' metastable point, so the
+ * resolved values are governed by thermal noise.
+ *
+ * As in QUAC-TRNG, not every cell is a good entropy source (static
+ * offsets bias most of them); the generator first profiles the
+ * columns and keeps only near-50% cells, then applies von Neumann
+ * whitening across consecutive samples.
+ */
+
+#ifndef FCDRAM_FCDRAM_TRNG_HH
+#define FCDRAM_FCDRAM_TRNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fcdram/ops.hh"
+
+namespace fcdram {
+
+/** True random number generator on one subarray of a chip. */
+class DramTrng
+{
+  public:
+    /**
+     * @param bender Session on the chip.
+     * @param bank Bank to use.
+     * @param subarray Subarray whose rows are sacrificed to the TRNG.
+     */
+    DramTrng(DramBender &bender, BankId bank, SubarrayId subarray);
+
+    /**
+     * Profile the columns: run @p trials raw samples and keep the
+     * columns whose ones-rate lies in [lo, hi] as entropy cells.
+     *
+     * @return Number of entropy cells found.
+     */
+    std::size_t calibrate(int trials = 32, double lo = 0.25,
+                          double hi = 0.75);
+
+    /** Columns selected by calibrate(). */
+    const std::vector<ColId> &entropyCells() const
+    {
+        return entropyCells_;
+    }
+
+    /**
+     * One raw sample: Frac-initialize the row pair, charge-share them
+     * (metastable), read the resolved bits of the first row.
+     */
+    BitVector rawSample();
+
+    /**
+     * Generate @p bits whitened random bits (von Neumann extractor
+     * over consecutive raw samples of the entropy cells).
+     * @pre calibrate() found at least one entropy cell.
+     */
+    BitVector randomBits(std::size_t bits);
+
+    /** Raw samples consumed so far (throughput accounting). */
+    std::uint64_t rawSamplesDrawn() const { return rawSamples_; }
+
+  private:
+    DramBender &bender_;
+    Ops ops_;
+    BankId bank_;
+    SubarrayId subarray_;
+    RowId rowA_;
+    RowId rowB_;
+    std::vector<ColId> entropyCells_;
+    std::uint64_t rawSamples_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_TRNG_HH

@@ -1,0 +1,51 @@
+#include "stats/histogram.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace fcdram {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0), total_(0)
+{
+    assert(hi > lo);
+    assert(bins > 0);
+}
+
+void
+Histogram::add(double value)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::int64_t>(std::floor((value - lo_) / width));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<std::int64_t>(counts_.size()))
+        idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    assert(i < counts_.size());
+    return counts_[i];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    assert(i < counts_.size());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(binCount(i)) / static_cast<double>(total_);
+}
+
+} // namespace fcdram

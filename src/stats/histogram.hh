@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-bin histogram used for coverage distributions (Fig. 5) and
+ * success-rate populations.
+ */
+
+#ifndef FCDRAM_STATS_HISTOGRAM_HH
+#define FCDRAM_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fcdram {
+
+/** Uniform-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the first bin.
+     * @param hi Upper bound of the last bin. @pre hi > lo
+     * @param bins Number of bins. @pre bins > 0
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record a sample (clamped into the outermost bins). */
+    void add(double value);
+
+    /** Count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Center value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Total number of recorded samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bin @p i (0 if no samples). */
+    double binFraction(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_STATS_HISTOGRAM_HH

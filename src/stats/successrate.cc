@@ -1,0 +1,75 @@
+#include "stats/successrate.hh"
+
+#include <cassert>
+
+namespace fcdram {
+
+SuccessRateAccumulator::SuccessRateAccumulator(std::size_t numCells)
+    : successes_(numCells, 0), trials_(numCells, 0)
+{
+}
+
+void
+SuccessRateAccumulator::record(std::size_t cell, bool success)
+{
+    assert(cell < successes_.size());
+    successes_[cell] += success ? 1 : 0;
+    ++trials_[cell];
+}
+
+void
+SuccessRateAccumulator::recordBatch(std::size_t cell,
+                                    std::uint64_t successes,
+                                    std::uint64_t trials)
+{
+    assert(cell < successes_.size());
+    assert(successes <= trials);
+    successes_[cell] += successes;
+    trials_[cell] += trials;
+}
+
+std::uint64_t
+SuccessRateAccumulator::trials(std::size_t cell) const
+{
+    assert(cell < trials_.size());
+    return trials_[cell];
+}
+
+double
+SuccessRateAccumulator::successRatePercent(std::size_t cell) const
+{
+    assert(cell < trials_.size());
+    if (trials_[cell] == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(successes_[cell]) /
+           static_cast<double>(trials_[cell]);
+}
+
+SampleSet
+SuccessRateAccumulator::distribution() const
+{
+    SampleSet set;
+    for (std::size_t i = 0; i < trials_.size(); ++i)
+        if (trials_[i] > 0)
+            set.add(successRatePercent(i));
+    return set;
+}
+
+double
+SuccessRateAccumulator::averageSuccessPercent() const
+{
+    const SampleSet set = distribution();
+    return set.empty() ? 0.0 : set.mean();
+}
+
+std::vector<std::size_t>
+SuccessRateAccumulator::cellsAbove(double thresholdPercent) const
+{
+    std::vector<std::size_t> cells;
+    for (std::size_t i = 0; i < trials_.size(); ++i)
+        if (trials_[i] > 0 && successRatePercent(i) >= thresholdPercent)
+            cells.push_back(i);
+    return cells;
+}
+
+} // namespace fcdram

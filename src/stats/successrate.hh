@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-cell success-rate accounting: the paper's central reliability
+ * metric (fraction of correct bitwise results over 10,000 trials).
+ */
+
+#ifndef FCDRAM_STATS_SUCCESSRATE_HH
+#define FCDRAM_STATS_SUCCESSRATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hh"
+
+namespace fcdram {
+
+/**
+ * Accumulates per-cell trial outcomes for one experiment configuration
+ * and produces the success-rate distribution across cells.
+ *
+ * Cells are indexed densely 0..numCells-1; callers map (row, column)
+ * positions onto this index space.
+ */
+class SuccessRateAccumulator
+{
+  public:
+    /** Track @p numCells cells. */
+    explicit SuccessRateAccumulator(std::size_t numCells);
+
+    /** Record one trial outcome for cell @p cell. */
+    void record(std::size_t cell, bool success);
+
+    /** Record @p successes correct outcomes out of @p trials for @p cell. */
+    void recordBatch(std::size_t cell, std::uint64_t successes,
+                     std::uint64_t trials);
+
+    /** Number of tracked cells. */
+    std::size_t numCells() const { return successes_.size(); }
+
+    /** Trials recorded so far for cell @p cell. */
+    std::uint64_t trials(std::size_t cell) const;
+
+    /** Success rate in percent for cell @p cell (0 if no trials). */
+    double successRatePercent(std::size_t cell) const;
+
+    /**
+     * Success-rate distribution (percent) across all cells with at
+     * least one trial.
+     */
+    SampleSet distribution() const;
+
+    /** Mean success rate in percent across cells with trials. */
+    double averageSuccessPercent() const;
+
+    /** Cells whose success rate is at least @p thresholdPercent. */
+    std::vector<std::size_t>
+    cellsAbove(double thresholdPercent) const;
+
+  private:
+    std::vector<std::uint64_t> successes_;
+    std::vector<std::uint64_t> trials_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_STATS_SUCCESSRATE_HH

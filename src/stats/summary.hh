@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sample summaries for characterization results: streaming mean and
+ * exact box-and-whiskers statistics as used by the paper's figures.
+ */
+
+#ifndef FCDRAM_STATS_SUMMARY_HH
+#define FCDRAM_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fcdram {
+
+/**
+ * Box-and-whiskers summary of a sample set: min, first quartile, median,
+ * third quartile, max, and mean. Matches the plot convention of the
+ * paper (whiskers at min/max, footnote 5).
+ */
+struct BoxStats
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+
+    /** Interquartile range (box size). */
+    double iqr() const { return q3 - q1; }
+
+    /** Compact "mean [min q1 med q3 max]" rendering for bench output. */
+    std::string toString(int precision = 2) const;
+};
+
+/**
+ * Accumulates double samples and produces summary statistics. Stores
+ * the samples (needed for exact quantiles over per-cell success rates).
+ */
+class SampleSet
+{
+  public:
+    SampleSet() = default;
+
+    /** Append one sample. */
+    void add(double value);
+
+    /** Append all samples of another set. */
+    void merge(const SampleSet &other);
+
+    /** Number of samples. */
+    std::size_t count() const { return values_.size(); }
+
+    bool empty() const { return values_.empty(); }
+
+    /** Arithmetic mean. @pre !empty() */
+    double mean() const;
+
+    /** Minimum. @pre !empty() */
+    double min() const;
+
+    /** Maximum. @pre !empty() */
+    double max() const;
+
+    /** Interpolated quantile q in [0,1]. @pre !empty() */
+    double quantile(double q) const;
+
+    /** Full box-and-whiskers summary. @pre !empty() */
+    BoxStats box() const;
+
+    /** Read-only access to raw samples. */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_STATS_SUMMARY_HH

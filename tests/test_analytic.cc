@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "fcdram/analytic.hh"
+#include "fcdram/ops.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+ChipProfile
+noisyProfile()
+{
+    return ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
+}
+
+TEST(Analytic, ProbabilitiesInUnitInterval)
+{
+    const Chip chip(noisyProfile(), test::tinyGeometry(), 3);
+    AnalyticAnalyzer analyzer(chip, AnalyticConfig{}, 1);
+    const auto pairs = findActivationPairs(chip, 2, 2, 2, 5);
+    ASSERT_FALSE(pairs.empty());
+    const RowId ref = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId com = composeRow(chip.geometry(), 1, pairs[0].second);
+    for (const BoolOp op :
+         {BoolOp::And, BoolOp::Or, BoolOp::Nand, BoolOp::Nor}) {
+        const auto samples = analyzer.logicSamples(
+            0, op, ref, com, OpConditions(), PatternClass::Random);
+        ASSERT_FALSE(samples.empty());
+        for (const auto &sample : samples) {
+            EXPECT_GE(sample.probability, 0.0);
+            EXPECT_LE(sample.probability, 1.0);
+        }
+    }
+}
+
+TEST(Analytic, NotSampleCountMatchesGeometry)
+{
+    const Chip chip(noisyProfile(), test::tinyGeometry(), 3);
+    AnalyticAnalyzer analyzer(chip, AnalyticConfig{}, 1);
+    const auto pairs = findActivationPairs(chip, 2, 2, 1, 7);
+    ASSERT_FALSE(pairs.empty());
+    const RowId src = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId dst = composeRow(chip.geometry(), 1, pairs[0].second);
+    const auto samples =
+        analyzer.notSamples(0, src, dst, OpConditions());
+    // 2 destination rows x half the columns.
+    EXPECT_EQ(samples.size(),
+              2u * static_cast<std::size_t>(chip.geometry().columns) /
+                  2u);
+}
+
+TEST(Analytic, IdealChipGivesCertainty)
+{
+    const Chip chip(test::idealProfile(), test::tinyGeometry(), 3);
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analyzer(chip, config, 1);
+    const auto pairs = findActivationPairs(chip, 1, 1, 1, 7);
+    ASSERT_FALSE(pairs.empty());
+    const RowId src = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId dst = composeRow(chip.geometry(), 1, pairs[0].second);
+    const auto set =
+        analyzer.toSampleSet(analyzer.notSamples(0, src, dst, {}));
+    EXPECT_GT(set.min(), 99.999);
+}
+
+TEST(Analytic, BinomialSamplingAddsTexture)
+{
+    const Chip chip(noisyProfile(), test::tinyGeometry(), 3);
+    AnalyticConfig config;
+    config.trials = 100;
+    AnalyticAnalyzer analyzer(chip, config, 1);
+    // A probability strictly inside (0,1) must show sampling noise.
+    SampleSet values;
+    for (int i = 0; i < 50; ++i)
+        values.add(analyzer.toPercent(0.9));
+    EXPECT_GT(values.max() - values.min(), 0.5);
+    EXPECT_NEAR(values.mean(), 90.0, 3.0);
+}
+
+TEST(Analytic, TemperatureLowersProbabilities)
+{
+    const Chip chip(noisyProfile(), test::tinyGeometry(), 3);
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analyzer(chip, config, 1);
+    const auto pairs = findActivationPairs(chip, 4, 4, 1, 7);
+    ASSERT_FALSE(pairs.empty());
+    const RowId src = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId dst = composeRow(chip.geometry(), 1, pairs[0].second);
+    OpConditions hot;
+    hot.temperature = 95.0;
+    const auto cold_samples =
+        analyzer.notSamples(0, src, dst, OpConditions());
+    const auto hot_samples = analyzer.notSamples(0, src, dst, hot);
+    ASSERT_EQ(cold_samples.size(), hot_samples.size());
+    double cold_mean = 0.0;
+    double hot_mean = 0.0;
+    for (std::size_t i = 0; i < cold_samples.size(); ++i) {
+        cold_mean += cold_samples[i].probability;
+        hot_mean += hot_samples[i].probability;
+    }
+    EXPECT_GT(cold_mean, hot_mean);
+    // But only slightly (Obs. 7).
+    EXPECT_LT((cold_mean - hot_mean) / cold_samples.size(), 0.02);
+}
+
+TEST(Analytic, FixedOnesMatchesWeightedExtremes)
+{
+    const Chip chip(noisyProfile(), test::tinyGeometry(), 3);
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analyzer(chip, config, 1);
+    const auto pairs = findActivationPairs(chip, 4, 4, 1, 9);
+    ASSERT_FALSE(pairs.empty());
+    const RowId ref = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId com = composeRow(chip.geometry(), 1, pairs[0].second);
+    // AND with all-ones operands is the worst case (Obs. 14).
+    const auto worst = analyzer.logicSamples(
+        0, BoolOp::And, ref, com, {}, PatternClass::FixedOnes, 4);
+    const auto best = analyzer.logicSamples(
+        0, BoolOp::And, ref, com, {}, PatternClass::FixedOnes, 0);
+    ASSERT_EQ(worst.size(), best.size());
+    for (std::size_t i = 0; i < worst.size(); ++i)
+        EXPECT_LE(worst[i].probability, best[i].probability);
+}
+
+/**
+ * The key cross-engine test: Monte-Carlo success rates through the
+ * full command-level executor agree with the closed-form engine.
+ */
+class EngineAgreement : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EngineAgreement, NotMcMatchesAnalytic)
+{
+    const int dest = GetParam();
+    const ChipProfile profile = noisyProfile();
+    Chip chip(profile, test::tinyGeometry(), 11);
+    const auto pairs = findActivationPairs(chip, dest, dest, 2, 13);
+    if (pairs.empty())
+        GTEST_SKIP() << "no " << dest << ":" << dest << " pair";
+
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analytic(chip, config, 1);
+    DramBender bender(chip, 17);
+    SuccessRateAnalyzer mc(bender, 19);
+
+    for (const auto &[rf, rl] : pairs) {
+        const RowId src = composeRow(chip.geometry(), 0, rf);
+        const RowId dst = composeRow(chip.geometry(), 1, rl);
+        const auto samples =
+            analytic.notSamples(0, src, dst, OpConditions());
+        double analytic_mean = 0.0;
+        for (const auto &sample : samples)
+            analytic_mean += 100.0 * sample.probability;
+        analytic_mean /= static_cast<double>(samples.size());
+
+        NotTrialConfig trial;
+        trial.srcGlobal = src;
+        trial.dstGlobal = dst;
+        trial.trials = 400;
+        const NotTrialResult result = mc.runNot(trial);
+        ASSERT_GT(result.cells.numCells(), 0u);
+        EXPECT_NEAR(result.cells.averageSuccessPercent(), analytic_mean,
+                    6.0)
+            << "dest=" << dest;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DestRows, EngineAgreement,
+                         ::testing::Values(1, 2, 4));
+
+TEST(EngineAgreementLogic, TwoInputAndMatches)
+{
+    const ChipProfile profile = noisyProfile();
+    Chip chip(profile, test::tinyGeometry(), 23);
+    const auto pairs = findActivationPairs(chip, 2, 2, 2, 29);
+    ASSERT_FALSE(pairs.empty());
+
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analytic(chip, config, 1);
+    DramBender bender(chip, 31);
+    SuccessRateAnalyzer mc(bender, 37);
+
+    for (const auto &[rf, rl] : pairs) {
+        const RowId ref = composeRow(chip.geometry(), 0, rf);
+        const RowId com = composeRow(chip.geometry(), 1, rl);
+        const auto samples = analytic.logicSamples(
+            0, BoolOp::And, ref, com, OpConditions(),
+            PatternClass::Random);
+        double analytic_mean = 0.0;
+        for (const auto &sample : samples)
+            analytic_mean += 100.0 * sample.probability;
+        analytic_mean /= static_cast<double>(samples.size());
+
+        LogicTrialConfig trial;
+        trial.op = BoolOp::And;
+        trial.refGlobal = ref;
+        trial.comGlobal = com;
+        trial.trials = 400;
+        const LogicTrialResult result = mc.runLogic(trial);
+        ASSERT_GT(result.computeCells.numCells(), 0u);
+        EXPECT_NEAR(result.computeCells.averageSuccessPercent(),
+                    analytic_mean, 8.0);
+    }
+}
+
+} // namespace
+} // namespace fcdram

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "bender/bender.hh"
+#include "bender/program.hh"
+#include "bender/timingcheck.hh"
+#include "common/rng.hh"
+#include "dram/address.hh"
+#include "dram/openbitline.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+TEST(Command, ToStringRendering)
+{
+    Command command;
+    command.type = CommandType::Act;
+    command.bank = 1;
+    command.row = 42;
+    command.issueNs = 3.5;
+    EXPECT_EQ(command.toString(), "ACT b1 r42 @3.5ns");
+}
+
+TEST(ProgramBuilder, GapsAreClockQuantized)
+{
+    ProgramBuilder builder((SpeedGrade(2400)));
+    builder.act(0, 0, 0.0).pre(0, 2.5).act(0, 1, 2.5);
+    const Program program = builder.build();
+    ASSERT_EQ(program.size(), 3u);
+    EXPECT_DOUBLE_EQ(program.commands[0].issueNs, 0.0);
+    EXPECT_NEAR(program.commands[1].issueNs, 2.5, 1e-9);
+    EXPECT_NEAR(program.commands[2].issueNs, 5.0, 1e-9);
+}
+
+TEST(ProgramBuilder, NominalHelpersRespectTimings)
+{
+    const TimingParams timing = TimingParams::nominal();
+    ProgramBuilder builder((SpeedGrade(2666)));
+    builder.act(0, 0, 0.0).preNominal(0).actNominal(0, 1);
+    const Program program = builder.build();
+    EXPECT_GE(program.commands[1].issueNs, timing.tRas);
+    EXPECT_GE(program.commands[2].issueNs - program.commands[1].issueNs,
+              timing.tRp);
+}
+
+TEST(ProgramBuilder, ViolatedGapMatchesSpeedGrade)
+{
+    EXPECT_NEAR(ProgramBuilder(SpeedGrade(2400)).violatedGapNs(), 2.5,
+                1e-9);
+    EXPECT_NEAR(ProgramBuilder(SpeedGrade(2666)).violatedGapNs(), 3.0,
+                1e-2);
+}
+
+TEST(TimingCheck, RestoreClassification)
+{
+    const TimingParams timing = TimingParams::nominal();
+    EXPECT_EQ(classifyRestore(timing, 40.0), RestoreClass::Complete);
+    EXPECT_EQ(classifyRestore(timing, 6.0), RestoreClass::Complete);
+    EXPECT_EQ(classifyRestore(timing, 2.5), RestoreClass::Interrupted);
+}
+
+TEST(TimingCheck, PrechargeClassification)
+{
+    const TimingParams timing = TimingParams::nominal();
+    EXPECT_EQ(classifyPrecharge(timing, 14.0), PrechargeClass::Complete);
+    EXPECT_EQ(classifyPrecharge(timing, 2.5), PrechargeClass::Glitch);
+    EXPECT_EQ(classifyPrecharge(timing, 5.0), PrechargeClass::Short);
+}
+
+TEST(TimingCheck, GrossViolation)
+{
+    EXPECT_TRUE(grosslyViolated(2.5, 32.0));
+    EXPECT_FALSE(grosslyViolated(30.0, 32.0));
+}
+
+class BenderFixture : public ::testing::Test
+{
+  protected:
+    BenderFixture()
+        : chip_(test::idealProfile(), test::tinyGeometry(), 1),
+          bender_(chip_, 7)
+    {
+    }
+
+    GeometryConfig geometry() const { return chip_.geometry(); }
+
+    Chip chip_;
+    DramBender bender_;
+};
+
+TEST_F(BenderFixture, WriteReadRoundTrip)
+{
+    BitVector pattern(static_cast<std::size_t>(geometry().columns));
+    Rng rng(3);
+    pattern.randomize(rng);
+    bender_.writeRow(0, 5, pattern);
+    EXPECT_EQ(bender_.readRow(0, 5), pattern);
+}
+
+TEST_F(BenderFixture, NormalActivationPreservesData)
+{
+    BitVector pattern(static_cast<std::size_t>(geometry().columns));
+    Rng rng(4);
+    pattern.randomize(rng);
+    bender_.writeRow(0, 9, pattern);
+    // A full ACT -> (tRAS) -> PRE cycle must not disturb the row.
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, 9, 0.0).preNominal(0);
+    bender_.execute(builder.build());
+    EXPECT_EQ(bender_.readRow(0, 9), pattern);
+}
+
+TEST_F(BenderFixture, WrOverwritesOpenRow)
+{
+    BitVector zeros(static_cast<std::size_t>(geometry().columns), false);
+    BitVector ones(static_cast<std::size_t>(geometry().columns), true);
+    bender_.writeRow(0, 3, zeros);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, 3, 0.0).writeNominal(0, 3, ones).preNominal(0);
+    bender_.execute(builder.build());
+    EXPECT_TRUE(bender_.readRow(0, 3).all(true));
+}
+
+TEST_F(BenderFixture, RowCloneCopiesWithinSubarray)
+{
+    const RowId src = composeRow(geometry(), 1, 4);
+    const RowId dst = composeRow(geometry(), 1, 5);
+    BitVector pattern(static_cast<std::size_t>(geometry().columns));
+    Rng rng(6);
+    pattern.randomize(rng);
+    bender_.writeRow(0, src, pattern);
+    bender_.writeRow(0, dst, ~pattern);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, src, 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, dst, kViolatedGapTargetNs)
+        .preNominal(0);
+    bender_.execute(builder.build());
+    EXPECT_EQ(bender_.readRow(0, dst), pattern);
+    EXPECT_EQ(bender_.readRow(0, src), pattern);
+}
+
+TEST_F(BenderFixture, NotComplementsSharedColumns)
+{
+    const RowId src = composeRow(geometry(), 1, 4);
+    const RowId dst = composeRow(geometry(), 2, 4);
+    BitVector pattern(static_cast<std::size_t>(geometry().columns));
+    Rng rng(8);
+    pattern.randomize(rng);
+    bender_.writeRow(0, src, pattern);
+    bender_.writeRow(0, dst, pattern);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, src, 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, dst, kViolatedGapTargetNs)
+        .preNominal(0);
+    const ExecResult result = bender_.execute(builder.build());
+    ASSERT_FALSE(result.activations.empty());
+    const BitVector readback = bender_.readRow(0, dst);
+    for (ColId col = 0; col < static_cast<ColId>(geometry().columns);
+         ++col) {
+        if (columnShared(1, 2, col))
+            EXPECT_NE(readback.get(col), pattern.get(col));
+        else
+            EXPECT_EQ(readback.get(col), pattern.get(col));
+    }
+    // The source row itself is preserved.
+    EXPECT_EQ(bender_.readRow(0, src), pattern);
+}
+
+TEST_F(BenderFixture, MicronIgnoresViolatedSequences)
+{
+    ChipProfile micron =
+        ChipProfile::make(Manufacturer::Micron, 8, 'B', 8, 2666);
+    Chip chip(micron, test::tinyGeometry(), 2);
+    DramBender bender(chip, 3);
+    const RowId src = composeRow(chip.geometry(), 1, 4);
+    const RowId dst = composeRow(chip.geometry(), 2, 4);
+    BitVector pattern(static_cast<std::size_t>(chip.geometry().columns));
+    Rng rng(8);
+    pattern.randomize(rng);
+    bender.writeRow(0, src, pattern);
+    bender.writeRow(0, dst, pattern);
+    ProgramBuilder builder = bender.newProgram();
+    builder.act(0, src, 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, dst, kViolatedGapTargetNs)
+        .preNominal(0);
+    const ExecResult result = bender.execute(builder.build());
+    EXPECT_TRUE(result.activations.empty());
+    EXPECT_EQ(bender.readRow(0, dst), pattern);
+}
+
+TEST_F(BenderFixture, SamsungSequentialNotSingleDestination)
+{
+    ChipProfile samsung =
+        ChipProfile::make(Manufacturer::Samsung, 8, 'A', 8, 3200);
+    samsung.analog.senseNoiseSigma = 1e-9;
+    samsung.analog.saOffsetSigma = 0.0;
+    samsung.analog.cellOffsetSigma = 0.0;
+    samsung.analog.structuralFailPerPair = 0.0;
+    samsung.analog.couplingDelta = 0.0;
+    samsung.decoder.coverageGate = 1.0;
+    Chip chip(samsung, test::tinyGeometry(), 2);
+    DramBender bender(chip, 3);
+    const RowId src = composeRow(chip.geometry(), 1, 4);
+    const RowId dst = composeRow(chip.geometry(), 2, 4);
+    BitVector pattern(static_cast<std::size_t>(chip.geometry().columns));
+    Rng rng(8);
+    pattern.randomize(rng);
+    bender.writeRow(0, src, pattern);
+    bender.writeRow(0, dst, pattern);
+    ProgramBuilder builder = bender.newProgram();
+    builder.act(0, src, 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, dst, kViolatedGapTargetNs)
+        .preNominal(0);
+    const ExecResult result = bender.execute(builder.build());
+    ASSERT_EQ(result.activations.size(), 1u);
+    EXPECT_TRUE(result.activations.front().sets.sequential);
+    EXPECT_EQ(result.activations.front().sets.nrl(), 1);
+    const BitVector readback = bender.readRow(0, dst);
+    for (ColId col = 0; col < static_cast<ColId>(chip.geometry().columns);
+         ++col) {
+        if (columnShared(1, 2, col))
+            EXPECT_NE(readback.get(col), pattern.get(col));
+    }
+}
+
+TEST_F(BenderFixture, HammerFlipsOnlyAdjacentRows)
+{
+    BitVector ones(static_cast<std::size_t>(geometry().columns), true);
+    for (RowId local = 0; local < 32; ++local)
+        bender_.writeRow(0, composeRow(geometry(), 0, local), ones);
+    bender_.hammerRow(0, composeRow(geometry(), 0, 10), 500000);
+    int disturbed_rows = 0;
+    for (RowId local = 0; local < 32; ++local) {
+        const BitVector readback =
+            bender_.readRow(0, composeRow(geometry(), 0, local));
+        if (!readback.all(true)) {
+            ++disturbed_rows;
+            EXPECT_TRUE(local == 9 || local == 11);
+        }
+    }
+    EXPECT_EQ(disturbed_rows, 2);
+}
+
+TEST_F(BenderFixture, HammerEdgeRowHasOneVictim)
+{
+    BitVector ones(static_cast<std::size_t>(geometry().columns), true);
+    for (RowId local = 0; local < 32; ++local)
+        bender_.writeRow(0, composeRow(geometry(), 0, local), ones);
+    bender_.hammerRow(0, composeRow(geometry(), 0, 0), 500000);
+    int disturbed_rows = 0;
+    for (RowId local = 0; local < 32; ++local) {
+        if (!bender_.readRow(0, composeRow(geometry(), 0, local))
+                 .all(true)) {
+            ++disturbed_rows;
+            EXPECT_EQ(local, 1u);
+        }
+    }
+    EXPECT_EQ(disturbed_rows, 1);
+}
+
+TEST_F(BenderFixture, TrialCounterAdvances)
+{
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, 0, 0.0).preNominal(0);
+    const Program program = builder.build();
+    const auto before = bender_.trialsExecuted();
+    bender_.execute(program);
+    bender_.execute(program);
+    EXPECT_EQ(bender_.trialsExecuted(), before + 2);
+}
+
+} // namespace
+} // namespace fcdram

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+#include "common/rng.hh"
+
+namespace fcdram {
+namespace {
+
+TEST(BitVector, DefaultEmpty)
+{
+    BitVector v;
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.all(true));
+    EXPECT_TRUE(v.all(false));
+}
+
+TEST(BitVector, FilledConstruction)
+{
+    BitVector ones(100, true);
+    EXPECT_EQ(ones.popcount(), 100u);
+    BitVector zeros(100, false);
+    EXPECT_EQ(zeros.popcount(), 0u);
+}
+
+TEST(BitVector, SetGet)
+{
+    BitVector v(70);
+    v.set(0, true);
+    v.set(69, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(69));
+    EXPECT_FALSE(v.get(35));
+    v.set(0, false);
+    EXPECT_FALSE(v.get(0));
+    EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVector, TailMaskingAfterFill)
+{
+    // 70 bits leaves 58 unused bits in the last word; popcount must
+    // ignore them.
+    BitVector v(70);
+    v.fill(true);
+    EXPECT_EQ(v.popcount(), 70u);
+}
+
+TEST(BitVector, ComplementRespectsTail)
+{
+    BitVector v(70, false);
+    const BitVector inverted = ~v;
+    EXPECT_EQ(inverted.popcount(), 70u);
+    EXPECT_TRUE(inverted.all(true));
+}
+
+TEST(BitVector, AndOrXor)
+{
+    BitVector a(8);
+    BitVector b(8);
+    a.set(1, true);
+    a.set(2, true);
+    b.set(2, true);
+    b.set(3, true);
+    const BitVector and_result = a & b;
+    EXPECT_EQ(and_result.popcount(), 1u);
+    EXPECT_TRUE(and_result.get(2));
+    const BitVector or_result = a | b;
+    EXPECT_EQ(or_result.popcount(), 3u);
+    const BitVector xor_result = a ^ b;
+    EXPECT_EQ(xor_result.popcount(), 2u);
+    EXPECT_TRUE(xor_result.get(1));
+    EXPECT_TRUE(xor_result.get(3));
+}
+
+TEST(BitVector, EqualityAndHamming)
+{
+    BitVector a(64, true);
+    BitVector b(64, true);
+    EXPECT_EQ(a, b);
+    b.set(10, false);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.hammingDistance(b), 1u);
+    EXPECT_EQ(b.hammingDistance(a), 1u);
+}
+
+TEST(BitVector, RandomizeDeterministic)
+{
+    Rng r1(99);
+    Rng r2(99);
+    BitVector a(200);
+    BitVector b(200);
+    a.randomize(r1);
+    b.randomize(r2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, RandomizeRoughlyBalanced)
+{
+    Rng rng(1);
+    BitVector v(10000);
+    v.randomize(rng);
+    EXPECT_GT(v.popcount(), 4700u);
+    EXPECT_LT(v.popcount(), 5300u);
+}
+
+TEST(BitVector, ToStringOrdering)
+{
+    BitVector v(4);
+    v.set(0, true);
+    v.set(3, true);
+    EXPECT_EQ(v.toString(), "1001");
+}
+
+class BitVectorSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BitVectorSizeTest, DeMorganHolds)
+{
+    const std::size_t size = GetParam();
+    Rng rng(size);
+    BitVector a(size);
+    BitVector b(size);
+    a.randomize(rng);
+    b.randomize(rng);
+    EXPECT_EQ(~(a & b), (~a | ~b));
+    EXPECT_EQ(~(a | b), (~a & ~b));
+}
+
+TEST_P(BitVectorSizeTest, XorSelfIsZero)
+{
+    const std::size_t size = GetParam();
+    Rng rng(size + 1);
+    BitVector a(size);
+    a.randomize(rng);
+    EXPECT_TRUE((a ^ a).all(false));
+}
+
+TEST_P(BitVectorSizeTest, HammingMatchesXorPopcount)
+{
+    const std::size_t size = GetParam();
+    Rng rng(size + 2);
+    BitVector a(size);
+    BitVector b(size);
+    a.randomize(rng);
+    b.randomize(rng);
+    EXPECT_EQ(a.hammingDistance(b), (a ^ b).popcount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128,
+                                           1000));
+
+} // namespace
+} // namespace fcdram

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "fcdram/campaign.hh"
+#include "fcdram/reliablemask.hh"
+#include "fcdram/ops.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+/**
+ * Campaign tests run the scaled-down test configuration; they check
+ * the *shape* facts the paper reports rather than absolute values.
+ */
+class CampaignFixture : public ::testing::Test
+{
+  protected:
+    CampaignFixture() : campaign_(CampaignConfig::forTests()) {}
+
+    Campaign campaign_;
+};
+
+TEST_F(CampaignFixture, FleetFilters)
+{
+    EXPECT_EQ(campaign_.skHynixFleet().size(), 6u);
+    EXPECT_EQ(campaign_.table1().size(), 9u);
+}
+
+TEST_F(CampaignFixture, ActivationCoverageShapes)
+{
+    const auto coverage = campaign_.activationCoverage();
+    ASSERT_FALSE(coverage.empty());
+    // N:N types up to 16:16 exist; 8:8 and 16:16 dominate 1:1.
+    ASSERT_TRUE(coverage.count("8:8"));
+    ASSERT_TRUE(coverage.count("16:16"));
+    if (coverage.count("1:1")) {
+        EXPECT_GT(coverage.at("8:8").mean(),
+                  coverage.at("1:1").mean());
+    }
+    // N:2N appears (the 4Gb M-die modules support it).
+    EXPECT_TRUE(coverage.count("8:16") || coverage.count("16:32") ||
+                coverage.count("4:8"));
+}
+
+TEST_F(CampaignFixture, NotSuccessDecreasesWithDestRows)
+{
+    const auto result = campaign_.notVsDestRows();
+    ASSERT_TRUE(result.count(1));
+    ASSERT_TRUE(result.count(32));
+    // Obs. 4: success falls sharply as destinations grow.
+    EXPECT_GT(result.at(1).mean(), 90.0);
+    EXPECT_LT(result.at(32).mean(), 40.0);
+    EXPECT_GT(result.at(1).mean(), result.at(8).mean());
+    EXPECT_GT(result.at(8).mean(), result.at(32).mean());
+}
+
+TEST_F(CampaignFixture, SomeCellsArePerfect)
+{
+    // Obs. 3: at every tested destination-row count some cell reaches
+    // a 100% success rate.
+    const auto result = campaign_.notVsDestRows();
+    for (const int dest : {1, 2, 4}) {
+        ASSERT_TRUE(result.count(dest));
+        EXPECT_DOUBLE_EQ(result.at(dest).max(), 100.0);
+    }
+}
+
+TEST_F(CampaignFixture, N2NBeatsNNAtMatchedDestinations)
+{
+    // Obs. 5 at matched destination count: 4:8 beats 8:8.
+    const auto by_type = campaign_.notVsActivationType();
+    if (by_type.count("4:8") && by_type.count("8:8")) {
+        EXPECT_GT(by_type.at("4:8").mean(), by_type.at("8:8").mean());
+    } else {
+        GTEST_SKIP() << "sampled pairs missed a type";
+    }
+}
+
+TEST_F(CampaignFixture, RegionHeatmapWorstCorner)
+{
+    const RegionHeatmap heatmap = campaign_.notRegionHeatmap();
+    const int far = static_cast<int>(Region::Far);
+    const int close = static_cast<int>(Region::Close);
+    const int middle = static_cast<int>(Region::Middle);
+    // Obs. 6: Far sources with Close destinations are the worst;
+    // Middle sources with Far destinations the best, by a wide margin.
+    EXPECT_LT(heatmap[far][close] + 20.0, heatmap[middle][far]);
+    EXPECT_LT(heatmap[far][close], 60.0);
+}
+
+TEST_F(CampaignFixture, TemperatureEffectIsSmall)
+{
+    const auto by_temp = campaign_.notVsTemperature({50, 95});
+    for (const auto &[dest, temps] : by_temp) {
+        if (!temps.count(50) || !temps.count(95))
+            continue;
+        // Obs. 7: at most a couple of percent across 45 C, measured
+        // on >90% cells.
+        EXPECT_LT(std::abs(temps.at(50) - temps.at(95)), 5.0)
+            << "dest=" << dest;
+    }
+}
+
+TEST_F(CampaignFixture, SpeedDipAt2400)
+{
+    const auto by_speed = campaign_.notVsSpeed();
+    ASSERT_TRUE(by_speed.count(2133));
+    ASSERT_TRUE(by_speed.count(2400));
+    ASSERT_TRUE(by_speed.count(2666));
+    // Obs. 8: the 2400 MT/s modules underperform both neighbors at
+    // small destination counts.
+    const auto &s2133 = by_speed.at(2133);
+    const auto &s2400 = by_speed.at(2400);
+    const auto &s2666 = by_speed.at(2666);
+    ASSERT_TRUE(s2133.count(4) && s2400.count(4) && s2666.count(4));
+    EXPECT_GT(s2133.at(4).mean(), s2400.at(4).mean());
+    EXPECT_GT(s2666.at(4).mean(), s2400.at(4).mean());
+}
+
+TEST_F(CampaignFixture, DieRevisionOrdering)
+{
+    const auto by_die = campaign_.notByDie();
+    double sk8a = -1.0;
+    double sk8m = -1.0;
+    double samsung_a = -1.0;
+    double samsung_d = -1.0;
+    for (const auto &[label, set] : by_die) {
+        if (label == "SKHynix-8Gb-A")
+            sk8a = set.mean();
+        if (label == "SKHynix-8Gb-M")
+            sk8m = set.mean();
+        if (label == "Samsung-8Gb-A")
+            samsung_a = set.mean();
+        if (label == "Samsung-8Gb-D")
+            samsung_d = set.mean();
+    }
+    // Obs. 9: 8Gb M beats 8Gb A (SK Hynix); Samsung A beats D.
+    ASSERT_GE(sk8a, 0.0);
+    ASSERT_GE(sk8m, 0.0);
+    EXPECT_GT(sk8m, sk8a);
+    ASSERT_GE(samsung_a, 0.0);
+    ASSERT_GE(samsung_d, 0.0);
+    EXPECT_GT(samsung_a, samsung_d);
+}
+
+TEST_F(CampaignFixture, LogicSuccessIncreasesWithInputs)
+{
+    const auto result = campaign_.logicVsInputs();
+    for (const BoolOp op : {BoolOp::And, BoolOp::Or}) {
+        ASSERT_TRUE(result.count(op));
+        const auto &by_inputs = result.at(op);
+        ASSERT_TRUE(by_inputs.count(2) && by_inputs.count(16));
+        // Obs. 11.
+        EXPECT_GT(by_inputs.at(16).mean(), by_inputs.at(2).mean());
+    }
+}
+
+TEST_F(CampaignFixture, OrBeatsAnd)
+{
+    const auto result = campaign_.logicVsInputs();
+    // Obs. 12 at two inputs: roughly a 10-point gap.
+    const double and2 = result.at(BoolOp::And).at(2).mean();
+    const double or2 = result.at(BoolOp::Or).at(2).mean();
+    EXPECT_GT(or2, and2 + 3.0);
+    // Obs. 13: NAND tracks AND within ~2 points.
+    const double nand2 = result.at(BoolOp::Nand).at(2).mean();
+    EXPECT_NEAR(and2, nand2, 2.0);
+}
+
+TEST_F(CampaignFixture, OnesSweepWorstCases)
+{
+    // Obs. 14 for 4-input AND and OR.
+    const auto and_sweep = campaign_.logicVsOnes(BoolOp::And, 4);
+    ASSERT_EQ(and_sweep.size(), 5u);
+    EXPECT_GT(and_sweep.at(0), and_sweep.at(4));
+    EXPECT_GT(and_sweep.at(0), and_sweep.at(3));
+    const auto or_sweep = campaign_.logicVsOnes(BoolOp::Or, 4);
+    EXPECT_GT(or_sweep.at(4), or_sweep.at(0));
+    EXPECT_GT(or_sweep.at(4), or_sweep.at(1));
+}
+
+TEST_F(CampaignFixture, DataPatternSlightlyHelps)
+{
+    // Obs. 16: all-1s/0s beats random, by a small margin.
+    const auto result = campaign_.logicDataPattern();
+    for (const BoolOp op : {BoolOp::And, BoolOp::Or}) {
+        ASSERT_TRUE(result.count(op));
+        for (const auto &[inputs, sets] : result.at(op)) {
+            (void)inputs;
+            const double fixed = sets.first.mean();
+            const double random = sets.second.mean();
+            EXPECT_GE(fixed, random - 0.5);
+            EXPECT_LT(fixed - random, 8.0);
+        }
+    }
+}
+
+TEST_F(CampaignFixture, ReliableMaskThresholdMonotone)
+{
+    CampaignConfig config = CampaignConfig::forTests();
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
+    const Chip chip(profile, config.geometry, 3);
+    const auto pairs = findActivationPairs(chip, 1, 1, 1, 5);
+    ASSERT_FALSE(pairs.empty());
+    const RowId src = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId dst = composeRow(chip.geometry(), 1, pairs[0].second);
+    const ReliableMask lenient(chip, 50.0);
+    const ReliableMask strict(chip, 99.9);
+    const BitVector loose_mask = lenient.notMask(0, src, dst);
+    const BitVector tight_mask = strict.notMask(0, src, dst);
+    ASSERT_EQ(loose_mask.size(), tight_mask.size());
+    // Strict mask is a subset of the lenient one.
+    EXPECT_EQ(loose_mask & tight_mask, tight_mask);
+    EXPECT_GE(ReliableMask::maskDensity(loose_mask),
+              ReliableMask::maskDensity(tight_mask));
+    // Only shared columns can ever qualify.
+    EXPECT_LE(ReliableMask::maskDensity(loose_mask), 0.5 + 1e-9);
+}
+
+TEST_F(CampaignFixture, ReliableMaskLogic)
+{
+    CampaignConfig config = CampaignConfig::forTests();
+    const Chip chip(test::idealProfile(), config.geometry, 3);
+    const auto pairs = findActivationPairs(chip, 2, 2, 1, 5);
+    ASSERT_FALSE(pairs.empty());
+    const RowId ref = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId com = composeRow(chip.geometry(), 1, pairs[0].second);
+    const ReliableMask mask(chip, 90.0);
+    const BitVector logic_mask = mask.logicMask(0, BoolOp::And, ref, com);
+    // The ideal chip qualifies every shared column.
+    EXPECT_NEAR(ReliableMask::maskDensity(logic_mask), 0.5, 1e-9);
+}
+
+} // namespace
+} // namespace fcdram

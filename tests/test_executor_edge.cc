@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "bender/bender.hh"
+#include "dram/openbitline.hh"
+#include "fcdram/golden.hh"
+#include "fcdram/ops.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+/** Edge-case and failure-injection tests of the command executor. */
+class ExecutorEdge : public ::testing::Test
+{
+  protected:
+    ExecutorEdge()
+        : chip_(test::idealProfile(), test::tinyGeometry(), 1),
+          bender_(chip_, 7)
+    {
+    }
+
+    const GeometryConfig &geometry() const { return chip_.geometry(); }
+
+    BitVector randomRow(std::uint64_t seed) const
+    {
+        BitVector v(static_cast<std::size_t>(geometry().columns));
+        Rng rng(seed);
+        v.randomize(rng);
+        return v;
+    }
+
+    Chip chip_;
+    DramBender bender_;
+};
+
+TEST_F(ExecutorEdge, ActOnOpenBankIsIgnored)
+{
+    const BitVector pattern = randomRow(1);
+    bender_.writeRow(0, 3, pattern);
+    bender_.writeRow(0, 4, ~pattern);
+    ProgramBuilder builder = bender_.newProgram();
+    // Second ACT without an intervening PRE: must be dropped.
+    builder.act(0, 3, 0.0).act(0, 4, 10.0).preNominal(0);
+    bender_.execute(builder.build());
+    EXPECT_EQ(bender_.readRow(0, 3), pattern);
+    EXPECT_EQ(bender_.readRow(0, 4), ~pattern);
+}
+
+TEST_F(ExecutorEdge, PreOnClosedBankIsHarmless)
+{
+    const BitVector pattern = randomRow(2);
+    bender_.writeRow(0, 3, pattern);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.pre(0, 0.0).pre(0, 20.0);
+    bender_.execute(builder.build());
+    EXPECT_EQ(bender_.readRow(0, 3), pattern);
+}
+
+TEST_F(ExecutorEdge, ShortButNotGlitchGapActsNormally)
+{
+    // PRE -> ACT gap between the glitch threshold and tRP: the latches
+    // de-assert, so the second row activates alone.
+    const RowId src = composeRow(geometry(), 1, 4);
+    const RowId dst = composeRow(geometry(), 2, 4);
+    const BitVector pattern = randomRow(3);
+    bender_.writeRow(0, src, pattern);
+    bender_.writeRow(0, dst, pattern);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, src, 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, dst, 5.0) // Short zone: > glitch, < tRP.
+        .preNominal(0);
+    const ExecResult result = bender_.execute(builder.build());
+    EXPECT_TRUE(result.activations.empty());
+    EXPECT_EQ(bender_.readRow(0, dst), pattern);
+}
+
+TEST_F(ExecutorEdge, DistantSubarraysDoNotInteract)
+{
+    // HiRA-style: the glitch sequence across electrically isolated
+    // subarrays (0 and 3) performs no cross-subarray operation.
+    const RowId src = composeRow(geometry(), 0, 4);
+    const RowId dst = composeRow(geometry(), 3, 4);
+    const BitVector pattern = randomRow(4);
+    bender_.writeRow(0, src, pattern);
+    bender_.writeRow(0, dst, pattern);
+    Ops ops(bender_);
+    const auto destinations = ops.executeNot(0, src, dst);
+    EXPECT_TRUE(destinations.empty());
+    EXPECT_EQ(bender_.readRow(0, dst), pattern);
+}
+
+TEST_F(ExecutorEdge, MultiRowWriteMatchesObservation1)
+{
+    // Section 4.3, Observation 1: after the glitch + WR, rows in RF's
+    // subarray hold the written pattern on every column; rows in RL's
+    // subarray hold its complement on the shared columns and retain
+    // their values elsewhere.
+    const RowId rf = composeRow(geometry(), 1, 0);
+    const RowId rl = composeRow(geometry(), 2, 1); // 2:2 activation.
+    const BitVector base = randomRow(5);
+    const auto rows = static_cast<RowId>(geometry().rowsPerSubarray);
+    for (RowId local = 0; local < rows; ++local) {
+        bender_.writeRow(0, composeRow(geometry(), 1, local), base);
+        bender_.writeRow(0, composeRow(geometry(), 2, local), base);
+    }
+    const BitVector probe = randomRow(6);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, rf, 0.0)
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, rl, kViolatedGapTargetNs)
+        .writeNominal(0, rl, probe)
+        .preNominal(0);
+    const ExecResult result = bender_.execute(builder.build());
+    ASSERT_FALSE(result.activations.empty());
+    const ActivationEvent &event = result.activations.front();
+    for (const RowId local : event.sets.firstRows) {
+        EXPECT_EQ(bender_.readRow(0, composeRow(geometry(), 1, local)),
+                  probe);
+    }
+    for (const RowId local : event.sets.secondRows) {
+        const BitVector readback =
+            bender_.readRow(0, composeRow(geometry(), 2, local));
+        for (ColId col = 0;
+             col < static_cast<ColId>(geometry().columns); ++col) {
+            if (columnShared(1, 2, col))
+                EXPECT_NE(readback.get(col), probe.get(col));
+            else
+                EXPECT_EQ(readback.get(col), base.get(col));
+        }
+    }
+}
+
+TEST_F(ExecutorEdge, RowCloneFansOutToWholeActivationSet)
+{
+    // A same-subarray pair differing in two stages activates four
+    // rows; the restored source overdrives all of them.
+    const auto set = chip_.decoder().sameSubarrayActivation(0, 5);
+    ASSERT_EQ(set.size(), 4u);
+    const BitVector pattern = randomRow(7);
+    for (const RowId local : set) {
+        bender_.writeRow(0, composeRow(geometry(), 1, local),
+                         local == 0 ? pattern : ~pattern);
+    }
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, composeRow(geometry(), 1, 0), 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, composeRow(geometry(), 1, 5), kViolatedGapTargetNs)
+        .preNominal(0);
+    bender_.execute(builder.build());
+    for (const RowId local : set) {
+        EXPECT_EQ(bender_.readRow(0, composeRow(geometry(), 1, local)),
+                  pattern)
+            << "row " << local;
+    }
+}
+
+TEST_F(ExecutorEdge, InSubarrayMajIsAmbitMaj3WithFracTiebreak)
+{
+    // The prior-work baseline: a 4-row charge share where one row is
+    // Frac-initialized (VDD/2) computes MAJ3 of the other three rows
+    // (the FracDRAM construction of Ambit's triple-row activation).
+    Ops ops(bender_);
+    const auto set = chip_.decoder().sameSubarrayActivation(0, 5);
+    ASSERT_EQ(set.size(), 4u); // {0, 1, 4, 5}
+    std::vector<RowId> rows;
+    for (const RowId local : set)
+        rows.push_back(composeRow(geometry(), 1, local));
+
+    std::vector<BitVector> operands;
+    Rng rng(8);
+    for (int i = 0; i < 3; ++i) {
+        BitVector operand(static_cast<std::size_t>(geometry().columns));
+        operand.randomize(rng);
+        operands.push_back(operand);
+        bender_.writeRow(0, rows[static_cast<std::size_t>(i)],
+                         operand);
+    }
+    // The fourth row is the VDD/2 tiebreaker. Frac it last (its
+    // helper search must avoid the operand rows).
+    ASSERT_TRUE(ops.fracInit(0, rows[3],
+                             {rows[0], rows[1], rows[2]}));
+    for (int i = 0; i < 3; ++i)
+        bender_.writeRow(0, rows[static_cast<std::size_t>(i)],
+                         operands[static_cast<std::size_t>(i)]);
+
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(0, rows[0], 0.0)
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, composeRow(geometry(), 1, 5), kViolatedGapTargetNs)
+        .preNominal(0);
+    bender_.execute(builder.build());
+
+    const BitVector expected = goldenMaj(operands);
+    const BitVector readback = bender_.readRow(0, rows[0]);
+    EXPECT_EQ(readback, expected);
+}
+
+TEST_F(ExecutorEdge, DoubleNotHopsTouchDisjointColumns)
+{
+    // Open-bitline interleaving: the columns shared by subarrays
+    // (1,2) and those shared by (2,3) partition the row. A NOT chain
+    // across both hops therefore never re-inverts a column.
+    const auto first_hop = sharedColumns(geometry(), 1, 2);
+    const auto second_hop = sharedColumns(geometry(), 2, 3);
+    for (const ColId col : first_hop) {
+        for (const ColId other : second_hop)
+            EXPECT_NE(col, other);
+    }
+    EXPECT_EQ(first_hop.size() + second_hop.size(),
+              static_cast<std::size_t>(geometry().columns));
+}
+
+TEST_F(ExecutorEdge, FracProgressionWithGapLength)
+{
+    // An interrupted restore moves cells toward their rail in
+    // proportion to the ACT -> PRE gap.
+    const RowId row = composeRow(geometry(), 0, 9);
+    BitVector ones(static_cast<std::size_t>(geometry().columns), true);
+    auto measure = [&](Ns gap) {
+        bender_.writeRow(0, row, ones);
+        // Knock the cells to a mid-high voltage first.
+        chip_.bank(0).setCellVolt(row, 0, 0.75);
+        ProgramBuilder builder = bender_.newProgram();
+        builder.act(0, row, 0.0).pre(0, gap).pre(0, 20.0);
+        bender_.execute(builder.build());
+        return chip_.bank(0).cellVolt(row, 0);
+    };
+    const Volt early = measure(2.5);  // barely into amplification
+    const Volt late = measure(12.0);  // well into amplification
+    EXPECT_LT(early, late);
+    EXPECT_GT(late, 0.9); // Mostly restored toward VDD.
+}
+
+TEST_F(ExecutorEdge, RefreshAndNopAreInert)
+{
+    const BitVector pattern = randomRow(9);
+    bender_.writeRow(0, 5, pattern);
+    Program program;
+    Command ref;
+    ref.type = CommandType::Ref;
+    program.commands.push_back(ref);
+    Command nop;
+    nop.type = CommandType::Nop;
+    program.commands.push_back(nop);
+    bender_.execute(program);
+    EXPECT_EQ(bender_.readRow(0, 5), pattern);
+}
+
+} // namespace
+} // namespace fcdram

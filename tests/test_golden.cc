@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fcdram/golden.hh"
+
+namespace fcdram {
+namespace {
+
+std::vector<BitVector>
+randomInputs(int n, std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<BitVector> inputs(static_cast<std::size_t>(n),
+                                  BitVector(size));
+    for (auto &input : inputs)
+        input.randomize(rng);
+    return inputs;
+}
+
+TEST(Golden, NotInverts)
+{
+    BitVector v(10);
+    v.set(3, true);
+    const BitVector result = goldenNot(v);
+    EXPECT_FALSE(result.get(3));
+    EXPECT_TRUE(result.get(0));
+}
+
+TEST(Golden, AndOrIdentityElements)
+{
+    const auto inputs = randomInputs(1, 64, 1);
+    EXPECT_EQ(goldenAnd(inputs), inputs.front());
+    EXPECT_EQ(goldenOr(inputs), inputs.front());
+}
+
+TEST(Golden, AndWithZeros)
+{
+    auto inputs = randomInputs(3, 64, 2);
+    inputs.push_back(BitVector(64, false));
+    EXPECT_TRUE(goldenAnd(inputs).all(false));
+}
+
+TEST(Golden, OrWithOnes)
+{
+    auto inputs = randomInputs(3, 64, 3);
+    inputs.push_back(BitVector(64, true));
+    EXPECT_TRUE(goldenOr(inputs).all(true));
+}
+
+TEST(Golden, Maj3TruthTable)
+{
+    BitVector a(4), b(4), c(4);
+    // Bit 0: 0,0,0 -> 0; bit 1: 1,0,0 -> 0; bit 2: 1,1,0 -> 1;
+    // bit 3: 1,1,1 -> 1.
+    a.set(1, true); a.set(2, true); a.set(3, true);
+    b.set(2, true); b.set(3, true);
+    c.set(3, true);
+    const BitVector result = goldenMaj({a, b, c});
+    EXPECT_EQ(result.toString(), "0011");
+}
+
+TEST(Golden, DispatchMatchesDirectCalls)
+{
+    const auto inputs = randomInputs(4, 128, 5);
+    EXPECT_EQ(goldenOp(BoolOp::And, inputs), goldenAnd(inputs));
+    EXPECT_EQ(goldenOp(BoolOp::Nand, inputs), goldenNand(inputs));
+    EXPECT_EQ(goldenOp(BoolOp::Or, inputs), goldenOr(inputs));
+    EXPECT_EQ(goldenOp(BoolOp::Nor, inputs), goldenNor(inputs));
+    EXPECT_EQ(goldenOp(BoolOp::Not, inputs), goldenNot(inputs.front()));
+}
+
+class GoldenProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GoldenProperty, DeMorganAcrossWidths)
+{
+    const auto inputs = randomInputs(GetParam(), 256, 7);
+    EXPECT_EQ(goldenNand(inputs), ~goldenAnd(inputs));
+    EXPECT_EQ(goldenNor(inputs), ~goldenOr(inputs));
+    // NAND of complements == OR; NOR of complements == AND.
+    std::vector<BitVector> complements;
+    for (const auto &input : inputs)
+        complements.push_back(~input);
+    EXPECT_EQ(goldenNand(complements), goldenOr(inputs));
+    EXPECT_EQ(goldenNor(complements), goldenAnd(inputs));
+}
+
+TEST_P(GoldenProperty, AndImpliesOr)
+{
+    const auto inputs = randomInputs(GetParam(), 256, 9);
+    const BitVector and_result = goldenAnd(inputs);
+    const BitVector or_result = goldenOr(inputs);
+    // AND is a subset of OR.
+    EXPECT_EQ(and_result & or_result, and_result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GoldenProperty,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+} // namespace
+} // namespace fcdram

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace fcdram {
+namespace {
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.841344746, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.0), 0.158655254, 1e-6);
+    EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-6);
+    EXPECT_NEAR(normalCdf(-3.0), 0.001349898, 1e-7);
+}
+
+TEST(NormalCdf, Monotone)
+{
+    double prev = 0.0;
+    for (double x = -5.0; x <= 5.0; x += 0.25) {
+        const double v = normalCdf(x);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(NormalQuantile, InverseOfCdf)
+{
+    for (double p = 0.01; p < 1.0; p += 0.01)
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-7);
+}
+
+TEST(NormalQuantile, TailAccuracy)
+{
+    EXPECT_NEAR(normalQuantile(0.001349898), -3.0, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+}
+
+TEST(ClampTo, Clamps)
+{
+    EXPECT_DOUBLE_EQ(clampTo(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clampTo(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clampTo(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MeanOf, SimpleAverage)
+{
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(meanOf({4.0}), 4.0);
+}
+
+TEST(QuantileSorted, MedianOfOddSet)
+{
+    EXPECT_DOUBLE_EQ(quantileSorted({1.0, 2.0, 9.0}, 0.5), 2.0);
+}
+
+TEST(QuantileSorted, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(quantileSorted({0.0, 10.0}, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantileSorted({0.0, 10.0}, 0.5), 5.0);
+}
+
+TEST(QuantileSorted, Extremes)
+{
+    const std::vector<double> v{3.0, 5.0, 7.0, 11.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 1.0), 11.0);
+}
+
+TEST(QuantileSorted, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantileSorted({42.0}, 0.7), 42.0);
+}
+
+} // namespace
+} // namespace fcdram

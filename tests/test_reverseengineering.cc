@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fcdram/classifier.hh"
+#include "fcdram/mapper.hh"
+#include "fcdram/roworder.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+TEST(SubarrayMapper, ProbeDistinguishesSameAndCross)
+{
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    SubarrayMapper mapper(bender, 3);
+    const GeometryConfig &geometry = chip.geometry();
+    EXPECT_TRUE(mapper.sameSubarrayProbe(0, composeRow(geometry, 1, 2),
+                                         composeRow(geometry, 1, 9)));
+    EXPECT_FALSE(mapper.sameSubarrayProbe(0, composeRow(geometry, 1, 2),
+                                          composeRow(geometry, 2, 9)));
+    EXPECT_FALSE(mapper.sameSubarrayProbe(0, composeRow(geometry, 0, 2),
+                                          composeRow(geometry, 3, 2)));
+}
+
+TEST(SubarrayMapper, RecoversBoundariesOnIdealChip)
+{
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    SubarrayMapper mapper(bender, 3);
+    const SubarrayMap map = mapper.mapBank(0);
+    const GeometryConfig &geometry = chip.geometry();
+    ASSERT_EQ(map.numSubarrays(), geometry.subarraysPerBank);
+    for (int sa = 0; sa < geometry.subarraysPerBank; ++sa) {
+        EXPECT_EQ(map.boundaries[static_cast<std::size_t>(sa)],
+                  static_cast<RowId>(sa * geometry.rowsPerSubarray));
+    }
+}
+
+TEST(SubarrayMapper, RecoversBoundariesWithCoverageGaps)
+{
+    // The realistic chip rejects ~18% of probe pairs; multi-partner
+    // retries must still find the exact boundaries.
+    ChipProfile profile = test::idealProfile();
+    profile.decoder.coverageGate = 0.82;
+    Chip chip(profile, test::tinyGeometry(), 9);
+    DramBender bender(chip, 5);
+    SubarrayMapper mapper(bender, 3);
+    const SubarrayMap map = mapper.mapBank(0);
+    EXPECT_EQ(map.numSubarrays(), chip.geometry().subarraysPerBank);
+}
+
+TEST(SubarrayMap, SubarrayOfLookup)
+{
+    SubarrayMap map;
+    map.boundaries = {0, 32, 64};
+    EXPECT_EQ(map.subarrayOf(0), 0);
+    EXPECT_EQ(map.subarrayOf(31), 0);
+    EXPECT_EQ(map.subarrayOf(32), 1);
+    EXPECT_EQ(map.subarrayOf(100), 2);
+}
+
+TEST(RowOrderMapper, FindsPhysicalNeighbors)
+{
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    RowOrderMapper mapper(bender);
+    const auto neighbors = mapper.neighborsOf(0, 0, 10);
+    // Identity mapping: neighbors of row 10 are rows 9 and 11.
+    EXPECT_EQ(neighbors, (std::vector<RowId>{9, 11}));
+    const auto edge = mapper.neighborsOf(0, 0, 0);
+    EXPECT_EQ(edge, (std::vector<RowId>{1}));
+}
+
+TEST(RowOrderMapper, RecoversIdentityOrder)
+{
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    RowOrderMapper mapper(bender);
+    const RowOrder order = mapper.mapSubarray(0, 1);
+    ASSERT_EQ(order.physicalOrder.size(), 32u);
+    // Identity order starts from edge row 0.
+    for (RowId i = 0; i < 32; ++i)
+        EXPECT_EQ(order.physicalOrder[i], i);
+}
+
+TEST(RowOrderMapper, RecoversScrambledOrderUpToReversal)
+{
+    GeometryConfig geometry = test::tinyGeometry();
+    geometry.scrambleRowOrder = true;
+    Chip chip(test::idealProfile(), geometry, 21);
+    DramBender bender(chip, 5);
+    RowOrderMapper mapper(bender);
+    const RowOrder order = mapper.mapSubarray(0, 2);
+    ASSERT_EQ(order.physicalOrder.size(), 32u);
+
+    const Subarray &subarray = chip.bank(0).subarray(2);
+    std::vector<RowId> truth(32);
+    for (RowId local = 0; local < 32; ++local)
+        truth[subarray.physicalRow(local)] = local;
+    std::vector<RowId> reversed(truth.rbegin(), truth.rend());
+    EXPECT_TRUE(order.physicalOrder == truth ||
+                order.physicalOrder == reversed);
+}
+
+TEST(RowOrder, RegionsFromRecoveredOrder)
+{
+    RowOrder order;
+    for (RowId i = 0; i < 30; ++i)
+        order.physicalOrder.push_back(i);
+    EXPECT_EQ(order.regionFor(0, false), Region::Close);
+    EXPECT_EQ(order.regionFor(15, false), Region::Middle);
+    EXPECT_EQ(order.regionFor(29, false), Region::Far);
+    EXPECT_EQ(order.regionFor(0, true), Region::Far);
+    EXPECT_EQ(order.regionFor(29, true), Region::Close);
+    EXPECT_EQ(order.positionOf(7), 7);
+    EXPECT_EQ(order.positionOf(99), -1);
+}
+
+TEST(Classifier, MatchesDecoderGroundTruth)
+{
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    ActivationClassifier classifier(bender, 7);
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i) {
+        const auto rf = static_cast<RowId>(rng.below(32));
+        const auto rl = static_cast<RowId>(rng.below(32));
+        const ActivationSets truth =
+            chip.decoder().neighborActivation(rf, rl);
+        const ClassifiedActivation observed =
+            classifier.classify(0, 1, rf, 2, rl);
+        ASSERT_EQ(observed.simultaneous, truth.simultaneous);
+        EXPECT_EQ(observed.firstRows, truth.firstRows);
+        EXPECT_EQ(observed.secondRows, truth.secondRows);
+    }
+}
+
+TEST(Classifier, TypeNames)
+{
+    ClassifiedActivation activation;
+    EXPECT_EQ(activation.typeName(), "none");
+    activation.simultaneous = true;
+    activation.firstRows = {1, 2};
+    activation.secondRows = {3, 4, 5, 6};
+    EXPECT_EQ(activation.typeName(), "2:4");
+}
+
+TEST(Classifier, CoverageStatsSumToOne)
+{
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    ActivationClassifier classifier(bender, 7);
+    const CoverageStats stats = classifier.sampleCoverage(0, 1, 2, 40);
+    EXPECT_EQ(stats.totalPairs, 40u);
+    double total = 0.0;
+    for (const auto &[type, count] : stats.counts) {
+        (void)count;
+        total += stats.coverage(type);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(stats.coverage("77:77"), 0.0);
+}
+
+TEST(Classifier, GateBlockedPairsClassifiedNone)
+{
+    ChipProfile profile = test::idealProfile();
+    profile.decoder.coverageGate = 0.0;
+    Chip chip(profile, test::tinyGeometry(), 1);
+    DramBender bender(chip, 5);
+    ActivationClassifier classifier(bender, 7);
+    const ClassifiedActivation observed =
+        classifier.classify(0, 1, 3, 2, 9);
+    EXPECT_FALSE(observed.simultaneous);
+    EXPECT_EQ(observed.typeName(), "none");
+}
+
+} // namespace
+} // namespace fcdram

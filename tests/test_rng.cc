@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+namespace {
+
+TEST(SplitMix64, IsDeterministic)
+{
+    EXPECT_EQ(splitMix64(42), splitMix64(42));
+    EXPECT_NE(splitMix64(42), splitMix64(43));
+}
+
+TEST(SplitMix64, MixesSequentialKeys)
+{
+    // Sequential keys must not produce sequential outputs.
+    const auto a = splitMix64(1);
+    const auto b = splitMix64(2);
+    EXPECT_GT(a > b ? a - b : b - a, 1000ULL);
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(HashCombine, Deterministic)
+{
+    EXPECT_EQ(hashCombine(7, 9), hashCombine(7, 9));
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 3.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 3.5);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (const bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(19);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BinomialSmallNExact)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        const auto k = rng.binomial(10, 0.5);
+        EXPECT_LE(k, 10u);
+    }
+}
+
+TEST(Rng, BinomialEdgeProbabilities)
+{
+    Rng rng(31);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialLargeNMean)
+{
+    Rng rng(37);
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.binomial(10000, 0.3));
+    EXPECT_NEAR(sum / n, 3000.0, 15.0);
+}
+
+TEST(Rng, BinomialLargeNClamped)
+{
+    Rng rng(41);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LE(rng.binomial(10000, 0.9999), 10000u);
+}
+
+} // namespace
+} // namespace fcdram

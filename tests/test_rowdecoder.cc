@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/rng.hh"
+#include "dram/rowdecoder.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+GeometryConfig
+bigGeometry()
+{
+    GeometryConfig geometry = GeometryConfig::standard();
+    geometry.columns = 32;
+    return geometry; // 512 rows -> 4 stages + half-select bit.
+}
+
+DecoderParams
+fullCoverage(bool n2n = false)
+{
+    DecoderParams params;
+    params.coverageGate = 1.0;
+    params.supportsN2N = n2n;
+    return params;
+}
+
+TEST(RowDecoder, StageCountFromGeometry)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    EXPECT_EQ(decoder.numStages(), 4);
+    EXPECT_EQ(decoder.halfSelectBit(), 8);
+
+    const RowDecoder tiny_decoder(fullCoverage(),
+                                  GeometryConfig::tiny(), 1);
+    EXPECT_EQ(tiny_decoder.numStages(), 2); // 32 rows: bits 0..3.
+    EXPECT_EQ(tiny_decoder.halfSelectBit(), 4);
+}
+
+TEST(RowDecoder, IdenticalLocalRowsGiveOneToOne)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    const ActivationSets sets = decoder.neighborActivation(37, 37);
+    EXPECT_TRUE(sets.simultaneous);
+    EXPECT_EQ(sets.nrf(), 1);
+    EXPECT_EQ(sets.nrl(), 1);
+    EXPECT_EQ(sets.firstRows.front(), 37u);
+    EXPECT_EQ(sets.secondRows.front(), 37u);
+}
+
+TEST(RowDecoder, OneDifferingStageGivesTwoToTwo)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    const ActivationSets sets = decoder.neighborActivation(0, 1);
+    EXPECT_EQ(sets.nrf(), 2);
+    EXPECT_EQ(sets.nrl(), 2);
+    EXPECT_EQ(sets.firstRows, (std::vector<RowId>{0, 1}));
+    EXPECT_EQ(sets.secondRows, (std::vector<RowId>{0, 1}));
+}
+
+TEST(RowDecoder, AllStagesDifferingGiveSixteen)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    // 0b01010101 differs from 0 in all four 2-bit stages.
+    const ActivationSets sets = decoder.neighborActivation(0, 0x55);
+    EXPECT_EQ(sets.nrf(), 16);
+    EXPECT_EQ(sets.nrl(), 16);
+}
+
+TEST(RowDecoder, SetsContainBothAnchors)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        const auto rf = static_cast<RowId>(rng.below(512));
+        const auto rl = static_cast<RowId>(rng.below(512));
+        const ActivationSets sets = decoder.neighborActivation(rf, rl);
+        ASSERT_TRUE(sets.simultaneous);
+        EXPECT_NE(std::find(sets.secondRows.begin(),
+                            sets.secondRows.end(), rl),
+                  sets.secondRows.end());
+        // RF is in its own subarray's set whenever its half-select
+        // bit matches the expansion base (always true for N:N).
+        EXPECT_NE(std::find(sets.firstRows.begin(), sets.firstRows.end(),
+                            rf),
+                  sets.firstRows.end());
+    }
+}
+
+TEST(RowDecoder, ActivationCountsArePowersOfTwo)
+{
+    const RowDecoder decoder(fullCoverage(true), bigGeometry(), 1);
+    Rng rng(10);
+    for (int i = 0; i < 500; ++i) {
+        const auto rf = static_cast<RowId>(rng.below(512));
+        const auto rl = static_cast<RowId>(rng.below(512));
+        const ActivationSets sets = decoder.neighborActivation(rf, rl);
+        ASSERT_TRUE(sets.simultaneous);
+        EXPECT_TRUE(std::has_single_bit(
+            static_cast<unsigned>(sets.nrf())));
+        EXPECT_TRUE(sets.nrl() == sets.nrf() ||
+                    sets.nrl() == 2 * sets.nrf());
+        EXPECT_LE(sets.nrf(), 16);
+    }
+}
+
+TEST(RowDecoder, N2NRequiresHalfSelectDifference)
+{
+    const RowDecoder decoder(fullCoverage(true), bigGeometry(), 1);
+    // Same half (bit 8 equal): N:N.
+    EXPECT_FALSE(decoder.neighborActivation(3, 5).isN2N());
+    // Different halves: N:2N on a supporting design.
+    const ActivationSets sets = decoder.neighborActivation(3, 3 | 256);
+    EXPECT_TRUE(sets.isN2N());
+    EXPECT_EQ(sets.nrf(), 1);
+    EXPECT_EQ(sets.nrl(), 2);
+}
+
+TEST(RowDecoder, N2NUnsupportedFallsBackToNN)
+{
+    const RowDecoder decoder(fullCoverage(false), bigGeometry(), 1);
+    const ActivationSets sets = decoder.neighborActivation(3, 3 | 256);
+    EXPECT_FALSE(sets.isN2N());
+    EXPECT_EQ(sets.nrf(), sets.nrl());
+}
+
+TEST(RowDecoder, MaxActivationReaches16To32)
+{
+    // Takeaway 1: up to 48 rows across the two subarrays.
+    const RowDecoder decoder(fullCoverage(true), bigGeometry(), 1);
+    const ActivationSets sets =
+        decoder.neighborActivation(0, 0x55 | 256);
+    EXPECT_EQ(sets.nrf(), 16);
+    EXPECT_EQ(sets.nrl(), 32);
+}
+
+TEST(RowDecoder, LatchStagesBoundActivation)
+{
+    DecoderParams params = fullCoverage();
+    params.latchStages = 3; // 8Gb M-die style.
+    const RowDecoder decoder(params, bigGeometry(), 1);
+    Rng rng(12);
+    int max_n = 0;
+    for (int i = 0; i < 500; ++i) {
+        const auto rf = static_cast<RowId>(rng.below(512));
+        const auto rl = static_cast<RowId>(rng.below(512));
+        max_n = std::max(max_n,
+                         decoder.neighborActivation(rf, rl).nrf());
+    }
+    EXPECT_EQ(max_n, 8);
+}
+
+TEST(RowDecoder, CoverageGateDeterministicPerPair)
+{
+    DecoderParams params;
+    params.coverageGate = 0.5;
+    const RowDecoder decoder(params, bigGeometry(), 99);
+    for (RowId rf = 0; rf < 20; ++rf) {
+        for (RowId rl = 0; rl < 20; ++rl) {
+            EXPECT_EQ(decoder.glitchOccurs(rf, rl),
+                      decoder.glitchOccurs(rf, rl));
+        }
+    }
+}
+
+TEST(RowDecoder, CoverageGateFractionRoughlyCalibrated)
+{
+    DecoderParams params;
+    params.coverageGate = 0.82;
+    const RowDecoder decoder(params, bigGeometry(), 4);
+    Rng rng(5);
+    int fired = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto rf = static_cast<RowId>(rng.below(512));
+        const auto rl = static_cast<RowId>(rng.below(512));
+        fired += decoder.glitchOccurs(rf, rl) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(fired) / n, 0.82, 0.02);
+}
+
+TEST(RowDecoder, NoGlitchActivatesSecondRowOnly)
+{
+    DecoderParams params;
+    params.coverageGate = 0.0;
+    const RowDecoder decoder(params, bigGeometry(), 1);
+    const ActivationSets sets = decoder.neighborActivation(1, 2);
+    EXPECT_FALSE(sets.simultaneous);
+    EXPECT_FALSE(sets.sequential);
+    EXPECT_TRUE(sets.firstRows.empty());
+    EXPECT_EQ(sets.secondRows, (std::vector<RowId>{2}));
+}
+
+TEST(RowDecoder, SamsungSequentialMode)
+{
+    DecoderParams params = fullCoverage();
+    params.simultaneousNeighbor = false;
+    params.sequentialNeighborOnly = true;
+    const RowDecoder decoder(params, bigGeometry(), 1);
+    const ActivationSets sets = decoder.neighborActivation(7, 300);
+    EXPECT_FALSE(sets.simultaneous);
+    EXPECT_TRUE(sets.sequential);
+    EXPECT_EQ(sets.nrf(), 1);
+    EXPECT_EQ(sets.nrl(), 1);
+}
+
+TEST(RowDecoder, MicronIgnoresEverything)
+{
+    DecoderParams params = fullCoverage();
+    params.simultaneousNeighbor = false;
+    params.ignoresViolatedCommands = true;
+    const RowDecoder decoder(params, bigGeometry(), 1);
+    EXPECT_FALSE(decoder.glitchOccurs(1, 2));
+    const ActivationSets sets = decoder.neighborActivation(1, 2);
+    EXPECT_FALSE(sets.simultaneous);
+    EXPECT_FALSE(sets.sequential);
+}
+
+TEST(RowDecoder, SameSubarrayCrossProduct)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    const auto rows = decoder.sameSubarrayActivation(0, 3);
+    // Bits 0 and 1 are in one stage: union is {00, 11} -> 2 rows.
+    EXPECT_EQ(rows, (std::vector<RowId>{0, 3}));
+    const auto quad = decoder.sameSubarrayActivation(0, 5);
+    // Stages 0 and 1 differ -> 4 rows {0, 1, 4, 5}.
+    EXPECT_EQ(quad, (std::vector<RowId>{0, 1, 4, 5}));
+}
+
+TEST(RowDecoder, SameSubarrayHalfSelectDoubles)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    const auto rows = decoder.sameSubarrayActivation(0, 256);
+    EXPECT_EQ(rows, (std::vector<RowId>{0, 256}));
+}
+
+/** Coverage distribution shape (Fig. 5 precursor). */
+TEST(RowDecoder, NNDistributionPeaksAtEightAndSixteen)
+{
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 21);
+    Rng rng(22);
+    std::map<int, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto rf = static_cast<RowId>(rng.below(512));
+        const auto rl = static_cast<RowId>(rng.below(512));
+        ++counts[decoder.neighborActivation(rf, rl).nrf()];
+    }
+    // Binomial(4, 3/4) over differing stages: 8:8 and 16:16 dominate.
+    EXPECT_GT(counts[8], counts[4]);
+    EXPECT_GT(counts[16], counts[4]);
+    EXPECT_GT(counts[4], counts[2]);
+    EXPECT_GT(counts[2], counts[1]);
+}
+
+} // namespace
+} // namespace fcdram

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "fcdram/trng.hh"
+
+namespace fcdram {
+namespace {
+
+ChipProfile
+trngProfile()
+{
+    // A realistic noisy design; the TRNG relies on that noise.
+    ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
+    profile.decoder.coverageGate = 1.0; // The row pair must activate.
+    return profile;
+}
+
+TEST(DramTrng, CalibrationFindsEntropyCells)
+{
+    GeometryConfig geometry = GeometryConfig::tiny();
+    geometry.columns = 128;
+    Chip chip(trngProfile(), geometry, 3);
+    DramBender bender(chip, 7);
+    DramTrng trng(bender, 0, 1);
+    const std::size_t cells = trng.calibrate(24);
+    EXPECT_GT(cells, 0u);
+    EXPECT_LT(cells, static_cast<std::size_t>(geometry.columns));
+    for (const ColId col : trng.entropyCells())
+        EXPECT_LT(col, static_cast<ColId>(geometry.columns));
+}
+
+TEST(DramTrng, RawSamplesVaryAcrossTrials)
+{
+    GeometryConfig geometry = GeometryConfig::tiny();
+    geometry.columns = 128;
+    Chip chip(trngProfile(), geometry, 3);
+    DramBender bender(chip, 7);
+    DramTrng trng(bender, 0, 1);
+    const BitVector a = trng.rawSample();
+    const BitVector b = trng.rawSample();
+    // Thermal noise must flip at least some metastable cells.
+    EXPECT_GT(a.hammingDistance(b), 0u);
+}
+
+TEST(DramTrng, WhitenedBitsRoughlyBalanced)
+{
+    GeometryConfig geometry = GeometryConfig::tiny();
+    geometry.columns = 128;
+    Chip chip(trngProfile(), geometry, 5);
+    DramBender bender(chip, 9);
+    DramTrng trng(bender, 0, 2);
+    ASSERT_GT(trng.calibrate(24), 4u);
+    const std::size_t bits = 2000;
+    const BitVector random = trng.randomBits(bits);
+    const double ones =
+        static_cast<double>(random.popcount()) /
+        static_cast<double>(bits);
+    // Von Neumann output is unbiased; allow generous sampling slack.
+    EXPECT_GT(ones, 0.44);
+    EXPECT_LT(ones, 0.56);
+}
+
+TEST(DramTrng, WhitenedBitsPassRunsSmokeTest)
+{
+    GeometryConfig geometry = GeometryConfig::tiny();
+    geometry.columns = 128;
+    Chip chip(trngProfile(), geometry, 11);
+    DramBender bender(chip, 13);
+    DramTrng trng(bender, 0, 1);
+    ASSERT_GT(trng.calibrate(24), 4u);
+    const BitVector random = trng.randomBits(1000);
+    // Count runs; a healthy bitstream of n bits has ~n/2 runs.
+    std::size_t runs = 1;
+    for (std::size_t i = 1; i < random.size(); ++i)
+        runs += random.get(i) != random.get(i - 1) ? 1 : 0;
+    EXPECT_GT(runs, 400u);
+    EXPECT_LT(runs, 600u);
+}
+
+TEST(DramTrng, TracksRawSampleBudget)
+{
+    GeometryConfig geometry = GeometryConfig::tiny();
+    geometry.columns = 128;
+    Chip chip(trngProfile(), geometry, 3);
+    DramBender bender(chip, 7);
+    DramTrng trng(bender, 0, 1);
+    EXPECT_EQ(trng.rawSamplesDrawn(), 0u);
+    trng.rawSample();
+    trng.rawSample();
+    EXPECT_EQ(trng.rawSamplesDrawn(), 2u);
+}
+
+} // namespace
+} // namespace fcdram

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the FCDRAM test suite.
+ */
+
+#ifndef FCDRAM_TESTS_TESTUTIL_HH
+#define FCDRAM_TESTS_TESTUTIL_HH
+
+#include "config/chipprofile.hh"
+#include "dram/geometry.hh"
+
+namespace fcdram::test {
+
+/**
+ * A noiseless, fully-covered chip design: every FCDRAM operation
+ * succeeds deterministically. Used for functional (as opposed to
+ * reliability) tests.
+ */
+inline ChipProfile
+idealProfile()
+{
+    ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2666);
+    profile.analog.senseNoiseSigma = 1e-9;
+    profile.analog.saOffsetSigma = 0.0;
+    profile.analog.cellOffsetSigma = 0.0;
+    profile.analog.structuralFailPerPair = 0.0;
+    profile.analog.commonModePenalty = 0.0;
+    profile.analog.andFamilyPenalty = 0.0;
+    profile.analog.orFamilyBonus = 0.0;
+    profile.analog.logicBias = 0.0;
+    profile.analog.invertedSidePenalty = 0.0;
+    profile.analog.couplingDelta = 0.0;
+    profile.analog.tempCoeff = 0.0;
+    profile.analog.latchWindowKappa = 0.0;
+    profile.analog.drivePerRow = 0.0;
+    for (int r = 0; r < 3; ++r) {
+        profile.analog.srcRegionMargin[r] = 0.0;
+        profile.analog.dstRegionMargin[r] = 0.0;
+    }
+    profile.decoder.coverageGate = 1.0;
+    return profile;
+}
+
+/** An ideal profile that also supports the N:2N activation pattern. */
+inline ChipProfile
+idealProfileN2N()
+{
+    ChipProfile profile = idealProfile();
+    profile.decoder.supportsN2N = true;
+    return profile;
+}
+
+/** Small geometry for fast functional tests. */
+inline GeometryConfig
+tinyGeometry()
+{
+    return GeometryConfig::tiny();
+}
+
+} // namespace fcdram::test
+
+#endif // FCDRAM_TESTS_TESTUTIL_HH
