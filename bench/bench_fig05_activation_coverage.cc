@@ -20,8 +20,11 @@ main()
     printBanner(std::cout,
                 "Fig. 5: Coverage of each NRF:NRL activation type");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig05_activation_coverage");
     const auto coverage = campaign.activationCoverage();
+    report.lap("figure");
 
     // Paper-reported average coverages (Observation 1), percent.
     const std::map<std::string, double> paper = {
@@ -64,5 +67,8 @@ main()
     observed.print(std::cout);
     std::cout << "\nTakeaway 1: up to 48 simultaneously activated rows "
                  "(16:32) observed.\n";
+    report.lap("classifier_validation");
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

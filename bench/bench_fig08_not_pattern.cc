@@ -18,8 +18,11 @@ main()
     printBanner(std::cout,
                 "Fig. 8: NOT success rate vs. NRF:NRL activation type");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig08_not_pattern");
     const auto by_type = campaign.notVsActivationType();
+    report.lap("figure");
 
     Table table({"NRF:NRL", "success % (box)", "mean %"});
     for (const auto &[type, set] : by_type) {
@@ -53,5 +56,7 @@ main()
                   << formatDouble((n2n_sum - nn_sum) / count, 2)
                   << "%; paper: +9.41%).\n";
     }
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

@@ -19,8 +19,11 @@ main()
                 "Fig. 9: NOT success rate vs. distance to the sense "
                 "amplifiers");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig09_not_distance");
     const RegionHeatmap heatmap = campaign.notRegionHeatmap();
+    report.lap("figure");
 
     Table table({"src \\ dst", "Close", "Middle", "Far"});
     for (const Region src : kAllRegions) {
@@ -46,5 +49,7 @@ main()
               << formatDouble(worst, 2) << "%\n";
     std::cout << "Obs. 6: success varies strongly with the physical "
                  "location of the activated rows.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

@@ -21,9 +21,12 @@ main()
                 "Fig. 10: NOT success rate vs. chip temperature "
                 "(>90% cells at 50C)");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig10_not_temperature");
     const std::vector<int> temps = {50, 60, 70, 80, 95};
     const auto result = campaign.notVsTemperature(temps);
+    report.lap("figure");
 
     Table table({"dest rows", "50C", "60C", "70C", "80C", "95C",
                  "max delta"});
@@ -55,5 +58,7 @@ main()
                  "configuration).\n";
     std::cout << "Takeaway 2: NOT is highly resilient to temperature "
                  "changes.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

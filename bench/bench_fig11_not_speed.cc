@@ -18,8 +18,11 @@ main()
     printBanner(std::cout,
                 "Fig. 11: NOT success rate vs. DRAM speed rate");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig11_not_speed");
     const auto result = campaign.notVsSpeed();
+    report.lap("figure");
 
     Table table({"dest rows", "2133 MT/s", "2400 MT/s", "2666 MT/s"});
     for (const int dest : {1, 2, 4, 8, 16, 32}) {
@@ -48,5 +51,7 @@ main()
     }
     std::cout << "Obs. 8: non-monotonic speed sensitivity from the "
                  "clock-quantized violated gap.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

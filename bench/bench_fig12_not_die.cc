@@ -19,8 +19,11 @@ main()
                 "Fig. 12: NOT success rate by chip density and die "
                 "revision");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig12_not_die");
     const auto by_die = campaign.notByDie();
+    report.lap("figure");
 
     Table table({"density/die", "success % (box)", "mean %"});
     std::map<std::string, double> means;
@@ -50,5 +53,7 @@ main()
     }
     std::cout << "Takeaway 3: NOT reliability varies significantly "
                  "across die revisions and densities.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

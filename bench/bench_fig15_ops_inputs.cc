@@ -19,8 +19,11 @@ main()
                 "Fig. 15: AND/NAND/OR/NOR success rates vs. input "
                 "operands");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig15_ops_inputs");
     const auto result = campaign.logicVsInputs();
+    report.lap("figure");
 
     const std::map<BoolOp, double> paper16 = {
         {BoolOp::And, 94.94},
@@ -68,5 +71,7 @@ main()
               << "% (paper 0.50%).\n";
     std::cout << "Takeaway 4: up to 16-input functionally-complete "
                  "operations at high success rates.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

@@ -53,13 +53,23 @@ main()
                 "Fig. 16: AND/OR success rate vs. number of logic-1 "
                 "inputs");
 
-    Campaign campaign(benchutil::figureConfig());
+    const auto session = benchutil::figureSession();
+    Campaign campaign(session);
+    benchutil::BenchReport report("fig16_logic_ones");
+    // The four sweeps share one session: the AND sweeps pay for chip
+    // construction and N:N pair discovery, the OR sweeps reuse both.
     printSweep(campaign, BoolOp::And, 4);
+    report.lap("and_4_cold");
     printSweep(campaign, BoolOp::And, 16);
+    report.lap("and_16_cold");
     printSweep(campaign, BoolOp::Or, 4);
+    report.lap("or_4_warm");
     printSweep(campaign, BoolOp::Or, 16);
+    report.lap("or_16_warm");
 
     std::cout << "\nObs. 14: AND is worst at all-1s / one-0 inputs; "
                  "OR at one-1 / no-1 inputs.\n";
+    benchutil::recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

@@ -21,8 +21,11 @@ main()
                 "Fig. 17: logic-op success rate vs. distance to the "
                 "sense amplifiers");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig17_ops_distance");
     const auto heatmaps = campaign.logicRegionHeatmap();
+    report.lap("figure");
 
     const std::map<BoolOp, double> paper_span = {
         {BoolOp::And, 23.36},
@@ -58,5 +61,7 @@ main()
     }
     std::cout << "\nObs. 15: success varies strongly with the rows' "
                  "physical location; AND/NAND more than OR/NOR.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

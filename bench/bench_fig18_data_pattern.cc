@@ -18,8 +18,11 @@ main()
     printBanner(std::cout,
                 "Fig. 18: logic-op success rate vs. data pattern");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig18_data_pattern");
     const auto result = campaign.logicDataPattern();
+    report.lap("figure");
 
     const std::map<BoolOp, double> paper_delta = {
         {BoolOp::And, 1.43},
@@ -57,5 +60,7 @@ main()
     }
     std::cout << "Obs. 16: data pattern affects the operations only "
                  "slightly.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

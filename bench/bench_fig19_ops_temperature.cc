@@ -19,9 +19,12 @@ main()
                 "Fig. 19: logic-op success rate vs. chip temperature "
                 "(>90% cells at 50C)");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig19_ops_temperature");
     const std::vector<int> temps = {50, 60, 70, 80, 95};
     const auto result = campaign.logicVsTemperature(temps);
+    report.lap("figure");
 
     const std::map<BoolOp, double> paper_max = {
         {BoolOp::And, 1.66},
@@ -58,5 +61,7 @@ main()
     }
     std::cout << "\nObs. 17 / Takeaway 4: the operations are highly "
                  "resilient to temperature.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

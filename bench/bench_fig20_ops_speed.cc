@@ -17,8 +17,11 @@ main()
     printBanner(std::cout,
                 "Fig. 20: logic-op success rate vs. DRAM speed rate");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig20_ops_speed");
     const auto result = campaign.logicVsSpeed();
+    report.lap("figure");
 
     for (const auto &[op, by_speed] : result) {
         std::cout << "\n" << toString(op) << ":\n";
@@ -52,5 +55,7 @@ main()
     }
     std::cout << "Obs. 18: the DRAM speed rate significantly affects "
                  "the operations.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

@@ -20,8 +20,11 @@ main()
                 "Fig. 21: logic-op success rate by chip density and "
                 "die revision (SK Hynix)");
 
-    Campaign campaign(figureConfig());
+    const auto session = figureSession();
+    Campaign campaign(session);
+    BenchReport report("fig21_ops_die");
     const auto result = campaign.logicByDie();
+    report.lap("figure");
 
     Table table({"density/die", "AND", "NAND", "OR", "NOR"});
     for (const auto &[label, by_op] : result) {
@@ -57,5 +60,7 @@ main()
     }
     std::cout << "Takeaway 5: logic-op reliability varies across die "
                  "revisions and densities.\n";
+    recordCacheStats(report, *session);
+    report.save();
     return 0;
 }

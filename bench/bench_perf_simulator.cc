@@ -10,6 +10,7 @@
 
 #include "fcdram/analytic.hh"
 #include "fcdram/ops.hh"
+#include "fcdram/session.hh"
 
 namespace fcdram {
 namespace {
@@ -126,6 +127,43 @@ BM_RowWriteRead(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RowWriteRead);
+
+void
+BM_SessionPairDiscoveryCold(benchmark::State &state)
+{
+    CampaignConfig config;
+    config.geometry = benchGeometry();
+    const FleetSession session(config);
+    const auto &module = session.modules(FleetSession::Fleet::SkHynix)
+                             .front();
+    const auto &context = session.pairContexts(module).front();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(findQualifyingPairs(
+            session.chip(module), context, PairQuery::square(4),
+            config.probesPerPair, config.pairSamplesPerConfig, 42));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::size_t>(
+                                config.probesPerPair));
+}
+BENCHMARK(BM_SessionPairDiscoveryCold);
+
+void
+BM_SessionPairDiscoveryCached(benchmark::State &state)
+{
+    CampaignConfig config;
+    config.geometry = benchGeometry();
+    const FleetSession session(config);
+    const auto &module = session.modules(FleetSession::Fleet::SkHynix)
+                             .front();
+    const auto &context = session.pairContexts(module).front();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.qualifyingPairs(
+            module, context, PairQuery::square(4)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionPairDiscoveryCached);
 
 } // namespace
 } // namespace fcdram

@@ -1,15 +1,23 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benches: a common
- * campaign configuration and formatting utilities that print measured
- * values next to the paper's reported ones.
+ * campaign configuration, a shared-session factory, formatting
+ * utilities that print measured values next to the paper's reported
+ * ones, and a wall-time reporter that emits BENCH_*.json files so
+ * speedups (e.g. from session pair-discovery caching) are tracked
+ * across PRs.
  */
 
 #ifndef FCDRAM_BENCH_BENCHUTIL_HH
 #define FCDRAM_BENCH_BENCHUTIL_HH
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hh"
 #include "fcdram/campaign.hh"
@@ -26,6 +34,16 @@ figureConfig()
     return config;
 }
 
+/**
+ * The session every figure bench runs on: one set of chips, one pair
+ * discovery cache, shared by every campaign the binary creates.
+ */
+inline std::shared_ptr<FleetSession>
+figureSession()
+{
+    return std::make_shared<FleetSession>(figureConfig());
+}
+
 /** "mean [min q1 med q3 max]" cell for a sample set. */
 inline std::string
 boxCell(const SampleSet &set)
@@ -40,6 +58,98 @@ inline std::string
 meanCell(const SampleSet &set)
 {
     return set.empty() ? "-" : formatDouble(set.mean(), 2);
+}
+
+/**
+ * Wall-time reporter for one bench binary. Laps name the phases of
+ * the run ("cold", "warm_cached", ...); metrics carry scalar
+ * observations such as session cache-hit counts. save() writes
+ * BENCH_<name>.json next to the binary's working directory.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name)
+        : name_(std::move(name)), start_(Clock::now()), last_(start_)
+    {
+    }
+
+    /** Record the wall time since the previous lap; returns ms. */
+    double lap(const std::string &label)
+    {
+        const Clock::time_point now = Clock::now();
+        const double ms = millis(last_, now);
+        last_ = now;
+        laps_.emplace_back(label, ms);
+        return ms;
+    }
+
+    /** Attach a scalar observation. */
+    void metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    /** Render the report as JSON. */
+    void writeJson(std::ostream &os) const
+    {
+        os << "{\n  \"name\": \"" << name_ << "\",\n";
+        os << "  \"laps_ms\": {";
+        for (std::size_t i = 0; i < laps_.size(); ++i) {
+            os << (i == 0 ? "" : ",") << "\n    \"" << laps_[i].first
+               << "\": " << formatDouble(laps_[i].second, 3);
+        }
+        os << "\n  },\n  \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            os << (i == 0 ? "" : ",") << "\n    \""
+               << metrics_[i].first
+               << "\": " << formatDouble(metrics_[i].second, 3);
+        }
+        os << "\n  },\n  \"total_ms\": "
+           << formatDouble(millis(start_, last_), 3) << "\n}\n";
+    }
+
+    /** Write BENCH_<name>.json and announce it on @p os. */
+    void save(std::ostream &os = std::cout) const
+    {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream file(path);
+        if (!file) {
+            os << "\n(could not write " << path << ")\n";
+            return;
+        }
+        writeJson(file);
+        os << "\nTimings (" << path << "):\n";
+        writeJson(os);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static double millis(Clock::time_point from, Clock::time_point to)
+    {
+        return std::chrono::duration<double, std::milli>(to - from)
+            .count();
+    }
+
+    std::string name_;
+    Clock::time_point start_;
+    Clock::time_point last_;
+    std::vector<std::pair<std::string, double>> laps_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/** Append the session's cache counters to a report. */
+inline void
+recordCacheStats(BenchReport &report, const FleetSession &session)
+{
+    const FleetSession::CacheStats stats = session.cacheStats();
+    report.metric("chip_builds",
+                  static_cast<double>(stats.chipBuilds));
+    report.metric("pair_lookups",
+                  static_cast<double>(stats.pairLookups));
+    report.metric("pair_cache_hits",
+                  static_cast<double>(stats.pairHits));
 }
 
 } // namespace fcdram::benchutil

@@ -6,6 +6,7 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/table.hh"
 #include "fcdram/campaign.hh"
@@ -17,7 +18,10 @@ main()
 {
     CampaignConfig config;
     config.analytic.sampleBinomial = false;
-    Campaign campaign(config);
+    // One session backs both probes: the logic probe reuses the chips
+    // the NOT probe hydrated.
+    const auto session = std::make_shared<FleetSession>(config);
+    Campaign campaign(session);
 
     printBanner(std::cout, "Calibration probe: headline averages");
 

@@ -18,17 +18,26 @@
 #include "fcdram/golden.hh"
 #include "fcdram/ops.hh"
 #include "fcdram/reliablemask.hh"
+#include "fcdram/session.hh"
 
 using namespace fcdram;
 
 int
 main()
 {
-    const ChipProfile profile =
-        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
-    GeometryConfig geometry = GeometryConfig::standard();
-    geometry.columns = 256;
-    Chip chip(profile, geometry, /*seed=*/42);
+    // One shared session: fleet inventory + geometry + chip checkout.
+    CampaignConfig config;
+    config.geometry.columns = 256;
+    FleetSession session(config);
+    const GeometryConfig &geometry = session.config().geometry;
+    const FleetSession::Module *module =
+        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
+    if (module == nullptr) {
+        std::cerr << "module not in the Table-1 fleet\n";
+        return 1;
+    }
+    const ChipProfile profile = module->spec->profile();
+    Chip chip = session.checkoutChip(profile, /*seed=*/42);
     DramBender bender(chip, /*sessionSeed=*/7);
     Ops ops(bender);
 

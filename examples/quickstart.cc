@@ -13,19 +13,29 @@
 #include "fcdram/golden.hh"
 #include "dram/openbitline.hh"
 #include "fcdram/ops.hh"
+#include "fcdram/session.hh"
 
 using namespace fcdram;
 
 int
 main()
 {
+    // One shared session per process: it owns the Table-1 inventory
+    // and the simulated geometry; mutable chips for command-level
+    // work are checked out of it.
+    FleetSession session;
+    const GeometryConfig &geometry = session.config().geometry;
+
     // An SK Hynix 4Gb A-die x8 module at 2133 MT/s: the strongest
     // logic design in the paper's fleet.
-    const ChipProfile profile =
-        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
-    GeometryConfig geometry = GeometryConfig::standard();
-    geometry.columns = 128;
-    Chip chip(profile, geometry, /*seed=*/1);
+    const FleetSession::Module *module =
+        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
+    if (module == nullptr) {
+        std::cerr << "module not in the Table-1 fleet\n";
+        return 1;
+    }
+    const ChipProfile profile = module->spec->profile();
+    Chip chip = session.checkoutChip(profile, /*seed=*/1);
     DramBender bender(chip, /*sessionSeed=*/7);
     Ops ops(bender);
 

@@ -15,6 +15,7 @@
 #include "fcdram/golden.hh"
 #include "fcdram/ops.hh"
 #include "fcdram/reliablemask.hh"
+#include "fcdram/session.hh"
 
 using namespace fcdram;
 
@@ -83,9 +84,11 @@ measureNot(Chip &chip, DramBender &bender, int trials)
 int
 main()
 {
-    GeometryConfig geometry = GeometryConfig::standard();
-    geometry.columns = 128;
-    geometry.numBanks = 1;
+    // One shared session: each characterized design is a fleet
+    // module; chips for the mutating trials are checked out of it.
+    CampaignConfig config;
+    config.geometry.numBanks = 1;
+    FleetSession session(config);
 
     std::cout << "Fault-aware in-DRAM NOT across the SK Hynix designs "
                  "(>90% masks, 40 trials)\n\n";
@@ -95,9 +98,18 @@ main()
          std::vector<std::tuple<int, char, std::uint32_t>>{
              {4, 'A', 2133}, {4, 'M', 2666}, {8, 'A', 2400},
              {8, 'M', 2666}}) {
+        const FleetSession::Module *module = session.findModule(
+            Manufacturer::SkHynix, density, die, speed);
+        if (module == nullptr) {
+            std::cerr << "design " << density << "Gb " << die << " @"
+                      << speed << "MT/s not in the Table-1 fleet\n";
+            return 1;
+        }
+        // The fleet spec's organization may differ (x4 modules); the
+        // example characterizes the x8 variant of each design.
         const ChipProfile profile = ChipProfile::make(
             Manufacturer::SkHynix, density, die, 8, speed);
-        Chip chip(profile, geometry, 1000 + density + die);
+        Chip chip = session.checkoutChip(profile, 1000 + density + die);
         DramBender bender(chip, 7);
         const Accuracy accuracy = measureNot(chip, bender, 40);
         table.addRow();

@@ -14,21 +14,33 @@
 #include "fcdram/classifier.hh"
 #include "fcdram/mapper.hh"
 #include "fcdram/roworder.hh"
+#include "fcdram/session.hh"
 
 using namespace fcdram;
 
 int
 main()
 {
-    ChipProfile profile =
-        ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666);
-    GeometryConfig geometry;
-    geometry.numBanks = 1;
-    geometry.subarraysPerBank = 4;
-    geometry.rowsPerSubarray = 64;
-    geometry.columns = 128;
-    geometry.scrambleRowOrder = true; // Unknown internal order.
-    Chip chip(profile, geometry, /*seed=*/77);
+    // One shared session carries the under-test geometry; the chip
+    // under reverse engineering is checked out of it.
+    CampaignConfig config;
+    config.geometry = GeometryConfig();
+    config.geometry.numBanks = 1;
+    config.geometry.subarraysPerBank = 4;
+    config.geometry.rowsPerSubarray = 64;
+    config.geometry.columns = 128;
+    config.geometry.scrambleRowOrder = true; // Unknown internal order.
+    FleetSession session(config);
+    const GeometryConfig &geometry = session.config().geometry;
+    const FleetSession::Module *module =
+        session.findModule(Manufacturer::SkHynix, 4, 'M', 2666);
+    if (module == nullptr) {
+        std::cerr << "module not in the Table-1 fleet\n";
+        return 1;
+    }
+    Chip chip = session.checkoutChip(module->spec->profile(),
+                                     /*seed=*/77);
+    const ChipProfile &profile = chip.profile();
     DramBender bender(chip, /*sessionSeed=*/5);
 
     std::cout << "Reverse engineering " << profile.label()

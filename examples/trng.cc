@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "fcdram/session.hh"
 #include "fcdram/trng.hh"
 
 using namespace fcdram;
@@ -16,12 +17,23 @@ using namespace fcdram;
 int
 main()
 {
-    ChipProfile profile =
-        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
+    // One shared session supplies the design; the TRNG wants full
+    // activation coverage, so the checked-out chip tweaks the
+    // decoder gate of the fleet profile.
+    CampaignConfig config;
+    config.geometry = GeometryConfig::tiny();
+    config.geometry.columns = 256;
+    FleetSession session(config);
+    const GeometryConfig &geometry = session.config().geometry;
+    const FleetSession::Module *module =
+        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
+    if (module == nullptr) {
+        std::cerr << "module not in the Table-1 fleet\n";
+        return 1;
+    }
+    ChipProfile profile = module->spec->profile();
     profile.decoder.coverageGate = 1.0;
-    GeometryConfig geometry = GeometryConfig::tiny();
-    geometry.columns = 256;
-    Chip chip(profile, geometry, /*seed=*/2024);
+    Chip chip = session.checkoutChip(profile, /*seed=*/2024);
     DramBender bender(chip, /*sessionSeed=*/5);
 
     std::cout << "DRAM TRNG on " << profile.label() << "\n\n";

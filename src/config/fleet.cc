@@ -18,11 +18,13 @@ ModuleSpec::chipsPerModule() const
     return numChips / numModules;
 }
 
-std::vector<ModuleSpec>
+const std::vector<ModuleSpec> &
 table1Fleet()
 {
     using M = Manufacturer;
-    return {
+    // Built once; callers across campaigns, sessions, and benches
+    // share the same cached inventory.
+    static const std::vector<ModuleSpec> fleet = {
         // Chip Mfr., #Modules, #Chips, Die, Date, Density, Org, MT/s
         {M::SkHynix, 9, 72, 'M', "N/A", 4, 8, 2666},
         {M::SkHynix, 5, 40, 'A', "N/A", 4, 8, 2133},
@@ -34,17 +36,23 @@ table1Fleet()
         {M::Samsung, 2, 16, 'D', "21-10", 8, 8, 2133},
         {M::Samsung, 1, 8, 'A', "22-12", 8, 8, 3200},
     };
+    return fleet;
 }
 
-std::vector<ModuleSpec>
+const std::vector<ModuleSpec> &
 fullFleet()
 {
-    auto fleet = table1Fleet();
     using M = Manufacturer;
-    // Section 7: six additional Micron modules (24 chips) show neither
-    // simultaneous nor sequential neighbor-subarray activation.
-    fleet.push_back({M::Micron, 3, 12, 'B', "N/A", 8, 8, 2666});
-    fleet.push_back({M::Micron, 3, 12, 'E', "N/A", 16, 8, 3200});
+    static const std::vector<ModuleSpec> fleet = [] {
+        auto extended = table1Fleet();
+        // Section 7: six additional Micron modules (24 chips) show
+        // neither simultaneous nor sequential neighbor-subarray
+        // activation.
+        extended.push_back({M::Micron, 3, 12, 'B', "N/A", 8, 8, 2666});
+        extended.push_back(
+            {M::Micron, 3, 12, 'E', "N/A", 16, 8, 3200});
+        return extended;
+    }();
     return fleet;
 }
 

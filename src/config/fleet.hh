@@ -36,15 +36,17 @@ struct ModuleSpec
 
 /**
  * The 22 SK Hynix + Samsung module groups of Table 1 (256 chips) that
- * the paper's analysis focuses on.
+ * the paper's analysis focuses on. Built once and cached; the
+ * reference stays valid for the program's lifetime.
  */
-std::vector<ModuleSpec> table1Fleet();
+const std::vector<ModuleSpec> &table1Fleet();
 
 /**
  * The full 28-module fleet including the Micron modules that show no
- * multi-row activation (Section 7, Limitation 1).
+ * multi-row activation (Section 7, Limitation 1). Cached like
+ * table1Fleet().
  */
-std::vector<ModuleSpec> fullFleet();
+const std::vector<ModuleSpec> &fullFleet();
 
 /** Total module count across a fleet. */
 int totalModules(const std::vector<ModuleSpec> &fleet);

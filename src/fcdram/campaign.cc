@@ -1,6 +1,5 @@
 #include "fcdram/campaign.hh"
 
-#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -21,29 +20,53 @@ constexpr int kInputCounts[] = {2, 4, 8, 16};
 constexpr BoolOp kLogicOps[] = {BoolOp::And, BoolOp::Nand, BoolOp::Or,
                                 BoolOp::Nor};
 
+using View = FleetSession::ModuleView;
+using Fleet = FleetSession::Fleet;
+
+/**
+ * Shared inner loop of the NOT figures: visit every qualifying
+ * (source, destination) pair per (context, destination-row count).
+ */
+template <class Fn>
+void
+forEachNotPair(const FleetSession &session, const View &m,
+               PairQuery::Activation activation, Fn &&fn)
+{
+    for (const PairContext &context : m.contexts) {
+        for (const int dest : kDestRowCounts) {
+            const PairQuery query =
+                activation == PairQuery::Activation::Any
+                    ? PairQuery::anyWithDest(dest)
+                    : PairQuery::simultaneousWithDest(dest);
+            for (const auto &[src, dst] :
+                 session.qualifyingPairs(m.module, context, query))
+                fn(context, dest, src, dst);
+        }
+    }
+}
+
+/**
+ * Shared inner loop of the logic figures: visit every qualifying N:N
+ * (reference, compute) pair per (context, input count) supported by
+ * the module's design.
+ */
+template <class Fn>
+void
+forEachSquarePair(const FleetSession &session, const View &m,
+                  Fn &&fn)
+{
+    for (const PairContext &context : m.contexts) {
+        for (const int inputs : kInputCounts) {
+            if (inputs > m.chip.profile().maxLogicInputs())
+                continue;
+            for (const auto &[ref, com] : session.qualifyingPairs(
+                     m.module, context, PairQuery::square(inputs)))
+                fn(context, inputs, ref, com);
+        }
+    }
+}
+
 } // namespace
-
-CampaignConfig::CampaignConfig()
-{
-    geometry = GeometryConfig::standard();
-    geometry.columns = 128;
-}
-
-CampaignConfig
-CampaignConfig::forTests()
-{
-    CampaignConfig config;
-    config.geometry = GeometryConfig::standard();
-    config.geometry.columns = 32;
-    config.geometry.numBanks = 1;
-    config.geometry.subarraysPerBank = 4;
-    config.banksPerChip = 1;
-    config.subarrayPairsPerBank = 2;
-    config.pairSamplesPerConfig = 6;
-    config.probesPerPair = 4000;
-    config.analytic.trials = 2000;
-    return config;
-}
 
 std::string
 dieLabel(const ModuleSpec &spec)
@@ -56,242 +79,153 @@ dieLabel(const ModuleSpec &spec)
     return oss.str();
 }
 
-Campaign::Campaign(const CampaignConfig &config) : config_(config)
+Campaign::Campaign(const CampaignConfig &config)
+    : session_(std::make_shared<FleetSession>(config))
 {
-    assert(config_.geometry.valid());
 }
 
-std::vector<ModuleSpec>
+Campaign::Campaign(std::shared_ptr<FleetSession> session)
+    : session_(std::move(session))
+{
+    assert(session_ != nullptr);
+}
+
+const std::vector<ModuleSpec> &
 Campaign::skHynixFleet() const
 {
-    std::vector<ModuleSpec> fleet;
-    for (const ModuleSpec &spec : table1Fleet())
-        if (spec.manufacturer == Manufacturer::SkHynix)
-            fleet.push_back(spec);
-    return fleet;
+    return session_->specs(Fleet::SkHynix);
 }
 
-std::vector<ModuleSpec>
+const std::vector<ModuleSpec> &
 Campaign::table1() const
 {
-    return table1Fleet();
-}
-
-void
-Campaign::forEachChip(
-    const std::vector<ModuleSpec> &fleet,
-    const std::function<void(const ModuleSpec &, const Chip &,
-                             std::uint64_t)> &visit)
-{
-    std::uint64_t module_index = 0;
-    for (const ModuleSpec &spec : fleet) {
-        for (int m = 0; m < spec.numModules; ++m) {
-            const std::uint64_t seed =
-                hashCombine(config_.seed, ++module_index);
-            const Chip chip(spec.profile(), config_.geometry, seed);
-            visit(spec, chip, seed);
-        }
-    }
-}
-
-std::vector<Campaign::PairContext>
-Campaign::samplePairs(const Chip &chip, std::uint64_t seed) const
-{
-    std::vector<PairContext> contexts;
-    Rng rng(hashCombine(seed, 0x5041ULL));
-    const int banks = std::min(config_.banksPerChip, chip.numBanks());
-    const int max_low = chip.geometry().subarraysPerBank - 1;
-    for (int b = 0; b < banks; ++b) {
-        for (int p = 0; p < config_.subarrayPairsPerBank; ++p) {
-            PairContext context;
-            context.bank = static_cast<BankId>(b);
-            context.lowSubarray = static_cast<SubarrayId>(
-                rng.below(static_cast<std::uint64_t>(max_low)));
-            contexts.push_back(context);
-        }
-    }
-    return contexts;
-}
-
-std::vector<std::pair<RowId, RowId>>
-Campaign::findPairs(
-    const Chip &chip, const PairContext &context,
-    const std::function<bool(const ActivationSets &)> &predicate,
-    int maxPairs, std::uint64_t seed) const
-{
-    std::vector<std::pair<RowId, RowId>> pairs;
-    const GeometryConfig &geometry = chip.geometry();
-    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
-    Rng rng(seed);
-    for (int probe = 0; probe < config_.probesPerPair &&
-                        static_cast<int>(pairs.size()) < maxPairs;
-         ++probe) {
-        const auto rf = static_cast<RowId>(rng.below(rows));
-        const auto rl = static_cast<RowId>(rng.below(rows));
-        const ActivationSets sets =
-            chip.decoder().neighborActivation(rf, rl);
-        if (!predicate(sets))
-            continue;
-        pairs.emplace_back(
-            composeRow(geometry, context.lowSubarray, rf),
-            composeRow(geometry, context.lowSubarray + 1, rl));
-    }
-    return pairs;
+    return session_->specs(Fleet::Table1);
 }
 
 std::map<std::string, SampleSet>
 Campaign::activationCoverage()
 {
-    std::map<std::string, SampleSet> coverage;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        const GeometryConfig &geometry = chip.geometry();
-        const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            (void)context;
-            std::map<std::string, std::uint64_t> counts;
-            Rng rng(hashCombine(seed, 0xC0FEULL + context.bank +
-                                          context.lowSubarray));
-            const int probes = config_.probesPerPair;
-            for (int i = 0; i < probes; ++i) {
-                const auto rf = static_cast<RowId>(rng.below(rows));
-                const auto rl = static_cast<RowId>(rng.below(rows));
-                const ActivationSets sets =
-                    chip.decoder().neighborActivation(rf, rl);
-                if (!sets.simultaneous)
-                    continue;
-                std::ostringstream oss;
-                oss << sets.nrf() << ":" << sets.nrl();
-                ++counts[oss.str()];
+    using Accum = std::map<std::string, SampleSet>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &coverage) {
+            const GeometryConfig &geometry = m.chip.geometry();
+            const auto rows =
+                static_cast<RowId>(geometry.rowsPerSubarray);
+            for (const PairContext &context : m.contexts) {
+                std::map<std::string, std::uint64_t> counts;
+                Rng rng(hashCombine(m.seed, 0xC0FEULL + context.bank +
+                                                context.lowSubarray));
+                const int probes = config().probesPerPair;
+                for (int i = 0; i < probes; ++i) {
+                    const auto rf = static_cast<RowId>(rng.below(rows));
+                    const auto rl = static_cast<RowId>(rng.below(rows));
+                    const ActivationSets sets =
+                        m.chip.decoder().neighborActivation(rf, rl);
+                    if (!sets.simultaneous)
+                        continue;
+                    std::ostringstream oss;
+                    oss << sets.nrf() << ":" << sets.nrl();
+                    ++counts[oss.str()];
+                }
+                // Every known activation type contributes a sample per
+                // (module, subarray pair) context, including zero
+                // coverage; otherwise modules lacking a capability
+                // (e.g. N:2N) would be silently dropped from its
+                // distribution.
+                static const char *kKnownTypes[] = {
+                    "1:1", "1:2", "2:2", "2:4", "4:4",
+                    "4:8", "8:8", "8:16", "16:16", "16:32"};
+                for (const char *type : kKnownTypes) {
+                    const auto it = counts.find(type);
+                    const double count =
+                        it == counts.end()
+                            ? 0.0
+                            : static_cast<double>(it->second);
+                    coverage[type].add(100.0 * count /
+                                       static_cast<double>(probes));
+                    if (it != counts.end())
+                        counts.erase(it);
+                }
+                for (const auto &[type, count] : counts) {
+                    coverage[type].add(100.0 *
+                                       static_cast<double>(count) /
+                                       static_cast<double>(probes));
+                }
             }
-            // Every known activation type contributes a sample per
-            // (module, subarray pair) context, including zero
-            // coverage; otherwise modules lacking a capability (e.g.
-            // N:2N) would be silently dropped from its distribution.
-            static const char *kKnownTypes[] = {
-                "1:1", "1:2", "2:2", "2:4", "4:4",
-                "4:8", "8:8", "8:16", "16:16", "16:32"};
-            for (const char *type : kKnownTypes) {
-                const auto it = counts.find(type);
-                const double count =
-                    it == counts.end()
-                        ? 0.0
-                        : static_cast<double>(it->second);
-                coverage[type].add(100.0 * count /
-                                   static_cast<double>(probes));
-                if (it != counts.end())
-                    counts.erase(it);
-            }
-            for (const auto &[type, count] : counts) {
-                coverage[type].add(100.0 * static_cast<double>(count) /
-                                   static_cast<double>(probes));
-            }
-        }
-    });
-    return coverage;
+        });
 }
 
 std::map<int, SampleSet>
 Campaign::notVsDestRows(const OpConditions &cond)
 {
-    std::map<int, SampleSet> result;
-    forEachChip(table1(), [&](const ModuleSpec &, const Chip &chip,
-                              std::uint64_t seed) {
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int dest : kDestRowCounts) {
-                const auto pairs = findPairs(
-                    chip, context,
-                    [dest](const ActivationSets &sets) {
-                        return (sets.simultaneous || sets.sequential) &&
-                               sets.nrl() == dest;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x700 + dest + context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[src, dst] : pairs) {
-                    const auto samples = analyzer.notSamples(
-                        context.bank, src, dst, cond);
-                    for (const CellSample &sample : samples) {
+    using Accum = std::map<int, SampleSet>;
+    return session_->runOverFleet<Accum>(
+        Fleet::Table1, [&](const View &m, Accum &result) {
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachNotPair(
+                *session_, m, PairQuery::Activation::Any,
+                [&](const PairContext &context, int dest, RowId src,
+                    RowId dst) {
+                    for (const CellSample &sample : analyzer.notSamples(
+                             context.bank, src, dst, cond)) {
                         result[dest].add(
                             analyzer.toPercent(sample.probability));
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 std::map<std::string, SampleSet>
 Campaign::notVsActivationType()
 {
-    std::map<std::string, SampleSet> result;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int dest : kDestRowCounts) {
-                const auto pairs = findPairs(
-                    chip, context,
-                    [dest](const ActivationSets &sets) {
-                        return sets.simultaneous && sets.nrl() == dest;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x800 + dest + context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[src, dst] : pairs) {
-                    const GeometryConfig &geometry = chip.geometry();
+    using Accum = std::map<std::string, SampleSet>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &result) {
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachNotPair(
+                *session_, m, PairQuery::Activation::Simultaneous,
+                [&](const PairContext &context, int, RowId src,
+                    RowId dst) {
+                    const GeometryConfig &geometry = m.chip.geometry();
                     const RowAddress rf = decomposeRow(geometry, src);
                     const RowAddress rl = decomposeRow(geometry, dst);
                     const ActivationSets sets =
-                        chip.decoder().neighborActivation(rf.localRow,
-                                                          rl.localRow);
+                        m.chip.decoder().neighborActivation(
+                            rf.localRow, rl.localRow);
                     std::ostringstream oss;
                     oss << sets.nrf() << ":" << sets.nrl();
-                    const auto samples = analyzer.notSamples(
-                        context.bank, src, dst, OpConditions());
-                    for (const CellSample &sample : samples) {
+                    for (const CellSample &sample : analyzer.notSamples(
+                             context.bank, src, dst, OpConditions())) {
                         result[oss.str()].add(
                             analyzer.toPercent(sample.probability));
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 RegionHeatmap
 Campaign::notRegionHeatmap()
 {
-    RegionHeatmap heatmap{};
-    std::array<std::array<SampleSet, 3>, 3> buckets;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int dest : kDestRowCounts) {
-                const auto pairs = findPairs(
-                    chip, context,
-                    [dest](const ActivationSets &sets) {
-                        return sets.simultaneous && sets.nrl() == dest;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x900 + dest + context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[src, dst] : pairs) {
-                    const auto samples = analyzer.notSamples(
-                        context.bank, src, dst, OpConditions());
-                    for (const CellSample &sample : samples) {
-                        buckets[static_cast<int>(sample.otherRegion)]
-                               [static_cast<int>(sample.ownRegion)]
-                                   .add(100.0 * sample.probability);
+    using Accum = std::array<std::array<SampleSet, 3>, 3>;
+    const Accum buckets = session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &out) {
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachNotPair(
+                *session_, m, PairQuery::Activation::Simultaneous,
+                [&](const PairContext &context, int, RowId src,
+                    RowId dst) {
+                    for (const CellSample &sample : analyzer.notSamples(
+                             context.bank, src, dst, OpConditions())) {
+                        out[static_cast<int>(sample.otherRegion)]
+                           [static_cast<int>(sample.ownRegion)]
+                               .add(100.0 * sample.probability);
                     }
-                }
-            }
-        }
-    });
+                });
+        });
+    RegionHeatmap heatmap{};
     for (int s = 0; s < 3; ++s)
         for (int d = 0; d < 3; ++d)
             heatmap[s][d] = buckets[s][d].empty()
@@ -303,21 +237,15 @@ Campaign::notRegionHeatmap()
 std::map<int, std::map<int, double>>
 Campaign::notVsTemperature(const std::vector<int> &temperatures)
 {
-    std::map<int, std::map<int, SampleSet>> buckets;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int dest : kDestRowCounts) {
-                const auto pairs = findPairs(
-                    chip, context,
-                    [dest](const ActivationSets &sets) {
-                        return sets.simultaneous && sets.nrl() == dest;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0xA00 + dest + context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[src, dst] : pairs) {
+    using Accum = std::map<int, std::map<int, SampleSet>>;
+    const Accum buckets = session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &out) {
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachNotPair(
+                *session_, m, PairQuery::Activation::Simultaneous,
+                [&](const PairContext &context, int dest, RowId src,
+                    RowId dst) {
                     const auto base = analyzer.notSamples(
                         context.bank, src, dst, OpConditions());
                     for (const int temp : temperatures) {
@@ -332,14 +260,12 @@ Campaign::notVsTemperature(const std::vector<int> &temperatures)
                             // footnote 8).
                             if (base[i].probability <= 0.9)
                                 continue;
-                            buckets[dest][temp].add(
+                            out[dest][temp].add(
                                 100.0 * samples[i].probability);
                         }
                     }
-                }
-            }
-        }
-    });
+                });
+        });
     std::map<int, std::map<int, double>> result;
     for (const auto &[dest, by_temp] : buckets)
         for (const auto &[temp, set] : by_temp)
@@ -350,90 +276,60 @@ Campaign::notVsTemperature(const std::vector<int> &temperatures)
 std::map<std::uint32_t, std::map<int, SampleSet>>
 Campaign::notVsSpeed()
 {
-    std::map<std::uint32_t, std::map<int, SampleSet>> result;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &spec,
-                                    const Chip &chip,
-                                    std::uint64_t seed) {
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int dest : kDestRowCounts) {
-                const auto pairs = findPairs(
-                    chip, context,
-                    [dest](const ActivationSets &sets) {
-                        return sets.simultaneous && sets.nrl() == dest;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0xB00 + dest + context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[src, dst] : pairs) {
-                    const auto samples = analyzer.notSamples(
-                        context.bank, src, dst, OpConditions());
-                    for (const CellSample &sample : samples) {
-                        result[spec.speedMt][dest].add(
+    using Accum = std::map<std::uint32_t, std::map<int, SampleSet>>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &result) {
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachNotPair(
+                *session_, m, PairQuery::Activation::Simultaneous,
+                [&](const PairContext &context, int dest, RowId src,
+                    RowId dst) {
+                    for (const CellSample &sample : analyzer.notSamples(
+                             context.bank, src, dst, OpConditions())) {
+                        result[m.spec.speedMt][dest].add(
                             analyzer.toPercent(sample.probability));
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 std::vector<std::pair<std::string, SampleSet>>
 Campaign::notByDie()
 {
-    std::map<std::string, SampleSet> by_die;
-    forEachChip(table1(), [&](const ModuleSpec &spec, const Chip &chip,
-                              std::uint64_t seed) {
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            const auto pairs = findPairs(
-                chip, context,
-                [](const ActivationSets &sets) {
-                    return (sets.simultaneous || sets.sequential) &&
-                           sets.nrl() == 1;
-                },
-                config_.pairSamplesPerConfig,
-                hashCombine(seed, 0xC00 + context.bank * 977 +
-                                      context.lowSubarray * 131));
-            for (const auto &[src, dst] : pairs) {
-                const auto samples = analyzer.notSamples(
-                    context.bank, src, dst, OpConditions());
-                for (const CellSample &sample : samples) {
-                    by_die[dieLabel(spec)].add(
-                        analyzer.toPercent(sample.probability));
+    using Accum = std::map<std::string, SampleSet>;
+    const Accum by_die = session_->runOverFleet<Accum>(
+        Fleet::Table1, [&](const View &m, Accum &out) {
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            for (const PairContext &context : m.contexts) {
+                for (const auto &[src, dst] : session_->qualifyingPairs(
+                         m.module, context, PairQuery::anyWithDest(1))) {
+                    for (const CellSample &sample : analyzer.notSamples(
+                             context.bank, src, dst, OpConditions())) {
+                        out[dieLabel(m.spec)].add(
+                            analyzer.toPercent(sample.probability));
+                    }
                 }
             }
-        }
-    });
+        });
     return {by_die.begin(), by_die.end()};
 }
 
 std::map<BoolOp, std::map<int, SampleSet>>
 Campaign::logicVsInputs()
 {
-    std::map<BoolOp, std::map<int, SampleSet>> result;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps())
-            return;
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int inputs : kInputCounts) {
-                if (inputs > chip.profile().maxLogicInputs())
-                    continue;
-                const auto pairs = findPairs(
-                    chip, context,
-                    [inputs](const ActivationSets &sets) {
-                        return sets.simultaneous &&
-                               sets.nrf() == inputs &&
-                               sets.nrl() == inputs;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0xD00 + inputs +
-                                          context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[ref, com] : pairs) {
+    using Accum = std::map<BoolOp, std::map<int, SampleSet>>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &result) {
+            if (!m.chip.profile().supportsLogicOps())
+                return;
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachSquarePair(
+                *session_, m,
+                [&](const PairContext &context, int inputs, RowId ref,
+                    RowId com) {
                     for (const BoolOp op : kLogicOps) {
                         const auto samples = analyzer.logicSamples(
                             context.bank, op, ref, com, OpConditions(),
@@ -443,47 +339,36 @@ Campaign::logicVsInputs()
                                 analyzer.toPercent(sample.probability));
                         }
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 std::map<int, double>
 Campaign::logicVsOnes(BoolOp op, int numInputs)
 {
-    std::map<int, SampleSet> buckets;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps() ||
-            numInputs > chip.profile().maxLogicInputs()) {
-            return;
-        }
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            const auto pairs = findPairs(
-                chip, context,
-                [numInputs](const ActivationSets &sets) {
-                    return sets.simultaneous &&
-                           sets.nrf() == numInputs &&
-                           sets.nrl() == numInputs;
-                },
-                config_.pairSamplesPerConfig,
-                hashCombine(seed, 0xE00 + numInputs +
-                                      context.bank * 977 +
-                                      context.lowSubarray * 131));
-            for (const auto &[ref, com] : pairs) {
-                for (int ones = 0; ones <= numInputs; ++ones) {
-                    const auto samples = analyzer.logicSamples(
-                        context.bank, op, ref, com, OpConditions(),
-                        PatternClass::FixedOnes, ones);
-                    for (const CellSample &sample : samples)
-                        buckets[ones].add(100.0 * sample.probability);
+    using Accum = std::map<int, SampleSet>;
+    const Accum buckets = session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &out) {
+            if (!m.chip.profile().supportsLogicOps() ||
+                numInputs > m.chip.profile().maxLogicInputs()) {
+                return;
+            }
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            for (const PairContext &context : m.contexts) {
+                for (const auto &[ref, com] : session_->qualifyingPairs(
+                         m.module, context,
+                         PairQuery::square(numInputs))) {
+                    for (int ones = 0; ones <= numInputs; ++ones) {
+                        const auto samples = analyzer.logicSamples(
+                            context.bank, op, ref, com, OpConditions(),
+                            PatternClass::FixedOnes, ones);
+                        for (const CellSample &sample : samples)
+                            out[ones].add(100.0 * sample.probability);
+                    }
                 }
             }
-        }
-    });
+        });
     std::map<int, double> result;
     for (const auto &[ones, set] : buckets)
         result[ones] = set.empty() ? 0.0 : set.mean();
@@ -493,28 +378,18 @@ Campaign::logicVsOnes(BoolOp op, int numInputs)
 std::map<BoolOp, RegionHeatmap>
 Campaign::logicRegionHeatmap()
 {
-    std::map<BoolOp, std::array<std::array<SampleSet, 3>, 3>> buckets;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps())
-            return;
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int inputs : kInputCounts) {
-                if (inputs > chip.profile().maxLogicInputs())
-                    continue;
-                const auto pairs = findPairs(
-                    chip, context,
-                    [inputs](const ActivationSets &sets) {
-                        return sets.simultaneous &&
-                               sets.nrf() == inputs &&
-                               sets.nrl() == inputs;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0xF00 + inputs +
-                                          context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[ref, com] : pairs) {
+    using Accum =
+        std::map<BoolOp, std::array<std::array<SampleSet, 3>, 3>>;
+    const Accum buckets = session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &out) {
+            if (!m.chip.profile().supportsLogicOps())
+                return;
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachSquarePair(
+                *session_, m,
+                [&](const PairContext &context, int, RowId ref,
+                    RowId com) {
                     for (const BoolOp op : kLogicOps) {
                         const auto samples = analyzer.logicSamples(
                             context.bank, op, ref, com, OpConditions(),
@@ -530,21 +405,22 @@ Campaign::logicRegionHeatmap()
                                 own_is_ref ? other : own;
                             const int ref_idx =
                                 own_is_ref ? own : other;
-                            buckets[op][com_idx][ref_idx].add(
+                            out[op][com_idx][ref_idx].add(
                                 100.0 * sample.probability);
                         }
                     }
-                }
-            }
-        }
-    });
+                });
+        });
     std::map<BoolOp, RegionHeatmap> result;
     for (const BoolOp op : kLogicOps) {
         RegionHeatmap heatmap{};
+        const auto it = buckets.find(op);
         for (int c = 0; c < 3; ++c) {
             for (int r = 0; r < 3; ++r) {
-                const SampleSet &set = buckets[op][c][r];
-                heatmap[c][r] = set.empty() ? 0.0 : set.mean();
+                if (it == buckets.end() || it->second[c][r].empty())
+                    heatmap[c][r] = 0.0;
+                else
+                    heatmap[c][r] = it->second[c][r].mean();
             }
         }
         result[op] = heatmap;
@@ -555,29 +431,18 @@ Campaign::logicRegionHeatmap()
 std::map<BoolOp, std::map<int, std::pair<SampleSet, SampleSet>>>
 Campaign::logicDataPattern()
 {
-    std::map<BoolOp, std::map<int, std::pair<SampleSet, SampleSet>>>
-        result;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps())
-            return;
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int inputs : kInputCounts) {
-                if (inputs > chip.profile().maxLogicInputs())
-                    continue;
-                const auto pairs = findPairs(
-                    chip, context,
-                    [inputs](const ActivationSets &sets) {
-                        return sets.simultaneous &&
-                               sets.nrf() == inputs &&
-                               sets.nrl() == inputs;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x1100 + inputs +
-                                          context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[ref, com] : pairs) {
+    using Accum =
+        std::map<BoolOp, std::map<int, std::pair<SampleSet, SampleSet>>>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &result) {
+            if (!m.chip.profile().supportsLogicOps())
+                return;
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachSquarePair(
+                *session_, m,
+                [&](const PairContext &context, int inputs, RowId ref,
+                    RowId com) {
                     for (const BoolOp op : kLogicOps) {
                         const auto fixed = analyzer.logicSamples(
                             context.bank, op, ref, com, OpConditions(),
@@ -595,38 +460,25 @@ Campaign::logicDataPattern()
                                 analyzer.toPercent(sample.probability));
                         }
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 std::map<BoolOp, std::map<int, std::map<int, double>>>
 Campaign::logicVsTemperature(const std::vector<int> &temperatures)
 {
-    std::map<BoolOp, std::map<int, std::map<int, SampleSet>>> buckets;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &, const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps())
-            return;
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int inputs : kInputCounts) {
-                if (inputs > chip.profile().maxLogicInputs())
-                    continue;
-                const auto pairs = findPairs(
-                    chip, context,
-                    [inputs](const ActivationSets &sets) {
-                        return sets.simultaneous &&
-                               sets.nrf() == inputs &&
-                               sets.nrl() == inputs;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x1200 + inputs +
-                                          context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[ref, com] : pairs) {
+    using Accum =
+        std::map<BoolOp, std::map<int, std::map<int, SampleSet>>>;
+    const Accum buckets = session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &out) {
+            if (!m.chip.profile().supportsLogicOps())
+                return;
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachSquarePair(
+                *session_, m,
+                [&](const PairContext &context, int inputs, RowId ref,
+                    RowId com) {
                     for (const BoolOp op : kLogicOps) {
                         const auto base = analyzer.logicSamples(
                             context.bank, op, ref, com, OpConditions(),
@@ -641,15 +493,13 @@ Campaign::logicVsTemperature(const std::vector<int> &temperatures)
                                  ++i) {
                                 if (base[i].probability <= 0.9)
                                     continue;
-                                buckets[op][inputs][temp].add(
+                                out[op][inputs][temp].add(
                                     100.0 * samples[i].probability);
                             }
                         }
                     }
-                }
-            }
-        }
-    });
+                });
+        });
     std::map<BoolOp, std::map<int, std::map<int, double>>> result;
     for (const auto &[op, by_inputs] : buckets)
         for (const auto &[inputs, by_temp] : by_inputs)
@@ -662,86 +512,57 @@ Campaign::logicVsTemperature(const std::vector<int> &temperatures)
 std::map<BoolOp, std::map<std::uint32_t, std::map<int, SampleSet>>>
 Campaign::logicVsSpeed()
 {
-    std::map<BoolOp, std::map<std::uint32_t, std::map<int, SampleSet>>>
-        result;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &spec,
-                                    const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps())
-            return;
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int inputs : kInputCounts) {
-                if (inputs > chip.profile().maxLogicInputs())
-                    continue;
-                const auto pairs = findPairs(
-                    chip, context,
-                    [inputs](const ActivationSets &sets) {
-                        return sets.simultaneous &&
-                               sets.nrf() == inputs &&
-                               sets.nrl() == inputs;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x1300 + inputs +
-                                          context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[ref, com] : pairs) {
+    using Accum =
+        std::map<BoolOp,
+                 std::map<std::uint32_t, std::map<int, SampleSet>>>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &result) {
+            if (!m.chip.profile().supportsLogicOps())
+                return;
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachSquarePair(
+                *session_, m,
+                [&](const PairContext &context, int inputs, RowId ref,
+                    RowId com) {
                     for (const BoolOp op : kLogicOps) {
                         const auto samples = analyzer.logicSamples(
                             context.bank, op, ref, com, OpConditions(),
                             PatternClass::Random);
                         for (const CellSample &sample : samples) {
-                            result[op][spec.speedMt][inputs].add(
+                            result[op][m.spec.speedMt][inputs].add(
                                 analyzer.toPercent(sample.probability));
                         }
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 std::map<std::string, std::map<BoolOp, SampleSet>>
 Campaign::logicByDie()
 {
-    std::map<std::string, std::map<BoolOp, SampleSet>> result;
-    forEachChip(skHynixFleet(), [&](const ModuleSpec &spec,
-                                    const Chip &chip,
-                                    std::uint64_t seed) {
-        if (!chip.profile().supportsLogicOps())
-            return;
-        AnalyticAnalyzer analyzer(chip, config_.analytic, seed);
-        for (const PairContext &context : samplePairs(chip, seed)) {
-            for (const int inputs : kInputCounts) {
-                if (inputs > chip.profile().maxLogicInputs())
-                    continue;
-                const auto pairs = findPairs(
-                    chip, context,
-                    [inputs](const ActivationSets &sets) {
-                        return sets.simultaneous &&
-                               sets.nrf() == inputs &&
-                               sets.nrl() == inputs;
-                    },
-                    config_.pairSamplesPerConfig,
-                    hashCombine(seed, 0x1400 + inputs +
-                                          context.bank * 977 +
-                                          context.lowSubarray * 131));
-                for (const auto &[ref, com] : pairs) {
+    using Accum = std::map<std::string, std::map<BoolOp, SampleSet>>;
+    return session_->runOverFleet<Accum>(
+        Fleet::SkHynix, [&](const View &m, Accum &result) {
+            if (!m.chip.profile().supportsLogicOps())
+                return;
+            AnalyticAnalyzer analyzer(m.chip, config().analytic,
+                                      m.seed);
+            forEachSquarePair(
+                *session_, m,
+                [&](const PairContext &context, int, RowId ref,
+                    RowId com) {
                     for (const BoolOp op : kLogicOps) {
                         const auto samples = analyzer.logicSamples(
                             context.bank, op, ref, com, OpConditions(),
                             PatternClass::Random);
                         for (const CellSample &sample : samples) {
-                            result[dieLabel(spec)][op].add(
+                            result[dieLabel(m.spec)][op].add(
                                 analyzer.toPercent(sample.probability));
                         }
                     }
-                }
-            }
-        }
-    });
-    return result;
+                });
+        });
 }
 
 } // namespace fcdram

@@ -1,8 +1,10 @@
 /**
  * @file
- * Characterization campaign: orchestrates the paper's experiments
- * across the simulated Table-1 fleet and aggregates per-cell success
- * rates into the distributions each figure reports.
+ * Characterization campaign: reproduces the paper's figure
+ * experiments as thin declarative specs over the FleetSession engine,
+ * which owns the chips, the memoized pair discovery, and the parallel
+ * scheduler. Each method aggregates per-cell success rates into the
+ * distribution its figure reports.
  */
 
 #ifndef FCDRAM_FCDRAM_CAMPAIGN_HH
@@ -10,65 +12,44 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "config/fleet.hh"
-#include "dram/module.hh"
-#include "fcdram/analytic.hh"
-#include "stats/summary.hh"
+#include "fcdram/session.hh"
 
 namespace fcdram {
-
-/** Campaign-wide knobs. */
-struct CampaignConfig
-{
-    /** Simulated chip dimensions (defaults to a bench-sized chip). */
-    GeometryConfig geometry;
-
-    /** Banks sampled per chip. */
-    int banksPerChip = 1;
-
-    /** Neighboring subarray pairs sampled per bank. */
-    int subarrayPairsPerBank = 4;
-
-    /** Qualifying (RF, RL) pairs kept per chip and configuration. */
-    int pairSamplesPerConfig = 8;
-
-    /** Random (RF, RL) probes used to find qualifying pairs. */
-    int probesPerPair = 4000;
-
-    /** Analytic engine options (trial budget etc.). */
-    AnalyticConfig analytic;
-
-    std::uint64_t seed = 0xF00DULL;
-
-    CampaignConfig();
-
-    /** Scaled-down configuration for unit tests. */
-    static CampaignConfig forTests();
-};
 
 /** 3x3 (measured-side region x other-side region) heatmap of means. */
 using RegionHeatmap = std::array<std::array<double, 3>, 3>;
 
 /**
- * Experiment orchestrator. Each method reproduces one figure's data.
+ * Experiment orchestrator. Each method reproduces one figure's data
+ * by running an experiment spec over the session's fleet.
  */
 class Campaign
 {
   public:
     explicit Campaign(const CampaignConfig &config = CampaignConfig());
 
-    const CampaignConfig &config() const { return config_; }
+    /** Wrap an existing session; chips and discovery are shared. */
+    explicit Campaign(std::shared_ptr<FleetSession> session);
+
+    const CampaignConfig &config() const { return session_->config(); }
+
+    /** The underlying engine (shared with other campaigns/tools). */
+    const std::shared_ptr<FleetSession> &session() const
+    {
+        return session_;
+    }
 
     /** SK Hynix entries of the Table-1 fleet. */
-    std::vector<ModuleSpec> skHynixFleet() const;
+    const std::vector<ModuleSpec> &skHynixFleet() const;
 
     /** Full Table-1 fleet (SK Hynix + Samsung). */
-    std::vector<ModuleSpec> table1() const;
+    const std::vector<ModuleSpec> &table1() const;
 
     /**
      * Fig. 5: coverage of each NRF:NRL activation type across sampled
@@ -143,33 +124,7 @@ class Campaign
     std::map<std::string, std::map<BoolOp, SampleSet>> logicByDie();
 
   private:
-    /** One sampled subarray-pair context on a chip. */
-    struct PairContext
-    {
-        BankId bank = 0;
-        SubarrayId lowSubarray = 0; ///< Pairs with lowSubarray + 1.
-    };
-
-    /** Visit one freshly constructed chip per module of @p fleet. */
-    void forEachChip(
-        const std::vector<ModuleSpec> &fleet,
-        const std::function<void(const ModuleSpec &, const Chip &,
-                                 std::uint64_t)> &visit);
-
-    /** Sampled subarray pairs for a chip. */
-    std::vector<PairContext> samplePairs(const Chip &chip,
-                                         std::uint64_t seed) const;
-
-    /**
-     * Find (RF, RL) global-row pairs in a pair context matching a
-     * predicate on the activation sets.
-     */
-    std::vector<std::pair<RowId, RowId>> findPairs(
-        const Chip &chip, const PairContext &context,
-        const std::function<bool(const ActivationSets &)> &predicate,
-        int maxPairs, std::uint64_t seed) const;
-
-    CampaignConfig config_;
+    std::shared_ptr<FleetSession> session_;
 };
 
 /** Short label like "SKHynix-4Gb-M" for grouping by die. */

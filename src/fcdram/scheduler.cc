@@ -1,0 +1,72 @@
+#include "fcdram/scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace fcdram {
+
+Scheduler::Scheduler(int workers) : workers_(workers)
+{
+    if (workers_ <= 0) {
+        const unsigned hardware = std::thread::hardware_concurrency();
+        workers_ = hardware == 0 ? 1 : static_cast<int>(hardware);
+    }
+}
+
+void
+Scheduler::run(std::size_t numTasks,
+               const std::function<void(std::size_t)> &task) const
+{
+    if (numTasks == 0)
+        return;
+    const std::size_t pool =
+        std::min<std::size_t>(static_cast<std::size_t>(workers_),
+                              numTasks);
+    if (pool <= 1) {
+        for (std::size_t i = 0; i < numTasks; ++i)
+            task(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= numTasks)
+                return;
+            try {
+                task(index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+std::uint64_t
+Scheduler::taskSeed(std::uint64_t base, std::uint64_t index)
+{
+    return hashCombine(base, index);
+}
+
+} // namespace fcdram

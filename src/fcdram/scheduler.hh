@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic fan-out scheduler for fleet experiments.
+ *
+ * Experiments are decomposed into independent per-module tasks; the
+ * scheduler runs them on a pool of worker threads. Determinism is the
+ * contract: tasks may execute in any order and on any worker, so every
+ * task must derive its randomness from an explicit per-task seed
+ * (Scheduler::taskSeed) and write only task-private state. Callers
+ * merge per-task results by task index, which makes single- and
+ * multi-threaded runs bit-identical.
+ */
+
+#ifndef FCDRAM_FCDRAM_SCHEDULER_HH
+#define FCDRAM_FCDRAM_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace fcdram {
+
+/** Runs independent, index-addressed tasks across worker threads. */
+class Scheduler
+{
+  public:
+    /**
+     * @param workers Worker-thread count; <= 0 selects the hardware
+     *        concurrency (at least one).
+     */
+    explicit Scheduler(int workers = 0);
+
+    /** Resolved worker count. */
+    int workers() const { return workers_; }
+
+    /**
+     * Execute task(0) .. task(numTasks - 1) and block until all have
+     * finished. Runs inline when one worker suffices. Tasks must be
+     * independent; the first exception thrown by any task is
+     * rethrown after the pool drains.
+     */
+    void run(std::size_t numTasks,
+             const std::function<void(std::size_t)> &task) const;
+
+    /**
+     * Seed of task @p index under base seed @p base. Stable in the
+     * worker count and the execution order by construction.
+     */
+    static std::uint64_t taskSeed(std::uint64_t base,
+                                  std::uint64_t index);
+
+  private:
+    int workers_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_SCHEDULER_HH

@@ -1,0 +1,282 @@
+#include "fcdram/session.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "dram/address.hh"
+
+namespace fcdram {
+
+CampaignConfig::CampaignConfig()
+{
+    geometry = GeometryConfig::standard();
+    geometry.columns = 128;
+}
+
+CampaignConfig
+CampaignConfig::forTests()
+{
+    CampaignConfig config;
+    config.geometry = GeometryConfig::standard();
+    config.geometry.columns = 32;
+    config.geometry.numBanks = 1;
+    config.geometry.subarraysPerBank = 4;
+    config.banksPerChip = 1;
+    config.subarrayPairsPerBank = 2;
+    config.pairSamplesPerConfig = 6;
+    config.probesPerPair = 4000;
+    config.analytic.trials = 2000;
+    return config;
+}
+
+PairQuery
+PairQuery::anyWithDest(int dest)
+{
+    PairQuery query;
+    query.activation = Activation::Any;
+    query.destRows = dest;
+    return query;
+}
+
+PairQuery
+PairQuery::simultaneousWithDest(int dest)
+{
+    PairQuery query;
+    query.activation = Activation::Simultaneous;
+    query.destRows = dest;
+    return query;
+}
+
+PairQuery
+PairQuery::square(int inputs)
+{
+    PairQuery query;
+    query.activation = Activation::Simultaneous;
+    query.sourceRows = inputs;
+    query.destRows = inputs;
+    return query;
+}
+
+bool
+PairQuery::matches(const ActivationSets &sets) const
+{
+    if (activation == Activation::Simultaneous) {
+        if (!sets.simultaneous)
+            return false;
+    } else if (!sets.simultaneous && !sets.sequential) {
+        return false;
+    }
+    if (sourceRows >= 0 && sets.nrf() != sourceRows)
+        return false;
+    if (destRows >= 0 && sets.nrl() != destRows)
+        return false;
+    return true;
+}
+
+std::uint64_t
+PairQuery::key() const
+{
+    std::uint64_t key = hashCombine(
+        0x5041ULL, static_cast<std::uint64_t>(activation));
+    key = hashCombine(key,
+                      static_cast<std::uint64_t>(sourceRows + 1));
+    return hashCombine(key, static_cast<std::uint64_t>(destRows + 1));
+}
+
+bool
+PairQuery::operator<(const PairQuery &other) const
+{
+    return std::tie(activation, sourceRows, destRows) <
+           std::tie(other.activation, other.sourceRows,
+                    other.destRows);
+}
+
+std::vector<std::pair<RowId, RowId>>
+findQualifyingPairs(const Chip &chip, const PairContext &context,
+                    const PairQuery &query, int probes, int maxPairs,
+                    std::uint64_t seed)
+{
+    std::vector<std::pair<RowId, RowId>> pairs;
+    const GeometryConfig &geometry = chip.geometry();
+    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
+    Rng rng(seed);
+    for (int probe = 0;
+         probe < probes && static_cast<int>(pairs.size()) < maxPairs;
+         ++probe) {
+        const auto rf = static_cast<RowId>(rng.below(rows));
+        const auto rl = static_cast<RowId>(rng.below(rows));
+        const ActivationSets sets =
+            chip.decoder().neighborActivation(rf, rl);
+        if (!query.matches(sets))
+            continue;
+        pairs.emplace_back(
+            composeRow(geometry, context.lowSubarray, rf),
+            composeRow(geometry, context.lowSubarray + 1, rl));
+    }
+    return pairs;
+}
+
+bool
+FleetSession::PairCacheKey::operator<(const PairCacheKey &other) const
+{
+    return std::tie(module, bank, lowSubarray, query) <
+           std::tie(other.module, other.bank, other.lowSubarray,
+                    other.query);
+}
+
+FleetSession::FleetSession(const CampaignConfig &config)
+    : config_(config), scheduler_(config.workers)
+{
+    assert(config_.geometry.valid());
+    std::size_t index = 0;
+    for (const ModuleSpec &spec : table1Fleet()) {
+        for (int m = 0; m < spec.numModules; ++m) {
+            Module module;
+            module.spec = &spec;
+            module.index = ++index;
+            module.seed =
+                Scheduler::taskSeed(config_.seed, module.index);
+            table1Modules_.push_back(module);
+            if (spec.manufacturer == Manufacturer::SkHynix)
+                skHynixModules_.push_back(module);
+        }
+        if (spec.manufacturer == Manufacturer::SkHynix)
+            skHynixSpecs_.push_back(spec);
+    }
+}
+
+const std::vector<FleetSession::Module> &
+FleetSession::modules(Fleet fleet) const
+{
+    return fleet == Fleet::SkHynix ? skHynixModules_ : table1Modules_;
+}
+
+const std::vector<ModuleSpec> &
+FleetSession::specs(Fleet fleet) const
+{
+    return fleet == Fleet::SkHynix ? skHynixSpecs_ : table1Fleet();
+}
+
+const FleetSession::Module *
+FleetSession::findModule(Manufacturer manufacturer, int densityGbit,
+                         char dieRevision, std::uint32_t speedMt) const
+{
+    for (const Module &module : table1Modules_) {
+        const ModuleSpec &spec = *module.spec;
+        if (spec.manufacturer == manufacturer &&
+            spec.densityGbit == densityGbit &&
+            spec.dieRevision == dieRevision &&
+            spec.speedMt == speedMt) {
+            return &module;
+        }
+    }
+    return nullptr;
+}
+
+const Chip &
+FleetSession::chip(const Module &module) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = chips_.find(module.index);
+        if (it != chips_.end())
+            return *it->second;
+    }
+    // Built outside the lock so independent modules hydrate in
+    // parallel; a racing builder loses and its chip is discarded.
+    auto chip = std::make_unique<Chip>(module.spec->profile(),
+                                       config_.geometry, module.seed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        chips_.emplace(module.index, std::move(chip));
+    if (inserted)
+        ++stats_.chipBuilds;
+    return *it->second;
+}
+
+const std::vector<PairContext> &
+FleetSession::pairContexts(const Module &module) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = contexts_.find(module.index);
+        if (it != contexts_.end())
+            return it->second;
+    }
+    const Chip &moduleChip = chip(module);
+    std::vector<PairContext> contexts;
+    Rng rng(hashCombine(module.seed, 0x5041ULL));
+    const int banks =
+        std::min(config_.banksPerChip, moduleChip.numBanks());
+    const int maxLow =
+        moduleChip.geometry().subarraysPerBank - 1;
+    for (int b = 0; b < banks; ++b) {
+        for (int p = 0; p < config_.subarrayPairsPerBank; ++p) {
+            PairContext context;
+            context.bank = static_cast<BankId>(b);
+            context.lowSubarray = static_cast<SubarrayId>(
+                rng.below(static_cast<std::uint64_t>(maxLow)));
+            contexts.push_back(context);
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return contexts_.emplace(module.index, std::move(contexts))
+        .first->second;
+}
+
+const std::vector<std::pair<RowId, RowId>> &
+FleetSession::qualifyingPairs(const Module &module,
+                              const PairContext &context,
+                              const PairQuery &query) const
+{
+    PairCacheKey key;
+    key.module = module.index;
+    key.bank = context.bank;
+    key.lowSubarray = context.lowSubarray;
+    key.query = query;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.pairLookups;
+        const auto it = pairs_.find(key);
+        if (it != pairs_.end()) {
+            ++stats_.pairHits;
+            return it->second;
+        }
+    }
+    // The discovery seed depends only on (module, context, query), so
+    // every figure asking the same question probes the same pairs and
+    // all but the first are cache hits.
+    const std::uint64_t seed = hashCombine(
+        module.seed,
+        hashCombine(query.key(),
+                    0xD15CULL + context.bank * 977 +
+                        context.lowSubarray * 131));
+    auto found = findQualifyingPairs(chip(module), context, query,
+                                     config_.probesPerPair,
+                                     config_.pairSamplesPerConfig, seed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pairs_.emplace(key, std::move(found)).first->second;
+}
+
+Chip
+FleetSession::checkoutChip(const Module &module) const
+{
+    return Chip(module.spec->profile(), config_.geometry, module.seed);
+}
+
+Chip
+FleetSession::checkoutChip(const ChipProfile &profile,
+                           std::uint64_t seed) const
+{
+    return Chip(profile, config_.geometry, seed);
+}
+
+FleetSession::CacheStats
+FleetSession::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace fcdram

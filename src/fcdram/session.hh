@@ -1,0 +1,286 @@
+/**
+ * @file
+ * FleetSession: the experiment-orchestration engine behind the
+ * characterization campaign.
+ *
+ * A session owns one lazily-constructed, immutable Chip per module of
+ * the Table-1 fleet, memoizes subarray-pair sampling and
+ * qualifying-pair discovery keyed by (module, pair context, predicate
+ * class), and fans per-module experiment work out over a
+ * deterministic thread-pool scheduler. Per-module seeds derive from
+ * the campaign seed and the module's stable fleet index, so
+ * single-threaded and multi-threaded runs produce bit-identical
+ * results, and every figure experiment shares the same discovery
+ * caches: the O(figures x probes) redundant (RF, RL) probing the old
+ * per-figure orchestration paid becomes O(probes), done once.
+ */
+
+#ifndef FCDRAM_FCDRAM_SESSION_HH
+#define FCDRAM_FCDRAM_SESSION_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "config/fleet.hh"
+#include "dram/chip.hh"
+#include "fcdram/analytic.hh"
+#include "fcdram/scheduler.hh"
+#include "stats/summary.hh"
+
+namespace fcdram {
+
+/** Campaign-wide knobs. */
+struct CampaignConfig
+{
+    /** Simulated chip dimensions (defaults to a bench-sized chip). */
+    GeometryConfig geometry;
+
+    /** Banks sampled per chip. */
+    int banksPerChip = 1;
+
+    /** Neighboring subarray pairs sampled per bank. */
+    int subarrayPairsPerBank = 4;
+
+    /** Qualifying (RF, RL) pairs kept per chip and configuration. */
+    int pairSamplesPerConfig = 8;
+
+    /** Random (RF, RL) probes used to find qualifying pairs. */
+    int probesPerPair = 4000;
+
+    /** Analytic engine options (trial budget etc.). */
+    AnalyticConfig analytic;
+
+    /** Scheduler worker threads; <= 0 selects hardware concurrency. */
+    int workers = 0;
+
+    std::uint64_t seed = 0xF00DULL;
+
+    CampaignConfig();
+
+    /** Scaled-down configuration for unit tests. */
+    static CampaignConfig forTests();
+};
+
+/** One sampled subarray-pair context on a chip. */
+struct PairContext
+{
+    BankId bank = 0;
+    SubarrayId lowSubarray = 0; ///< Pairs with lowSubarray + 1.
+};
+
+/**
+ * Predicate class over activation sets for qualifying-pair discovery.
+ * Queries are small value types (not opaque callables) so that
+ * discovery results can be memoized per (module, context, query) and
+ * shared by every experiment asking the same question.
+ */
+struct PairQuery
+{
+    /** Accepted neighbor-activation kinds. */
+    enum class Activation : std::uint8_t {
+        Any,          ///< Simultaneous or sequential.
+        Simultaneous, ///< Simultaneous only.
+    };
+
+    Activation activation = Activation::Simultaneous;
+    int sourceRows = -1; ///< Required NRF; -1 leaves it unconstrained.
+    int destRows = -1;   ///< Required NRL; -1 leaves it unconstrained.
+
+    /** Sim-or-seq activation reaching @p dest destination rows. */
+    static PairQuery anyWithDest(int dest);
+
+    /** Simultaneous activation reaching @p dest destination rows. */
+    static PairQuery simultaneousWithDest(int dest);
+
+    /** Simultaneous N:N activation (logic ops with N inputs). */
+    static PairQuery square(int inputs);
+
+    /** Whether an activation-set observation satisfies the query. */
+    bool matches(const ActivationSets &sets) const;
+
+    /**
+     * Canonical 64-bit key. Also salts the discovery seed, so two
+     * experiments asking the same question probe the same pairs (and
+     * hit the session cache) regardless of which figure asked first.
+     */
+    std::uint64_t key() const;
+
+    bool operator<(const PairQuery &other) const;
+};
+
+/**
+ * Qualifying (RF, RL) discovery core: probe random local-row pairs of
+ * a subarray-pair context and keep those whose neighbor activation
+ * satisfies @p query, as global row ids. Pure in (chip, seed); the
+ * session memoizes it.
+ */
+std::vector<std::pair<RowId, RowId>>
+findQualifyingPairs(const Chip &chip, const PairContext &context,
+                    const PairQuery &query, int probes, int maxPairs,
+                    std::uint64_t seed);
+
+/**
+ * Fleet-scale experiment engine with cached per-module state. Thread
+ * safe: all caches are internally synchronized, and cached values are
+ * immutable once published.
+ */
+class FleetSession
+{
+  public:
+    /** Fleet slice an experiment runs over. */
+    enum class Fleet {
+        SkHynix, ///< SK Hynix rows of Table 1 (logic-capable designs).
+        Table1,  ///< Full Table-1 fleet (SK Hynix + Samsung).
+    };
+
+    /** Stable handle on one module of the Table-1 fleet. */
+    struct Module
+    {
+        const ModuleSpec *spec = nullptr;
+        std::size_t index = 0;  ///< Stable 1-based fleet enumeration.
+        std::uint64_t seed = 0; ///< taskSeed(campaign seed, index).
+    };
+
+    /** Per-module view handed to experiment visitors. */
+    struct ModuleView
+    {
+        const Module &module;
+        const ModuleSpec &spec;
+        const Chip &chip;
+        std::uint64_t seed;
+        const std::vector<PairContext> &contexts;
+    };
+
+    /** Cache effectiveness counters (see cacheStats()). */
+    struct CacheStats
+    {
+        std::uint64_t chipBuilds = 0;  ///< Chips constructed so far.
+        std::uint64_t pairLookups = 0; ///< qualifyingPairs() calls.
+        std::uint64_t pairHits = 0;    ///< ... served from the cache.
+    };
+
+    explicit FleetSession(
+        const CampaignConfig &config = CampaignConfig());
+
+    const CampaignConfig &config() const { return config_; }
+    const Scheduler &scheduler() const { return scheduler_; }
+
+    /** Modules of a fleet slice, in stable enumeration order. */
+    const std::vector<Module> &modules(Fleet fleet) const;
+
+    /** Module specs of a fleet slice (one entry per Table-1 row). */
+    const std::vector<ModuleSpec> &specs(Fleet fleet) const;
+
+    /** First module matching a design, or nullptr. */
+    const Module *findModule(Manufacturer manufacturer, int densityGbit,
+                             char dieRevision,
+                             std::uint32_t speedMt) const;
+
+    /** Cached immutable chip of a module (lazily constructed). */
+    const Chip &chip(const Module &module) const;
+
+    /** Memoized sampled subarray-pair contexts of a module's chip. */
+    const std::vector<PairContext> &
+    pairContexts(const Module &module) const;
+
+    /** Memoized qualifying pairs for (module, context, query). */
+    const std::vector<std::pair<RowId, RowId>> &
+    qualifyingPairs(const Module &module, const PairContext &context,
+                    const PairQuery &query) const;
+
+    /**
+     * Fresh private chip for command-level (mutating) flows such as
+     * DramBender sessions; shares the session geometry.
+     */
+    Chip checkoutChip(const Module &module) const;
+    Chip checkoutChip(const ChipProfile &profile,
+                      std::uint64_t seed) const;
+
+    /** Snapshot of the cache counters. */
+    CacheStats cacheStats() const;
+
+    /**
+     * Run @p visit once per module of @p fleet on the scheduler and
+     * fold the per-module accumulators in module order (mergeAccum),
+     * which makes the result independent of the worker count. The
+     * visitor must derive all randomness from the view's seed.
+     */
+    template <class Accum, class Visit>
+    Accum runOverFleet(Fleet fleet, Visit visit) const
+    {
+        const std::vector<Module> &fleetModules = modules(fleet);
+        std::vector<Accum> partials(fleetModules.size());
+        scheduler_.run(fleetModules.size(), [&](std::size_t i) {
+            const Module &module = fleetModules[i];
+            const ModuleView view{module, *module.spec, chip(module),
+                                  module.seed, pairContexts(module)};
+            visit(view, partials[i]);
+        });
+        Accum result{};
+        for (Accum &partial : partials)
+            mergeAccum(result, std::move(partial));
+        return result;
+    }
+
+    /** Accumulator folds used by runOverFleet. */
+    static void mergeAccum(SampleSet &into, SampleSet &&from)
+    {
+        into.merge(std::move(from));
+    }
+
+    template <class A, class B>
+    static void mergeAccum(std::pair<A, B> &into, std::pair<A, B> &&from)
+    {
+        mergeAccum(into.first, std::move(from.first));
+        mergeAccum(into.second, std::move(from.second));
+    }
+
+    template <class T, std::size_t N>
+    static void mergeAccum(std::array<T, N> &into,
+                           std::array<T, N> &&from)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            mergeAccum(into[i], std::move(from[i]));
+    }
+
+    template <class K, class V, class C>
+    static void mergeAccum(std::map<K, V, C> &into,
+                           std::map<K, V, C> &&from)
+    {
+        for (auto &[key, value] : from)
+            mergeAccum(into[key], std::move(value));
+    }
+
+  private:
+    struct PairCacheKey
+    {
+        std::size_t module = 0;
+        BankId bank = 0;
+        SubarrayId lowSubarray = 0;
+        PairQuery query;
+
+        bool operator<(const PairCacheKey &other) const;
+    };
+
+    CampaignConfig config_;
+    Scheduler scheduler_;
+    std::vector<Module> table1Modules_;
+    std::vector<Module> skHynixModules_;
+    std::vector<ModuleSpec> skHynixSpecs_;
+
+    mutable std::mutex mutex_;
+    mutable std::map<std::size_t, std::unique_ptr<Chip>> chips_;
+    mutable std::map<std::size_t, std::vector<PairContext>> contexts_;
+    mutable std::map<PairCacheKey, std::vector<std::pair<RowId, RowId>>>
+        pairs_;
+    mutable CacheStats stats_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_FCDRAM_SESSION_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/mathutil.hh"
 #include "common/table.hh"
@@ -31,6 +32,17 @@ SampleSet::merge(const SampleSet &other)
 {
     values_.insert(values_.end(), other.values_.begin(),
                    other.values_.end());
+    sortedValid_ = false;
+}
+
+void
+SampleSet::merge(SampleSet &&other)
+{
+    if (values_.empty())
+        values_ = std::move(other.values_);
+    else
+        values_.insert(values_.end(), other.values_.begin(),
+                       other.values_.end());
     sortedValid_ = false;
 }
 

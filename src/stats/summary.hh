@@ -50,6 +50,9 @@ class SampleSet
     /** Append all samples of another set. */
     void merge(const SampleSet &other);
 
+    /** Append by stealing the other set's samples when possible. */
+    void merge(SampleSet &&other);
+
     /** Number of samples. */
     std::size_t count() const { return values_.size(); }
 

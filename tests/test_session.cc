@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "dram/address.hh"
+#include "fcdram/campaign.hh"
+#include "fcdram/session.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+/**
+ * FleetSession tests pin down the engine's two contracts: scheduler
+ * determinism (worker count never changes results) and memoization
+ * transparency (cached discovery equals direct discovery).
+ */
+
+CampaignConfig
+configWithWorkers(int workers)
+{
+    CampaignConfig config = CampaignConfig::forTests();
+    config.workers = workers;
+    return config;
+}
+
+TEST(SchedulerTest, RunsEveryTaskExactlyOnce)
+{
+    const Scheduler scheduler(4);
+    std::vector<int> counts(100, 0);
+    std::mutex mutex;
+    scheduler.run(counts.size(), [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counts[i];
+    });
+    for (const int count : counts)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(SchedulerTest, PropagatesTaskExceptions)
+{
+    const Scheduler scheduler(3);
+    EXPECT_THROW(scheduler.run(8,
+                               [&](std::size_t i) {
+                                   if (i == 5)
+                                       throw std::runtime_error("boom");
+                               }),
+                 std::runtime_error);
+}
+
+TEST(SchedulerTest, TaskSeedsAreStable)
+{
+    EXPECT_EQ(Scheduler::taskSeed(1, 2), Scheduler::taskSeed(1, 2));
+    EXPECT_NE(Scheduler::taskSeed(1, 2), Scheduler::taskSeed(1, 3));
+    EXPECT_NE(Scheduler::taskSeed(1, 2), Scheduler::taskSeed(2, 2));
+}
+
+TEST(FleetSessionTest, ModuleEnumerationIsStable)
+{
+    const FleetSession session(CampaignConfig::forTests());
+    const auto &table1 = session.modules(FleetSession::Fleet::Table1);
+    EXPECT_EQ(table1.size(),
+              static_cast<std::size_t>(totalModules(table1Fleet())));
+    // 1-based, dense, and seeded from the campaign seed.
+    for (std::size_t i = 0; i < table1.size(); ++i) {
+        EXPECT_EQ(table1[i].index, i + 1);
+        EXPECT_EQ(table1[i].seed,
+                  Scheduler::taskSeed(session.config().seed, i + 1));
+    }
+    // The SK Hynix slice is a strict subset with identical handles.
+    const auto &hynix = session.modules(FleetSession::Fleet::SkHynix);
+    ASSERT_LT(hynix.size(), table1.size());
+    for (const auto &module : hynix) {
+        EXPECT_EQ(module.spec->manufacturer, Manufacturer::SkHynix);
+        EXPECT_EQ(module.seed, table1[module.index - 1].seed);
+    }
+}
+
+TEST(FleetSessionTest, ChipsAreCached)
+{
+    const FleetSession session(CampaignConfig::forTests());
+    const auto &module =
+        session.modules(FleetSession::Fleet::Table1).front();
+    const Chip &first = session.chip(module);
+    const Chip &second = session.chip(module);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(session.cacheStats().chipBuilds, 1u);
+}
+
+TEST(FleetSessionTest, PairContextsAreMemoized)
+{
+    const FleetSession session(CampaignConfig::forTests());
+    const auto &module =
+        session.modules(FleetSession::Fleet::Table1).front();
+    const auto &first = session.pairContexts(module);
+    const auto &second = session.pairContexts(module);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(first.size(),
+              static_cast<std::size_t>(
+                  session.config().banksPerChip *
+                  session.config().subarrayPairsPerBank));
+}
+
+TEST(FleetSessionTest, MemoizedPairsMatchDirectDiscovery)
+{
+    const CampaignConfig config = CampaignConfig::forTests();
+    const FleetSession session(config);
+    const auto &module =
+        session.modules(FleetSession::Fleet::SkHynix).front();
+    const PairContext context = session.pairContexts(module).front();
+    const PairQuery query = PairQuery::square(2);
+
+    const auto &memoized =
+        session.qualifyingPairs(module, context, query);
+    const auto &again = session.qualifyingPairs(module, context, query);
+    EXPECT_EQ(&memoized, &again) << "second lookup must hit the cache";
+    EXPECT_GE(session.cacheStats().pairHits, 1u);
+
+    // The cache is transparent: the memoized result is exactly what
+    // direct discovery computes from the canonical seed.
+    const std::uint64_t seed = hashCombine(
+        module.seed,
+        hashCombine(query.key(),
+                    0xD15CULL + context.bank * 977 +
+                        context.lowSubarray * 131));
+    const auto direct = findQualifyingPairs(
+        session.chip(module), context, query, config.probesPerPair,
+        config.pairSamplesPerConfig, seed);
+    EXPECT_EQ(memoized, direct);
+
+    // And every discovered pair satisfies the predicate.
+    const GeometryConfig &geometry = session.chip(module).geometry();
+    for (const auto &[src, dst] : memoized) {
+        const RowAddress rf = decomposeRow(geometry, src);
+        const RowAddress rl = decomposeRow(geometry, dst);
+        EXPECT_EQ(rf.subarray, context.lowSubarray);
+        EXPECT_EQ(rl.subarray, context.lowSubarray + 1);
+        const ActivationSets sets =
+            session.chip(module).decoder().neighborActivation(
+                rf.localRow, rl.localRow);
+        EXPECT_TRUE(query.matches(sets));
+    }
+}
+
+TEST(FleetSessionTest, PairQueryPredicates)
+{
+    ActivationSets sets;
+    sets.simultaneous = true;
+    sets.firstRows = {1, 2};
+    sets.secondRows = {3, 4};
+    EXPECT_TRUE(PairQuery::square(2).matches(sets));
+    EXPECT_FALSE(PairQuery::square(4).matches(sets));
+    EXPECT_TRUE(PairQuery::simultaneousWithDest(2).matches(sets));
+    EXPECT_TRUE(PairQuery::anyWithDest(2).matches(sets));
+    sets.simultaneous = false;
+    sets.sequential = true;
+    EXPECT_FALSE(PairQuery::simultaneousWithDest(2).matches(sets));
+    EXPECT_TRUE(PairQuery::anyWithDest(2).matches(sets));
+    sets.sequential = false;
+    EXPECT_FALSE(PairQuery::anyWithDest(2).matches(sets));
+    // Distinct queries get distinct canonical keys (distinct caches).
+    EXPECT_NE(PairQuery::square(2).key(), PairQuery::square(4).key());
+    EXPECT_NE(PairQuery::square(2).key(),
+              PairQuery::simultaneousWithDest(2).key());
+    EXPECT_NE(PairQuery::anyWithDest(2).key(),
+              PairQuery::simultaneousWithDest(2).key());
+}
+
+TEST(FleetSessionTest, WorkerCountDoesNotChangeResults)
+{
+    // The determinism contract: a figure experiment run with one
+    // worker and with many workers yields bit-identical SampleSets.
+    Campaign serial(configWithWorkers(1));
+    Campaign parallel(configWithWorkers(4));
+    ASSERT_EQ(serial.session()->scheduler().workers(), 1);
+    ASSERT_EQ(parallel.session()->scheduler().workers(), 4);
+
+    const auto serial_not = serial.notVsDestRows();
+    const auto parallel_not = parallel.notVsDestRows();
+    ASSERT_EQ(serial_not.size(), parallel_not.size());
+    for (const auto &[dest, set] : serial_not) {
+        ASSERT_TRUE(parallel_not.count(dest)) << "dest=" << dest;
+        EXPECT_EQ(set.values(), parallel_not.at(dest).values())
+            << "dest=" << dest;
+    }
+
+    const auto serial_logic = serial.logicVsInputs();
+    const auto parallel_logic = parallel.logicVsInputs();
+    ASSERT_EQ(serial_logic.size(), parallel_logic.size());
+    for (const auto &[op, by_inputs] : serial_logic) {
+        for (const auto &[inputs, set] : by_inputs) {
+            EXPECT_EQ(set.values(),
+                      parallel_logic.at(op).at(inputs).values())
+                << toString(op) << " inputs=" << inputs;
+        }
+    }
+}
+
+TEST(FleetSessionTest, RepeatedRunsAreBitIdentical)
+{
+    // Re-running a figure on a warm session (cached chips + pairs)
+    // must reproduce the cold run exactly.
+    Campaign campaign(configWithWorkers(2));
+    const auto cold = campaign.notVsDestRows();
+    const std::uint64_t lookups =
+        campaign.session()->cacheStats().pairLookups;
+    const auto warm = campaign.notVsDestRows();
+    const auto stats = campaign.session()->cacheStats();
+    EXPECT_EQ(stats.pairLookups, 2 * lookups);
+    EXPECT_GE(stats.pairHits, lookups);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (const auto &[dest, set] : cold)
+        EXPECT_EQ(set.values(), warm.at(dest).values());
+}
+
+TEST(FleetSessionTest, SharedSessionAcrossCampaigns)
+{
+    const auto session =
+        std::make_shared<FleetSession>(configWithWorkers(2));
+    Campaign first(session);
+    Campaign second(session);
+    const auto a = first.notVsDestRows();
+    const std::uint64_t builds = session->cacheStats().chipBuilds;
+    const auto b = second.notVsDestRows();
+    // The second campaign reuses every chip the first one built.
+    EXPECT_EQ(session->cacheStats().chipBuilds, builds);
+    for (const auto &[dest, set] : a)
+        EXPECT_EQ(set.values(), b.at(dest).values());
+}
+
+TEST(FleetSessionTest, CheckoutChipIsPrivate)
+{
+    const FleetSession session(CampaignConfig::forTests());
+    const auto &module =
+        session.modules(FleetSession::Fleet::Table1).front();
+    Chip checked = session.checkoutChip(module);
+    const Chip &cached = session.chip(module);
+    EXPECT_NE(&checked, &cached);
+    // Same spec, geometry, and seed: identical decoder behaviour.
+    EXPECT_EQ(checked.seed(), cached.seed());
+    EXPECT_EQ(checked.numBanks(), cached.numBanks());
+}
+
+TEST(FleetSessionTest, FindModuleLocatesTable1Designs)
+{
+    const FleetSession session(CampaignConfig::forTests());
+    const auto *module =
+        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
+    ASSERT_NE(module, nullptr);
+    EXPECT_EQ(module->spec->densityGbit, 4);
+    EXPECT_EQ(module->spec->dieRevision, 'A');
+    EXPECT_EQ(session.findModule(Manufacturer::Micron, 8, 'B', 2666),
+              nullptr)
+        << "Micron modules are not in the Table-1 fleet";
+}
+
+} // namespace
+} // namespace fcdram
