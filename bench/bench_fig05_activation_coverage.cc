@@ -15,12 +15,12 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 5: Coverage of each NRF:NRL activation type");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig05_activation_coverage");
     const auto coverage = campaign.activationCoverage();

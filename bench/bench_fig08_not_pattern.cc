@@ -13,12 +13,12 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 8: NOT success rate vs. NRF:NRL activation type");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig08_not_pattern");
     const auto by_type = campaign.notVsActivationType();

@@ -13,13 +13,13 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 9: NOT success rate vs. distance to the sense "
                 "amplifiers");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig09_not_distance");
     const RegionHeatmap heatmap = campaign.notRegionHeatmap();

@@ -15,13 +15,13 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 10: NOT success rate vs. chip temperature "
                 "(>90% cells at 50C)");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig10_not_temperature");
     const std::vector<int> temps = {50, 60, 70, 80, 95};

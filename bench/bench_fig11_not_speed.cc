@@ -13,12 +13,12 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 11: NOT success rate vs. DRAM speed rate");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig11_not_speed");
     const auto result = campaign.notVsSpeed();

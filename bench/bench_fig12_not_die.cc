@@ -13,13 +13,13 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 12: NOT success rate by chip density and die "
                 "revision");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig12_not_die");
     const auto by_die = campaign.notByDie();

@@ -13,13 +13,13 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 15: AND/NAND/OR/NOR success rates vs. input "
                 "operands");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig15_ops_inputs");
     const auto result = campaign.logicVsInputs();

@@ -47,13 +47,13 @@ printSweep(Campaign &campaign, BoolOp op, int inputs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 16: AND/OR success rate vs. number of logic-1 "
                 "inputs");
 
-    const auto session = benchutil::figureSession();
+    const auto session = benchutil::figureSession(argc, argv);
     Campaign campaign(session);
     benchutil::BenchReport report("fig16_logic_ones");
     // The four sweeps share one session: the AND sweeps pay for chip

@@ -15,13 +15,13 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 17: logic-op success rate vs. distance to the "
                 "sense amplifiers");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig17_ops_distance");
     const auto heatmaps = campaign.logicRegionHeatmap();

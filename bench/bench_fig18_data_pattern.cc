@@ -13,12 +13,12 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 18: logic-op success rate vs. data pattern");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig18_data_pattern");
     const auto result = campaign.logicDataPattern();

@@ -12,12 +12,12 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 20: logic-op success rate vs. DRAM speed rate");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig20_ops_speed");
     const auto result = campaign.logicVsSpeed();

@@ -14,13 +14,13 @@ using namespace fcdram;
 using namespace fcdram::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
                 "Fig. 21: logic-op success rate by chip density and "
                 "die revision (SK Hynix)");
 
-    const auto session = figureSession();
+    const auto session = figureSession(argc, argv);
     Campaign campaign(session);
     BenchReport report("fig21_ops_die");
     const auto result = campaign.logicByDie();

@@ -12,6 +12,7 @@
 #define FCDRAM_BENCH_BENCHUTIL_HH
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,24 +25,62 @@
 
 namespace fcdram::benchutil {
 
+/**
+ * Apply the shared bench command line to a campaign configuration:
+ * --workers=N picks the scheduler parallelism (results are
+ * bit-identical for any N), --seed=X re-seeds the campaign for
+ * reproducing a specific run. Unknown arguments print usage and
+ * exit(2) so typos never silently run the default configuration.
+ */
+inline void
+applyArgs(CampaignConfig &config, int argc, char **argv)
+{
+    const auto usage = [&]() {
+        std::cerr << "usage: " << argv[0]
+                  << " [--workers=N] [--seed=X]\n";
+        std::exit(2);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        char *end = nullptr;
+        if (arg.rfind("--workers=", 0) == 0) {
+            const char *value = arg.c_str() + 10;
+            config.workers =
+                static_cast<int>(std::strtol(value, &end, 10));
+            if (end == value || *end != '\0')
+                usage();
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            const char *value = arg.c_str() + 7;
+            config.seed = std::strtoull(value, &end, 0);
+            if (end == value || *end != '\0')
+                usage();
+        } else {
+            usage();
+        }
+    }
+}
+
 /** Campaign configuration used by all figure benches. */
 inline CampaignConfig
-figureConfig()
+figureConfig(int argc = 0, char **argv = nullptr)
 {
     CampaignConfig config;
     config.analytic.trials = 10000; // The paper's trial budget.
     config.analytic.sampleBinomial = true;
+    if (argv != nullptr)
+        applyArgs(config, argc, argv);
     return config;
 }
 
 /**
  * The session every figure bench runs on: one set of chips, one pair
  * discovery cache, shared by every campaign the binary creates.
+ * Passing (argc, argv) honours --workers=N and --seed=X.
  */
 inline std::shared_ptr<FleetSession>
-figureSession()
+figureSession(int argc = 0, char **argv = nullptr)
 {
-    return std::make_shared<FleetSession>(figureConfig());
+    return std::make_shared<FleetSession>(figureConfig(argc, argv));
 }
 
 /** "mean [min q1 med q3 max]" cell for a sample set. */

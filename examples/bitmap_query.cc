@@ -1,26 +1,27 @@
 /**
  * @file
- * Bitmap-index query acceleration: the bulk-bitwise workload that
- * motivates Processing-using-DRAM. A table of records is indexed by
- * bitmap columns (one bit per record per predicate); a conjunctive
- * query is a wide AND across bitmaps, a disjunctive one a wide OR.
+ * Bitmap-index query acceleration through the PuD query engine: the
+ * bulk-bitwise workload that motivates Processing-using-DRAM. A table
+ * of records is indexed by bitmap columns (one bit per record per
+ * predicate); queries are Boolean expressions over those bitmaps.
  *
- * The example runs the same queries on the CPU (golden model) and
- * in-DRAM through the FCDRAM operations, using a reliability mask to
- * confine the in-DRAM computation to dependable columns, and reports
- * accuracy plus the DRAM command count per query.
+ * The example is a thin client of src/pud/: it builds query
+ * expressions, and the engine compiles them to wide-gate μprograms,
+ * places the gates on qualifying activation pairs with reliability
+ * masks, executes them in simulated DRAM (per-column CPU fallback on
+ * the unreliable bit positions), and reports accuracy plus DRAM
+ * command count, analytic latency/energy, and the CPU scan baseline.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
-#include "dram/openbitline.hh"
-#include "fcdram/golden.hh"
-#include "fcdram/ops.hh"
-#include "fcdram/reliablemask.hh"
-#include "fcdram/session.hh"
+#include "exampleutil.hh"
+#include "pud/engine.hh"
 
 using namespace fcdram;
+using namespace fcdram::pud;
 
 int
 main()
@@ -28,113 +29,91 @@ main()
     // One shared session: fleet inventory + geometry + chip checkout.
     CampaignConfig config;
     config.geometry.columns = 256;
-    FleetSession session(config);
-    const GeometryConfig &geometry = session.config().geometry;
-    const FleetSession::Module *module =
-        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
-    if (module == nullptr) {
-        std::cerr << "module not in the Table-1 fleet\n";
-        return 1;
-    }
-    const ChipProfile profile = module->spec->profile();
-    Chip chip = session.checkoutChip(profile, /*seed=*/42);
-    DramBender bender(chip, /*sessionSeed=*/7);
-    Ops ops(bender);
+    auto session = std::make_shared<FleetSession>(config);
+    const FleetSession::Module &module = exampleutil::requireModule(
+        *session, Manufacturer::SkHynix, 4, 'A', 2133);
+    const auto bits =
+        static_cast<std::size_t>(config.geometry.columns);
 
-    std::cout << "Bitmap-index query demo on " << profile.label()
-              << "\n";
-    std::cout << "Each DRAM row column = one record; predicates are "
+    std::cout << "Bitmap-index queries on "
+              << module.spec->profile().label() << "\n";
+    std::cout << "Each DRAM column = one record; predicates are "
                  "bitmap rows.\n\n";
 
-    // Find a 4:4 activation pair: a 4-predicate query in one shot.
-    const int predicates = 4;
-    const auto pairs =
-        findActivationPairs(chip, predicates, predicates, 1, 3);
-    if (pairs.empty()) {
-        std::cerr << "no activation pair found\n";
-        return 1;
-    }
-    const ActivationSets sets = chip.decoder().neighborActivation(
-        pairs.front().first, pairs.front().second);
-    const RowId ref_anchor = composeRow(geometry, 0, pairs.front().first);
-    const RowId com_anchor =
-        composeRow(geometry, 1, pairs.front().second);
-    std::vector<RowId> ref_rows;
-    std::vector<RowId> com_rows;
-    for (const RowId local : sets.firstRows)
-        ref_rows.push_back(composeRow(geometry, 0, local));
-    for (const RowId local : sets.secondRows)
-        com_rows.push_back(composeRow(geometry, 1, local));
+    // Predicate bitmaps ("age>30", "region=EU", ...).
+    ExprPool pool;
+    const std::vector<std::string> names = {
+        "age>30", "region=EU", "premium", "active",
+        "churned", "mobile",    "opt-in",  "trial"};
+    std::vector<ExprId> predicates;
+    for (const std::string &name : names)
+        predicates.push_back(pool.column(name));
+    const auto data =
+        PudEngine::randomColumns(names, bits, /*seed=*/99);
 
-    // Reliability masks from a profiling pass (>95% cells).
-    const ReliableMask profiler(chip, 95.0);
-    const BitVector and_mask =
-        profiler.logicMask(0, BoolOp::And, ref_anchor, com_anchor);
-    const BitVector or_mask =
-        profiler.logicMask(0, BoolOp::Or, ref_anchor, com_anchor);
-    std::cout << "Reliable columns (>=95% cells): AND "
-              << and_mask.popcount() << "/" << geometry.columns / 2
-              << " shared, OR " << or_mask.popcount() << "/"
-              << geometry.columns / 2 << " shared\n\n";
+    // Query shapes: a wide conjunction, a wide disjunction, a nested
+    // filter, and a parity (XOR decomposes into the free-NAND basis).
+    struct Query
+    {
+        const char *label;
+        ExprId root;
+    };
+    const std::vector<Query> queries = {
+        {"8-way AND", pool.mkAnd(predicates)},
+        {"8-way OR", pool.mkOr(predicates)},
+        {"(a&~b)|(c&d)",
+         pool.mkOr(pool.mkAnd(predicates[0],
+                              pool.mkNot(predicates[1])),
+                   pool.mkAnd(predicates[2], predicates[3]))},
+        {"a^b", pool.mkXor(predicates[0], predicates[1])},
+    };
 
-    // Synthesize predicate bitmaps ("age>30", "region=EU", ...).
-    Rng rng(99);
-    std::vector<BitVector> bitmaps(
-        predicates,
-        BitVector(static_cast<std::size_t>(geometry.columns)));
-    for (auto &bitmap : bitmaps)
-        bitmap.randomize(rng);
+    EngineOptions options;
+    options.redundancy = 3; // Majority vote per gate.
+    PudEngine engine(session, options);
 
-    Table table({"query", "records checked", "CPU matches",
-                 "DRAM matches", "bit accuracy %", "DRAM commands"});
-
-    for (const BoolOp op : {BoolOp::And, BoolOp::Or}) {
-        const BitVector &mask =
-            op == BoolOp::And ? and_mask : or_mask;
-        if (!ops.initReference(0, op, ref_rows)) {
-            std::cerr << "frac init failed\n";
+    Table table({"query", "gates", "waves", "DRAM cmds", "latency ns",
+                 "energy nJ", "DRAM cols %", "masked acc %",
+                 "CPU scan ns", "matches"});
+    for (const Query &query : queries) {
+        const QueryResult result =
+            engine.run(module, pool, query.root, data);
+        std::size_t matches = 0;
+        for (std::size_t i = 0; i < result.output.size(); ++i)
+            matches += result.output.get(i) ? 1 : 0;
+        table.addRow();
+        table.addCell(std::string(query.label));
+        table.addCell(
+            static_cast<std::uint64_t>(result.wideOps +
+                                       result.notOps));
+        table.addCell(static_cast<std::uint64_t>(result.waves));
+        table.addCell(result.dram.commands);
+        table.addCell(result.dram.latencyNs, 1);
+        table.addCell(result.dram.energyNj, 1);
+        table.addCell(100.0 * result.dramCoverage, 1);
+        table.addCell(result.accuracyPercent(), 2);
+        table.addCell(result.cpuBaseline.latencyNs, 1);
+        table.addCell(static_cast<std::uint64_t>(matches));
+        if (!result.placed || result.checkedBits == 0) {
+            std::cerr << "in-DRAM path is dead for " << query.label
+                      << " (no placement / no reliable columns)\n";
             return 1;
         }
-        for (std::size_t i = 0; i < com_rows.size(); ++i)
-            bender.writeRow(0, com_rows[i], bitmaps[i]);
-        const LogicOpResult result = ops.executeLogic(
-            0, op, ref_anchor, com_anchor, ref_rows, com_rows);
-        const BitVector golden = goldenOp(op, bitmaps);
-
-        std::size_t checked = 0;
-        std::size_t cpu_matches = 0;
-        std::size_t dram_matches = 0;
-        std::size_t correct = 0;
-        for (const ColId col : result.columns) {
-            if (!mask.get(col))
-                continue; // Unreliable record slot: fall back to CPU.
-            ++checked;
-            cpu_matches += golden.get(col) ? 1 : 0;
-            dram_matches += result.computeResult.get(col) ? 1 : 0;
-            correct += result.computeResult.get(col) == golden.get(col)
-                           ? 1
-                           : 0;
+        if (result.output != result.golden) {
+            std::cerr << "hybrid result diverged from the golden "
+                         "model for "
+                      << query.label << "\n";
+            return 1;
         }
-        table.addRow();
-        table.addCell(std::string(toString(op)) + " of " +
-                      std::to_string(predicates) + " bitmaps");
-        table.addCell(static_cast<std::uint64_t>(checked));
-        table.addCell(static_cast<std::uint64_t>(cpu_matches));
-        table.addCell(static_cast<std::uint64_t>(dram_matches));
-        table.addCell(checked == 0
-                          ? 0.0
-                          : 100.0 * static_cast<double>(correct) /
-                                static_cast<double>(checked),
-                      2);
-        // ACT + PRE + ACT + PRE regardless of the predicate count:
-        // the in-DRAM query cost is O(1) in N.
-        table.addCell(static_cast<std::uint64_t>(4));
     }
     table.print(std::cout);
 
-    std::cout << "\nA CPU scan reads " << predicates
-              << " bitmaps (one per predicate); the in-DRAM query is "
-                 "a single 4-command\nviolated-timing sequence "
-                 "regardless of the predicate count.\n";
+    std::cout
+        << "\nThe 8-way AND compiles to ONE 8-input gate (4 DRAM "
+           "commands in the violated\nsequence) instead of seven "
+           "chained 2-input ANDs; unreliable columns fall back\nto "
+           "the CPU per bit position, so the hybrid result always "
+           "matches the golden\nmodel. See bench_pud_query for the "
+           "fleet-wide sweep.\n";
     return 0;
 }

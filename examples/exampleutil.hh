@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the example binaries: Table-1 module lookup with
+ * a consistent error path, and a chip + DramBender checkout bundle,
+ * so every example spends its lines on the workload instead of on
+ * session boilerplate.
+ */
+
+#ifndef FCDRAM_EXAMPLES_EXAMPLEUTIL_HH
+#define FCDRAM_EXAMPLES_EXAMPLEUTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bender/bender.hh"
+#include "fcdram/session.hh"
+
+namespace fcdram::exampleutil {
+
+/**
+ * Look up a Table-1 module by design, or exit(1) with a message on
+ * stderr when the fleet does not contain it.
+ */
+inline const FleetSession::Module &
+requireModule(const FleetSession &session, Manufacturer manufacturer,
+              int densityGbit, char dieRevision, std::uint32_t speedMt)
+{
+    const FleetSession::Module *module = session.findModule(
+        manufacturer, densityGbit, dieRevision, speedMt);
+    if (module == nullptr) {
+        std::cerr << "design " << toString(manufacturer) << " "
+                  << densityGbit << "Gb " << dieRevision << "-die @"
+                  << speedMt
+                  << "MT/s is not in the Table-1 fleet\n";
+        std::exit(1);
+    }
+    return *module;
+}
+
+/**
+ * A private chip checked out of the session plus the DramBender
+ * session driving it — the pair every command-level example needs.
+ */
+struct CheckedOutChip
+{
+    Chip chip;
+    DramBender bender;
+
+    CheckedOutChip(const FleetSession &session,
+                   const ChipProfile &profile, std::uint64_t chipSeed,
+                   std::uint64_t benderSeed)
+        : chip(session.checkoutChip(profile, chipSeed)),
+          bender(chip, benderSeed)
+    {
+    }
+
+    // bender references chip; copying/moving would leave it driving
+    // the old instance.
+    CheckedOutChip(const CheckedOutChip &) = delete;
+    CheckedOutChip &operator=(const CheckedOutChip &) = delete;
+};
+
+} // namespace fcdram::exampleutil
+
+#endif // FCDRAM_EXAMPLES_EXAMPLEUTIL_HH

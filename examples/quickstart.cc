@@ -9,11 +9,11 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "exampleutil.hh"
 #include "fcdram/analyzer.hh"
 #include "fcdram/golden.hh"
 #include "dram/openbitline.hh"
 #include "fcdram/ops.hh"
-#include "fcdram/session.hh"
 
 using namespace fcdram;
 
@@ -28,15 +28,13 @@ main()
 
     // An SK Hynix 4Gb A-die x8 module at 2133 MT/s: the strongest
     // logic design in the paper's fleet.
-    const FleetSession::Module *module =
-        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
-    if (module == nullptr) {
-        std::cerr << "module not in the Table-1 fleet\n";
-        return 1;
-    }
-    const ChipProfile profile = module->spec->profile();
-    Chip chip = session.checkoutChip(profile, /*seed=*/1);
-    DramBender bender(chip, /*sessionSeed=*/7);
+    const FleetSession::Module &module = exampleutil::requireModule(
+        session, Manufacturer::SkHynix, 4, 'A', 2133);
+    const ChipProfile profile = module.spec->profile();
+    exampleutil::CheckedOutChip checkout(session, profile, /*chipSeed=*/1,
+                                         /*benderSeed=*/7);
+    Chip &chip = checkout.chip;
+    DramBender &bender = checkout.bender;
     Ops ops(bender);
 
     std::cout << "Chip under test: " << profile.label() << "\n";

@@ -11,11 +11,11 @@
 
 #include "common/table.hh"
 #include "dram/openbitline.hh"
+#include "exampleutil.hh"
 #include "fcdram/analyzer.hh"
 #include "fcdram/golden.hh"
 #include "fcdram/ops.hh"
 #include "fcdram/reliablemask.hh"
-#include "fcdram/session.hh"
 
 using namespace fcdram;
 
@@ -98,20 +98,17 @@ main()
          std::vector<std::tuple<int, char, std::uint32_t>>{
              {4, 'A', 2133}, {4, 'M', 2666}, {8, 'A', 2400},
              {8, 'M', 2666}}) {
-        const FleetSession::Module *module = session.findModule(
-            Manufacturer::SkHynix, density, die, speed);
-        if (module == nullptr) {
-            std::cerr << "design " << density << "Gb " << die << " @"
-                      << speed << "MT/s not in the Table-1 fleet\n";
-            return 1;
-        }
+        exampleutil::requireModule(session, Manufacturer::SkHynix,
+                                   density, die, speed);
         // The fleet spec's organization may differ (x4 modules); the
         // example characterizes the x8 variant of each design.
         const ChipProfile profile = ChipProfile::make(
             Manufacturer::SkHynix, density, die, 8, speed);
-        Chip chip = session.checkoutChip(profile, 1000 + density + die);
-        DramBender bender(chip, 7);
-        const Accuracy accuracy = measureNot(chip, bender, 40);
+        exampleutil::CheckedOutChip checkout(
+            session, profile,
+            /*chipSeed=*/1000 + density + die, /*benderSeed=*/7);
+        const Accuracy accuracy =
+            measureNot(checkout.chip, checkout.bender, 40);
         table.addRow();
         table.addCell(profile.label());
         table.addCell(accuracy.unmasked, 2);

@@ -11,10 +11,10 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "exampleutil.hh"
 #include "fcdram/classifier.hh"
 #include "fcdram/mapper.hh"
 #include "fcdram/roworder.hh"
-#include "fcdram/session.hh"
 
 using namespace fcdram;
 
@@ -32,16 +32,14 @@ main()
     config.geometry.scrambleRowOrder = true; // Unknown internal order.
     FleetSession session(config);
     const GeometryConfig &geometry = session.config().geometry;
-    const FleetSession::Module *module =
-        session.findModule(Manufacturer::SkHynix, 4, 'M', 2666);
-    if (module == nullptr) {
-        std::cerr << "module not in the Table-1 fleet\n";
-        return 1;
-    }
-    Chip chip = session.checkoutChip(module->spec->profile(),
-                                     /*seed=*/77);
-    const ChipProfile &profile = chip.profile();
-    DramBender bender(chip, /*sessionSeed=*/5);
+    const FleetSession::Module &module = exampleutil::requireModule(
+        session, Manufacturer::SkHynix, 4, 'M', 2666);
+    exampleutil::CheckedOutChip checkout(session,
+                                         module.spec->profile(),
+                                         /*chipSeed=*/77,
+                                         /*benderSeed=*/5);
+    const ChipProfile &profile = checkout.chip.profile();
+    DramBender &bender = checkout.bender;
 
     std::cout << "Reverse engineering " << profile.label()
               << " (scrambled row order)\n\n";

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "fcdram/session.hh"
+#include "exampleutil.hh"
 #include "fcdram/trng.hh"
 
 using namespace fcdram;
@@ -25,16 +25,14 @@ main()
     config.geometry.columns = 256;
     FleetSession session(config);
     const GeometryConfig &geometry = session.config().geometry;
-    const FleetSession::Module *module =
-        session.findModule(Manufacturer::SkHynix, 4, 'A', 2133);
-    if (module == nullptr) {
-        std::cerr << "module not in the Table-1 fleet\n";
-        return 1;
-    }
-    ChipProfile profile = module->spec->profile();
+    const FleetSession::Module &module = exampleutil::requireModule(
+        session, Manufacturer::SkHynix, 4, 'A', 2133);
+    ChipProfile profile = module.spec->profile();
     profile.decoder.coverageGate = 1.0;
-    Chip chip = session.checkoutChip(profile, /*seed=*/2024);
-    DramBender bender(chip, /*sessionSeed=*/5);
+    exampleutil::CheckedOutChip checkout(session, profile,
+                                         /*chipSeed=*/2024,
+                                         /*benderSeed=*/5);
+    DramBender &bender = checkout.bender;
 
     std::cout << "DRAM TRNG on " << profile.label() << "\n\n";
 

@@ -67,47 +67,58 @@ Ops::executeRowClone(BankId bank, RowId srcGlobal, RowId dstGlobal)
     return !result.activations.empty();
 }
 
+RowId
+findPairActivatingDonor(const Chip &chip, RowId targetLocal,
+                        const std::vector<RowId> &avoidLocal)
+{
+    const auto rows =
+        static_cast<RowId>(chip.geometry().rowsPerSubarray);
+    for (RowId flip = 1; flip < rows; ++flip) {
+        const RowId donor = targetLocal ^ flip;
+        bool excluded = false;
+        for (const RowId r : avoidLocal)
+            excluded |= r == donor;
+        if (excluded)
+            continue;
+        const auto set =
+            chip.decoder().sameSubarrayActivation(donor, targetLocal);
+        if (set.size() == 2)
+            return donor;
+    }
+    return kInvalidRow;
+}
+
 std::optional<RowId>
 Ops::fracInit(BankId bank, RowId rowGlobal,
               const std::vector<RowId> &avoid)
 {
     const GeometryConfig &geometry = bender_.chip().geometry();
     const RowAddress address = decomposeRow(geometry, rowGlobal);
-    const RowDecoder &decoder = bender_.chip().decoder();
-    const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
-
-    for (RowId flip = 1; flip < rows; ++flip) {
-        const RowId helper_local = address.localRow ^ flip;
-        const RowId helper =
-            composeRow(geometry, address.subarray, helper_local);
-        if (helper == rowGlobal)
-            continue;
-        bool excluded = false;
-        for (const RowId r : avoid)
-            excluded |= r == helper;
-        if (excluded)
-            continue;
-        const auto set =
-            decoder.sameSubarrayActivation(helper_local,
-                                           address.localRow);
-        if (set.size() != 2)
-            continue;
-        // Charge-share an all-1s helper with an all-0s target and
-        // interrupt the restore: both rows settle near VDD/2.
-        BitVector ones(static_cast<std::size_t>(geometry.columns), true);
-        BitVector zeros(static_cast<std::size_t>(geometry.columns),
-                        false);
-        bender_.writeRow(bank, helper, ones);
-        bender_.writeRow(bank, rowGlobal, zeros);
-        ProgramBuilder builder = bender_.newProgram();
-        builder.act(bank, helper, 0.0)
-            .pre(bank, kViolatedGapTargetNs)
-            .act(bank, rowGlobal, kViolatedGapTargetNs)
-            .pre(bank, kViolatedGapTargetNs);
-        bender_.execute(builder.build());
-        return helper;
+    std::vector<RowId> avoid_local;
+    for (const RowId r : avoid) {
+        const RowAddress a = decomposeRow(geometry, r);
+        if (a.subarray == address.subarray)
+            avoid_local.push_back(a.localRow);
     }
-    return std::nullopt;
+    const RowId helper_local = findPairActivatingDonor(
+        bender_.chip(), address.localRow, avoid_local);
+    if (helper_local == kInvalidRow)
+        return std::nullopt;
+    const RowId helper =
+        composeRow(geometry, address.subarray, helper_local);
+    // Charge-share an all-1s helper with an all-0s target and
+    // interrupt the restore: both rows settle near VDD/2.
+    BitVector ones(static_cast<std::size_t>(geometry.columns), true);
+    BitVector zeros(static_cast<std::size_t>(geometry.columns), false);
+    bender_.writeRow(bank, helper, ones);
+    bender_.writeRow(bank, rowGlobal, zeros);
+    ProgramBuilder builder = bender_.newProgram();
+    builder.act(bank, helper, 0.0)
+        .pre(bank, kViolatedGapTargetNs)
+        .act(bank, rowGlobal, kViolatedGapTargetNs)
+        .pre(bank, kViolatedGapTargetNs);
+    bender_.execute(builder.build());
+    return helper;
 }
 
 bool

@@ -118,6 +118,17 @@ class Ops
 };
 
 /**
+ * Donor local row that pair-activates with exactly @p targetLocal
+ * under the decoder's same-subarray glitch: the XOR-flip scan shared
+ * by Frac initialization and the PuD RowClone staging search.
+ *
+ * @param avoidLocal Local rows that must not be used as donors.
+ * @return The donor local row, or kInvalidRow when none exists.
+ */
+RowId findPairActivatingDonor(const Chip &chip, RowId targetLocal,
+                              const std::vector<RowId> &avoidLocal);
+
+/**
  * Find (rf, rl) local-row pairs on a chip whose neighbor activation
  * has the requested NRF:NRL shape, by probing the decoder through
  * executed programs' activation events.

@@ -256,6 +256,18 @@ class FleetSession
             mergeAccum(into[key], std::move(value));
     }
 
+    /**
+     * Any accumulator exposing mergeFrom(T&&) folds through it, so
+     * subsystems (e.g. the PuD query engine) can define fleet
+     * accumulators without editing this overload set.
+     */
+    template <class T>
+    static auto mergeAccum(T &into, T &&from)
+        -> decltype(into.mergeFrom(std::move(from)), void())
+    {
+        into.mergeFrom(std::move(from));
+    }
+
   private:
     struct PairCacheKey
     {

@@ -1,0 +1,426 @@
+#include "pud/allocator.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "analog/successmodel.hh"
+#include "dram/address.hh"
+#include "dram/bank.hh"
+#include "dram/openbitline.hh"
+#include "dram/subarray.hh"
+#include "fcdram/analytic.hh"
+#include "fcdram/ops.hh"
+#include "fcdram/reliablemask.hh"
+
+namespace fcdram::pud {
+
+const BitVector &
+GateSlot::mask(BoolOp op) const
+{
+    switch (op) {
+      case BoolOp::And:
+        return andMask;
+      case BoolOp::Or:
+        return orMask;
+      case BoolOp::Nand:
+        return nandMask;
+      case BoolOp::Nor:
+        return norMask;
+      case BoolOp::Not:
+      case BoolOp::Maj3:
+        break;
+    }
+    assert(false && "no mask for this op");
+    return andMask;
+}
+
+double
+GateSlot::score() const
+{
+    return ReliableMask::maskDensity(andMask) + ReliableMask::maskDensity(orMask) +
+           ReliableMask::maskDensity(nandMask) + ReliableMask::maskDensity(norMask);
+}
+
+BitVector
+worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
+                   RowId refGlobal, RowId comGlobal,
+                   double thresholdPercent)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    const RowAddress ref = decomposeRow(geometry, refGlobal);
+    const RowAddress com = decomposeRow(geometry, comGlobal);
+    const ActivationSets sets =
+        chip.decoder().neighborActivation(ref.localRow, com.localRow);
+    if (!sets.simultaneous || sets.nrf() != sets.nrl())
+        return BitVector();
+    const int n = sets.nrl();
+
+    const SuccessModel &model = chip.model();
+    const Bank &bankRef = chip.bank(bank);
+    const StripeId stripe = sharedStripe(ref.subarray, com.subarray);
+    const auto columns =
+        sharedColumns(geometry, ref.subarray, com.subarray);
+
+    // The executor reads the first row of the measured side, so the
+    // mask covers exactly that row's cells.
+    const bool measureRef = isInvertedOp(op);
+    const auto &rows = measureRef ? sets.firstRows : sets.secondRows;
+    const SubarrayId rowSa = measureRef ? ref.subarray : com.subarray;
+    const Subarray &rowSub = bankRef.subarray(rowSa);
+    const RowId measured = rows.front();
+
+    LogicContext ctx;
+    ctx.op = op;
+    ctx.numInputs = n;
+    // Worst operand pattern: full neighbor-bitline disagreement.
+    ctx.cond.couplingFraction = 1.0;
+    // Trust columns at the temperature the chip will execute at.
+    ctx.cond.temperature = chip.temperature();
+    const Region own = rowSub.regionFor(measured, stripe);
+    const Region refRep = bankRef.subarray(ref.subarray)
+                              .regionFor(ref.localRow, stripe);
+    const Region comRep = bankRef.subarray(com.subarray)
+                              .regionFor(com.localRow, stripe);
+    if (measureRef) {
+        ctx.refRegion = own;
+        ctx.comRegion = comRep;
+    } else {
+        ctx.comRegion = own;
+        ctx.refRegion = refRep;
+    }
+
+    // The sensing margin depends on how many operand rows carry
+    // logic-1 at a column; a deployment mask must hold for every
+    // count, so take the worst.
+    Volt worstMargin = 0.0;
+    for (int k = 0; k <= n; ++k) {
+        ctx.numOnes = k;
+        const Volt margin = model.logicMargin(ctx);
+        worstMargin = k == 0 ? margin : std::min(worstMargin, margin);
+    }
+
+    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    const RowId global = composeRow(geometry, rowSa, measured);
+    for (const ColId col : columns) {
+        const Volt offset = model.staticOffset(bank, global, col, stripe);
+        const bool failStruct = model.structuralFail(bank, stripe, col, n);
+        const double p = model.cellSuccessProbability(worstMargin,
+                                                      offset, failStruct);
+        mask.set(col, 100.0 * p >= thresholdPercent);
+    }
+    return mask;
+}
+
+BitVector
+worstCaseNotMask(const Chip &chip, BankId bank, RowId srcGlobal,
+                 RowId dstGlobal, double thresholdPercent)
+{
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analyzer(chip, config, 0);
+    OpConditions cond;
+    cond.couplingFraction = 1.0; // Worst source data pattern.
+    cond.temperature = chip.temperature();
+    const auto samples =
+        analyzer.notSamples(bank, srcGlobal, dstGlobal, cond);
+    if (samples.empty())
+        return BitVector();
+    const GeometryConfig &geometry = chip.geometry();
+    // The executor reads the first destination row of the activation.
+    const RowId measured = samples.front().rowLocal;
+    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    for (const CellSample &sample : samples) {
+        if (sample.rowLocal != measured)
+            continue;
+        mask.set(sample.col,
+                 100.0 * sample.probability >= thresholdPercent);
+    }
+    return mask;
+}
+
+BitVector
+worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
+                      RowId dstGlobal, double thresholdPercent)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    const RowAddress src = decomposeRow(geometry, srcGlobal);
+    const RowAddress dst = decomposeRow(geometry, dstGlobal);
+    assert(src.subarray == dst.subarray);
+    const auto set = chip.decoder().sameSubarrayActivation(
+        src.localRow, dst.localRow);
+    if (set.size() != 2)
+        return BitVector();
+
+    // Mirror the executor's RowClone drive model (applyRowClone):
+    // the restored source overdrives the activated set.
+    const SuccessModel &model = chip.model();
+    const int total = static_cast<int>(set.size()) + 1;
+    ComparisonContext ctx;
+    ctx.cellsPerSide = total;
+    ctx.couplingFraction = 1.0; // Worst source data pattern.
+    ctx.temperature = chip.temperature();
+    const Volt margin = model.driveMarginMech(total + 1, ctx);
+
+    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+         ++col) {
+        const StripeId stripe = stripeFor(dst.subarray, col);
+        const Volt offset =
+            model.staticOffset(bank, dstGlobal, col, stripe);
+        const bool failStruct =
+            model.structuralFail(bank, stripe, col, (total + 1) / 2);
+        const double p =
+            model.cellSuccessProbability(margin, offset, failStruct);
+        mask.set(col, 100.0 * p >= thresholdPercent);
+    }
+    return mask;
+}
+
+RowAllocator::RowAllocator(const FleetSession &session,
+                           const FleetSession::Module &module,
+                           AllocatorOptions options)
+    : session_(&session), module_(module),
+      chip_(&session.chip(module)), seed_(module.seed),
+      options_(options)
+{
+}
+
+RowAllocator::RowAllocator(const Chip &chip, std::uint64_t seed,
+                           AllocatorOptions options)
+    : chip_(&chip), seed_(seed), options_(options)
+{
+}
+
+std::vector<PairContext>
+RowAllocator::directContexts() const
+{
+    // Private chips get the exhaustive deterministic enumeration of
+    // neighboring subarray pairs in bank 0.
+    std::vector<PairContext> contexts;
+    const int pairs = chip_->geometry().subarraysPerBank - 1;
+    contexts.reserve(static_cast<std::size_t>(pairs));
+    for (int low = 0; low < pairs; ++low) {
+        PairContext context;
+        context.bank = 0;
+        context.lowSubarray = static_cast<SubarrayId>(low);
+        contexts.push_back(context);
+    }
+    return contexts;
+}
+
+std::vector<std::pair<RowId, RowId>>
+RowAllocator::discover(const PairContext &context,
+                       const PairQuery &query) const
+{
+    if (session_ != nullptr)
+        return session_->qualifyingPairs(module_, context, query);
+    // Mirror the session's canonical discovery seed so direct and
+    // session-backed allocation agree for the same chip seed.
+    const std::uint64_t seed = hashCombine(
+        seed_, hashCombine(query.key(),
+                           0xD15CULL + context.bank * 977 +
+                               context.lowSubarray * 131));
+    return findQualifyingPairs(*chip_, context, query,
+                               options_.probesPerPair,
+                               options_.candidatePairsPerWidth, seed);
+}
+
+const std::vector<GateSlot> &
+RowAllocator::gateSlots(int width) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto cached = slotsByWidth_.find(width);
+    if (cached != slotsByWidth_.end())
+        return cached->second;
+
+    if (contexts_.empty()) {
+        contexts_ = session_ != nullptr
+                        ? session_->pairContexts(module_)
+                        : directContexts();
+    }
+
+    const GeometryConfig &geometry = chip_->geometry();
+    const PairQuery query = PairQuery::square(width);
+    std::vector<GateSlot> slots;
+    for (const PairContext &context : contexts_) {
+        if (static_cast<int>(slots.size()) >=
+            options_.candidatePairsPerWidth)
+            break;
+        for (const auto &[refAnchor, comAnchor] :
+             discover(context, query)) {
+            if (static_cast<int>(slots.size()) >=
+                options_.candidatePairsPerWidth)
+                break;
+            const RowAddress ref = decomposeRow(geometry, refAnchor);
+            const RowAddress com = decomposeRow(geometry, comAnchor);
+            const ActivationSets sets =
+                chip_->decoder().neighborActivation(ref.localRow,
+                                                    com.localRow);
+            GateSlot slot;
+            slot.context = context;
+            slot.refAnchor = refAnchor;
+            slot.comAnchor = comAnchor;
+            slot.width = width;
+            for (const RowId local : sets.firstRows) {
+                slot.refRows.push_back(
+                    composeRow(geometry, ref.subarray, local));
+            }
+            for (const RowId local : sets.secondRows) {
+                slot.computeRows.push_back(
+                    composeRow(geometry, com.subarray, local));
+            }
+            // Staging rows for RowClone copy-in, pairwise disjoint
+            // and clear of the activation set.
+            std::vector<RowId> avoid;
+            for (const RowId local : sets.secondRows)
+                avoid.push_back(local);
+            const double threshold = options_.maskThresholdPercent;
+            // Staging donors share the fracInit XOR-flip search.
+            for (const RowId local : sets.secondRows) {
+                const RowId donor =
+                    findPairActivatingDonor(*chip_, local, avoid);
+                if (donor == kInvalidRow) {
+                    slot.stagingRows.push_back(kInvalidRow);
+                    slot.stagingMasks.emplace_back();
+                    continue;
+                }
+                avoid.push_back(donor);
+                const RowId donorGlobal =
+                    composeRow(geometry, com.subarray, donor);
+                const RowId targetGlobal =
+                    composeRow(geometry, com.subarray, local);
+                slot.stagingRows.push_back(donorGlobal);
+                slot.stagingMasks.push_back(worstCaseRowCloneMask(
+                    *chip_, context.bank, donorGlobal, targetGlobal,
+                    threshold));
+            }
+            slot.andMask =
+                worstCaseLogicMask(*chip_, context.bank, BoolOp::And,
+                                   refAnchor, comAnchor, threshold);
+            slot.orMask =
+                worstCaseLogicMask(*chip_, context.bank, BoolOp::Or,
+                                   refAnchor, comAnchor, threshold);
+            slot.nandMask =
+                worstCaseLogicMask(*chip_, context.bank, BoolOp::Nand,
+                                   refAnchor, comAnchor, threshold);
+            slot.norMask =
+                worstCaseLogicMask(*chip_, context.bank, BoolOp::Nor,
+                                   refAnchor, comAnchor, threshold);
+            slots.push_back(std::move(slot));
+        }
+    }
+
+    // Reliability-aware placement: densest masks first. Stable sort
+    // plus the deterministic candidate order keeps placement
+    // reproducible across runs and worker counts.
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const GateSlot &a, const GateSlot &b) {
+                         return a.score() > b.score();
+                     });
+    if (static_cast<int>(slots.size()) > options_.slotsPerWidth)
+        slots.resize(static_cast<std::size_t>(options_.slotsPerWidth));
+    return slotsByWidth_.emplace(width, std::move(slots))
+        .first->second;
+}
+
+const std::vector<NotSlot> &
+RowAllocator::notSlots() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (notSlots_.has_value())
+        return *notSlots_;
+
+    if (contexts_.empty()) {
+        contexts_ = session_ != nullptr
+                        ? session_->pairContexts(module_)
+                        : directContexts();
+    }
+
+    // Any activation reaching exactly one destination row performs
+    // NOT (simultaneous or sequential, so Samsung designs place too).
+    const PairQuery query = PairQuery::anyWithDest(1);
+    std::vector<NotSlot> slots;
+    for (const PairContext &context : contexts_) {
+        if (static_cast<int>(slots.size()) >=
+            options_.candidatePairsPerWidth)
+            break;
+        for (const auto &[src, dst] : discover(context, query)) {
+            if (static_cast<int>(slots.size()) >=
+                options_.candidatePairsPerWidth)
+                break;
+            NotSlot slot;
+            slot.context = context;
+            slot.srcRow = src;
+            slot.dstRow = dst;
+            slot.mask = worstCaseNotMask(*chip_, context.bank, src, dst,
+                                         options_.maskThresholdPercent);
+            slots.push_back(std::move(slot));
+        }
+    }
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const NotSlot &a, const NotSlot &b) {
+                         return ReliableMask::maskDensity(a.mask) >
+                                ReliableMask::maskDensity(b.mask);
+                     });
+    if (static_cast<int>(slots.size()) > options_.slotsPerWidth)
+        slots.resize(static_cast<std::size_t>(options_.slotsPerWidth));
+    notSlots_ = std::move(slots);
+    return *notSlots_;
+}
+
+Placement
+RowAllocator::place(const MicroProgram &program) const
+{
+    Placement placement;
+    placement.gateSlotOf.assign(program.ops.size(), -1);
+    placement.notSlotOf.assign(program.ops.size(), -1);
+
+    // (wave, width) round-robin: independent gates of one wave spread
+    // over the ranked slots (distinct subarray pairs when available).
+    std::map<std::pair<int, int>, std::size_t> rotation;
+    std::map<std::pair<int, std::size_t>, int> used; // (width, rank)
+
+    for (std::size_t i = 0; i < program.ops.size(); ++i) {
+        const MicroOp &op = program.ops[i];
+        if (op.kind == MicroOpKind::Wide) {
+            const std::vector<GateSlot> &slots = gateSlots(op.width());
+            if (slots.empty()) {
+                placement.complete = false;
+                continue;
+            }
+            const std::size_t rank =
+                rotation[{op.wave, op.width()}]++ % slots.size();
+            const auto key = std::make_pair(op.width(), rank);
+            auto it = used.find(key);
+            if (it == used.end()) {
+                placement.gateSlots.push_back(slots[rank]);
+                it = used.emplace(key,
+                                  static_cast<int>(
+                                      placement.gateSlots.size() - 1))
+                         .first;
+            }
+            placement.gateSlotOf[i] = it->second;
+        } else if (op.kind == MicroOpKind::Not) {
+            const std::vector<NotSlot> &slots = notSlots();
+            if (slots.empty()) {
+                placement.complete = false;
+                continue;
+            }
+            const std::size_t rank =
+                rotation[{op.wave, 1}]++ % slots.size();
+            const auto key = std::make_pair(-1, rank);
+            auto it = used.find(key);
+            if (it == used.end()) {
+                placement.notSlots.push_back(slots[rank]);
+                it = used.emplace(key,
+                                  static_cast<int>(
+                                      placement.notSlots.size() - 1))
+                         .first;
+            }
+            placement.notSlotOf[i] = it->second;
+        }
+    }
+    return placement;
+}
+
+} // namespace fcdram::pud

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * PuD row allocator: places the gates of a compiled μprogram onto
+ * qualifying (RF, RL) subarray-pair activations of one module.
+ *
+ * Wide N-input gates need an N:N simultaneous activation pair; NOT
+ * needs a pair reaching one destination row. Candidate pairs come
+ * from the FleetSession discovery cache (or direct probing for a
+ * private chip), and the placement policy is reliability-mask-aware:
+ * each candidate's per-column worst-case success probability is
+ * evaluated with the analytic model (worst operand ones-count, worst
+ * bitline-coupling pattern) and the pairs with the densest reliable
+ * masks win. Columns outside a gate's mask are computed on the CPU
+ * per-column at execution time (the fallback path), so the mask also
+ * bounds which bit positions the DRAM result is trusted for.
+ */
+
+#ifndef FCDRAM_PUD_ALLOCATOR_HH
+#define FCDRAM_PUD_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "fcdram/session.hh"
+#include "pud/compiler.hh"
+
+namespace fcdram::pud {
+
+/** Placement knobs. */
+struct AllocatorOptions
+{
+    /**
+     * Per-cell worst-case success-rate threshold (percent) a column
+     * must meet to be computed in DRAM. The default keeps the
+     * per-trial failure probability of masked columns at or below
+     * 1e-4, which majority voting (EngineOptions::redundancy) then
+     * suppresses further.
+     */
+    double maskThresholdPercent = 99.99;
+
+    /** Qualifying pairs ranked per gate width before choosing. */
+    int candidatePairsPerWidth = 8;
+
+    /**
+     * Distinct pair slots kept per gate width, so independent gates
+     * of one wave can be batched onto different subarray pairs.
+     */
+    int slotsPerWidth = 2;
+
+    /** Probes used by direct (session-less) discovery. */
+    int probesPerPair = 4000;
+};
+
+/** A placed wide-gate execution site. */
+struct GateSlot
+{
+    PairContext context;
+
+    /** Discovered anchor pair (global rows): RF drives, RL follows. */
+    RowId refAnchor = 0;
+    RowId comAnchor = 0;
+
+    /** The N reference rows (RF's subarray, global ids). */
+    std::vector<RowId> refRows;
+
+    /** The N compute rows (RL's subarray, global ids). */
+    std::vector<RowId> computeRows;
+
+    /**
+     * Per compute row: a staging row in the same subarray that
+     * pair-activates with it (RowClone copy-in source), or
+     * kInvalidRow when none was found. Data resident in a staging
+     * row reaches its compute row with a 4-command in-DRAM copy
+     * instead of a host write.
+     */
+    std::vector<RowId> stagingRows;
+
+    /**
+     * Per compute row: reliable columns of the staging -> compute
+     * RowClone (worst-case analytic mask); empty when there is no
+     * staging row.
+     */
+    std::vector<BitVector> stagingMasks;
+
+    /** Reliable columns of the compute side per family (And/Or). */
+    BitVector andMask;
+    BitVector orMask;
+
+    /** Reliable columns of the reference side (Nand/Nor). */
+    BitVector nandMask;
+    BitVector norMask;
+
+    int width = 0;
+
+    /** Mask for one executed result side. */
+    const BitVector &mask(BoolOp op) const;
+
+    /** Placement score: summed densities of the four masks. */
+    double score() const;
+};
+
+/** A placed NOT execution site. */
+struct NotSlot
+{
+    PairContext context;
+    RowId srcRow = 0; ///< RF (source) global row.
+    RowId dstRow = 0; ///< RL (destination) global row.
+
+    /** Reliable columns of the destination row. */
+    BitVector mask;
+};
+
+/** Placement of a μprogram onto one module's activation sites. */
+struct Placement
+{
+    /** Per μop index: slot in gateSlots / notSlots, or -1. */
+    std::vector<int> gateSlotOf;
+    std::vector<int> notSlotOf;
+
+    std::vector<GateSlot> gateSlots;
+    std::vector<NotSlot> notSlots;
+
+    /**
+     * True if every Wide and Not μop received a slot. μops without a
+     * slot (design cannot activate the required shape) execute
+     * entirely on the CPU fallback path.
+     */
+    bool complete = true;
+};
+
+/**
+ * Discovers and ranks execution sites for one module (or one private
+ * chip) and assigns μops to them, spreading the μops of one wave
+ * round-robin over the ranked slots so independent gates land on
+ * distinct subarray pairs.
+ */
+class RowAllocator
+{
+  public:
+    /** Session-backed: discovery served by the memoized pair cache. */
+    RowAllocator(const FleetSession &session,
+                 const FleetSession::Module &module,
+                 AllocatorOptions options = AllocatorOptions());
+
+    /** Direct: probe a private chip (tests, custom profiles). */
+    RowAllocator(const Chip &chip, std::uint64_t seed,
+                 AllocatorOptions options = AllocatorOptions());
+
+    const Chip &chip() const { return *chip_; }
+    const AllocatorOptions &options() const { return options_; }
+
+    /** Place every Wide/Not μop of @p program. */
+    Placement place(const MicroProgram &program) const;
+
+    /** Ranked slots for one gate width (cached). */
+    const std::vector<GateSlot> &gateSlots(int width) const;
+
+    /** Ranked NOT slots (cached). */
+    const std::vector<NotSlot> &notSlots() const;
+
+  private:
+    std::vector<std::pair<RowId, RowId>>
+    discover(const PairContext &context, const PairQuery &query) const;
+
+    std::vector<PairContext> directContexts() const;
+
+    const FleetSession *session_ = nullptr;
+    FleetSession::Module module_{}; ///< By value: no lifetime ties.
+    const Chip *chip_ = nullptr;
+    std::uint64_t seed_ = 0;
+    AllocatorOptions options_;
+
+    // Lazy discovery caches; entries are immutable once published
+    // and map nodes are stable, so returned references stay valid.
+    mutable std::mutex mutex_;
+    mutable std::map<int, std::vector<GateSlot>> slotsByWidth_;
+    mutable std::optional<std::vector<NotSlot>> notSlots_;
+    mutable std::vector<PairContext> contexts_;
+};
+
+/**
+ * Worst-case reliable mask of one executed gate side: for every
+ * shared column, the minimum success probability over all operand
+ * ones-counts at full bitline coupling must meet @p thresholdPercent.
+ * Empty when the pair does not activate as N:N simultaneous.
+ *
+ * @param op And/Or measure the compute side, Nand/Nor the reference
+ *        side (the executed gate is the same).
+ */
+BitVector worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
+                             RowId refGlobal, RowId comGlobal,
+                             double thresholdPercent);
+
+/** Worst-case reliable mask of a NOT destination row. */
+BitVector worstCaseNotMask(const Chip &chip, BankId bank,
+                           RowId srcGlobal, RowId dstGlobal,
+                           double thresholdPercent);
+
+/**
+ * Worst-case reliable mask of an in-subarray RowClone from
+ * @p srcGlobal onto @p dstGlobal (all columns participate; RowClone
+ * is not confined to the shared stripe).
+ */
+BitVector worstCaseRowCloneMask(const Chip &chip, BankId bank,
+                                RowId srcGlobal, RowId dstGlobal,
+                                double thresholdPercent);
+
+} // namespace fcdram::pud
+
+#endif // FCDRAM_PUD_ALLOCATOR_HH

@@ -1,0 +1,320 @@
+#include "pud/compiler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace fcdram::pud {
+
+int
+MicroProgram::loadOps() const
+{
+    return static_cast<int>(std::count_if(
+        ops.begin(), ops.end(), [](const MicroOp &op) {
+            return op.kind == MicroOpKind::Load;
+        }));
+}
+
+int
+MicroProgram::wideOps() const
+{
+    return static_cast<int>(std::count_if(
+        ops.begin(), ops.end(), [](const MicroOp &op) {
+            return op.kind == MicroOpKind::Wide;
+        }));
+}
+
+int
+MicroProgram::notOps() const
+{
+    return static_cast<int>(std::count_if(
+        ops.begin(), ops.end(), [](const MicroOp &op) {
+            return op.kind == MicroOpKind::Not;
+        }));
+}
+
+int
+MicroProgram::maxFanIn() const
+{
+    int widest = 0;
+    for (const MicroOp &op : ops) {
+        if (op.kind == MicroOpKind::Wide)
+            widest = std::max(widest, op.width());
+    }
+    return widest;
+}
+
+namespace {
+
+/**
+ * Lowering state. Gates are memoized on (family, sorted operand
+ * values), so a NAND over the same operands as an existing AND
+ * attaches its value to that gate's reference side instead of
+ * emitting a second execution, and identical gates reached through
+ * different expression paths collapse to one μop.
+ */
+class Lowering
+{
+  public:
+    Lowering(const ExprPool &pool, const CompilerOptions &options)
+        : pool_(pool), options_(options)
+    {
+        assert(options_.maxGateInputs >= 2);
+    }
+
+    MicroProgram run(ExprId root)
+    {
+        program_.result = lower(root);
+        assignWaves();
+        program_.numValues = nextValue_;
+        return std::move(program_);
+    }
+
+  private:
+    ValueId newValue() { return nextValue_++; }
+
+    ValueId lower(ExprId id)
+    {
+        const auto memo = exprMemo_.find(id);
+        if (memo != exprMemo_.end())
+            return memo->second;
+        const ExprNode &node = pool_.node(id);
+        ValueId value = kNoValue;
+        switch (node.kind) {
+          case ExprKind::Column:
+            value = lowerColumn(node.column);
+            break;
+          case ExprKind::Not:
+            value = lowerNot(lower(node.operands.front()));
+            break;
+          case ExprKind::And:
+            value = reduce(BoolOp::And, lowerAll(node.operands),
+                           /*invert=*/false);
+            break;
+          case ExprKind::Or:
+            value = reduce(BoolOp::Or, lowerAll(node.operands),
+                           /*invert=*/false);
+            break;
+          case ExprKind::Nand:
+            value = reduce(BoolOp::And, lowerAll(node.operands),
+                           /*invert=*/true);
+            break;
+          case ExprKind::Nor:
+            value = reduce(BoolOp::Or, lowerAll(node.operands),
+                           /*invert=*/true);
+            break;
+          case ExprKind::Xor:
+            value = lowerXor(lowerAll(node.operands));
+            break;
+        }
+        exprMemo_.emplace(id, value);
+        return value;
+    }
+
+    std::vector<ValueId> lowerAll(const std::vector<ExprId> &operands)
+    {
+        std::vector<ValueId> values;
+        values.reserve(operands.size());
+        for (const ExprId operand : operands)
+            values.push_back(lower(operand));
+        return values;
+    }
+
+    ValueId lowerColumn(const std::string &name)
+    {
+        const auto it = columnMemo_.find(name);
+        if (it != columnMemo_.end())
+            return it->second;
+        MicroOp op;
+        op.kind = MicroOpKind::Load;
+        op.column = name;
+        op.computeValue = newValue();
+        program_.ops.push_back(op);
+        columnMemo_.emplace(name, op.computeValue);
+        return op.computeValue;
+    }
+
+    ValueId lowerNot(ValueId input)
+    {
+        const GateKey key{BoolOp::Not, {input}};
+        const auto it = gateMemo_.find(key);
+        if (it != gateMemo_.end())
+            return program_.ops[it->second].computeValue;
+        MicroOp op;
+        op.kind = MicroOpKind::Not;
+        op.family = BoolOp::Not;
+        op.inputs = {input};
+        op.computeValue = newValue();
+        gateMemo_.emplace(key, program_.ops.size());
+        program_.ops.push_back(op);
+        return op.computeValue;
+    }
+
+    /**
+     * One wide gate over <= maxGateInputs operands. @p invert selects
+     * the free reference-side (NAND/NOR) result.
+     */
+    ValueId emitGate(BoolOp family, std::vector<ValueId> inputs,
+                     bool invert)
+    {
+        assert(static_cast<int>(inputs.size()) >= 2);
+        assert(static_cast<int>(inputs.size()) <=
+               options_.maxGateInputs);
+        std::sort(inputs.begin(), inputs.end());
+        inputs.erase(std::unique(inputs.begin(), inputs.end()),
+                     inputs.end());
+        if (inputs.size() == 1)
+            return invert ? lowerNot(inputs.front()) : inputs.front();
+        const GateKey key{family, inputs};
+        const auto it = gateMemo_.find(key);
+        std::size_t opIndex;
+        if (it != gateMemo_.end()) {
+            opIndex = it->second;
+        } else {
+            MicroOp op;
+            op.kind = MicroOpKind::Wide;
+            op.family = family;
+            op.inputs = std::move(inputs);
+            opIndex = program_.ops.size();
+            gateMemo_.emplace(key, opIndex);
+            program_.ops.push_back(std::move(op));
+        }
+        MicroOp &op = program_.ops[opIndex];
+        ValueId &side = invert ? op.referenceValue : op.computeValue;
+        if (side == kNoValue)
+            side = newValue();
+        return side;
+    }
+
+    /**
+     * Tree-reduce an operand list through wide gates of up to
+     * maxGateInputs inputs; the final gate yields the reference side
+     * when @p invert is set (NAND/NOR of the whole list).
+     */
+    ValueId reduce(BoolOp family, std::vector<ValueId> values,
+                   bool invert)
+    {
+        assert(!values.empty());
+        const auto width =
+            static_cast<std::size_t>(options_.maxGateInputs);
+        while (values.size() > width) {
+            std::vector<ValueId> next;
+            next.reserve(values.size() / width + 1);
+            for (std::size_t i = 0; i < values.size(); i += width) {
+                const std::size_t n =
+                    std::min(width, values.size() - i);
+                if (n == 1) {
+                    next.push_back(values[i]);
+                    continue;
+                }
+                next.push_back(emitGate(
+                    family,
+                    {values.begin() + static_cast<std::ptrdiff_t>(i),
+                     values.begin() +
+                         static_cast<std::ptrdiff_t>(i + n)},
+                    /*invert=*/false));
+            }
+            values = std::move(next);
+        }
+        if (values.size() == 1)
+            return invert ? lowerNot(values.front()) : values.front();
+        return emitGate(family, std::move(values), invert);
+    }
+
+    /**
+     * Left-fold XOR through the functionally-complete basis:
+     * a ^ b = AND(OR(a, b), NAND(a, b)), with the NAND taken for free
+     * from the reference rows of the AND(a, b) gate.
+     */
+    ValueId lowerXor(const std::vector<ValueId> &values)
+    {
+        assert(!values.empty());
+        ValueId acc = values.front();
+        for (std::size_t i = 1; i < values.size(); ++i) {
+            const ValueId nand =
+                emitGate(BoolOp::And, {acc, values[i]},
+                         /*invert=*/true);
+            const ValueId either =
+                emitGate(BoolOp::Or, {acc, values[i]},
+                         /*invert=*/false);
+            acc = emitGate(BoolOp::And, {either, nand},
+                           /*invert=*/false);
+        }
+        return acc;
+    }
+
+    void assignWaves()
+    {
+        std::map<ValueId, int> producerWave;
+        int last = 0;
+        for (MicroOp &op : program_.ops) {
+            int wave = 0;
+            for (const ValueId input : op.inputs)
+                wave = std::max(wave, producerWave.at(input) + 1);
+            op.wave = wave;
+            last = std::max(last, wave);
+            if (op.computeValue != kNoValue)
+                producerWave[op.computeValue] = wave;
+            if (op.referenceValue != kNoValue)
+                producerWave[op.referenceValue] = wave;
+        }
+        program_.numWaves = program_.ops.empty() ? 0 : last + 1;
+    }
+
+    using GateKey = std::pair<BoolOp, std::vector<ValueId>>;
+
+    const ExprPool &pool_;
+    CompilerOptions options_;
+    MicroProgram program_;
+    ValueId nextValue_ = 0;
+    std::map<ExprId, ValueId> exprMemo_;
+    std::map<std::string, ValueId> columnMemo_;
+    std::map<GateKey, std::size_t> gateMemo_;
+};
+
+} // namespace
+
+Compiler::Compiler(CompilerOptions options) : options_(options)
+{
+}
+
+MicroProgram
+Compiler::compile(const ExprPool &pool, ExprId root) const
+{
+    Lowering lowering(pool, options_);
+    return lowering.run(root);
+}
+
+std::vector<BitVector>
+goldenValues(const MicroProgram &program,
+             const std::map<std::string, BitVector> &columns)
+{
+    std::vector<BitVector> values(program.numValues);
+    for (const MicroOp &op : program.ops) {
+        BitVector direct;
+        switch (op.kind) {
+          case MicroOpKind::Load:
+            direct = columns.at(op.column);
+            break;
+          case MicroOpKind::Not:
+            direct = ~values[op.inputs.front()];
+            break;
+          case MicroOpKind::Wide: {
+            direct = values[op.inputs.front()];
+            for (std::size_t i = 1; i < op.inputs.size(); ++i) {
+                direct = op.family == BoolOp::And
+                             ? direct & values[op.inputs[i]]
+                             : direct | values[op.inputs[i]];
+            }
+            break;
+          }
+        }
+        if (op.referenceValue != kNoValue)
+            values[op.referenceValue] = ~direct;
+        if (op.computeValue != kNoValue)
+            values[op.computeValue] = std::move(direct);
+    }
+    return values;
+}
+
+} // namespace fcdram::pud

@@ -1,0 +1,561 @@
+#include "pud/engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.hh"
+#include "fcdram/ops.hh"
+
+namespace fcdram::pud {
+
+namespace {
+
+/**
+ * Analytic cost model of the command primitives the executor issues.
+ * Latencies derive from the nominal DDR4 timing parameters plus the
+ * executor's restore window; energies are rough whole-row DDR4
+ * numbers (order-of-magnitude, for comparing schedules — not a power
+ * model): ACT 0.9 nJ, PRE 0.45 nJ, WR 1.3 nJ, RD 1.1 nJ.
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(const Chip &chip)
+        : timing_(TimingParams::nominal()),
+          gapNs_(chip.profile().speed.quantizedGapNs(
+              kViolatedGapTargetNs))
+    {
+    }
+
+    /** Direct row write: ACT + WR + PRE. */
+    QueryCost hostWrite() const
+    {
+        return {3, timing_.tRcd + timing_.tWr + timing_.tRp,
+                kActNj + kWrNj + kPreNj};
+    }
+
+    /** Nominal row read: ACT + RD + PRE. */
+    QueryCost hostRead() const
+    {
+        return {3, timing_.tRcd + kBurstNs + timing_.tRp,
+                kActNj + kRdNj + kPreNj};
+    }
+
+    /** Violated ACT-PRE-ACT-PRE logic sequence (incl. restore). */
+    QueryCost logicProgram() const
+    {
+        return {4, 2.0 * gapNs_ + kRestoreNs + timing_.tRp,
+                2.0 * (kActNj + kPreNj)};
+    }
+
+    /** NOT / RowClone sequence: full-tRAS first ACT, violated second. */
+    QueryCost copyProgram() const
+    {
+        return {4, timing_.tRas + gapNs_ + kRestoreNs + timing_.tRp,
+                2.0 * (kActNj + kPreNj)};
+    }
+
+    /** Interrupted Frac charge-sharing sequence. */
+    QueryCost fracProgram() const
+    {
+        return {4, 3.0 * gapNs_ + timing_.tRp,
+                2.0 * (kActNj + kPreNj)};
+    }
+
+  private:
+    static constexpr double kActNj = 0.9;
+    static constexpr double kPreNj = 0.45;
+    static constexpr double kWrNj = 1.3;
+    static constexpr double kRdNj = 1.1;
+    static constexpr Ns kBurstNs = 5.0;
+
+    /** Restore wait before the final PRE (executor's restore-done). */
+    static constexpr Ns kRestoreNs = 20.0;
+
+    TimingParams timing_;
+    Ns gapNs_;
+};
+
+/**
+ * CPU bulk-bitwise baseline: the scan streams every referenced
+ * bitmap over the memory bus (peak x64-DIMM bandwidth of the
+ * module's speed grade) and writes the result back; ALU work is
+ * bandwidth-dominated. Energy at a rough 20 pJ/byte of DRAM traffic.
+ */
+QueryCost
+cpuBaselineCost(const Chip &chip, int loads, std::size_t bits)
+{
+    const double bytes =
+        (static_cast<double>(loads) + 1.0) *
+        static_cast<double>(bits) / 8.0;
+    const double bytesPerNs =
+        static_cast<double>(chip.profile().speed.mtPerSec()) * 0.008;
+    QueryCost cost;
+    cost.commands = 0;
+    cost.latencyNs = bytes / bytesPerNs + 100.0;
+    cost.energyNj = bytes * 0.02;
+    return cost;
+}
+
+/** Majority-vote accumulator over one row readback. */
+class VoteSet
+{
+  public:
+    explicit VoteSet(std::size_t columns) : votes_(columns, 0) {}
+
+    void add(const BitVector &bits)
+    {
+        for (std::size_t col = 0;
+             col < votes_.size() && col < bits.size(); ++col)
+            votes_[col] += bits.get(col) ? 1 : 0;
+    }
+
+    bool majority(std::size_t col, int trials) const
+    {
+        return 2 * votes_[col] > trials;
+    }
+
+  private:
+    std::vector<int> votes_;
+};
+
+} // namespace
+
+void
+FleetQueryStats::mergeFrom(FleetQueryStats &&other)
+{
+    modules.insert(modules.end(),
+                   std::make_move_iterator(other.modules.begin()),
+                   std::make_move_iterator(other.modules.end()));
+}
+
+std::size_t
+FleetQueryStats::placedModules() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        modules.begin(), modules.end(),
+        [](const ModuleQueryStats &m) { return m.result.placed; }));
+}
+
+std::size_t
+FleetQueryStats::checkedBits() const
+{
+    std::size_t total = 0;
+    for (const ModuleQueryStats &m : modules)
+        total += m.result.checkedBits;
+    return total;
+}
+
+std::size_t
+FleetQueryStats::matchingBits() const
+{
+    std::size_t total = 0;
+    for (const ModuleQueryStats &m : modules)
+        total += m.result.matchingBits;
+    return total;
+}
+
+double
+FleetQueryStats::accuracyPercent() const
+{
+    const std::size_t checked = checkedBits();
+    return checked == 0 ? 100.0
+                        : 100.0 *
+                              static_cast<double>(matchingBits()) /
+                              static_cast<double>(checked);
+}
+
+namespace {
+
+template <class Fn>
+double
+placedMean(const std::vector<ModuleQueryStats> &modules, Fn &&metric)
+{
+    double total = 0.0;
+    std::size_t placed = 0;
+    for (const ModuleQueryStats &m : modules) {
+        if (!m.result.placed)
+            continue;
+        total += metric(m.result);
+        ++placed;
+    }
+    return placed == 0 ? 0.0 : total / static_cast<double>(placed);
+}
+
+} // namespace
+
+double
+FleetQueryStats::meanCommands() const
+{
+    return placedMean(modules, [](const QueryResult &r) {
+        return static_cast<double>(r.dram.commands);
+    });
+}
+
+double
+FleetQueryStats::meanLatencyNs() const
+{
+    return placedMean(modules, [](const QueryResult &r) {
+        return r.dram.latencyNs;
+    });
+}
+
+double
+FleetQueryStats::meanEnergyNj() const
+{
+    return placedMean(modules, [](const QueryResult &r) {
+        return r.dram.energyNj;
+    });
+}
+
+double
+FleetQueryStats::meanCoverage() const
+{
+    return placedMean(modules, [](const QueryResult &r) {
+        return r.dramCoverage;
+    });
+}
+
+double
+FleetQueryStats::meanCpuLatencyNs() const
+{
+    return placedMean(modules, [](const QueryResult &r) {
+        return r.cpuBaseline.latencyNs;
+    });
+}
+
+PudEngine::PudEngine(std::shared_ptr<FleetSession> session,
+                     EngineOptions options)
+    : session_(std::move(session)), options_(options)
+{
+    assert(session_ != nullptr);
+    // Majority voting needs an odd trial count: with an even count a
+    // tie resolves to 0, making e.g. redundancy=2 strictly worse
+    // than a single trial.
+    assert(options_.redundancy >= 1 && options_.redundancy % 2 == 1);
+}
+
+MicroProgram
+PudEngine::compile(const ExprPool &pool, ExprId root) const
+{
+    return Compiler(options_.compiler).compile(pool, root);
+}
+
+std::map<std::string, BitVector>
+PudEngine::randomColumns(const std::vector<std::string> &names,
+                         std::size_t bits, std::uint64_t seed)
+{
+    std::map<std::string, BitVector> columns;
+    std::uint64_t salt = 0;
+    for (const std::string &name : names) {
+        Rng rng(hashCombine(seed, ++salt));
+        BitVector bitsVec(bits);
+        bitsVec.randomize(rng);
+        columns.emplace(name, std::move(bitsVec));
+    }
+    return columns;
+}
+
+QueryResult
+PudEngine::execute(const MicroProgram &program,
+                   const RowAllocator &allocator, Chip &chip,
+                   std::uint64_t benderSeed,
+                   const std::map<std::string, BitVector> &columns)
+    const
+{
+    const GeometryConfig &geometry = chip.geometry();
+    const auto numColumns =
+        static_cast<std::size_t>(geometry.columns);
+    DramBender bender(chip, benderSeed);
+    Ops ops(bender);
+    const CostModel cost(chip);
+    const int trials = options_.redundancy;
+
+    const std::vector<BitVector> golden =
+        goldenValues(program, columns);
+    const Placement placement = allocator.place(program);
+
+    QueryResult result;
+    result.placed = placement.complete;
+    result.wideOps = program.wideOps();
+    result.notOps = program.notOps();
+    result.waves = program.numWaves;
+
+    std::vector<BitVector> values(program.numValues);
+    std::vector<BitVector> masks(program.numValues,
+                                 BitVector(numColumns, false));
+    std::vector<bool> isColumn(program.numValues, false);
+
+    // Latency bookkeeping: commands serialize within a bank, waves of
+    // independent gates overlap across banks.
+    std::map<std::pair<int, int>, double> waveBankNs;
+    // Per-op costs accumulate locally and commit only when the op's
+    // DRAM result is actually used; an op that aborts to the CPU
+    // fallback charges nothing.
+    const auto commitCost = [&](const MicroOp &op, BankId bank,
+                                const QueryCost &c) {
+        result.dram.commands += c.commands;
+        result.dram.energyNj += c.energyNj;
+        waveBankNs[{op.wave, static_cast<int>(bank)}] += c.latencyNs;
+    };
+
+    // Trusted DRAM bits overwrite the golden fallback; every trusted
+    // bit is also checked against the golden model for the accuracy
+    // report.
+    const auto assemble = [&](ValueId value, const BitVector &mask,
+                              const VoteSet &votes) {
+        values[value] = golden[value];
+        masks[value] = mask;
+        for (std::size_t col = 0; col < mask.size(); ++col) {
+            if (!mask.get(col))
+                continue;
+            const bool bit = votes.majority(col, trials);
+            values[value].set(col, bit);
+            ++result.checkedBits;
+            result.matchingBits +=
+                bit == golden[value].get(col) ? 1 : 0;
+        }
+    };
+
+    const auto cpuFallback = [&](const MicroOp &op) {
+        if (op.computeValue != kNoValue)
+            values[op.computeValue] = golden[op.computeValue];
+        if (op.referenceValue != kNoValue)
+            values[op.referenceValue] = golden[op.referenceValue];
+    };
+
+    for (std::size_t i = 0; i < program.ops.size(); ++i) {
+        const MicroOp &op = program.ops[i];
+        switch (op.kind) {
+          case MicroOpKind::Load: {
+            values[op.computeValue] = columns.at(op.column);
+            assert(values[op.computeValue].size() == numColumns);
+            isColumn[op.computeValue] = true;
+            // Residency: one write lands the column in DRAM; every
+            // query after that reuses it in place.
+            result.load.add(cost.hostWrite());
+            break;
+          }
+          case MicroOpKind::Wide: {
+            const int slotIndex = placement.gateSlotOf[i];
+            if (slotIndex < 0) {
+                cpuFallback(op);
+                break;
+            }
+            const GateSlot &slot = placement.gateSlots[slotIndex];
+            const BankId bank = slot.context.bank;
+            const int width = op.width();
+
+            // Copy-in plan: RowClone from staging for resident
+            // columns, host write otherwise. Clone unreliability
+            // shrinks this gate's masks.
+            BitVector copyMask(numColumns, true);
+            std::vector<bool> viaClone(
+                static_cast<std::size_t>(width), false);
+            for (int j = 0; j < width; ++j) {
+                const auto idx = static_cast<std::size_t>(j);
+                if (options_.copyIn == CopyInMode::RowClone &&
+                    isColumn[op.inputs[idx]] &&
+                    slot.stagingRows[idx] != kInvalidRow) {
+                    viaClone[idx] = true;
+                    copyMask =
+                        copyMask & slot.stagingMasks[idx];
+                }
+            }
+
+            VoteSet computeVotes(numColumns);
+            VoteSet referenceVotes(numColumns);
+            QueryCost opCost;
+            bool ok = true;
+            for (int trial = 0; ok && trial < trials; ++trial) {
+                if (!ops.initReference(bank, op.family,
+                                       slot.refRows)) {
+                    ok = false;
+                    break;
+                }
+                opCost.add(cost.fracProgram());
+                for (int w = 0; w < width + 1; ++w)
+                    opCost.add(cost.hostWrite());
+                for (int j = 0; j < width; ++j) {
+                    const auto idx = static_cast<std::size_t>(j);
+                    const BitVector &operand =
+                        values[op.inputs[idx]];
+                    if (viaClone[idx]) {
+                        if (trial == 0) {
+                            // The staging copy is the resident data.
+                            bender.writeRow(bank,
+                                            slot.stagingRows[idx],
+                                            operand);
+                        }
+                        ops.executeRowClone(bank,
+                                            slot.stagingRows[idx],
+                                            slot.computeRows[idx]);
+                        opCost.add(cost.copyProgram());
+                    } else {
+                        bender.writeRow(bank, slot.computeRows[idx],
+                                        operand);
+                        opCost.add(cost.hostWrite());
+                    }
+                }
+                const LogicOpResult trialResult = ops.executeLogic(
+                    bank, op.family, slot.refAnchor, slot.comAnchor,
+                    slot.refRows, slot.computeRows);
+                opCost.add(cost.logicProgram());
+                opCost.add(cost.hostRead());
+                opCost.add(cost.hostRead());
+                computeVotes.add(trialResult.computeResult);
+                referenceVotes.add(trialResult.referenceResult);
+            }
+            if (!ok) {
+                cpuFallback(op);
+                break;
+            }
+            commitCost(op, bank, opCost);
+            if (op.computeValue != kNoValue) {
+                assemble(op.computeValue,
+                         slot.mask(op.family) & copyMask,
+                         computeVotes);
+            }
+            if (op.referenceValue != kNoValue) {
+                const BoolOp inverted = op.family == BoolOp::And
+                                            ? BoolOp::Nand
+                                            : BoolOp::Nor;
+                assemble(op.referenceValue,
+                         slot.mask(inverted) & copyMask,
+                         referenceVotes);
+            }
+            break;
+          }
+          case MicroOpKind::Not: {
+            const int slotIndex = placement.notSlotOf[i];
+            if (slotIndex < 0) {
+                cpuFallback(op);
+                break;
+            }
+            const NotSlot &slot = placement.notSlots[slotIndex];
+            const BankId bank = slot.context.bank;
+            const BitVector &input = values[op.inputs.front()];
+            VoteSet votes(numColumns);
+            QueryCost opCost;
+            bool ok = true;
+            for (int trial = 0; ok && trial < trials; ++trial) {
+                bender.writeRow(bank, slot.srcRow, input);
+                // Initialize the destination with the source value so
+                // a failed (retaining) cell reads as stale data, not
+                // as an accidental success.
+                bender.writeRow(bank, slot.dstRow, input);
+                opCost.add(cost.hostWrite());
+                opCost.add(cost.hostWrite());
+                const auto destinations =
+                    ops.executeNot(bank, slot.srcRow, slot.dstRow);
+                opCost.add(cost.copyProgram());
+                if (destinations.empty()) {
+                    ok = false;
+                    break;
+                }
+                votes.add(bender.readRow(bank, destinations.front()));
+                opCost.add(cost.hostRead());
+            }
+            if (!ok) {
+                cpuFallback(op);
+                break;
+            }
+            commitCost(op, bank, opCost);
+            assemble(op.computeValue, slot.mask, votes);
+            break;
+          }
+        }
+    }
+
+    // Waves overlap across banks; the command bus serializes within
+    // one bank.
+    std::map<int, double> waveNs;
+    for (const auto &[key, ns] : waveBankNs)
+        waveNs[key.first] = std::max(waveNs[key.first], ns);
+    for (const auto &[wave, ns] : waveNs)
+        result.dram.latencyNs += ns;
+
+    result.output = values[program.result];
+    result.golden = golden[program.result];
+    result.mask = masks[program.result];
+    result.dramCoverage =
+        numColumns == 0
+            ? 0.0
+            : static_cast<double>(result.mask.popcount()) /
+                  static_cast<double>(numColumns);
+    result.cpuBaseline =
+        cpuBaselineCost(chip, program.loadOps(), numColumns);
+    return result;
+}
+
+const RowAllocator &
+PudEngine::allocatorFor(const FleetSession::Module &module) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &allocator = allocators_[module.index];
+    if (allocator == nullptr) {
+        allocator = std::make_unique<RowAllocator>(
+            *session_, module, options_.allocator);
+    }
+    return *allocator;
+}
+
+QueryResult
+PudEngine::run(const FleetSession::Module &module,
+               const ExprPool &pool, ExprId root,
+               const std::map<std::string, BitVector> &columns) const
+{
+    const MicroProgram program = compile(pool, root);
+    Chip chip = session_->checkoutChip(module);
+    return execute(program, allocatorFor(module), chip,
+                   hashCombine(module.seed, options_.benderSeedSalt),
+                   columns);
+}
+
+QueryResult
+PudEngine::runOnChip(Chip &chip, std::uint64_t seed,
+                     const ExprPool &pool, ExprId root,
+                     const std::map<std::string, BitVector> &columns)
+    const
+{
+    const MicroProgram program = compile(pool, root);
+    const RowAllocator allocator(chip, seed, options_.allocator);
+    return execute(program, allocator, chip,
+                   hashCombine(seed, options_.benderSeedSalt),
+                   columns);
+}
+
+FleetQueryStats
+PudEngine::runFleet(FleetSession::Fleet fleet, const ExprPool &pool,
+                    ExprId root, std::uint64_t dataSeedSalt) const
+{
+    // The μprogram is module-independent: compile once, execute
+    // everywhere.
+    const MicroProgram program = compile(pool, root);
+    const std::vector<std::string> names = pool.columnsOf(root);
+    const auto bits =
+        static_cast<std::size_t>(session_->config().geometry.columns);
+    return session_->runOverFleet<FleetQueryStats>(
+        fleet, [&](const FleetSession::ModuleView &view,
+                   FleetQueryStats &accum) {
+            const auto data = randomColumns(
+                names, bits, hashCombine(view.seed, dataSeedSalt));
+            ModuleQueryStats stats;
+            std::ostringstream label;
+            label << view.spec.profile().label() << " #"
+                  << view.module.index;
+            stats.label = label.str();
+            stats.moduleIndex = view.module.index;
+            Chip chip = session_->checkoutChip(view.module);
+            stats.result =
+                execute(program, allocatorFor(view.module), chip,
+                        hashCombine(view.module.seed,
+                                    options_.benderSeedSalt),
+                        data);
+            accum.modules.push_back(std::move(stats));
+        });
+}
+
+} // namespace fcdram::pud

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * PuD query executor: runs compiled μprograms on simulated COTS DRAM
+ * chips and reports accuracy and analytic cost next to a CPU golden
+ * baseline.
+ *
+ * The engine is the compile -> allocate -> execute pipeline in one
+ * place: expressions lower to wide-gate μprograms (pud/compiler.hh),
+ * the allocator places gates on qualifying activation pairs with
+ * reliability masks (pud/allocator.hh), and the executor drives the
+ * DramBender command path gate by gate. Columns outside a gate's
+ * reliable mask fall back to the CPU golden model per bit position,
+ * optional majority voting (EngineOptions::redundancy) suppresses
+ * residual noise on the masked columns, and operand copy-in can run
+ * either as host writes or as in-DRAM RowClone from staging rows.
+ * Independent gates of one topological wave are batched onto
+ * distinct subarray pairs; the analytic latency model overlaps waves
+ * across banks while the command bus serializes within a bank.
+ *
+ * Fleet-scale runs go through FleetSession::runOverFleet, so results
+ * are deterministic in the worker count and chips/pair discovery are
+ * shared with every other experiment on the session.
+ */
+
+#ifndef FCDRAM_PUD_ENGINE_HH
+#define FCDRAM_PUD_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fcdram/session.hh"
+#include "pud/allocator.hh"
+#include "pud/compiler.hh"
+
+namespace fcdram::pud {
+
+/** How operand values reach the compute rows. */
+enum class CopyInMode : std::uint8_t {
+    /** Deterministic host write per operand (3 commands). */
+    HostWrite,
+
+    /**
+     * In-DRAM RowClone from the slot's staging rows (4 commands, no
+     * host data movement); columns outside the copy's reliable mask
+     * shrink the gate mask accordingly. Falls back to a host write
+     * for compute rows without a staging pair.
+     */
+    RowClone,
+};
+
+/** Execution knobs. */
+struct EngineOptions
+{
+    CompilerOptions compiler;
+    AllocatorOptions allocator;
+
+    /**
+     * Executions per gate with per-column majority voting; must be
+     * odd (a tie on an even count would resolve to 0). 1 runs every
+     * gate once; 3 suppresses residual noise failures on masked
+     * columns (the acceptance benches use 3).
+     */
+    int redundancy = 1;
+
+    CopyInMode copyIn = CopyInMode::HostWrite;
+
+    /** Salt for the per-run DramBender session seed. */
+    std::uint64_t benderSeedSalt = 0x9DULL;
+};
+
+/** Analytic DRAM command/latency/energy tally. */
+struct QueryCost
+{
+    std::uint64_t commands = 0;
+    double latencyNs = 0.0;
+    double energyNj = 0.0;
+
+    void add(const QueryCost &other)
+    {
+        commands += other.commands;
+        latencyNs += other.latencyNs;
+        energyNj += other.energyNj;
+    }
+};
+
+/** Result of one query execution on one chip. */
+struct QueryResult
+{
+    /** Hybrid result: DRAM bits on masked columns, CPU elsewhere. */
+    BitVector output;
+
+    /** CPU golden-model result. */
+    BitVector golden;
+
+    /** Columns of the final value that came from DRAM. */
+    BitVector mask;
+
+    /** True if every gate obtained an activation site. */
+    bool placed = false;
+
+    /**
+     * Masked-column accounting across every executed gate: bits the
+     * engine trusted to DRAM, and how many matched the golden model.
+     */
+    std::size_t checkedBits = 0;
+    std::size_t matchingBits = 0;
+
+    /** 100 when every checked bit matched (or none were checked). */
+    double accuracyPercent() const
+    {
+        return checkedBits == 0 ? 100.0
+                                : 100.0 *
+                                      static_cast<double>(matchingBits) /
+                                      static_cast<double>(checkedBits);
+    }
+
+    /** Fraction of result columns computed in DRAM. */
+    double dramCoverage = 0.0;
+
+    /** Per-query DRAM work (excludes the amortized data load). */
+    QueryCost dram;
+
+    /** One-time residency cost of the input columns. */
+    QueryCost load;
+
+    /** Analytic CPU bulk-bitwise baseline for the same query. */
+    QueryCost cpuBaseline;
+
+    int wideOps = 0;
+    int notOps = 0;
+    int waves = 0;
+};
+
+/** One module's row of a fleet-wide query run. */
+struct ModuleQueryStats
+{
+    std::string label;
+    std::size_t moduleIndex = 0;
+    QueryResult result;
+};
+
+/**
+ * Fleet accumulator: per-module rows, appended in module order by
+ * FleetSession::runOverFleet (deterministic in the worker count).
+ */
+struct FleetQueryStats
+{
+    std::vector<ModuleQueryStats> modules;
+
+    /** runOverFleet fold hook. */
+    void mergeFrom(FleetQueryStats &&other);
+
+    std::size_t placedModules() const;
+    std::size_t checkedBits() const;
+    std::size_t matchingBits() const;
+
+    /** 100 when every checked bit fleet-wide matched golden. */
+    double accuracyPercent() const;
+
+    /** Means over placed modules (0 when none placed). */
+    double meanCommands() const;
+    double meanLatencyNs() const;
+    double meanEnergyNj() const;
+    double meanCoverage() const;
+    double meanCpuLatencyNs() const;
+};
+
+/** The PuD query engine over one fleet session. */
+class PudEngine
+{
+  public:
+    explicit PudEngine(std::shared_ptr<FleetSession> session,
+                       EngineOptions options = EngineOptions());
+
+    const EngineOptions &options() const { return options_; }
+    const std::shared_ptr<FleetSession> &session() const
+    {
+        return session_;
+    }
+
+    /** Lower an expression (module-independent). */
+    MicroProgram compile(const ExprPool &pool, ExprId root) const;
+
+    /** Compile + allocate + execute on one fleet module. */
+    QueryResult run(const FleetSession::Module &module,
+                    const ExprPool &pool, ExprId root,
+                    const std::map<std::string, BitVector> &columns)
+        const;
+
+    /** Same, on a private chip (tests, custom profiles). */
+    QueryResult
+    runOnChip(Chip &chip, std::uint64_t seed, const ExprPool &pool,
+              ExprId root,
+              const std::map<std::string, BitVector> &columns) const;
+
+    /** Execute an already compiled and placed program. */
+    QueryResult
+    execute(const MicroProgram &program, const RowAllocator &allocator,
+            Chip &chip, std::uint64_t benderSeed,
+            const std::map<std::string, BitVector> &columns) const;
+
+    /**
+     * Run one query on every module of a fleet slice via
+     * FleetSession::runOverFleet, with per-module random column data
+     * derived from the module seed.
+     */
+    FleetQueryStats runFleet(FleetSession::Fleet fleet,
+                             const ExprPool &pool, ExprId root,
+                             std::uint64_t dataSeedSalt = 0xDA7AULL)
+        const;
+
+    /** Deterministic random column data for fleet runs. */
+    static std::map<std::string, BitVector>
+    randomColumns(const std::vector<std::string> &names,
+                  std::size_t bits, std::uint64_t seed);
+
+  private:
+    /**
+     * Cached per-module allocator: slot discovery and reliability
+     * masks depend only on (module, allocator options), so every
+     * query against a module reuses them (mirroring the session's
+     * qualifying-pair memoization).
+     */
+    const RowAllocator &
+    allocatorFor(const FleetSession::Module &module) const;
+
+    std::shared_ptr<FleetSession> session_;
+    EngineOptions options_;
+
+    mutable std::mutex mutex_;
+    mutable std::map<std::size_t, std::unique_ptr<RowAllocator>>
+        allocators_;
+};
+
+} // namespace fcdram::pud
+
+#endif // FCDRAM_PUD_ENGINE_HH

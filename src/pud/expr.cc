@@ -1,0 +1,278 @@
+#include "pud/expr.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace fcdram::pud {
+
+const char *
+toString(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::Column:
+        return "col";
+      case ExprKind::Not:
+        return "not";
+      case ExprKind::And:
+        return "and";
+      case ExprKind::Or:
+        return "or";
+      case ExprKind::Nand:
+        return "nand";
+      case ExprKind::Nor:
+        return "nor";
+      case ExprKind::Xor:
+        return "xor";
+    }
+    return "?";
+}
+
+ExprId
+ExprPool::intern(ExprNode node)
+{
+    const auto key =
+        std::make_tuple(node.kind, node.column, node.operands);
+    const auto it = index_.find(key);
+    if (it != index_.end())
+        return it->second;
+    const auto id = static_cast<ExprId>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    index_.emplace(key, id);
+    return id;
+}
+
+std::vector<ExprId>
+ExprPool::canonicalize(std::vector<ExprId> operands, ExprKind flatten,
+                       bool keepDuplicates) const
+{
+    std::vector<ExprId> flat;
+    flat.reserve(operands.size());
+    for (const ExprId id : operands) {
+        assert(id < nodes_.size());
+        if (nodes_[id].kind == flatten) {
+            const auto &children = nodes_[id].operands;
+            flat.insert(flat.end(), children.begin(), children.end());
+        } else {
+            flat.push_back(id);
+        }
+    }
+    std::sort(flat.begin(), flat.end());
+    if (!keepDuplicates)
+        flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+    return flat;
+}
+
+ExprId
+ExprPool::column(const std::string &name)
+{
+    assert(!name.empty());
+    ExprNode node;
+    node.kind = ExprKind::Column;
+    node.column = name;
+    return intern(std::move(node));
+}
+
+ExprId
+ExprPool::mkNot(ExprId a)
+{
+    assert(a < nodes_.size());
+    const ExprNode &operand = nodes_[a];
+    switch (operand.kind) {
+      case ExprKind::Not:
+        return operand.operands.front();
+      case ExprKind::And:
+        return mkNand(operand.operands);
+      case ExprKind::Or:
+        return mkNor(operand.operands);
+      case ExprKind::Nand:
+        return mkAnd(operand.operands);
+      case ExprKind::Nor:
+        return mkOr(operand.operands);
+      case ExprKind::Column:
+      case ExprKind::Xor:
+        break;
+    }
+    ExprNode node;
+    node.kind = ExprKind::Not;
+    node.operands = {a};
+    return intern(std::move(node));
+}
+
+ExprId
+ExprPool::mkAnd(std::vector<ExprId> operands)
+{
+    assert(!operands.empty());
+    auto flat = canonicalize(std::move(operands), ExprKind::And,
+                             /*keepDuplicates=*/false);
+    if (flat.size() == 1)
+        return flat.front();
+    ExprNode node;
+    node.kind = ExprKind::And;
+    node.operands = std::move(flat);
+    return intern(std::move(node));
+}
+
+ExprId
+ExprPool::mkOr(std::vector<ExprId> operands)
+{
+    assert(!operands.empty());
+    auto flat = canonicalize(std::move(operands), ExprKind::Or,
+                             /*keepDuplicates=*/false);
+    if (flat.size() == 1)
+        return flat.front();
+    ExprNode node;
+    node.kind = ExprKind::Or;
+    node.operands = std::move(flat);
+    return intern(std::move(node));
+}
+
+ExprId
+ExprPool::mkNand(std::vector<ExprId> operands)
+{
+    assert(!operands.empty());
+    auto flat = canonicalize(std::move(operands), ExprKind::And,
+                             /*keepDuplicates=*/false);
+    if (flat.size() == 1)
+        return mkNot(flat.front());
+    ExprNode node;
+    node.kind = ExprKind::Nand;
+    node.operands = std::move(flat);
+    return intern(std::move(node));
+}
+
+ExprId
+ExprPool::mkNor(std::vector<ExprId> operands)
+{
+    assert(!operands.empty());
+    auto flat = canonicalize(std::move(operands), ExprKind::Or,
+                             /*keepDuplicates=*/false);
+    if (flat.size() == 1)
+        return mkNot(flat.front());
+    ExprNode node;
+    node.kind = ExprKind::Nor;
+    node.operands = std::move(flat);
+    return intern(std::move(node));
+}
+
+ExprId
+ExprPool::mkXor(std::vector<ExprId> operands)
+{
+    assert(!operands.empty());
+    // x ^ x would be constant 0; the pool has no constants, so XOR
+    // keeps duplicates and leaves cancellation to the caller.
+    auto flat = canonicalize(std::move(operands), ExprKind::Xor,
+                             /*keepDuplicates=*/true);
+    if (flat.size() == 1)
+        return flat.front();
+    ExprNode node;
+    node.kind = ExprKind::Xor;
+    node.operands = std::move(flat);
+    return intern(std::move(node));
+}
+
+const ExprNode &
+ExprPool::node(ExprId id) const
+{
+    assert(id < nodes_.size());
+    return nodes_[id];
+}
+
+BitVector
+ExprPool::evaluate(ExprId root,
+                   const std::map<std::string, BitVector> &columns)
+    const
+{
+    assert(root < nodes_.size());
+    std::vector<BitVector> memo(nodes_.size());
+    std::vector<bool> done(nodes_.size(), false);
+
+    // Iterative post-order over the DAG (expressions can be deep).
+    std::vector<std::pair<ExprId, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+        const auto [id, expanded] = stack.back();
+        stack.pop_back();
+        if (done[id])
+            continue;
+        const ExprNode &n = nodes_[id];
+        if (!expanded && n.kind != ExprKind::Column) {
+            stack.emplace_back(id, true);
+            for (const ExprId operand : n.operands)
+                stack.emplace_back(operand, false);
+            continue;
+        }
+        switch (n.kind) {
+          case ExprKind::Column:
+            memo[id] = columns.at(n.column);
+            break;
+          case ExprKind::Not:
+            memo[id] = ~memo[n.operands.front()];
+            break;
+          case ExprKind::And:
+          case ExprKind::Nand: {
+            BitVector acc = memo[n.operands.front()];
+            for (std::size_t i = 1; i < n.operands.size(); ++i)
+                acc = acc & memo[n.operands[i]];
+            memo[id] = n.kind == ExprKind::Nand ? ~acc : acc;
+            break;
+          }
+          case ExprKind::Or:
+          case ExprKind::Nor: {
+            BitVector acc = memo[n.operands.front()];
+            for (std::size_t i = 1; i < n.operands.size(); ++i)
+                acc = acc | memo[n.operands[i]];
+            memo[id] = n.kind == ExprKind::Nor ? ~acc : acc;
+            break;
+          }
+          case ExprKind::Xor: {
+            BitVector acc = memo[n.operands.front()];
+            for (std::size_t i = 1; i < n.operands.size(); ++i)
+                acc = acc ^ memo[n.operands[i]];
+            memo[id] = acc;
+            break;
+          }
+        }
+        done[id] = true;
+    }
+    return memo[root];
+}
+
+std::vector<std::string>
+ExprPool::columnsOf(ExprId root) const
+{
+    assert(root < nodes_.size());
+    std::vector<std::string> names;
+    std::vector<bool> visited(nodes_.size(), false);
+    std::vector<ExprId> stack{root};
+    while (!stack.empty()) {
+        const ExprId id = stack.back();
+        stack.pop_back();
+        if (visited[id])
+            continue;
+        visited[id] = true;
+        const ExprNode &n = nodes_[id];
+        if (n.kind == ExprKind::Column)
+            names.push_back(n.column);
+        for (const ExprId operand : n.operands)
+            stack.push_back(operand);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+std::string
+ExprPool::toString(ExprId root) const
+{
+    const ExprNode &n = node(root);
+    if (n.kind == ExprKind::Column)
+        return n.column;
+    std::ostringstream oss;
+    oss << "(" << pud::toString(n.kind);
+    for (const ExprId operand : n.operands)
+        oss << " " << toString(operand);
+    oss << ")";
+    return oss.str();
+}
+
+} // namespace fcdram::pud

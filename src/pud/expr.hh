@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Expression layer of the Processing-using-DRAM (PuD) query engine: a
+ * small hash-consed AST over named bit-vector columns with
+ * AND/OR/NOT/NAND/NOR/XOR nodes.
+ *
+ * Expressions are built through an interning pool, so structurally
+ * equal subexpressions share one node and the compiler gets common
+ * subexpression elimination for free. The builders canonicalize on
+ * construction: associative gates are flattened (AND(AND(a,b),c) ->
+ * AND(a,b,c), the shape the wide multi-input DRAM gates want),
+ * commutative operand lists are sorted and deduplicated, double
+ * negation cancels, and NOT pushes into AND/OR/NAND/NOR (De Morgan
+ * between a gate and its free inverted twin: the DRAM substrate
+ * computes NAND/NOR on the reference rows of the same activation that
+ * computes AND/OR).
+ */
+
+#ifndef FCDRAM_PUD_EXPR_HH
+#define FCDRAM_PUD_EXPR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hh"
+
+namespace fcdram::pud {
+
+/** Node kind of a query expression. */
+enum class ExprKind : std::uint8_t {
+    Column, ///< Named input bit-vector (one bit per record).
+    Not,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+};
+
+/** Printable name of an expression kind. */
+const char *toString(ExprKind kind);
+
+/** Handle on an interned expression node (index into its pool). */
+using ExprId = std::uint32_t;
+
+/** Sentinel for "no expression". */
+inline constexpr ExprId kNoExpr = static_cast<ExprId>(-1);
+
+/** One interned expression node. */
+struct ExprNode
+{
+    ExprKind kind = ExprKind::Column;
+
+    /** Column name (Column nodes only). */
+    std::string column;
+
+    /**
+     * Operand node ids. Sorted (and for idempotent kinds deduplicated)
+     * for commutative kinds; exactly one entry for Not.
+     */
+    std::vector<ExprId> operands;
+};
+
+/**
+ * Interning pool and builder for query expressions. All builders
+ * canonicalize, so two semantically-identically-built expressions get
+ * the same ExprId and the DAG below them is shared.
+ */
+class ExprPool
+{
+  public:
+    /** Named input column. */
+    ExprId column(const std::string &name);
+
+    /**
+     * Negation. Canonicalizes: NOT(NOT(x)) = x, NOT(AND) = NAND,
+     * NOT(OR) = NOR, NOT(NAND) = AND, NOT(NOR) = OR.
+     */
+    ExprId mkNot(ExprId a);
+
+    /** N-input AND; nested ANDs are flattened. @pre !operands.empty() */
+    ExprId mkAnd(std::vector<ExprId> operands);
+
+    /** N-input OR; nested ORs are flattened. @pre !operands.empty() */
+    ExprId mkOr(std::vector<ExprId> operands);
+
+    /** NOT(AND(operands)); nested ANDs flatten into the operand list. */
+    ExprId mkNand(std::vector<ExprId> operands);
+
+    /** NOT(OR(operands)); nested ORs flatten into the operand list. */
+    ExprId mkNor(std::vector<ExprId> operands);
+
+    /** N-input XOR (parity); nested XORs are flattened. */
+    ExprId mkXor(std::vector<ExprId> operands);
+
+    /** Binary conveniences. */
+    ExprId mkAnd(ExprId a, ExprId b) { return mkAnd({a, b}); }
+    ExprId mkOr(ExprId a, ExprId b) { return mkOr({a, b}); }
+    ExprId mkXor(ExprId a, ExprId b) { return mkXor({a, b}); }
+
+    /** Interned node. @pre id < size() */
+    const ExprNode &node(ExprId id) const;
+
+    /** Number of interned nodes. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /**
+     * CPU golden-model evaluation of @p root over the given column
+     * values. All columns referenced by the expression must be
+     * present and of equal size.
+     */
+    BitVector evaluate(ExprId root,
+                       const std::map<std::string, BitVector> &columns)
+        const;
+
+    /** Sorted unique names of the columns @p root reads. */
+    std::vector<std::string> columnsOf(ExprId root) const;
+
+    /** Render as a prefix-notation string (for tests and logs). */
+    std::string toString(ExprId root) const;
+
+  private:
+    ExprId intern(ExprNode node);
+
+    /**
+     * Canonical operand list of a commutative gate: operands of kind
+     * @p flatten are replaced by their children, then the list is
+     * sorted and (unless @p keepDuplicates) deduplicated.
+     */
+    std::vector<ExprId> canonicalize(std::vector<ExprId> operands,
+                                     ExprKind flatten,
+                                     bool keepDuplicates) const;
+
+    std::vector<ExprNode> nodes_;
+    std::map<std::tuple<ExprKind, std::string, std::vector<ExprId>>,
+             ExprId>
+        index_;
+};
+
+} // namespace fcdram::pud
+
+#endif // FCDRAM_PUD_EXPR_HH

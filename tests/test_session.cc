@@ -168,6 +168,125 @@ TEST(FleetSessionTest, PairQueryPredicates)
               PairQuery::simultaneousWithDest(2).key());
 }
 
+TEST(PairQueryKeyTest, DistinctQueriesGetDistinctKeys)
+{
+    // The canonical key doubles as a cache-key and a discovery-seed
+    // salt, so any two inequivalent queries must disagree.
+    std::vector<PairQuery> queries;
+    for (const auto activation : {PairQuery::Activation::Any,
+                                  PairQuery::Activation::Simultaneous}) {
+        for (const int source : {-1, 1, 2, 4, 8, 16}) {
+            for (const int dest : {-1, 1, 2, 4, 8, 16}) {
+                PairQuery query;
+                query.activation = activation;
+                query.sourceRows = source;
+                query.destRows = dest;
+                queries.push_back(query);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        for (std::size_t j = i + 1; j < queries.size(); ++j) {
+            EXPECT_NE(queries[i].key(), queries[j].key())
+                << "i=" << i << " j=" << j;
+        }
+    }
+}
+
+TEST(PairQueryKeyTest, KeyEqualityIsConsistentWithOrdering)
+{
+    // key() and operator< must induce the same equivalence: two
+    // queries compare equal under the ordering iff their keys match.
+    std::vector<PairQuery> queries = {
+        PairQuery::square(2),          PairQuery::square(2),
+        PairQuery::square(4),          PairQuery::anyWithDest(1),
+        PairQuery::simultaneousWithDest(1),
+        PairQuery::simultaneousWithDest(4),
+    };
+    for (const PairQuery &a : queries) {
+        for (const PairQuery &b : queries) {
+            const bool equivalent = !(a < b) && !(b < a);
+            EXPECT_EQ(equivalent, a.key() == b.key());
+        }
+    }
+}
+
+TEST(FleetSessionTest, MergeAccumFoldsMapsInModuleOrder)
+{
+    // runOverFleet folds partial accumulators in module order; the
+    // std::map overload must merge value-wise so the fold is
+    // deterministic and independent of which worker ran what.
+    const auto sampleSet = [](std::initializer_list<double> values) {
+        SampleSet set;
+        for (const double value : values)
+            set.add(value);
+        return set;
+    };
+    std::map<int, SampleSet> first;
+    first[1] = sampleSet({1.0, 2.0});
+    first[2] = sampleSet({3.0});
+    std::map<int, SampleSet> second;
+    second[1] = sampleSet({4.0});
+    second[3] = sampleSet({5.0});
+
+    std::map<int, SampleSet> result;
+    FleetSession::mergeAccum(result, std::move(first));
+    FleetSession::mergeAccum(result, std::move(second));
+
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result.at(1).values(),
+              (std::vector<double>{1.0, 2.0, 4.0}))
+        << "module-order append, not interleave";
+    EXPECT_EQ(result.at(2).values(), (std::vector<double>{3.0}));
+    EXPECT_EQ(result.at(3).values(), (std::vector<double>{5.0}));
+
+    // Nested maps recurse through the same overload.
+    std::map<std::string, std::map<int, SampleSet>> nestedInto;
+    std::map<std::string, std::map<int, SampleSet>> nestedFrom;
+    nestedFrom["op"][2] = sampleSet({7.0});
+    FleetSession::mergeAccum(nestedInto, std::move(nestedFrom));
+    EXPECT_EQ(nestedInto.at("op").at(2).values(),
+              (std::vector<double>{7.0}));
+}
+
+namespace {
+
+/** Minimal accumulator for the mergeFrom-based generic fold. */
+struct OrderAccum
+{
+    std::vector<std::size_t> indices;
+
+    void mergeFrom(OrderAccum &&other)
+    {
+        indices.insert(indices.end(), other.indices.begin(),
+                       other.indices.end());
+    }
+};
+
+} // namespace
+
+TEST(FleetSessionTest, MergeAccumSupportsMergeFromAccumulators)
+{
+    // Accumulators outside the built-in overload set fold through
+    // their mergeFrom member (used by the PuD engine), and
+    // runOverFleet visits modules in stable order regardless of the
+    // worker count.
+    for (const int workers : {1, 4}) {
+        const FleetSession session(configWithWorkers(workers));
+        const OrderAccum order = session.runOverFleet<OrderAccum>(
+            FleetSession::Fleet::Table1,
+            [](const FleetSession::ModuleView &view,
+               OrderAccum &accum) {
+                accum.indices.push_back(view.module.index);
+            });
+        const auto &modules =
+            session.modules(FleetSession::Fleet::Table1);
+        ASSERT_EQ(order.indices.size(), modules.size());
+        for (std::size_t i = 0; i < modules.size(); ++i)
+            EXPECT_EQ(order.indices[i], modules[i].index);
+    }
+}
+
 TEST(FleetSessionTest, WorkerCountDoesNotChangeResults)
 {
     // The determinism contract: a figure experiment run with one
