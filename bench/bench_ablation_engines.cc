@@ -1,123 +1,225 @@
 /**
  * @file
- * Ablation of DESIGN.md choice 1: the closed-form analytic engine vs.
- * the full command-level Monte-Carlo executor. Prints the mean
- * success rate from both engines for matched configurations; they
- * share the same margin core, so the residual is pure Monte-Carlo
- * sampling error.
+ * Compute-backend ablation: the FCDRAM NAND/NOR basis vs. the SiMRA
+ * MAJ basis (simultaneous many-row activation), fleet-wide on
+ * identical queries and identical per-module data.
+ *
+ * Every query runs through the same compile -> allocate -> execute
+ * pipeline twice, once per backend, and the bench reports DRAM
+ * command count, analytic latency/energy, DRAM coverage, and
+ * golden-model accuracy side by side.
+ *
+ * Acceptance properties checked here (non-zero exit on violation):
+ *  - on both backends, every column trusted to DRAM matches the CPU
+ *    golden model, fleet-wide, on every query;
+ *  - on the wide-AND/OR-dominated queries, the MAJ backend's total
+ *    DRAM command count (over modules placed on both backends) is
+ *    strictly lower than the NAND/NOR backend's: an input-biased
+ *    MAJ gate needs one less constant row and one less readout than
+ *    the reference-row construction of the same fan-in.
  */
 
-#include <chrono>
+#include <cstdint>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "benchutil.hh"
-#include "fcdram/analytic.hh"
-#include "fcdram/ops.hh"
+#include "pud/engine.hh"
 
 using namespace fcdram;
+using namespace fcdram::benchutil;
+using namespace fcdram::pud;
+
+namespace {
+
+struct QuerySpec
+{
+    std::string label;
+    ExprId root = kNoExpr;
+
+    /** Joins the wide-AND/OR command-count acceptance check. */
+    bool wideAndOr = false;
+};
+
+struct BackendRun
+{
+    FleetQueryStats stats;
+    std::uint64_t comparableCommands = 0; ///< Over co-placed modules.
+};
+
+void
+addRow(Table &table, const std::string &query, const char *backend,
+       const FleetQueryStats &stats, std::size_t fleetSize)
+{
+    table.addRow();
+    table.addCell(query);
+    table.addCell(backend);
+    table.addCell(static_cast<std::uint64_t>(stats.placedModules()));
+    table.addCell(static_cast<std::uint64_t>(fleetSize));
+    table.addCell(stats.meanCommands(), 1);
+    table.addCell(stats.meanLatencyNs(), 1);
+    table.addCell(stats.meanEnergyNj(), 1);
+    table.addCell(100.0 * stats.meanCoverage(), 1);
+    table.addCell(static_cast<std::uint64_t>(stats.checkedBits()));
+    table.addCell(stats.accuracyPercent(), 3);
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printBanner(std::cout,
-                "Ablation: analytic engine vs. Monte-Carlo executor");
+                "Backend ablation: NAND/NOR basis vs. SiMRA MAJ "
+                "basis, fleet-wide");
 
-    GeometryConfig geometry = GeometryConfig::standard();
-    geometry.columns = 64;
-    geometry.numBanks = 1;
-    const ChipProfile profile =
-        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
-    Chip chip(profile, geometry, 11);
-    AnalyticConfig config;
-    config.sampleBinomial = false;
-    AnalyticAnalyzer analytic(chip, config, 1);
-    DramBender bender(chip, 17);
-    SuccessRateAnalyzer mc(bender, 19);
+    CampaignConfig config = figureConfig(argc, argv);
+    config.banksPerChip = 2;
+    const auto session = std::make_shared<FleetSession>(config);
+    const std::size_t fleetSize =
+        session->modules(FleetSession::Fleet::SkHynix).size();
 
-    Table table({"experiment", "analytic mean %", "MC mean %",
-                 "|delta|", "MC trials", "MC time ms"});
+    BenchReport report("ablation_engines");
 
-    const auto add_not = [&](int dest) {
-        const auto pairs = findActivationPairs(chip, dest, dest, 1, 13);
-        if (pairs.empty())
-            return;
-        const RowId src = composeRow(geometry, 0, pairs[0].first);
-        const RowId dst = composeRow(geometry, 1, pairs[0].second);
-        const auto samples =
-            analytic.notSamples(0, src, dst, OpConditions());
-        double analytic_mean = 0.0;
-        for (const auto &sample : samples)
-            analytic_mean += 100.0 * sample.probability;
-        analytic_mean /= static_cast<double>(samples.size());
+    // ---- Identical queries for both backends ---------------------
+    ExprPool pool;
+    std::vector<ExprId> cols;
+    for (int i = 0; i < 16; ++i)
+        cols.push_back(pool.column(std::string("c") + std::to_string(i)));
 
-        NotTrialConfig trial;
-        trial.srcGlobal = src;
-        trial.dstGlobal = dst;
-        trial.trials = 600;
-        const auto start = std::chrono::steady_clock::now();
-        const NotTrialResult result = mc.runNot(trial);
-        const auto elapsed =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - start);
-        const double mc_mean = result.cells.averageSuccessPercent();
-        table.addRow();
-        table.addCell("NOT " + std::to_string(dest) + " dest");
-        table.addCell(analytic_mean, 2);
-        table.addCell(mc_mean, 2);
-        table.addCell(std::abs(analytic_mean - mc_mean), 2);
-        table.addCell(static_cast<std::uint64_t>(trial.trials));
-        table.addCell(
-            static_cast<std::uint64_t>(elapsed.count()));
-    };
-    add_not(1);
-    add_not(2);
-    add_not(4);
-    add_not(8);
-
-    const auto add_logic = [&](BoolOp op, int n) {
-        const auto pairs = findActivationPairs(chip, n, n, 1, 29);
-        if (pairs.empty())
-            return;
-        const RowId ref = composeRow(geometry, 0, pairs[0].first);
-        const RowId com = composeRow(geometry, 1, pairs[0].second);
-        const auto samples = analytic.logicSamples(
-            0, op, ref, com, OpConditions(), PatternClass::Random);
-        double analytic_mean = 0.0;
-        for (const auto &sample : samples)
-            analytic_mean += 100.0 * sample.probability;
-        analytic_mean /= static_cast<double>(samples.size());
-
-        LogicTrialConfig trial;
-        trial.op = op;
-        trial.refGlobal = ref;
-        trial.comGlobal = com;
-        trial.trials = 400;
-        const auto start = std::chrono::steady_clock::now();
-        const LogicTrialResult result = mc.runLogic(trial);
-        const auto elapsed =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - start);
-        const auto &cells = isInvertedOp(op) ? result.referenceCells
-                                             : result.computeCells;
-        const double mc_mean = cells.averageSuccessPercent();
-        table.addRow();
-        table.addCell(std::string(toString(op)) + " " +
-                      std::to_string(n) + "-input");
-        table.addCell(analytic_mean, 2);
-        table.addCell(mc_mean, 2);
-        table.addCell(std::abs(analytic_mean - mc_mean), 2);
-        table.addCell(static_cast<std::uint64_t>(trial.trials));
-        table.addCell(static_cast<std::uint64_t>(elapsed.count()));
-    };
-    for (const BoolOp op :
-         {BoolOp::And, BoolOp::Nand, BoolOp::Or, BoolOp::Nor}) {
-        add_logic(op, 2);
-        add_logic(op, 4);
+    std::vector<QuerySpec> queries;
+    for (const int width : {4, 8, 16}) {
+        const std::vector<ExprId> slice(cols.begin(),
+                                        cols.begin() + width);
+        queries.push_back({std::string("AND-") + std::to_string(width),
+                           pool.mkAnd(slice), true});
+        queries.push_back({std::string("OR-") + std::to_string(width),
+                           pool.mkOr(slice), true});
     }
+    const std::vector<ExprId> low(cols.begin(), cols.begin() + 8);
+    const std::vector<ExprId> high(cols.begin() + 8, cols.end());
+    queries.push_back({"AND-8 & OR-8",
+                       pool.mkAnd(pool.mkOr(low), pool.mkOr(high)),
+                       true});
+    // The many-row workload class SiMRA opens: native majority.
+    queries.push_back({"MAJ3",
+                       pool.mkMaj({cols[0], cols[1], cols[2]}),
+                       false});
+    queries.push_back(
+        {"MAJ5",
+         pool.mkMaj({cols[0], cols[1], cols[2], cols[3], cols[4]}),
+         false});
+    queries.push_back({"XOR-4",
+                       pool.mkXor({cols[0], cols[1], cols[2], cols[3]}),
+                       false});
+    report.lap("compile");
 
+    const auto makeEngine = [&](BackendChoice backend) {
+        EngineOptions options;
+        options.backend = backend;
+        options.redundancy = 3;
+        return PudEngine(session, options);
+    };
+    const PudEngine nandnor = makeEngine(BackendChoice::NandNor);
+    const PudEngine simra = makeEngine(BackendChoice::SimraMaj);
+
+    Table table({"query", "backend", "placed", "fleet", "DRAM cmds",
+                 "latency ns", "energy nJ", "DRAM cols %",
+                 "checked bits", "acc %"});
+    bool accuracyHolds = true;
+    std::uint64_t wideNandNorCommands = 0;
+    std::uint64_t wideSimraCommands = 0;
+    std::size_t wideComparableModules = 0;
+
+    for (const QuerySpec &query : queries) {
+        const FleetQueryStats nn = nandnor.runFleet(
+            FleetSession::Fleet::SkHynix, pool, query.root);
+        const FleetQueryStats sm = simra.runFleet(
+            FleetSession::Fleet::SkHynix, pool, query.root);
+        addRow(table, query.label, "nand-nor", nn, fleetSize);
+        addRow(table, query.label, "simra-maj", sm, fleetSize);
+
+        for (const auto *stats : {&nn, &sm}) {
+            if (stats->matchingBits() != stats->checkedBits()) {
+                std::cerr << query.label
+                          << ": DRAM result diverged from the CPU "
+                             "golden model on "
+                          << (stats->checkedBits() -
+                              stats->matchingBits())
+                          << " reliable bits\n";
+                accuracyHolds = false;
+            }
+        }
+
+        // Command-count comparison over modules placed on BOTH
+        // backends (identical query, identical per-module data).
+        std::uint64_t nnCommands = 0;
+        std::uint64_t smCommands = 0;
+        std::size_t comparable = 0;
+        for (std::size_t i = 0; i < nn.modules.size(); ++i) {
+            const QueryResult &a = nn.modules[i].result;
+            const QueryResult &b = sm.modules[i].result;
+            if (!a.placed || !b.placed)
+                continue;
+            ++comparable;
+            nnCommands += a.dram.commands;
+            smCommands += b.dram.commands;
+        }
+        if (query.wideAndOr) {
+            wideNandNorCommands += nnCommands;
+            wideSimraCommands += smCommands;
+            wideComparableModules += comparable;
+        }
+        report.metric(query.label + "_nandnor_cmds",
+                      static_cast<double>(nnCommands));
+        report.metric(query.label + "_simra_cmds",
+                      static_cast<double>(smCommands));
+        report.metric(query.label + "_comparable_modules",
+                      static_cast<double>(comparable));
+        report.metric(query.label + "_nandnor_accuracy",
+                      nn.accuracyPercent());
+        report.metric(query.label + "_simra_accuracy",
+                      sm.accuracyPercent());
+    }
     table.print(std::cout);
-    std::cout << "\nThe engines share one margin core; deltas are "
-                 "Monte-Carlo sampling error plus the executor's "
-                 "non-ideal (Frac/coupling) initialization effects.\n";
+    report.lap("fleet_sweep");
+
+    report.metric("wide_andor_nandnor_cmds",
+                  static_cast<double>(wideNandNorCommands));
+    report.metric("wide_andor_simra_cmds",
+                  static_cast<double>(wideSimraCommands));
+    report.metric("wide_andor_comparable_modules",
+                  static_cast<double>(wideComparableModules));
+
+    std::cout << "\nWide-AND/OR-dominated total over co-placed "
+                 "modules: nand-nor "
+              << wideNandNorCommands << " cmds vs simra-maj "
+              << wideSimraCommands << " cmds ("
+              << wideComparableModules << " module-queries).\n";
+    std::cout << "A k-input MAJ gate hosts the operands and its "
+                 "input bias in one subarray\n(k-1 constants + one "
+                 "Frac tiebreaker, single readout); the NAND/NOR "
+                 "gate pays\nk+1 reference rows and both readouts "
+                 "for the same fan-in.\n";
+
+    recordCacheStats(report, *session);
+    report.save();
+
+    if (!accuracyHolds) {
+        std::cerr << "\nFAIL: reliable columns diverged from the "
+                     "golden model\n";
+        return 1;
+    }
+    if (wideComparableModules == 0 ||
+        wideSimraCommands >= wideNandNorCommands) {
+        std::cerr << "\nFAIL: the MAJ backend did not reduce the "
+                     "total DRAM command count on wide-AND/OR "
+                     "queries\n";
+        return 1;
+    }
+    std::cout << "\nPASS: golden match on all reliable columns on "
+                 "both backends; the MAJ backend\nreduces total "
+                 "DRAM commands on wide-AND/OR-dominated queries.\n";
     return 0;
 }

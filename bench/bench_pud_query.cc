@@ -130,6 +130,27 @@ main(int argc, char **argv)
     table.print(std::cout);
     report.lap("fleet_sweep");
 
+    // ---- XOR tree depth ------------------------------------------
+    // The balanced XOR lowering must schedule a 16-way XOR in
+    // O(log n) waves; the old left fold chained 15 dependent steps
+    // into 31 waves. Non-zero exit on regression.
+    const MicroProgram xorTree =
+        engine.compile(pool, pool.mkXor(cols));
+    const int chainWaves = 1 + 2 * (16 - 1); // Loads + 15 XOR steps.
+    const int treeWaves = 1 + 2 * 4;         // Loads + 4 tree levels.
+    report.metric("xor16_waves", xorTree.numWaves);
+    report.metric("xor16_chain_waves", chainWaves);
+    if (xorTree.numWaves > treeWaves) {
+        std::cerr << "FAIL: XOR-16 compiled to " << xorTree.numWaves
+                  << " waves; the balanced tree bound is "
+                  << treeWaves << " (left-fold chain: " << chainWaves
+                  << ")\n";
+        return 1;
+    }
+    std::cout << "\nXOR-16 schedules in " << xorTree.numWaves
+              << " waves (balanced tree; a left-fold chain needs "
+              << chainWaves << ").\n";
+
     // ---- Wide-gate fusion ablation -------------------------------
     // The same 16-way AND compiled at maxGateInputs=2 becomes the
     // classic 15-gate 2-input tree; fusion must beat it outright on

@@ -40,4 +40,21 @@ idealComputeVoltage(int numInputs, int numOnes, const AnalogParams &params)
     return sharedBitlineVoltage(cells, params);
 }
 
+Volt
+idealMajVoltage(int activatedRows, int numOnes, int neutralCells,
+                const AnalogParams &params)
+{
+    assert(activatedRows >= 2);
+    assert(neutralCells >= 0 && numOnes >= 0);
+    assert(numOnes + neutralCells <= activatedRows);
+    std::vector<Volt> cells(static_cast<std::size_t>(activatedRows),
+                            kGnd);
+    int i = 0;
+    for (int k = 0; k < numOnes; ++k)
+        cells[static_cast<std::size_t>(i++)] = kVdd;
+    for (int k = 0; k < neutralCells; ++k)
+        cells[static_cast<std::size_t>(i++)] = kVddHalf;
+    return sharedBitlineVoltage(cells, params);
+}
+
 } // namespace fcdram

@@ -44,6 +44,16 @@ Volt idealReferenceVoltage(int numInputs, Volt constantVolt,
 Volt idealComputeVoltage(int numInputs, int numOnes,
                          const AnalogParams &params);
 
+/**
+ * Ideal bitline voltage of a same-subarray simultaneous many-row
+ * (SiMRA) activation: @p activatedRows cells share one bitline, of
+ * which @p numOnes sit at VDD, @p neutralCells at VDD/2
+ * (Frac-initialized tiebreakers), and the rest at GND. The sign of
+ * the result against VDD/2 is the majority of the non-neutral cells.
+ */
+Volt idealMajVoltage(int activatedRows, int numOnes, int neutralCells,
+                     const AnalogParams &params);
+
 } // namespace fcdram
 
 #endif // FCDRAM_ANALOG_CHARGESHARING_HH

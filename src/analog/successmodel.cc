@@ -29,7 +29,8 @@ SuccessModel::expectedOutput(BoolOp op, int numInputs, int numOnes)
       case BoolOp::Nand: return numOnes != numInputs;
       case BoolOp::Or: return numOnes > 0;
       case BoolOp::Nor: return numOnes == 0;
-      case BoolOp::Maj3: return 2 * numOnes > numInputs;
+      case BoolOp::Maj3:
+      case BoolOp::Maj5: return 2 * numOnes > numInputs;
       case BoolOp::Not: return numOnes == 0;
     }
     return false;
@@ -138,6 +139,21 @@ SuccessModel::logicMargin(const LogicContext &ctx) const
     mech.temperature = ctx.cond.temperature;
     mech.invertedSide = isInvertedOp(ctx.op);
     return comparisonMargin(v_ref, v_com, mech);
+}
+
+Volt
+SuccessModel::majMargin(const MajContext &ctx) const
+{
+    assert(ctx.activatedRows >= 2);
+    assert(ctx.numOnes + ctx.neutralCells <= ctx.activatedRows);
+    const AnalogParams &analog = profile_.analog;
+    const Volt v_shared = idealMajVoltage(
+        ctx.activatedRows, ctx.numOnes, ctx.neutralCells, analog);
+    ComparisonContext mech;
+    mech.cellsPerSide = ctx.activatedRows;
+    mech.couplingFraction = ctx.cond.couplingFraction;
+    mech.temperature = ctx.cond.temperature;
+    return comparisonMargin(v_shared, kVddHalf, mech);
 }
 
 double

@@ -70,6 +70,28 @@ struct LogicContext
 };
 
 /**
+ * Context of one same-subarray simultaneous many-row (SiMRA) MAJ
+ * activation instance (analytic form). The activated cells
+ * charge-share one bitline that is sensed against the precharged
+ * opposite terminal, so the restored value is the majority of the
+ * non-neutral cells; neutral (Frac-initialized, VDD/2) cells act as
+ * tiebreakers and bias rows without moving the threshold.
+ */
+struct MajContext
+{
+    /** Simultaneously activated rows (cells on the bitline). @pre >= 2 */
+    int activatedRows = 4;
+
+    /** Cells holding logic-1 at this column. */
+    int numOnes = 0;
+
+    /** Frac-initialized VDD/2 cells among the activated rows. */
+    int neutralCells = 1;
+
+    OpConditions cond;
+};
+
+/**
  * Mechanism-level context for a sense-amplifier comparison between
  * two multi-cell bitlines (used by the executor, which works from
  * actual cell voltages rather than ideal patterns).
@@ -147,6 +169,16 @@ class SuccessModel
      * counterparts minus the inverted-side penalty.
      */
     Volt logicMargin(const LogicContext &ctx) const;
+
+    /**
+     * Analytic margin (V) of a same-subarray SiMRA MAJ sensing event
+     * assuming ideal initialization: the charge-shared bitline
+     * against the precharged VDD/2 opposite terminal. Mirrors the
+     * executor's majResolve comparison exactly (same ComparisonContext
+     * shape), so analytic masks conservatively bound the Monte-Carlo
+     * behaviour.
+     */
+    Volt majMargin(const MajContext &ctx) const;
 
     /**
      * Probability that a given sense amplifier structurally fails

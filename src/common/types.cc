@@ -23,6 +23,7 @@ toString(BoolOp op)
       case BoolOp::Nand: return "NAND";
       case BoolOp::Nor: return "NOR";
       case BoolOp::Maj3: return "MAJ3";
+      case BoolOp::Maj5: return "MAJ5";
     }
     return "Unknown";
 }

@@ -69,7 +69,9 @@ const char *toString(Manufacturer mfr);
 
 /**
  * Boolean operation characterized by the paper. Maj3 is the prior-work
- * baseline (Ambit/ComputeDRAM); the rest are FCDRAM's new operations.
+ * baseline (Ambit/ComputeDRAM), Maj5 its 8-row SiMRA extension
+ * (simultaneous many-row activation); the rest are FCDRAM's new
+ * operations.
  */
 enum class BoolOp : std::uint8_t {
     Not,
@@ -78,6 +80,7 @@ enum class BoolOp : std::uint8_t {
     Nand,
     Nor,
     Maj3,
+    Maj5,
 };
 
 /** Printable name of a Boolean operation. */

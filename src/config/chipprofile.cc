@@ -1,5 +1,6 @@
 #include "config/chipprofile.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace fcdram {
@@ -43,6 +44,27 @@ ChipProfile::maxLogicInputs() const
     if (!supportsLogicOps())
         return 0;
     return 1 << decoder.latchStages;
+}
+
+bool
+ChipProfile::supportsSimra() const
+{
+    return maxSimraRows() >= 4;
+}
+
+int
+ChipProfile::maxSimraRows() const
+{
+    if (decoder.ignoresViolatedCommands)
+        return 0;
+    const int stageLimit = 1 << (decoder.latchStages + 1);
+    return std::min(decoder.maxSameSubarrayRows, stageLimit);
+}
+
+int
+ChipProfile::maxSimraInputs() const
+{
+    return maxSimraRows() / 2;
 }
 
 namespace {
@@ -99,6 +121,9 @@ applyDieScaling(ChipProfile &profile)
         decoder.simultaneousNeighbor = false;
         decoder.sequentialNeighborOnly = true;
         decoder.supportsN2N = false;
+        // Pair activation (Frac/RowClone) works, but the higher
+        // decoder stages do not latch: no many-row SiMRA groups.
+        decoder.maxSameSubarrayRows = 2;
         if (profile.dieRevision == 'A') {
             analog.marginScale = 1.02;
         } else if (profile.dieRevision == 'D') {

@@ -168,6 +168,16 @@ struct DecoderParams
     int latchStages = 4;
 
     /**
+     * Largest number of rows the design can open *simultaneously
+     * within one subarray* (the SiMRA capability: up to 32 on
+     * SK Hynix designs via the stage latches plus the half-select
+     * bit, 2 on Samsung designs, irrelevant on Micron). Expansions
+     * beyond the cap do not glitch at all (the second row activates
+     * alone), modeling decoders whose higher stages do not latch.
+     */
+    int maxSameSubarrayRows = 32;
+
+    /**
      * Fraction of (RF, RL) address pairs for which the glitch occurs
      * at all; models internal address scrambling plus decoder timing
      * margins (calibrates total coverage in Fig. 5).
@@ -200,6 +210,27 @@ struct ChipProfile
 
     /** Largest supported logic-operation input count (0 if none). */
     int maxLogicInputs() const;
+
+    /**
+     * True if the design can simultaneously activate >= 4 rows of one
+     * subarray (the SiMRA mechanism: native in-subarray MAJ).
+     */
+    bool supportsSimra() const;
+
+    /**
+     * Largest same-subarray simultaneous activation (the SiMRA
+     * row-group size): min(decoder cap, 2^(latchStages + 1), counting
+     * the half-select doubling). 0 when the design ignores violated
+     * commands.
+     */
+    int maxSimraRows() const;
+
+    /**
+     * Largest AND/OR fan-in realizable as one input-biased MAJ gate:
+     * a k-input gate needs k operands, k-1 constants, and one
+     * VDD/2 tiebreaker, so k <= maxSimraRows() / 2.
+     */
+    int maxSimraInputs() const;
 
     /**
      * Build the calibrated profile for a manufacturer / density / die

@@ -2,13 +2,26 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace fcdram {
 
 SpeedGrade::SpeedGrade(std::uint32_t mtPerSec)
     : mtPerSec_(mtPerSec)
 {
-    assert(mtPerSec > 0);
+    if (mtPerSec == 0) {
+        throw std::invalid_argument(
+            "SpeedGrade: data rate must be positive (MT/s)");
+    }
+}
+
+double
+SpeedGrade::bytesPerNs(int busBytes) const
+{
+    assert(busBytes > 0);
+    // MT/s * bytes/transfer = MB/ms = bytes/ns * 1e-3.
+    return static_cast<double>(mtPerSec_) *
+           static_cast<double>(busBytes) * 1e-3;
 }
 
 Ns

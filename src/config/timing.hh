@@ -26,7 +26,15 @@ namespace fcdram {
 class SpeedGrade
 {
   public:
-    /** Construct from a data rate, e.g. 2666 MT/s. @pre mt > 0 */
+    /**
+     * Construct from a data rate, e.g. 2666 MT/s.
+     *
+     * @throws std::invalid_argument when @p mtPerSec is 0: every
+     *         timing conversion (and the host-copy bandwidth model)
+     *         divides by the rate, so a zero rate is rejected at
+     *         config load instead of surfacing as a downstream
+     *         division by zero.
+     */
     explicit SpeedGrade(std::uint32_t mtPerSec = 2666);
 
     /** Data rate in MT/s. */
@@ -34,6 +42,13 @@ class SpeedGrade
 
     /** DRAM command clock period in ns (two transfers per clock). */
     Ns tCk() const;
+
+    /**
+     * Peak host-copy bandwidth of an x64 DIMM at this rate, in
+     * bytes per nanosecond (@p busBytes bytes move per transfer).
+     * Strictly positive by construction.
+     */
+    double bytesPerNs(int busBytes = 8) const;
 
     /** Number of whole clock cycles needed to span @p ns. */
     Cycle cyclesFor(Ns ns) const;
@@ -78,6 +93,14 @@ struct TimingParams
      * charge-sharing voltage (the Frac mechanism).
      */
     Ns fracThreshold = 6.0;
+
+    /**
+     * Fixed per-transfer overhead of a host bulk copy (software setup
+     * plus the first-access latency a streaming scan cannot hide).
+     * Added on top of the bandwidth term of the CPU-baseline cost
+     * model.
+     */
+    Ns hostCopyOverheadNs = 100.0;
 
     /** Default nominal DDR4 parameters. */
     static TimingParams nominal();

@@ -125,7 +125,43 @@ RowDecoder::sameSubarrayActivation(RowId rfLocal, RowId rlLocal) const
         rows.insert(rows.end(), other.begin(), other.end());
         std::sort(rows.begin(), rows.end());
     }
+    // Expansions past the design's same-subarray cap mean a higher
+    // stage whose latch does not glitch: the second row activates
+    // alone.
+    if (static_cast<int>(rows.size()) > maxSameSubarrayRows())
+        return {rlLocal};
     return rows;
+}
+
+int
+RowDecoder::maxSameSubarrayRows() const
+{
+    if (params_.ignoresViolatedCommands)
+        return 0;
+    const int stage_limit = 1 << (numStages_ + 1);
+    const int row_limit = 1 << rowBits_;
+    return std::min({params_.maxSameSubarrayRows, stage_limit,
+                     row_limit});
+}
+
+RowId
+RowDecoder::maskPartner(RowId baseLocal, int n) const
+{
+    if (n < 2 || (n & (n - 1)) != 0 || n > maxSameSubarrayRows())
+        return kInvalidRow;
+    int doublings = 0;
+    for (int v = n; v > 1; v >>= 1)
+        ++doublings;
+    // One flipped bit per glitching 2-bit predecode stage; the
+    // half-select bit supplies the last doubling when the stages run
+    // out.
+    RowId mask = 0;
+    const int stage_flips = std::min(doublings, numStages_);
+    for (int stage = 0; stage < stage_flips; ++stage)
+        mask |= RowId{1} << (2 * stage);
+    if (doublings > numStages_)
+        mask |= RowId{1} << halfBit_;
+    return baseLocal ^ mask;
 }
 
 } // namespace fcdram

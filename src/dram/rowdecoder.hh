@@ -94,10 +94,30 @@ class RowDecoder
      * Rows activated when RF and RL are in the *same* subarray:
      * the union cross-product in one subarray (RowClone and
      * in-subarray MAJ operations). Returns {rlLocal} when no glitch
-     * occurs.
+     * occurs or when the expansion would exceed
+     * maxSameSubarrayRows() (higher stages do not latch).
      */
     std::vector<RowId> sameSubarrayActivation(RowId rfLocal,
                                               RowId rlLocal) const;
+
+    /**
+     * Largest same-subarray simultaneous activation this decoder
+     * instance can produce: min(DecoderParams::maxSameSubarrayRows,
+     * 2^(numStages + 1), rows per subarray), counting the half-select
+     * doubling. 0 when the design ignores violated commands.
+     */
+    int maxSameSubarrayRows() const;
+
+    /**
+     * Partner address whose same-subarray glitch with @p baseLocal
+     * opens exactly @p n rows (the SiMRA decoder-hierarchy address
+     * mask: one flipped bit per glitching predecode stage, plus the
+     * half-select bit for the last doubling). @p n must be a power
+     * of two; returns kInvalidRow when the decoder cannot reach
+     * @p n rows. The glitch coverage gate still applies per
+     * (partner, base) pair — callers probe bases until it fires.
+     */
+    RowId maskPartner(RowId baseLocal, int n) const;
 
   private:
     /** Cross-product row set from per-stage assertions. */

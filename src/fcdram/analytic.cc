@@ -116,6 +116,82 @@ AnalyticAnalyzer::notSamples(BankId bank, RowId srcGlobal,
 }
 
 std::vector<CellSample>
+AnalyticAnalyzer::majSamples(BankId bank, RowId rfGlobal,
+                             RowId rlGlobal, int operandCells,
+                             int neutralCells, const OpConditions &cond,
+                             int fixedOnes) const
+{
+    assert(operandCells >= 1 && neutralCells >= 0);
+    std::vector<CellSample> samples;
+    const GeometryConfig &geometry = chip_.geometry();
+    const RowAddress rf = decomposeRow(geometry, rfGlobal);
+    const RowAddress rl = decomposeRow(geometry, rlGlobal);
+    assert(rf.subarray == rl.subarray);
+    const auto set = chip_.decoder().sameSubarrayActivation(
+        rf.localRow, rl.localRow);
+    const int n = static_cast<int>(set.size());
+    if (n < 2 || operandCells + neutralCells > n)
+        return samples;
+    // Balanced constant pairs fill the rest of the group; the all-1s
+    // halves shift the ones-count without moving the majority
+    // threshold.
+    const int constant_ones = (n - operandCells - neutralCells) / 2;
+    assert(fixedOnes <= operandCells);
+
+    const SuccessModel &model = chip_.model();
+    const Subarray &subarray = chip_.bank(bank).subarray(rf.subarray);
+    const int pair_load = (n + 1) / 2;
+
+    std::vector<double> weights;
+    if (fixedOnes >= 0) {
+        weights.assign(static_cast<std::size_t>(operandCells) + 1,
+                       0.0);
+        weights[static_cast<std::size_t>(fixedOnes)] = 1.0;
+    } else {
+        weights = onesWeights(PatternClass::Random, operandCells);
+    }
+
+    MajContext ctx;
+    ctx.activatedRows = n;
+    ctx.neutralCells = neutralCells;
+    ctx.cond = cond;
+    std::vector<Volt> margins(weights.size());
+    for (int k = 0; k < static_cast<int>(weights.size()); ++k) {
+        ctx.numOnes = k + constant_ones;
+        margins[static_cast<std::size_t>(k)] = model.majMargin(ctx);
+    }
+
+    samples.reserve(set.size() *
+                    static_cast<std::size_t>(geometry.columns));
+    for (const RowId local : set) {
+        const RowId global = composeRow(geometry, rf.subarray, local);
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            const StripeId stripe = stripeFor(rf.subarray, col);
+            const Volt offset =
+                model.staticOffset(bank, global, col, stripe);
+            const bool fail_struct =
+                model.structuralFail(bank, stripe, col, pair_load);
+            double p = 0.0;
+            for (std::size_t k = 0; k < weights.size(); ++k) {
+                if (weights[k] == 0.0)
+                    continue;
+                p += weights[k] * model.cellSuccessProbability(
+                                      margins[k], offset, fail_struct);
+            }
+            CellSample sample;
+            sample.rowLocal = local;
+            sample.col = col;
+            sample.ownRegion = subarray.regionFor(local, stripe);
+            sample.otherRegion = sample.ownRegion;
+            sample.probability = p;
+            samples.push_back(sample);
+        }
+    }
+    return samples;
+}
+
+std::vector<CellSample>
 AnalyticAnalyzer::logicSamples(BankId bank, BoolOp op, RowId refGlobal,
                                RowId comGlobal, const OpConditions &cond,
                                PatternClass pattern, int fixedOnes) const

@@ -82,6 +82,26 @@ class AnalyticAnalyzer
                                          PatternClass pattern,
                                          int fixedOnes = -1) const;
 
+    /**
+     * Per-cell samples of a same-subarray SiMRA MAJ operation for one
+     * (rf, rl) pair whose masked expansion forms the row group:
+     * @p operandCells rows carry operand data, @p neutralCells are
+     * Frac-initialized VDD/2 tiebreakers, and the remaining rows
+     * split into balanced all-1s/all-0s constant pairs (which cancel
+     * in the majority). Cells are all (activated row, column)
+     * combinations — the in-subarray mechanism is not confined to a
+     * shared stripe. Operand ones-counts integrate over
+     * Binomial(operandCells, 1/2) unless @p fixedOnes >= 0 pins them.
+     * Empty if the pair does not expand to a group large enough for
+     * the gate.
+     */
+    std::vector<CellSample> majSamples(BankId bank, RowId rfGlobal,
+                                       RowId rlGlobal,
+                                       int operandCells,
+                                       int neutralCells,
+                                       const OpConditions &cond,
+                                       int fixedOnes = -1) const;
+
     /** Collapse samples into a (possibly binomial-sampled) SampleSet. */
     SampleSet toSampleSet(const std::vector<CellSample> &samples);
 

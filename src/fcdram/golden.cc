@@ -67,7 +67,8 @@ goldenOp(BoolOp op, const std::vector<BitVector> &inputs)
       case BoolOp::Or: return goldenOr(inputs);
       case BoolOp::Nand: return goldenNand(inputs);
       case BoolOp::Nor: return goldenNor(inputs);
-      case BoolOp::Maj3: return goldenMaj(inputs);
+      case BoolOp::Maj3:
+      case BoolOp::Maj5: return goldenMaj(inputs);
     }
     return BitVector();
 }

@@ -1,6 +1,7 @@
 #include "fcdram/ops.hh"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "common/rng.hh"
 #include "dram/openbitline.hh"
@@ -38,6 +39,80 @@ Program
 Ops::buildRowClone(BankId bank, RowId srcGlobal, RowId dstGlobal) const
 {
     return buildNot(bank, srcGlobal, dstGlobal);
+}
+
+Program
+Ops::buildMaj(BankId bank, RowId rfGlobal, RowId rlGlobal) const
+{
+    assert(sameSubarray(bender_.chip().geometry(), rfGlobal, rlGlobal));
+    return buildDoubleAct(bank, rfGlobal, rlGlobal);
+}
+
+std::vector<RowId>
+Ops::executeMajActivation(BankId bank, RowId rfGlobal, RowId rlGlobal)
+{
+    const ExecResult result =
+        bender_.execute(buildMaj(bank, rfGlobal, rlGlobal));
+    std::vector<RowId> rows;
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    for (const ActivationEvent &event : result.activations) {
+        if (event.firstSubarray != event.secondSubarray)
+            continue;
+        for (const RowId local : event.sets.secondRows) {
+            rows.push_back(
+                composeRow(geometry, event.firstSubarray, local));
+        }
+    }
+    return rows;
+}
+
+std::optional<BitVector>
+Ops::executeMaj(BankId bank, RowId rfGlobal, RowId rlGlobal,
+                const std::vector<BitVector> &operands)
+{
+    // An even operand count would leave one group row unassigned
+    // (the remainder no longer splits into balanced constant pairs)
+    // and let stale row contents vote in the majority; reject it
+    // outright rather than only in debug builds.
+    if (operands.empty() || operands.size() % 2 == 0) {
+        throw std::invalid_argument(
+            "Ops::executeMaj: operand count must be odd");
+    }
+    const GeometryConfig &geometry = bender_.chip().geometry();
+    const RowAddress rf = decomposeRow(geometry, rfGlobal);
+    const RowAddress rl = decomposeRow(geometry, rlGlobal);
+    assert(rf.subarray == rl.subarray);
+    const auto set = bender_.chip().decoder().sameSubarrayActivation(
+        rf.localRow, rl.localRow);
+    const auto m = operands.size();
+    // m operands + balanced constant pairs + one neutral tiebreaker
+    // must exactly fill the group; the group size is even (a power of
+    // two) and m odd, so the remainder splits into pairs.
+    if (set.size() < m + 1)
+        return std::nullopt;
+    std::vector<RowId> rows;
+    rows.reserve(set.size());
+    for (const RowId local : set)
+        rows.push_back(composeRow(geometry, rf.subarray, local));
+
+    const RowId neutral = rows.back();
+    if (!fracInit(bank, neutral, rows))
+        return std::nullopt;
+    for (std::size_t i = 0; i < m; ++i)
+        bender_.writeRow(bank, rows[i], operands[i]);
+    const auto columns = static_cast<std::size_t>(geometry.columns);
+    const std::size_t pairs = (set.size() - m - 1) / 2;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        bender_.writeRow(bank, rows[m + 2 * i],
+                         BitVector(columns, true));
+        bender_.writeRow(bank, rows[m + 2 * i + 1],
+                         BitVector(columns, false));
+    }
+    const auto activated =
+        executeMajActivation(bank, rfGlobal, rlGlobal);
+    if (activated.size() != rows.size())
+        return std::nullopt;
+    return bender_.readRow(bank, rows.front());
 }
 
 std::vector<RowId>
@@ -164,6 +239,34 @@ Ops::executeLogic(BankId bank, BoolOp op, RowId refAnchor,
     result.computeResult = bender_.readRow(bank, computeRows.front());
     result.referenceResult = bender_.readRow(bank, refRows.front());
     return result;
+}
+
+std::vector<std::pair<RowId, RowId>>
+findSimraPairs(const Chip &chip, int activatedRows, int maxPairs,
+               std::uint64_t seed)
+{
+    std::vector<std::pair<RowId, RowId>> pairs;
+    const RowDecoder &decoder = chip.decoder();
+    if (activatedRows < 2 ||
+        activatedRows > decoder.maxSameSubarrayRows())
+        return pairs;
+    const auto rows =
+        static_cast<RowId>(chip.geometry().rowsPerSubarray);
+    Rng rng(seed);
+    const int max_probes = 20000;
+    for (int probe = 0; probe < max_probes &&
+                        static_cast<int>(pairs.size()) < maxPairs;
+         ++probe) {
+        const auto base = static_cast<RowId>(rng.below(rows));
+        const RowId partner = decoder.maskPartner(base, activatedRows);
+        if (partner == kInvalidRow)
+            return pairs; // Mask unreachable on this decoder.
+        const auto set =
+            decoder.sameSubarrayActivation(partner, base);
+        if (static_cast<int>(set.size()) == activatedRows)
+            pairs.emplace_back(partner, base);
+    }
+    return pairs;
 }
 
 std::vector<std::pair<RowId, RowId>>

@@ -58,6 +58,16 @@ class Ops
                           RowId dstGlobal) const;
 
     /**
+     * The SiMRA in-subarray MAJ program: the violated double
+     * activation of a same-subarray (RF, RL) pair. All rows of the
+     * decoder's masked expansion charge-share, and the final
+     * (restoring) PRE writes the sensed majority back into every
+     * activated row.
+     */
+    Program buildMaj(BankId bank, RowId rfGlobal,
+                     RowId rlGlobal) const;
+
+    /**
      * Execute a NOT from src to dst (both global rows, neighboring
      * subarrays). Returns the destination rows actually activated
      * (empty if the chip cannot perform the operation for this pair).
@@ -111,6 +121,36 @@ class Ops
                                const std::vector<RowId> &refRows,
                                const std::vector<RowId> &computeRows);
 
+    /**
+     * Fire a SiMRA double activation for a same-subarray (RF, RL)
+     * pair. Rows must already hold their operand/constant/neutral
+     * values. Returns the global rows actually activated together
+     * (empty if no in-subarray multi-row activation occurred).
+     */
+    std::vector<RowId> executeMajActivation(BankId bank, RowId rfGlobal,
+                                            RowId rlGlobal);
+
+    /**
+     * One-shot odd-input in-subarray MAJ (MAJ3 on a 4-row group,
+     * MAJ5 on an 8-row group, generally on the decoder's
+     * (rf, rl)-masked expansion): Frac-initializes one tiebreaker
+     * row, balances the remaining rows with equal all-1s/all-0s
+     * constants (which cancel in the majority), writes the operands,
+     * fires the activation, and reads the result back from the
+     * group's first row.
+     *
+     * @param operands Odd number of operand bit-vectors,
+     *        operands.size() <= group size - 1.
+     * @return The MAJ result, or nullopt when the pair does not
+     *         expand to a group that can host the gate or the Frac
+     *         initialization fails.
+     * @throws std::invalid_argument when the operand count is even
+     *         or zero (stale rows would vote in the majority).
+     */
+    std::optional<BitVector>
+    executeMaj(BankId bank, RowId rfGlobal, RowId rlGlobal,
+               const std::vector<BitVector> &operands);
+
     DramBender &bender() { return bender_; }
 
   private:
@@ -142,6 +182,21 @@ RowId findPairActivatingDonor(const Chip &chip, RowId targetLocal,
 std::vector<std::pair<RowId, RowId>>
 findActivationPairs(const Chip &chip, int nrf, int nrl, int maxPairs,
                     std::uint64_t seed);
+
+/**
+ * Find (rf, rl) local-row pairs of one subarray whose same-subarray
+ * glitch opens exactly @p activatedRows rows simultaneously (SiMRA
+ * row groups). Candidates come from the decoder-hierarchy address
+ * mask (RowDecoder::maskPartner); the per-pair coverage gate is
+ * probed with seeded random bases.
+ *
+ * @param activatedRows Desired group size (power of two >= 2).
+ * @param maxPairs Stop after this many matches.
+ * @param seed Sampling seed.
+ */
+std::vector<std::pair<RowId, RowId>>
+findSimraPairs(const Chip &chip, int activatedRows, int maxPairs,
+               std::uint64_t seed);
 
 } // namespace fcdram
 

@@ -58,10 +58,20 @@ PairQuery::square(int inputs)
     return query;
 }
 
+PairQuery
+PairQuery::sameSubarray(int rows)
+{
+    PairQuery query;
+    query.activation = Activation::SameSubarray;
+    query.destRows = rows;
+    return query;
+}
+
 bool
 PairQuery::matches(const ActivationSets &sets) const
 {
-    if (activation == Activation::Simultaneous) {
+    if (activation == Activation::Simultaneous ||
+        activation == Activation::SameSubarray) {
         if (!sets.simultaneous)
             return false;
     } else if (!sets.simultaneous && !sets.sequential) {
@@ -101,6 +111,37 @@ findQualifyingPairs(const Chip &chip, const PairContext &context,
     const GeometryConfig &geometry = chip.geometry();
     const auto rows = static_cast<RowId>(geometry.rowsPerSubarray);
     Rng rng(seed);
+
+    if (query.activation == PairQuery::Activation::SameSubarray) {
+        // SiMRA row groups: both rows of the pair live in the low
+        // subarray, and candidates come from the decoder-hierarchy
+        // address mask (only the coverage gate needs probing).
+        for (int probe = 0;
+             probe < probes &&
+             static_cast<int>(pairs.size()) < maxPairs;
+             ++probe) {
+            const auto base = static_cast<RowId>(rng.below(rows));
+            const RowId partner = query.destRows >= 2
+                                      ? chip.decoder().maskPartner(
+                                            base, query.destRows)
+                                      : static_cast<RowId>(
+                                            rng.below(rows));
+            if (partner == kInvalidRow)
+                break; // Mask unreachable on this decoder.
+            const auto set = chip.decoder().sameSubarrayActivation(
+                partner, base);
+            ActivationSets sets;
+            sets.simultaneous = set.size() > 1;
+            sets.secondRows = set;
+            if (!query.matches(sets))
+                continue;
+            pairs.emplace_back(
+                composeRow(geometry, context.lowSubarray, partner),
+                composeRow(geometry, context.lowSubarray, base));
+        }
+        return pairs;
+    }
+
     for (int probe = 0;
          probe < probes && static_cast<int>(pairs.size()) < maxPairs;
          ++probe) {

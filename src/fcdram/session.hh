@@ -85,6 +85,13 @@ struct PairQuery
     enum class Activation : std::uint8_t {
         Any,          ///< Simultaneous or sequential.
         Simultaneous, ///< Simultaneous only.
+
+        /**
+         * Same-subarray simultaneous activation (SiMRA row groups):
+         * both probed rows live in the context's low subarray and
+         * destRows constrains the masked-expansion group size.
+         */
+        SameSubarray,
     };
 
     Activation activation = Activation::Simultaneous;
@@ -99,6 +106,9 @@ struct PairQuery
 
     /** Simultaneous N:N activation (logic ops with N inputs). */
     static PairQuery square(int inputs);
+
+    /** Same-subarray simultaneous activation of @p rows rows. */
+    static PairQuery sameSubarray(int rows);
 
     /** Whether an activation-set observation satisfies the query. */
     bool matches(const ActivationSets &sets) const;

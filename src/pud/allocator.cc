@@ -28,6 +28,7 @@ GateSlot::mask(BoolOp op) const
         return norMask;
       case BoolOp::Not:
       case BoolOp::Maj3:
+      case BoolOp::Maj5:
         break;
     }
     assert(false && "no mask for this op");
@@ -44,7 +45,7 @@ GateSlot::score() const
 BitVector
 worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
                    RowId refGlobal, RowId comGlobal,
-                   double thresholdPercent)
+                   double thresholdPercent, Celsius temperature)
 {
     const GeometryConfig &geometry = chip.geometry();
     const RowAddress ref = decomposeRow(geometry, refGlobal);
@@ -74,8 +75,8 @@ worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
     ctx.numInputs = n;
     // Worst operand pattern: full neighbor-bitline disagreement.
     ctx.cond.couplingFraction = 1.0;
-    // Trust columns at the temperature the chip will execute at.
-    ctx.cond.temperature = chip.temperature();
+    // Trust columns at the temperature the run will execute at.
+    ctx.cond.temperature = temperature;
     const Region own = rowSub.regionFor(measured, stripe);
     const Region refRep = bankRef.subarray(ref.subarray)
                               .regionFor(ref.localRow, stripe);
@@ -113,14 +114,15 @@ worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
 
 BitVector
 worstCaseNotMask(const Chip &chip, BankId bank, RowId srcGlobal,
-                 RowId dstGlobal, double thresholdPercent)
+                 RowId dstGlobal, double thresholdPercent,
+                 Celsius temperature)
 {
     AnalyticConfig config;
     config.sampleBinomial = false;
     AnalyticAnalyzer analyzer(chip, config, 0);
     OpConditions cond;
     cond.couplingFraction = 1.0; // Worst source data pattern.
-    cond.temperature = chip.temperature();
+    cond.temperature = temperature;
     const auto samples =
         analyzer.notSamples(bank, srcGlobal, dstGlobal, cond);
     if (samples.empty())
@@ -140,7 +142,8 @@ worstCaseNotMask(const Chip &chip, BankId bank, RowId srcGlobal,
 
 BitVector
 worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
-                      RowId dstGlobal, double thresholdPercent)
+                      RowId dstGlobal, double thresholdPercent,
+                      Celsius temperature)
 {
     const GeometryConfig &geometry = chip.geometry();
     const RowAddress src = decomposeRow(geometry, srcGlobal);
@@ -158,7 +161,7 @@ worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
     ComparisonContext ctx;
     ctx.cellsPerSide = total;
     ctx.couplingFraction = 1.0; // Worst source data pattern.
-    ctx.temperature = chip.temperature();
+    ctx.temperature = temperature;
     const Volt margin = model.driveMarginMech(total + 1, ctx);
 
     BitVector mask(static_cast<std::size_t>(geometry.columns), false);
@@ -176,18 +179,64 @@ worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
     return mask;
 }
 
+BitVector
+worstCaseMajMask(const Chip &chip, BankId bank, RowId rfGlobal,
+                 RowId rlGlobal, int activatedRows,
+                 double thresholdPercent, Celsius temperature)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    const RowAddress rf = decomposeRow(geometry, rfGlobal);
+    const RowAddress rl = decomposeRow(geometry, rlGlobal);
+    assert(rf.subarray == rl.subarray);
+    const auto set = chip.decoder().sameSubarrayActivation(
+        rf.localRow, rl.localRow);
+    if (static_cast<int>(set.size()) != activatedRows ||
+        activatedRows < 2)
+        return BitVector();
+
+    const SuccessModel &model = chip.model();
+    MajContext ctx;
+    ctx.activatedRows = activatedRows;
+    ctx.neutralCells = 1;
+    ctx.cond.couplingFraction = 1.0; // Worst data pattern.
+    ctx.cond.temperature = temperature;
+    // The deciding vote of any hosted gate is one cell; the
+    // just-above-half count sits on the penalized high-common-mode
+    // side, so it lower-bounds both output polarities.
+    ctx.numOnes = activatedRows / 2;
+    const Volt margin = model.majMargin(ctx);
+
+    const RowId measured = set.front();
+    const RowId global = composeRow(geometry, rf.subarray, measured);
+    const int pair_load = (activatedRows + 1) / 2;
+    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+         ++col) {
+        const StripeId stripe = stripeFor(rf.subarray, col);
+        const Volt offset =
+            model.staticOffset(bank, global, col, stripe);
+        const bool failStruct =
+            model.structuralFail(bank, stripe, col, pair_load);
+        const double p = model.cellSuccessProbability(margin, offset,
+                                                      failStruct);
+        mask.set(col, 100.0 * p >= thresholdPercent);
+    }
+    return mask;
+}
+
 RowAllocator::RowAllocator(const FleetSession &session,
                            const FleetSession::Module &module,
                            AllocatorOptions options)
     : session_(&session), module_(module),
       chip_(&session.chip(module)), seed_(module.seed),
-      options_(options)
+      options_(options), temperature_(chip_->temperature())
 {
 }
 
 RowAllocator::RowAllocator(const Chip &chip, std::uint64_t seed,
                            AllocatorOptions options)
-    : chip_(&chip), seed_(seed), options_(options)
+    : chip_(&chip), seed_(seed), options_(options),
+      temperature_(chip.temperature())
 {
 }
 
@@ -292,20 +341,20 @@ RowAllocator::gateSlots(int width) const
                 slot.stagingRows.push_back(donorGlobal);
                 slot.stagingMasks.push_back(worstCaseRowCloneMask(
                     *chip_, context.bank, donorGlobal, targetGlobal,
-                    threshold));
+                    threshold, temperature_));
             }
-            slot.andMask =
-                worstCaseLogicMask(*chip_, context.bank, BoolOp::And,
-                                   refAnchor, comAnchor, threshold);
-            slot.orMask =
-                worstCaseLogicMask(*chip_, context.bank, BoolOp::Or,
-                                   refAnchor, comAnchor, threshold);
-            slot.nandMask =
-                worstCaseLogicMask(*chip_, context.bank, BoolOp::Nand,
-                                   refAnchor, comAnchor, threshold);
-            slot.norMask =
-                worstCaseLogicMask(*chip_, context.bank, BoolOp::Nor,
-                                   refAnchor, comAnchor, threshold);
+            slot.andMask = worstCaseLogicMask(
+                *chip_, context.bank, BoolOp::And, refAnchor,
+                comAnchor, threshold, temperature_);
+            slot.orMask = worstCaseLogicMask(
+                *chip_, context.bank, BoolOp::Or, refAnchor,
+                comAnchor, threshold, temperature_);
+            slot.nandMask = worstCaseLogicMask(
+                *chip_, context.bank, BoolOp::Nand, refAnchor,
+                comAnchor, threshold, temperature_);
+            slot.norMask = worstCaseLogicMask(
+                *chip_, context.bank, BoolOp::Nor, refAnchor,
+                comAnchor, threshold, temperature_);
             slots.push_back(std::move(slot));
         }
     }
@@ -352,8 +401,10 @@ RowAllocator::notSlots() const
             slot.context = context;
             slot.srcRow = src;
             slot.dstRow = dst;
-            slot.mask = worstCaseNotMask(*chip_, context.bank, src, dst,
-                                         options_.maskThresholdPercent);
+            slot.mask = worstCaseNotMask(*chip_, context.bank, src,
+                                         dst,
+                                         options_.maskThresholdPercent,
+                                         temperature_);
             slots.push_back(std::move(slot));
         }
     }
@@ -368,12 +419,72 @@ RowAllocator::notSlots() const
     return *notSlots_;
 }
 
+const std::vector<MajSlot> &
+RowAllocator::majSlots(int activatedRows) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto cached = majSlotsByRows_.find(activatedRows);
+    if (cached != majSlotsByRows_.end())
+        return cached->second;
+
+    if (contexts_.empty()) {
+        contexts_ = session_ != nullptr
+                        ? session_->pairContexts(module_)
+                        : directContexts();
+    }
+
+    const GeometryConfig &geometry = chip_->geometry();
+    const PairQuery query = PairQuery::sameSubarray(activatedRows);
+    std::vector<MajSlot> slots;
+    for (const PairContext &context : contexts_) {
+        if (static_cast<int>(slots.size()) >=
+            options_.candidatePairsPerWidth)
+            break;
+        for (const auto &[rfAnchor, rlAnchor] :
+             discover(context, query)) {
+            if (static_cast<int>(slots.size()) >=
+                options_.candidatePairsPerWidth)
+                break;
+            const RowAddress rf = decomposeRow(geometry, rfAnchor);
+            const auto set = chip_->decoder().sameSubarrayActivation(
+                rf.localRow,
+                decomposeRow(geometry, rlAnchor).localRow);
+            if (static_cast<int>(set.size()) != activatedRows)
+                continue;
+            MajSlot slot;
+            slot.context = context;
+            slot.rfAnchor = rfAnchor;
+            slot.rlAnchor = rlAnchor;
+            slot.activatedRows = activatedRows;
+            for (const RowId local : set) {
+                slot.rows.push_back(
+                    composeRow(geometry, rf.subarray, local));
+            }
+            slot.mask = worstCaseMajMask(
+                *chip_, context.bank, rfAnchor, rlAnchor,
+                activatedRows, options_.maskThresholdPercent,
+                temperature_);
+            slots.push_back(std::move(slot));
+        }
+    }
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const MajSlot &a, const MajSlot &b) {
+                         return ReliableMask::maskDensity(a.mask) >
+                                ReliableMask::maskDensity(b.mask);
+                     });
+    if (static_cast<int>(slots.size()) > options_.slotsPerWidth)
+        slots.resize(static_cast<std::size_t>(options_.slotsPerWidth));
+    return majSlotsByRows_.emplace(activatedRows, std::move(slots))
+        .first->second;
+}
+
 Placement
 RowAllocator::place(const MicroProgram &program) const
 {
     Placement placement;
     placement.gateSlotOf.assign(program.ops.size(), -1);
     placement.notSlotOf.assign(program.ops.size(), -1);
+    placement.majSlotOf.assign(program.ops.size(), -1);
 
     // (wave, width) round-robin: independent gates of one wave spread
     // over the ranked slots (distinct subarray pairs when available).
@@ -382,7 +493,28 @@ RowAllocator::place(const MicroProgram &program) const
 
     for (std::size_t i = 0; i < program.ops.size(); ++i) {
         const MicroOp &op = program.ops[i];
-        if (op.kind == MicroOpKind::Wide) {
+        if (op.kind == MicroOpKind::Maj) {
+            const std::vector<MajSlot> &slots =
+                majSlots(op.activatedRows);
+            if (slots.empty()) {
+                placement.complete = false;
+                continue;
+            }
+            const std::size_t rank =
+                rotation[{op.wave, -op.activatedRows}]++ %
+                slots.size();
+            const auto key =
+                std::make_pair(-op.activatedRows - 1, rank);
+            auto it = used.find(key);
+            if (it == used.end()) {
+                placement.majSlots.push_back(slots[rank]);
+                it = used.emplace(key,
+                                  static_cast<int>(
+                                      placement.majSlots.size() - 1))
+                         .first;
+            }
+            placement.majSlotOf[i] = it->second;
+        } else if (op.kind == MicroOpKind::Wide) {
             const std::vector<GateSlot> &slots = gateSlots(op.width());
             if (slots.empty()) {
                 placement.complete = false;

@@ -114,15 +114,45 @@ struct NotSlot
     BitVector mask;
 };
 
+/**
+ * A placed SiMRA MAJ execution site: an N-row same-subarray
+ * simultaneous-activation group (N-row operand group instead of a
+ * subarray pair). The executor assigns operand, constant, and
+ * neutral rows within the group and reads the result back from the
+ * group's first row.
+ */
+struct MajSlot
+{
+    PairContext context; ///< bank + host (low) subarray.
+
+    /** Discovered same-subarray anchors (global rows). */
+    RowId rfAnchor = 0;
+    RowId rlAnchor = 0;
+
+    /** The N activated rows (global ids, sorted). */
+    std::vector<RowId> rows;
+
+    int activatedRows = 0;
+
+    /**
+     * Reliable columns of the measured (first) row under the
+     * worst-case one-cell majority margin — conservative for every
+     * gate the group can host.
+     */
+    BitVector mask;
+};
+
 /** Placement of a μprogram onto one module's activation sites. */
 struct Placement
 {
-    /** Per μop index: slot in gateSlots / notSlots, or -1. */
+    /** Per μop index: slot in gateSlots / notSlots / majSlots, or -1. */
     std::vector<int> gateSlotOf;
     std::vector<int> notSlotOf;
+    std::vector<int> majSlotOf;
 
     std::vector<GateSlot> gateSlots;
     std::vector<NotSlot> notSlots;
+    std::vector<MajSlot> majSlots;
 
     /**
      * True if every Wide and Not μop received a slot. μops without a
@@ -153,7 +183,15 @@ class RowAllocator
     const Chip &chip() const { return *chip_; }
     const AllocatorOptions &options() const { return options_; }
 
-    /** Place every Wide/Not μop of @p program. */
+    /**
+     * Temperature every reliability mask of this allocator was
+     * derived at (the chip's temperature when the allocator was
+     * constructed). Masks are only valid for executions at the same
+     * temperature; the engine rejects or re-derives on mismatch.
+     */
+    Celsius maskTemperature() const { return temperature_; }
+
+    /** Place every Wide/Not/Maj μop of @p program. */
     Placement place(const MicroProgram &program) const;
 
     /** Ranked slots for one gate width (cached). */
@@ -161,6 +199,9 @@ class RowAllocator
 
     /** Ranked NOT slots (cached). */
     const std::vector<NotSlot> &notSlots() const;
+
+    /** Ranked SiMRA group slots for one activation size (cached). */
+    const std::vector<MajSlot> &majSlots(int activatedRows) const;
 
   private:
     std::vector<std::pair<RowId, RowId>>
@@ -174,10 +215,14 @@ class RowAllocator
     std::uint64_t seed_ = 0;
     AllocatorOptions options_;
 
+    /** Chip temperature the reliability masks were derived at. */
+    Celsius temperature_ = kDefaultTemperature;
+
     // Lazy discovery caches; entries are immutable once published
     // and map nodes are stable, so returned references stay valid.
     mutable std::mutex mutex_;
     mutable std::map<int, std::vector<GateSlot>> slotsByWidth_;
+    mutable std::map<int, std::vector<MajSlot>> majSlotsByRows_;
     mutable std::optional<std::vector<NotSlot>> notSlots_;
     mutable std::vector<PairContext> contexts_;
 };
@@ -188,17 +233,23 @@ class RowAllocator
  * ones-counts at full bitline coupling must meet @p thresholdPercent.
  * Empty when the pair does not activate as N:N simultaneous.
  *
+ * All worst-case masks are evaluated at @p temperature, which must
+ * match the chip temperature at execution time (the margin model is
+ * temperature-dependent).
+ *
  * @param op And/Or measure the compute side, Nand/Nor the reference
  *        side (the executed gate is the same).
  */
 BitVector worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
                              RowId refGlobal, RowId comGlobal,
-                             double thresholdPercent);
+                             double thresholdPercent,
+                             Celsius temperature);
 
 /** Worst-case reliable mask of a NOT destination row. */
 BitVector worstCaseNotMask(const Chip &chip, BankId bank,
                            RowId srcGlobal, RowId dstGlobal,
-                           double thresholdPercent);
+                           double thresholdPercent,
+                           Celsius temperature);
 
 /**
  * Worst-case reliable mask of an in-subarray RowClone from
@@ -207,7 +258,21 @@ BitVector worstCaseNotMask(const Chip &chip, BankId bank,
  */
 BitVector worstCaseRowCloneMask(const Chip &chip, BankId bank,
                                 RowId srcGlobal, RowId dstGlobal,
-                                double thresholdPercent);
+                                double thresholdPercent,
+                                Celsius temperature);
+
+/**
+ * Worst-case reliable mask of a SiMRA MAJ group's measured (first)
+ * row: the one-deciding-cell majority margin (the minimum any hosted
+ * gate can face, taken on the penalized high-common-mode side) at
+ * full bitline coupling, for every column of the subarray (the
+ * in-subarray mechanism is not confined to a shared stripe). Empty
+ * when the pair does not expand to @p activatedRows rows.
+ */
+BitVector worstCaseMajMask(const Chip &chip, BankId bank,
+                           RowId rfGlobal, RowId rlGlobal,
+                           int activatedRows, double thresholdPercent,
+                           Celsius temperature);
 
 } // namespace fcdram::pud
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <map>
 
 namespace fcdram::pud {
@@ -34,14 +35,34 @@ MicroProgram::notOps() const
 }
 
 int
+MicroProgram::majOps() const
+{
+    return static_cast<int>(std::count_if(
+        ops.begin(), ops.end(), [](const MicroOp &op) {
+            return op.kind == MicroOpKind::Maj;
+        }));
+}
+
+int
 MicroProgram::maxFanIn() const
 {
     int widest = 0;
     for (const MicroOp &op : ops) {
-        if (op.kind == MicroOpKind::Wide)
+        if (op.kind == MicroOpKind::Wide ||
+            op.kind == MicroOpKind::Maj)
             widest = std::max(widest, op.width());
     }
     return widest;
+}
+
+const char *
+toString(ComputeBackend backend)
+{
+    switch (backend) {
+      case ComputeBackend::NandNor: return "nand-nor";
+      case ComputeBackend::SimraMaj: return "simra-maj";
+    }
+    return "?";
 }
 
 namespace {
@@ -64,6 +85,7 @@ class Lowering
 
     MicroProgram run(ExprId root)
     {
+        program_.backend = options_.backend;
         program_.result = lower(root);
         assignWaves();
         program_.numValues = nextValue_;
@@ -105,6 +127,9 @@ class Lowering
             break;
           case ExprKind::Xor:
             value = lowerXor(lowerAll(node.operands));
+            break;
+          case ExprKind::Maj:
+            value = lowerMaj(lowerAll(node.operands));
             break;
         }
         exprMemo_.emplace(id, value);
@@ -152,7 +177,9 @@ class Lowering
 
     /**
      * One wide gate over <= maxGateInputs operands. @p invert selects
-     * the free reference-side (NAND/NOR) result.
+     * the free reference-side (NAND/NOR) result on the NandNor
+     * backend; the SimraMaj backend has no free inverted twin and
+     * pays an explicit NOT instead.
      */
     ValueId emitGate(BoolOp family, std::vector<ValueId> inputs,
                      bool invert)
@@ -165,6 +192,11 @@ class Lowering
                      inputs.end());
         if (inputs.size() == 1)
             return invert ? lowerNot(inputs.front()) : inputs.front();
+        if (options_.backend == ComputeBackend::SimraMaj) {
+            const ValueId direct =
+                emitMajGate(family, std::move(inputs));
+            return invert ? lowerNot(direct) : direct;
+        }
         const GateKey key{family, inputs};
         const auto it = gateMemo_.find(key);
         std::size_t opIndex;
@@ -187,24 +219,139 @@ class Lowering
     }
 
     /**
+     * One SiMRA MAJ gate (Buddy-RAM lowering): @p family picks the
+     * constant bias — And: zeros outnumber ones by width-1 (output 1
+     * only when every operand is 1), Or: the reverse, Maj3/Maj5:
+     * balanced (pure majority; duplicates in @p inputs weight the
+     * vote and are kept). The activation group pads to the next
+     * power of two with one Frac tiebreaker plus balanced constant
+     * pairs, which cancel in the majority.
+     */
+    ValueId emitMajGate(BoolOp family, std::vector<ValueId> inputs)
+    {
+        const GateKey key{family, inputs};
+        const auto it = gateMemo_.find(key);
+        std::size_t opIndex;
+        if (it != gateMemo_.end()) {
+            opIndex = it->second;
+        } else {
+            const int m = static_cast<int>(inputs.size());
+            const bool pure =
+                family == BoolOp::Maj3 || family == BoolOp::Maj5;
+            const int bias = pure ? 0 : m - 1;
+            const int cells = m + bias; // Odd: m odd (pure) or 2m-1.
+            assert(cells % 2 == 1);
+            int rows = 2;
+            while (rows < cells + 1)
+                rows *= 2;
+            const int pad = (rows - cells - 1) / 2;
+            MicroOp op;
+            op.kind = MicroOpKind::Maj;
+            op.family = family;
+            op.inputs = std::move(inputs);
+            op.constantOnes = (family == BoolOp::Or ? bias : 0) + pad;
+            op.constantZeros = (family == BoolOp::And ? bias : 0) + pad;
+            op.neutralRows = 1;
+            op.activatedRows = rows;
+            opIndex = program_.ops.size();
+            gateMemo_.emplace(key, opIndex);
+            program_.ops.push_back(std::move(op));
+        }
+        MicroOp &op = program_.ops[opIndex];
+        if (op.computeValue == kNoValue)
+            op.computeValue = newValue();
+        return op.computeValue;
+    }
+
+    /**
+     * Majority over an odd operand list. The SimraMaj backend hosts
+     * it natively on one activation group; the NandNor basis expands
+     * the sum-of-products form (every (m+1)/2-subset ANDed, ORed
+     * together), the classical MAJ emulation cost that motivates the
+     * SiMRA backend.
+     */
+    ValueId lowerMaj(std::vector<ValueId> values)
+    {
+        assert(values.size() % 2 == 1);
+        std::sort(values.begin(), values.end());
+        if (std::adjacent_find(values.begin(), values.end(),
+                               std::not_equal_to<>()) == values.end())
+            return values.front(); // All operands identical.
+        if (options_.backend == ComputeBackend::SimraMaj) {
+            const BoolOp family = values.size() <= 3 ? BoolOp::Maj3
+                                                     : BoolOp::Maj5;
+            return emitMajGate(family, std::move(values));
+        }
+        const std::size_t m = values.size();
+        const std::size_t take = (m + 1) / 2;
+        std::vector<ValueId> terms;
+        std::vector<std::size_t> combo(take);
+        for (std::size_t i = 0; i < take; ++i)
+            combo[i] = i;
+        while (true) {
+            std::vector<ValueId> conj;
+            conj.reserve(take);
+            for (const std::size_t index : combo)
+                conj.push_back(values[index]);
+            terms.push_back(
+                reduce(BoolOp::And, std::move(conj), false));
+            // Next lexicographic combination of indices.
+            std::size_t i = take;
+            while (i > 0 && combo[i - 1] == m - take + (i - 1))
+                --i;
+            if (i == 0)
+                break;
+            ++combo[i - 1];
+            for (std::size_t j = i; j < take; ++j)
+                combo[j] = combo[j - 1] + 1;
+        }
+        return reduce(BoolOp::Or, std::move(terms), false);
+    }
+
+    static bool isPowerOfTwo(std::size_t v)
+    {
+        return v != 0 && (v & (v - 1)) == 0;
+    }
+
+    /** Largest power of two <= @p v (v >= 1). */
+    static std::size_t floorPowerOfTwo(std::size_t v)
+    {
+        while (!isPowerOfTwo(v))
+            v &= v - 1;
+        return v;
+    }
+
+    /**
      * Tree-reduce an operand list through wide gates of up to
      * maxGateInputs inputs; the final gate yields the reference side
-     * when @p invert is set (NAND/NOR of the whole list).
+     * when @p invert is set (NAND/NOR of the whole list). The
+     * NandNor substrate only activates N:N groups with N a power of
+     * two, so its gate widths snap to powers of two; the MAJ basis
+     * pads its activation group with balanced constants internally
+     * and hosts any width.
      */
     ValueId reduce(BoolOp family, std::vector<ValueId> values,
                    bool invert)
     {
         assert(!values.empty());
-        const auto width =
-            static_cast<std::size_t>(options_.maxGateInputs);
-        while (values.size() > width) {
+        const bool pow2Only =
+            options_.backend == ComputeBackend::NandNor;
+        auto width = static_cast<std::size_t>(options_.maxGateInputs);
+        if (pow2Only)
+            width = floorPowerOfTwo(width);
+        while (values.size() > 1) {
+            if (values.size() <= width &&
+                (!pow2Only || isPowerOfTwo(values.size())))
+                return emitGate(family, std::move(values), invert);
             std::vector<ValueId> next;
-            next.reserve(values.size() / width + 1);
-            for (std::size_t i = 0; i < values.size(); i += width) {
-                const std::size_t n =
-                    std::min(width, values.size() - i);
-                if (n == 1) {
+            next.reserve(values.size() / width + 2);
+            for (std::size_t i = 0; i < values.size();) {
+                std::size_t n = std::min(width, values.size() - i);
+                if (pow2Only)
+                    n = floorPowerOfTwo(n);
+                if (n <= 1) {
                     next.push_back(values[i]);
+                    i += 1;
                     continue;
                 }
                 next.push_back(emitGate(
@@ -213,34 +360,48 @@ class Lowering
                      values.begin() +
                          static_cast<std::ptrdiff_t>(i + n)},
                     /*invert=*/false));
+                i += n;
             }
             values = std::move(next);
         }
-        if (values.size() == 1)
-            return invert ? lowerNot(values.front()) : values.front();
-        return emitGate(family, std::move(values), invert);
+        return invert ? lowerNot(values.front()) : values.front();
     }
 
     /**
-     * Left-fold XOR through the functionally-complete basis:
-     * a ^ b = AND(OR(a, b), NAND(a, b)), with the NAND taken for free
-     * from the reference rows of the AND(a, b) gate.
+     * One XOR through the functionally-complete basis:
+     * a ^ b = AND(OR(a, b), NAND(a, b)). On the NandNor backend the
+     * NAND comes free from the reference rows of the AND(a, b) gate;
+     * the SimraMaj backend pays a NOT for it.
      */
-    ValueId lowerXor(const std::vector<ValueId> &values)
+    ValueId xorPair(ValueId a, ValueId b)
+    {
+        const ValueId nand =
+            emitGate(BoolOp::And, {a, b}, /*invert=*/true);
+        const ValueId either =
+            emitGate(BoolOp::Or, {a, b}, /*invert=*/false);
+        return emitGate(BoolOp::And, {either, nand},
+                        /*invert=*/false);
+    }
+
+    /**
+     * Balanced-tree XOR reduction: pair adjacent operands level by
+     * level, so an n-way XOR schedules in O(log n) waves. (A left
+     * fold would chain n-1 dependent gates into an O(n)-deep — and
+     * O(n)-wave — critical path.)
+     */
+    ValueId lowerXor(std::vector<ValueId> values)
     {
         assert(!values.empty());
-        ValueId acc = values.front();
-        for (std::size_t i = 1; i < values.size(); ++i) {
-            const ValueId nand =
-                emitGate(BoolOp::And, {acc, values[i]},
-                         /*invert=*/true);
-            const ValueId either =
-                emitGate(BoolOp::Or, {acc, values[i]},
-                         /*invert=*/false);
-            acc = emitGate(BoolOp::And, {either, nand},
-                           /*invert=*/false);
+        while (values.size() > 1) {
+            std::vector<ValueId> next;
+            next.reserve((values.size() + 1) / 2);
+            for (std::size_t i = 0; i + 1 < values.size(); i += 2)
+                next.push_back(xorPair(values[i], values[i + 1]));
+            if (values.size() % 2 == 1)
+                next.push_back(values.back());
+            values = std::move(next);
         }
-        return acc;
+        return values.front();
     }
 
     void assignWaves()
@@ -305,6 +466,20 @@ goldenValues(const MicroProgram &program,
                 direct = op.family == BoolOp::And
                              ? direct & values[op.inputs[i]]
                              : direct | values[op.inputs[i]];
+            }
+            break;
+          }
+          case MicroOpKind::Maj: {
+            const std::size_t bits =
+                values[op.inputs.front()].size();
+            direct = BitVector(bits);
+            for (std::size_t col = 0; col < bits; ++col) {
+                int ones = op.constantOnes;
+                for (const ValueId input : op.inputs)
+                    ones += values[input].get(col) ? 1 : 0;
+                // Neutral (VDD/2) cells contribute half a vote each.
+                direct.set(col, 2 * ones + op.neutralRows >
+                                    op.activatedRows);
             }
             break;
           }

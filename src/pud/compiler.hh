@@ -28,6 +28,32 @@
 
 namespace fcdram::pud {
 
+/**
+ * Compute backend a query lowers to: which native substrate
+ * primitive realizes the AND/OR gates of the expression DAG.
+ */
+enum class ComputeBackend : std::uint8_t {
+    /**
+     * The FCDRAM basis (HPCA'24): cross-subarray N:N simultaneous
+     * activation against a constants + Frac reference, with the
+     * inverted NAND/NOR result free on the reference rows.
+     */
+    NandNor,
+
+    /**
+     * The SiMRA basis (simultaneous many-row activation, Yüksel et
+     * al. 2024): 4-32 rows of *one* subarray charge-share a bitline
+     * and restore its majority, giving native MAJ; AND/OR become
+     * input-biased MAJ gates (Buddy-RAM lowering) with balanced
+     * constant rows and one Frac tiebreaker. No free inverted twin:
+     * NAND/NOR pay an explicit NOT.
+     */
+    SimraMaj,
+};
+
+/** Printable name of a compute backend. */
+const char *toString(ComputeBackend backend);
+
 /** Compilation knobs. */
 struct CompilerOptions
 {
@@ -36,8 +62,14 @@ struct CompilerOptions
      * demonstrated input count; the allocator additionally clamps to
      * the target design's capability. Setting 2 degenerates to a
      * classic Ambit-style 2-input gate tree (the fusion ablation).
+     * On the SimraMaj backend a k-input gate occupies a 2k-row
+     * activation group, so callers clamp this to
+     * ChipProfile::maxSimraInputs().
      */
     int maxGateInputs = 16;
+
+    /** Gate basis the DAG lowers to. */
+    ComputeBackend backend = ComputeBackend::NandNor;
 };
 
 /** Handle on a μprogram value (virtual register). */
@@ -51,6 +83,7 @@ enum class MicroOpKind : std::uint8_t {
     Load, ///< Materialize a named column (copy-in to a compute row).
     Wide, ///< N-input AND/OR gate (+ free NAND/NOR reference twin).
     Not,  ///< Cross-subarray NOT through the shared sense amps.
+    Maj,  ///< In-subarray SiMRA majority over an activation group.
 };
 
 /** One μop of a compiled query. */
@@ -92,10 +125,28 @@ struct MicroOp
      */
     int wave = 0;
 
-    /** Gate width (Wide: inputs.size(); otherwise 1). */
+    /**
+     * Maj only: all-1s / all-0s constant rows in the activation
+     * group. The imbalance biases the majority (AND: zeros dominate
+     * by width-1; OR: ones; pure MAJ: balanced), and one extra
+     * balanced pair pads odd remainders of the power-of-two group.
+     */
+    int constantOnes = 0;
+    int constantZeros = 0;
+
+    /** Maj only: Frac-initialized VDD/2 tiebreaker rows (>= 1). */
+    int neutralRows = 0;
+
+    /**
+     * Maj only: total simultaneously activated rows
+     * (inputs + constants + neutrals; a power of two).
+     */
+    int activatedRows = 0;
+
+    /** Gate width (Wide/Maj: operand count; otherwise 1). */
     int width() const
     {
-        return kind == MicroOpKind::Wide
+        return kind == MicroOpKind::Wide || kind == MicroOpKind::Maj
                    ? static_cast<int>(inputs.size())
                    : 1;
     }
@@ -115,12 +166,16 @@ struct MicroProgram
     /** 1 + the largest wave of any op. */
     int numWaves = 0;
 
+    /** Basis the program was lowered to. */
+    ComputeBackend backend = ComputeBackend::NandNor;
+
     /** Op counts by kind. */
     int loadOps() const;
     int wideOps() const;
     int notOps() const;
+    int majOps() const;
 
-    /** Largest Wide gate width (0 if none). */
+    /** Largest Wide/Maj gate width (0 if none). */
     int maxFanIn() const;
 };
 

@@ -3,12 +3,39 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "common/rng.hh"
 #include "fcdram/ops.hh"
 
 namespace fcdram::pud {
+
+const char *
+toString(BackendChoice choice)
+{
+    switch (choice) {
+      case BackendChoice::NandNor: return "nand-nor";
+      case BackendChoice::SimraMaj: return "simra-maj";
+      case BackendChoice::Auto: return "auto";
+    }
+    return "?";
+}
+
+void
+VoteSet::add(const BitVector &bits)
+{
+    if (bits.size() != votes_.size()) {
+        // A short readback would count the missing columns as
+        // 0-votes and silently bias the majority; reject it.
+        std::ostringstream message;
+        message << "VoteSet::add: readback covers " << bits.size()
+                << " columns, expected " << votes_.size();
+        throw std::invalid_argument(message.str());
+    }
+    for (std::size_t col = 0; col < votes_.size(); ++col)
+        votes_[col] += bits.get(col) ? 1 : 0;
+}
 
 namespace {
 
@@ -64,6 +91,15 @@ class CostModel
                 2.0 * (kActNj + kPreNj)};
     }
 
+    /**
+     * SiMRA in-subarray MAJ activation: the same violated
+     * ACT-PRE-ACT restore-PRE shape as the cross-subarray logic
+     * sequence.
+     */
+    QueryCost majProgram() const { return logicProgram(); }
+
+    const TimingParams &timing() const { return timing_; }
+
   private:
     static constexpr double kActNj = 0.9;
     static constexpr double kPreNj = 0.45;
@@ -81,45 +117,25 @@ class CostModel
 /**
  * CPU bulk-bitwise baseline: the scan streams every referenced
  * bitmap over the memory bus (peak x64-DIMM bandwidth of the
- * module's speed grade) and writes the result back; ALU work is
- * bandwidth-dominated. Energy at a rough 20 pJ/byte of DRAM traffic.
+ * module's speed grade, validated positive at config load) and
+ * writes the result back; ALU work is bandwidth-dominated. The
+ * fixed per-transfer overhead comes from the timing config. Energy
+ * at a rough 20 pJ/byte of DRAM traffic.
  */
 QueryCost
-cpuBaselineCost(const Chip &chip, int loads, std::size_t bits)
+cpuBaselineCost(const Chip &chip, const TimingParams &timing,
+                int loads, std::size_t bits)
 {
     const double bytes =
         (static_cast<double>(loads) + 1.0) *
         static_cast<double>(bits) / 8.0;
-    const double bytesPerNs =
-        static_cast<double>(chip.profile().speed.mtPerSec()) * 0.008;
     QueryCost cost;
     cost.commands = 0;
-    cost.latencyNs = bytes / bytesPerNs + 100.0;
+    cost.latencyNs = bytes / chip.profile().speed.bytesPerNs() +
+                     timing.hostCopyOverheadNs;
     cost.energyNj = bytes * 0.02;
     return cost;
 }
-
-/** Majority-vote accumulator over one row readback. */
-class VoteSet
-{
-  public:
-    explicit VoteSet(std::size_t columns) : votes_(columns, 0) {}
-
-    void add(const BitVector &bits)
-    {
-        for (std::size_t col = 0;
-             col < votes_.size() && col < bits.size(); ++col)
-            votes_[col] += bits.get(col) ? 1 : 0;
-    }
-
-    bool majority(std::size_t col, int trials) const
-    {
-        return 2 * votes_[col] > trials;
-    }
-
-  private:
-    std::vector<int> votes_;
-};
 
 } // namespace
 
@@ -233,14 +249,79 @@ PudEngine::PudEngine(std::shared_ptr<FleetSession> session,
     assert(session_ != nullptr);
     // Majority voting needs an odd trial count: with an even count a
     // tie resolves to 0, making e.g. redundancy=2 strictly worse
-    // than a single trial.
-    assert(options_.redundancy >= 1 && options_.redundancy % 2 == 1);
+    // than a single trial. Enforced here, at the API boundary, so
+    // release builds reject it too.
+    if (options_.redundancy < 1 || options_.redundancy % 2 == 0) {
+        std::ostringstream message;
+        message << "EngineOptions::redundancy must be a positive odd "
+                   "trial count, got "
+                << options_.redundancy;
+        throw std::invalid_argument(message.str());
+    }
 }
 
 MicroProgram
 PudEngine::compile(const ExprPool &pool, ExprId root) const
 {
     return Compiler(options_.compiler).compile(pool, root);
+}
+
+ComputeBackend
+PudEngine::resolveBackend(const ChipProfile &profile) const
+{
+    switch (options_.backend) {
+      case BackendChoice::NandNor:
+        return ComputeBackend::NandNor;
+      case BackendChoice::SimraMaj:
+        return ComputeBackend::SimraMaj;
+      case BackendChoice::Auto:
+        break;
+    }
+    return profile.supportsSimra() ? ComputeBackend::SimraMaj
+                                   : ComputeBackend::NandNor;
+}
+
+std::pair<ComputeBackend, int>
+PudEngine::backendCapability(const Chip &chip) const
+{
+    const RowDecoder &decoder = chip.decoder();
+    ComputeBackend backend;
+    if (options_.backend == BackendChoice::Auto) {
+        // Decoder-level check: the profile may promise more rows
+        // than this chip's geometry can expand to.
+        backend = decoder.maxSameSubarrayRows() >= 4
+                      ? ComputeBackend::SimraMaj
+                      : ComputeBackend::NandNor;
+    } else {
+        backend = resolveBackend(chip.profile());
+    }
+    int capability = 0;
+    if (backend == ComputeBackend::SimraMaj) {
+        // A k-input gate occupies a 2k-row group.
+        capability = decoder.maxSameSubarrayRows() / 2;
+    } else if (chip.profile().supportsLogicOps()) {
+        // The largest N:N neighbor activation is 2^stages.
+        capability = 1 << decoder.numStages();
+    }
+    return {backend, capability};
+}
+
+MicroProgram
+PudEngine::compileFor(const ExprPool &pool, ExprId root,
+                      const Chip &chip) const
+{
+    const auto [backend, capability] = backendCapability(chip);
+    CompilerOptions compilerOptions = options_.compiler;
+    compilerOptions.backend = backend;
+    // Clamp the gate fan-in to what the chip can activate, so wide
+    // gates become trees instead of unplaceable ops on smaller
+    // decoders. Chips with no capability at all keep the requested
+    // width and fall back per gate at placement.
+    if (capability >= 2) {
+        compilerOptions.maxGateInputs =
+            std::min(compilerOptions.maxGateInputs, capability);
+    }
+    return Compiler(compilerOptions).compile(pool, root);
 }
 
 std::map<std::string, BitVector>
@@ -265,6 +346,20 @@ PudEngine::execute(const MicroProgram &program,
                    const std::map<std::string, BitVector> &columns)
     const
 {
+    // Reliability masks are temperature-specific: trusting masks
+    // derived at another temperature would silently mis-trust
+    // columns, so a mismatch is a hard error (allocatorFor
+    // re-derives instead of hitting this).
+    if (allocator.maskTemperature() != chip.temperature()) {
+        std::ostringstream message;
+        message << "PudEngine::execute: allocator masks derived at "
+                << allocator.maskTemperature()
+                << " C but the chip executes at "
+                << chip.temperature()
+                << " C; re-derive the allocator";
+        throw std::invalid_argument(message.str());
+    }
+
     const GeometryConfig &geometry = chip.geometry();
     const auto numColumns =
         static_cast<std::size_t>(geometry.columns);
@@ -279,8 +374,10 @@ PudEngine::execute(const MicroProgram &program,
 
     QueryResult result;
     result.placed = placement.complete;
+    result.backend = program.backend;
     result.wideOps = program.wideOps();
     result.notOps = program.notOps();
+    result.majOps = program.majOps();
     result.waves = program.numWaves;
 
     std::vector<BitVector> values(program.numValues);
@@ -428,6 +525,80 @@ PudEngine::execute(const MicroProgram &program,
             }
             break;
           }
+          case MicroOpKind::Maj: {
+            const int slotIndex = placement.majSlotOf[i];
+            if (slotIndex < 0) {
+                cpuFallback(op);
+                break;
+            }
+            const MajSlot &slot = placement.majSlots[slotIndex];
+            const BankId bank = slot.context.bank;
+            const int width = op.width();
+            assert(static_cast<int>(slot.rows.size()) ==
+                   op.activatedRows);
+            assert(width + op.constantOnes + op.constantZeros +
+                       op.neutralRows ==
+                   op.activatedRows);
+
+            // Row assignment within the group: operands first (the
+            // measured first row carries operand 0), then the bias
+            // constants, then the Frac tiebreaker(s) at the end.
+            VoteSet votes(numColumns);
+            QueryCost opCost;
+            bool ok = true;
+            const BitVector onesRow(numColumns, true);
+            const BitVector zerosRow(numColumns, false);
+            for (int trial = 0; ok && trial < trials; ++trial) {
+                // The tiebreaker Fracs first: its helper activation
+                // would disturb data written before it.
+                for (int n = 0; ok && n < op.neutralRows; ++n) {
+                    const RowId neutral =
+                        slot.rows[slot.rows.size() - 1 -
+                                  static_cast<std::size_t>(n)];
+                    if (!ops.fracInit(bank, neutral, slot.rows)) {
+                        ok = false;
+                        break;
+                    }
+                    opCost.add(cost.fracProgram());
+                    opCost.add(cost.hostWrite());
+                    opCost.add(cost.hostWrite());
+                }
+                if (!ok)
+                    break;
+                std::size_t next = 0;
+                for (int j = 0; j < width; ++j, ++next) {
+                    bender.writeRow(
+                        bank, slot.rows[next],
+                        values[op.inputs[static_cast<std::size_t>(
+                            j)]]);
+                    opCost.add(cost.hostWrite());
+                }
+                for (int j = 0; j < op.constantOnes; ++j, ++next) {
+                    bender.writeRow(bank, slot.rows[next], onesRow);
+                    opCost.add(cost.hostWrite());
+                }
+                for (int j = 0; j < op.constantZeros; ++j, ++next) {
+                    bender.writeRow(bank, slot.rows[next], zerosRow);
+                    opCost.add(cost.hostWrite());
+                }
+                const auto activated = ops.executeMajActivation(
+                    bank, slot.rfAnchor, slot.rlAnchor);
+                opCost.add(cost.majProgram());
+                if (activated.size() != slot.rows.size()) {
+                    ok = false;
+                    break;
+                }
+                votes.add(bender.readRow(bank, slot.rows.front()));
+                opCost.add(cost.hostRead());
+            }
+            if (!ok) {
+                cpuFallback(op);
+                break;
+            }
+            commitCost(op, bank, opCost);
+            assemble(op.computeValue, slot.mask, votes);
+            break;
+          }
           case MicroOpKind::Not: {
             const int slotIndex = placement.notSlotOf[i];
             if (slotIndex < 0) {
@@ -485,8 +656,9 @@ PudEngine::execute(const MicroProgram &program,
             ? 0.0
             : static_cast<double>(result.mask.popcount()) /
                   static_cast<double>(numColumns);
-    result.cpuBaseline =
-        cpuBaselineCost(chip, program.loadOps(), numColumns);
+    result.cpuBaseline = cpuBaselineCost(chip, cost.timing(),
+                                         program.loadOps(),
+                                         numColumns);
     return result;
 }
 
@@ -495,7 +667,11 @@ PudEngine::allocatorFor(const FleetSession::Module &module) const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     auto &allocator = allocators_[module.index];
-    if (allocator == nullptr) {
+    if (allocator == nullptr ||
+        allocator->maskTemperature() !=
+            session_->chip(module).temperature()) {
+        // (Re-)derive: reliability masks are only valid at the
+        // temperature the chip executes at.
         allocator = std::make_unique<RowAllocator>(
             *session_, module, options_.allocator);
     }
@@ -507,7 +683,8 @@ PudEngine::run(const FleetSession::Module &module,
                const ExprPool &pool, ExprId root,
                const std::map<std::string, BitVector> &columns) const
 {
-    const MicroProgram program = compile(pool, root);
+    const MicroProgram program =
+        compileFor(pool, root, session_->chip(module));
     Chip chip = session_->checkoutChip(module);
     return execute(program, allocatorFor(module), chip,
                    hashCombine(module.seed, options_.benderSeedSalt),
@@ -520,7 +697,7 @@ PudEngine::runOnChip(Chip &chip, std::uint64_t seed,
                      const std::map<std::string, BitVector> &columns)
     const
 {
-    const MicroProgram program = compile(pool, root);
+    const MicroProgram program = compileFor(pool, root, chip);
     const RowAllocator allocator(chip, seed, options_.allocator);
     return execute(program, allocator, chip,
                    hashCombine(seed, options_.benderSeedSalt),
@@ -531,15 +708,25 @@ FleetQueryStats
 PudEngine::runFleet(FleetSession::Fleet fleet, const ExprPool &pool,
                     ExprId root, std::uint64_t dataSeedSalt) const
 {
-    // The μprogram is module-independent: compile once, execute
+    // A μprogram depends on the module only through
+    // backendCapability: compile each distinct pair once, execute
     // everywhere.
-    const MicroProgram program = compile(pool, root);
+    std::map<std::pair<ComputeBackend, int>, MicroProgram> programs;
+    for (const FleetSession::Module &module :
+         session_->modules(fleet)) {
+        const Chip &chip = session_->chip(module);
+        const auto key = backendCapability(chip);
+        if (programs.find(key) == programs.end())
+            programs.emplace(key, compileFor(pool, root, chip));
+    }
     const std::vector<std::string> names = pool.columnsOf(root);
     const auto bits =
         static_cast<std::size_t>(session_->config().geometry.columns);
     return session_->runOverFleet<FleetQueryStats>(
         fleet, [&](const FleetSession::ModuleView &view,
                    FleetQueryStats &accum) {
+            const MicroProgram &program =
+                programs.at(backendCapability(view.chip));
             const auto data = randomColumns(
                 names, bits, hashCombine(view.seed, dataSeedSalt));
             ModuleQueryStats stats;

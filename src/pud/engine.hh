@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fcdram/session.hh"
@@ -37,6 +38,26 @@
 #include "pud/compiler.hh"
 
 namespace fcdram::pud {
+
+/**
+ * Backend selection policy for query runs. The concrete basis a
+ * program lowers to is pud::ComputeBackend; Auto resolves it per
+ * chip from the profiled capability.
+ */
+enum class BackendChoice : std::uint8_t {
+    NandNor,  ///< Force the FCDRAM NAND/NOR basis.
+    SimraMaj, ///< Force the SiMRA MAJ basis.
+
+    /**
+     * Per chip: SimraMaj when the profile supports >= 4-row
+     * same-subarray groups (ChipProfile::supportsSimra), else
+     * NandNor.
+     */
+    Auto,
+};
+
+/** Printable name of a backend choice. */
+const char *toString(BackendChoice choice);
 
 /** How operand values reach the compute rows. */
 enum class CopyInMode : std::uint8_t {
@@ -59,10 +80,18 @@ struct EngineOptions
     AllocatorOptions allocator;
 
     /**
+     * Gate basis queries lower to; overrides compiler.backend. Auto
+     * picks per chip from the profiled capability.
+     */
+    BackendChoice backend = BackendChoice::NandNor;
+
+    /**
      * Executions per gate with per-column majority voting; must be
      * odd (a tie on an even count would resolve to 0). 1 runs every
      * gate once; 3 suppresses residual noise failures on masked
-     * columns (the acceptance benches use 3).
+     * columns (the acceptance benches use 3). Validated at engine
+     * construction (std::invalid_argument on an even or
+     * non-positive count).
      */
     int redundancy = 1;
 
@@ -70,6 +99,31 @@ struct EngineOptions
 
     /** Salt for the per-run DramBender session seed. */
     std::uint64_t benderSeedSalt = 0x9DULL;
+};
+
+/**
+ * Majority-vote accumulator over row readbacks of one gate. Every
+ * trial readback must cover every column: a short readback would
+ * otherwise silently count the missing columns as 0-votes, so a
+ * length mismatch is a hard error (std::invalid_argument).
+ */
+class VoteSet
+{
+  public:
+    explicit VoteSet(std::size_t columns) : votes_(columns, 0) {}
+
+    /** @throws std::invalid_argument unless bits covers every column. */
+    void add(const BitVector &bits);
+
+    bool majority(std::size_t col, int trials) const
+    {
+        return 2 * votes_[col] > trials;
+    }
+
+    std::size_t columns() const { return votes_.size(); }
+
+  private:
+    std::vector<int> votes_;
 };
 
 /** Analytic DRAM command/latency/energy tally. */
@@ -130,8 +184,12 @@ struct QueryResult
     /** Analytic CPU bulk-bitwise baseline for the same query. */
     QueryCost cpuBaseline;
 
+    /** Basis the executed program was lowered to. */
+    ComputeBackend backend = ComputeBackend::NandNor;
+
     int wideOps = 0;
     int notOps = 0;
+    int majOps = 0;
     int waves = 0;
 };
 
@@ -182,8 +240,31 @@ class PudEngine
         return session_;
     }
 
-    /** Lower an expression (module-independent). */
+    /** Lower an expression with the engine's compiler options as-is. */
     MicroProgram compile(const ExprPool &pool, ExprId root) const;
+
+    /**
+     * Lower an expression for one chip: resolves the backend choice
+     * and clamps the gate fan-in to backendCapability(chip).
+     */
+    MicroProgram compileFor(const ExprPool &pool, ExprId root,
+                            const Chip &chip) const;
+
+    /** Concrete basis options().backend resolves to on a design. */
+    ComputeBackend resolveBackend(const ChipProfile &profile) const;
+
+    /**
+     * The (backend, gate fan-in capability) pair a query resolves to
+     * on one chip: the single source of truth for compileFor and the
+     * fleet program cache. The capability is decoder-consistent —
+     * bounded by the profile *and* the chip geometry (NandNor: the
+     * largest N:N neighbor activation, 2^stages; SimraMaj: half the
+     * largest same-subarray group) — so clamped programs are always
+     * placeable shapes. 0 means no capability (gates fall back per
+     * placement).
+     */
+    std::pair<ComputeBackend, int>
+    backendCapability(const Chip &chip) const;
 
     /** Compile + allocate + execute on one fleet module. */
     QueryResult run(const FleetSession::Module &module,
@@ -197,7 +278,14 @@ class PudEngine
               ExprId root,
               const std::map<std::string, BitVector> &columns) const;
 
-    /** Execute an already compiled and placed program. */
+    /**
+     * Execute an already compiled and placed program.
+     *
+     * @throws std::invalid_argument when the chip's execute-time
+     *         temperature differs from the temperature the
+     *         allocator's reliability masks were derived at (stale
+     *         masks must be re-derived, not silently trusted).
+     */
     QueryResult
     execute(const MicroProgram &program, const RowAllocator &allocator,
             Chip &chip, std::uint64_t benderSeed,
@@ -221,9 +309,11 @@ class PudEngine
   private:
     /**
      * Cached per-module allocator: slot discovery and reliability
-     * masks depend only on (module, allocator options), so every
-     * query against a module reuses them (mirroring the session's
-     * qualifying-pair memoization).
+     * masks depend only on (module, allocator options, chip
+     * temperature), so every query against a module reuses them
+     * (mirroring the session's qualifying-pair memoization). A
+     * cached allocator whose mask temperature no longer matches the
+     * session chip is re-derived.
      */
     const RowAllocator &
     allocatorFor(const FleetSession::Module &module) const;

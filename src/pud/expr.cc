@@ -24,6 +24,8 @@ toString(ExprKind kind)
         return "nor";
       case ExprKind::Xor:
         return "xor";
+      case ExprKind::Maj:
+        return "maj";
     }
     return "?";
 }
@@ -91,6 +93,7 @@ ExprPool::mkNot(ExprId a)
         return mkOr(operand.operands);
       case ExprKind::Column:
       case ExprKind::Xor:
+      case ExprKind::Maj:
         break;
     }
     ExprNode node;
@@ -171,6 +174,23 @@ ExprPool::mkXor(std::vector<ExprId> operands)
     return intern(std::move(node));
 }
 
+ExprId
+ExprPool::mkMaj(std::vector<ExprId> operands)
+{
+    assert(!operands.empty());
+    assert(operands.size() % 2 == 1);
+    // Duplicates weight the vote (MAJ(a, a, b) = a), so the operand
+    // list is sorted for interning but never deduplicated, and nested
+    // MAJs are not flattened (majority is not associative).
+    std::sort(operands.begin(), operands.end());
+    if (operands.size() == 1)
+        return operands.front();
+    ExprNode node;
+    node.kind = ExprKind::Maj;
+    node.operands = std::move(operands);
+    return intern(std::move(node));
+}
+
 const ExprNode &
 ExprPool::node(ExprId id) const
 {
@@ -229,6 +249,19 @@ ExprPool::evaluate(ExprId root,
             for (std::size_t i = 1; i < n.operands.size(); ++i)
                 acc = acc ^ memo[n.operands[i]];
             memo[id] = acc;
+            break;
+          }
+          case ExprKind::Maj: {
+            const std::size_t bits = memo[n.operands.front()].size();
+            const int votes = static_cast<int>(n.operands.size());
+            BitVector acc(bits);
+            for (std::size_t col = 0; col < bits; ++col) {
+                int ones = 0;
+                for (const ExprId operand : n.operands)
+                    ones += memo[operand].get(col) ? 1 : 0;
+                acc.set(col, 2 * ones > votes);
+            }
+            memo[id] = std::move(acc);
             break;
           }
         }

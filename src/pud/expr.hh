@@ -37,6 +37,7 @@ enum class ExprKind : std::uint8_t {
     Nand,
     Nor,
     Xor,
+    Maj, ///< Bitwise majority over an odd number of operands.
 };
 
 /** Printable name of an expression kind. */
@@ -94,6 +95,15 @@ class ExprPool
 
     /** N-input XOR (parity); nested XORs are flattened. */
     ExprId mkXor(std::vector<ExprId> operands);
+
+    /**
+     * Bitwise majority over an odd number of operands (MAJ3, MAJ5,
+     * ...): the SiMRA-native gate, which the NAND/NOR basis expands
+     * into its sum-of-products form. Operands are sorted but kept
+     * (duplicates weight the vote); a single operand collapses to
+     * itself. @pre operands.size() odd
+     */
+    ExprId mkMaj(std::vector<ExprId> operands);
 
     /** Binary conveniences. */
     ExprId mkAnd(ExprId a, ExprId b) { return mkAnd({a, b}); }

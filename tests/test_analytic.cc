@@ -209,5 +209,59 @@ TEST(EngineAgreementLogic, TwoInputAndMatches)
     }
 }
 
+TEST(Analytic, MajSamplesCoverGroupAndStayInUnitInterval)
+{
+    const Chip chip(noisyProfile(), test::tinyGeometry(), 3);
+    AnalyticAnalyzer analyzer(chip, AnalyticConfig{}, 1);
+    const auto pairs = findSimraPairs(chip, 4, 1, 5);
+    ASSERT_FALSE(pairs.empty());
+    const RowId rf = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId rl = composeRow(chip.geometry(), 0, pairs[0].second);
+    // MAJ3: 3 operand cells + 1 neutral on the 4-row group; all
+    // columns of the subarray participate.
+    const auto samples =
+        analyzer.majSamples(0, rf, rl, 3, 1, OpConditions());
+    EXPECT_EQ(samples.size(),
+              4u * static_cast<std::size_t>(chip.geometry().columns));
+    for (const auto &sample : samples) {
+        EXPECT_GE(sample.probability, 0.0);
+        EXPECT_LE(sample.probability, 1.0);
+    }
+
+    // The deciding single vote (2-vs-1 at full coupling) is the
+    // hardest case; the all-agree case upper-bounds it.
+    const auto decisive =
+        analyzer.majSamples(0, rf, rl, 3, 1, OpConditions(), 2);
+    const auto unanimous =
+        analyzer.majSamples(0, rf, rl, 3, 1, OpConditions(), 3);
+    ASSERT_EQ(decisive.size(), unanimous.size());
+    double decisive_mean = 0.0;
+    double unanimous_mean = 0.0;
+    for (std::size_t i = 0; i < decisive.size(); ++i) {
+        decisive_mean += decisive[i].probability;
+        unanimous_mean += unanimous[i].probability;
+    }
+    EXPECT_GE(unanimous_mean, decisive_mean);
+}
+
+TEST(Analytic, MajSamplesExactOnIdealChip)
+{
+    const Chip chip(test::idealProfile(), test::tinyGeometry(), 3);
+    AnalyticConfig config;
+    config.sampleBinomial = false;
+    AnalyticAnalyzer analyzer(chip, config, 1);
+    const auto pairs = findSimraPairs(chip, 8, 1, 5);
+    ASSERT_FALSE(pairs.empty());
+    const RowId rf = composeRow(chip.geometry(), 0, pairs[0].first);
+    const RowId rl = composeRow(chip.geometry(), 0, pairs[0].second);
+    // MAJ5 on the 8-row group: 5 operands, 1 neutral, 1 balanced
+    // constant pair. Noiseless chip -> certain success.
+    const auto samples =
+        analyzer.majSamples(0, rf, rl, 5, 1, OpConditions());
+    ASSERT_FALSE(samples.empty());
+    for (const auto &sample : samples)
+        EXPECT_NEAR(sample.probability, 1.0, 1e-9);
+}
+
 } // namespace
 } // namespace fcdram

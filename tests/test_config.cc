@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "config/fleet.hh"
 #include "config/timing.hh"
 
@@ -37,12 +39,57 @@ TEST(SpeedGrade, QuantizedViolatedGaps)
                 2.5, 1e-9);
 }
 
+TEST(SpeedGrade, ZeroRateRejectedAtConfigLoad)
+{
+    // Every timing conversion (and the host-copy bandwidth model)
+    // divides by the data rate; a zero rate must fail at config
+    // load, not as a downstream division by zero.
+    EXPECT_THROW(SpeedGrade(0), std::invalid_argument);
+}
+
+TEST(SpeedGrade, HostCopyBandwidthIsPositive)
+{
+    // x64 DIMM: 8 bytes per transfer; 2666 MT/s -> 21.328 bytes/ns.
+    EXPECT_NEAR(SpeedGrade(2666).bytesPerNs(), 21.328, 1e-9);
+    EXPECT_GT(SpeedGrade(1).bytesPerNs(), 0.0);
+}
+
 TEST(TimingParams, NominalSanity)
 {
     const TimingParams timing = TimingParams::nominal();
     EXPECT_GT(timing.tRas, timing.tRp);
     EXPECT_GT(timing.tRp, timing.glitchThreshold);
     EXPECT_GT(timing.fracThreshold, timing.glitchThreshold);
+    // The CPU-baseline fixed cost lives in the timing config, not as
+    // a magic constant in the PuD engine.
+    EXPECT_GT(timing.hostCopyOverheadNs, 0.0);
+}
+
+TEST(ChipProfile, SimraCapabilityPerManufacturer)
+{
+    const auto hynix =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2666);
+    EXPECT_TRUE(hynix.supportsSimra());
+    EXPECT_EQ(hynix.maxSimraRows(), 32);
+    EXPECT_EQ(hynix.maxSimraInputs(), 16);
+
+    // 8Gb M-die: 3 latch stages bound the group at 16 rows.
+    const auto hynix8m =
+        ChipProfile::make(Manufacturer::SkHynix, 8, 'M', 8, 2666);
+    EXPECT_EQ(hynix8m.maxSimraRows(), 16);
+    EXPECT_EQ(hynix8m.maxSimraInputs(), 8);
+
+    // Samsung: pair activation only — no many-row groups.
+    const auto samsung =
+        ChipProfile::make(Manufacturer::Samsung, 8, 'A', 8, 2666);
+    EXPECT_FALSE(samsung.supportsSimra());
+    EXPECT_EQ(samsung.maxSimraRows(), 2);
+
+    // Micron ignores violated commands entirely.
+    const auto micron =
+        ChipProfile::make(Manufacturer::Micron, 8, 'B', 8, 2666);
+    EXPECT_FALSE(micron.supportsSimra());
+    EXPECT_EQ(micron.maxSimraRows(), 0);
 }
 
 TEST(ChipProfile, SkHynixCapabilities)
@@ -145,10 +192,12 @@ TEST(Types, ToStringCoverage)
 {
     EXPECT_STREQ(toString(Manufacturer::SkHynix), "SK Hynix");
     EXPECT_STREQ(toString(BoolOp::Nand), "NAND");
+    EXPECT_STREQ(toString(BoolOp::Maj5), "MAJ5");
     EXPECT_STREQ(toString(Region::Middle), "Middle");
     EXPECT_TRUE(isInvertedOp(BoolOp::Not));
     EXPECT_TRUE(isInvertedOp(BoolOp::Nor));
     EXPECT_FALSE(isInvertedOp(BoolOp::And));
+    EXPECT_FALSE(isInvertedOp(BoolOp::Maj5));
 }
 
 } // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <tuple>
 
 #include "dram/openbitline.hh"
@@ -110,6 +111,63 @@ TEST_F(OpsFixture, InitReferenceWritesConstantsAndFrac)
                     .cells()
                     .volt(frac.localRow, 0),
                 kVddHalf, 0.05);
+}
+
+TEST_F(OpsFixture, ExecuteMajComputesMaj3AndMaj5)
+{
+    // The SiMRA primitives: MAJ3 on a 4-row group, MAJ5 on an 8-row
+    // group (with one balanced constant pair padding the remainder).
+    for (const int rows : {4, 8}) {
+        const auto pairs = findSimraPairs(chip_, rows, 1, 11);
+        ASSERT_FALSE(pairs.empty()) << rows << "-row group";
+        const RowId rf =
+            composeRow(geometry(), 1, pairs.front().first);
+        const RowId rl =
+            composeRow(geometry(), 1, pairs.front().second);
+        const int m = rows == 4 ? 3 : 5;
+        std::vector<BitVector> operands;
+        for (int i = 0; i < m; ++i) {
+            operands.push_back(
+                randomRow(static_cast<std::uint64_t>(40 + i)));
+        }
+        const auto result = ops_.executeMaj(0, rf, rl, operands);
+        ASSERT_TRUE(result.has_value()) << rows << "-row group";
+        EXPECT_EQ(*result, goldenMaj(operands)) << "MAJ" << m;
+    }
+}
+
+TEST_F(OpsFixture, ExecuteMajRejectsEvenOperandCount)
+{
+    // An even operand count would leave a stale row voting in the
+    // majority; the precondition is a hard error, not a debug-only
+    // assert.
+    const auto pairs = findSimraPairs(chip_, 4, 1, 11);
+    ASSERT_FALSE(pairs.empty());
+    const RowId rf = composeRow(geometry(), 1, pairs.front().first);
+    const RowId rl = composeRow(geometry(), 1, pairs.front().second);
+    EXPECT_THROW(ops_.executeMaj(0, rf, rl, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        ops_.executeMaj(0, rf, rl, {randomRow(1), randomRow(2)}),
+        std::invalid_argument);
+}
+
+TEST(FindSimraPairs, GroupsMatchRequestedSize)
+{
+    const Chip chip(test::idealProfile(), test::tinyGeometry(), 1);
+    EXPECT_EQ(chip.decoder().maxSameSubarrayRows(), 8);
+    for (const int rows : {2, 4, 8}) {
+        const auto pairs = findSimraPairs(chip, rows, 3, 13);
+        ASSERT_FALSE(pairs.empty()) << rows;
+        for (const auto &[rf, rl] : pairs) {
+            EXPECT_EQ(chip.decoder()
+                          .sameSubarrayActivation(rf, rl)
+                          .size(),
+                      static_cast<std::size_t>(rows));
+        }
+    }
+    // Beyond the decoder cap: no groups.
+    EXPECT_TRUE(findSimraPairs(chip, 16, 3, 13).empty());
 }
 
 TEST(FindActivationPairs, HonorsRequestedShape)

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/rng.hh"
 #include "dram/openbitline.hh"
+#include "fcdram/reliablemask.hh"
 #include "fcdram/session.hh"
 #include "pud/allocator.hh"
 #include "pud/compiler.hh"
@@ -178,13 +180,116 @@ TEST(CompilerTest, GoldenValuesMatchPoolEvaluation)
         pool.mkAnd({cols[0], cols[1], cols[2]}),
         pool.mkXor(cols[3], pool.mkNot(cols[4])));
     const auto data = makeData(5, 48, 11);
-    for (const int width : {2, 4, 16}) {
-        const MicroProgram program =
-            Compiler(CompilerOptions{width}).compile(pool, root);
-        const auto values = goldenValues(program, data);
-        EXPECT_EQ(values[program.result], pool.evaluate(root, data))
-            << "maxGateInputs=" << width;
+    for (const ComputeBackend backend :
+         {ComputeBackend::NandNor, ComputeBackend::SimraMaj}) {
+        for (const int width : {2, 4, 16}) {
+            const MicroProgram program =
+                Compiler(CompilerOptions{width, backend})
+                    .compile(pool, root);
+            const auto values = goldenValues(program, data);
+            EXPECT_EQ(values[program.result],
+                      pool.evaluate(root, data))
+                << toString(backend) << " maxGateInputs=" << width;
+        }
     }
+}
+
+TEST(CompilerTest, XorLowersToLogDepthTree)
+{
+    // The regression: a left fold chained 15 dependent XOR steps (31
+    // waves); the balanced tree schedules XOR-16 in 4 levels of 2
+    // waves each plus the load wave.
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 16);
+    const MicroProgram program = Compiler(CompilerOptions{16}).compile(
+        pool, pool.mkXor(cols));
+    EXPECT_LE(program.numWaves, 9);
+
+    const auto data = makeData(16, 32, 19);
+    const auto values = goldenValues(program, data);
+    EXPECT_EQ(values[program.result],
+              pool.evaluate(pool.mkXor(cols), data));
+}
+
+TEST(CompilerTest, MajBackendLowersAndOrToInputBiasedMaj)
+{
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 8);
+    const MicroProgram program =
+        Compiler(CompilerOptions{16, ComputeBackend::SimraMaj})
+            .compile(pool, pool.mkAnd(cols));
+    EXPECT_EQ(program.backend, ComputeBackend::SimraMaj);
+    EXPECT_EQ(program.wideOps(), 0);
+    ASSERT_EQ(program.majOps(), 1);
+    for (const MicroOp &op : program.ops) {
+        if (op.kind != MicroOpKind::Maj)
+            continue;
+        // AND-8 = MAJ15(8 operands, 7 zeros) + 1 Frac tiebreaker on
+        // a 16-row activation group (Buddy-RAM input biasing).
+        EXPECT_EQ(op.width(), 8);
+        EXPECT_EQ(op.constantZeros, 7);
+        EXPECT_EQ(op.constantOnes, 0);
+        EXPECT_EQ(op.neutralRows, 1);
+        EXPECT_EQ(op.activatedRows, 16);
+    }
+
+    // NAND on the MAJ basis pays an explicit NOT (no free twin).
+    const MicroProgram nand =
+        Compiler(CompilerOptions{16, ComputeBackend::SimraMaj})
+            .compile(pool, pool.mkNand({cols[0], cols[1]}));
+    EXPECT_EQ(nand.majOps(), 1);
+    EXPECT_EQ(nand.notOps(), 1);
+}
+
+TEST(CompilerTest, MajExpressionNativeOnSimraExpandedOnNandNor)
+{
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 5);
+    const ExprId maj3 = pool.mkMaj({cols[0], cols[1], cols[2]});
+    const ExprId maj5 = pool.mkMaj(
+        {cols[0], cols[1], cols[2], cols[3], cols[4]});
+
+    const MicroProgram native =
+        Compiler(CompilerOptions{16, ComputeBackend::SimraMaj})
+            .compile(pool, maj3);
+    EXPECT_EQ(native.majOps(), 1);
+    EXPECT_EQ(native.ops.back().activatedRows, 4);
+
+    // The NandNor basis needs the sum-of-products expansion: 3 AND-2
+    // gates plus a 2-level OR join (gate widths snap to powers of
+    // two, the only N:N shapes the substrate activates).
+    const MicroProgram expanded =
+        Compiler(CompilerOptions{16, ComputeBackend::NandNor})
+            .compile(pool, maj3);
+    EXPECT_EQ(expanded.majOps(), 0);
+    EXPECT_EQ(expanded.wideOps(), 5);
+
+    const auto data = makeData(5, 40, 23);
+    for (const ExprId root : {maj3, maj5}) {
+        for (const ComputeBackend backend :
+             {ComputeBackend::NandNor, ComputeBackend::SimraMaj}) {
+            const MicroProgram program =
+                Compiler(CompilerOptions{16, backend})
+                    .compile(pool, root);
+            const auto values = goldenValues(program, data);
+            EXPECT_EQ(values[program.result],
+                      pool.evaluate(root, data))
+                << toString(backend);
+        }
+    }
+}
+
+TEST(VoteSetTest, RejectsShortReadback)
+{
+    // The regression: a short readback used to count missing columns
+    // as 0-votes silently; now it is a hard error.
+    VoteSet votes(8);
+    votes.add(BitVector(8, true));
+    EXPECT_THROW(votes.add(BitVector(4, true)),
+                 std::invalid_argument);
+    EXPECT_THROW(votes.add(BitVector(9, true)),
+                 std::invalid_argument);
+    EXPECT_TRUE(votes.majority(0, 1));
 }
 
 class PudEngineTest : public ::testing::Test
@@ -362,6 +467,186 @@ TEST_F(PudEngineTest, NoisyFleetModuleMatchesGoldenOnMaskedColumns)
             << pool.toString(root);
         EXPECT_EQ(result.output, result.golden)
             << "per-column CPU fallback must repair the rest";
+    }
+}
+
+TEST_F(PudEngineTest, EvenRedundancyIsRejectedAtConstruction)
+{
+    // Majority voting with an even trial count resolves ties to 0;
+    // the engine enforces the odd-trial contract at the API boundary
+    // (not just via a debug assert).
+    for (const int redundancy : {0, 2, 4, -1}) {
+        EngineOptions options;
+        options.redundancy = redundancy;
+        EXPECT_THROW(PudEngine(session_, options),
+                     std::invalid_argument)
+            << "redundancy=" << redundancy;
+    }
+}
+
+TEST_F(PudEngineTest, StaleTemperatureMasksAreRejected)
+{
+    // Allocator masks bake in the chip temperature they were derived
+    // at; executing at another temperature must not silently trust
+    // them.
+    PudEngine engine(session_);
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 2);
+    const ExprId root = pool.mkAnd(cols);
+    const auto data = makeData(2, bits(), 43);
+    Chip chip = idealChip();
+
+    const RowAllocator allocator(chip, 17);
+    EXPECT_EQ(allocator.maskTemperature(), chip.temperature());
+    chip.setTemperature(chip.temperature() + 20.0);
+    const MicroProgram program = engine.compile(pool, root);
+    EXPECT_THROW(engine.execute(program, allocator, chip, 17, data),
+                 std::invalid_argument);
+
+    // runOnChip derives a fresh allocator from the hot chip, so the
+    // same query re-derives instead of rejecting.
+    const QueryResult result =
+        engine.runOnChip(chip, 17, pool, root, data);
+    EXPECT_EQ(result.output, result.golden);
+}
+
+TEST_F(PudEngineTest, AutoBackendResolvesFromProfiledCapability)
+{
+    EngineOptions options;
+    options.backend = BackendChoice::Auto;
+    PudEngine engine(session_, options);
+    EXPECT_EQ(engine.resolveBackend(test::idealProfile()),
+              ComputeBackend::SimraMaj);
+    EXPECT_EQ(engine.resolveBackend(ChipProfile::make(
+                  Manufacturer::Samsung, 8, 'A', 8, 2666)),
+              ComputeBackend::NandNor);
+    EXPECT_EQ(engine.resolveBackend(ChipProfile::make(
+                  Manufacturer::Micron, 8, 'B', 8, 2666)),
+              ComputeBackend::NandNor);
+}
+
+TEST_F(PudEngineTest, BackendsAgreeOnIdealChip)
+{
+    // Backend parity: every query computes exactly on the ideal chip
+    // on both bases, and the hybrid outputs are identical.
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 4);
+    const auto data = makeData(4, bits(), 47);
+
+    const std::vector<ExprId> queries = {
+        pool.mkAnd(cols),
+        pool.mkOr(cols),
+        pool.mkNand({cols[0], cols[1], cols[2], cols[3]}),
+        pool.mkNor({cols[0], cols[1]}),
+        pool.mkXor(cols[0], cols[1]),
+        pool.mkNot(cols[0]),
+        pool.mkMaj({cols[0], cols[1], cols[2]}),
+        pool.mkOr(pool.mkAnd(cols[0], pool.mkNot(cols[1])),
+                  pool.mkAnd(cols[2], cols[3])),
+    };
+
+    for (const ExprId root : queries) {
+        QueryResult results[2];
+        int index = 0;
+        for (const BackendChoice choice :
+             {BackendChoice::NandNor, BackendChoice::SimraMaj}) {
+            EngineOptions options;
+            options.backend = choice;
+            Chip chip = idealChip();
+            const QueryResult result =
+                PudEngine(session_, options)
+                    .runOnChip(chip, 53, pool, root, data);
+            EXPECT_TRUE(result.placed)
+                << toString(choice) << " " << pool.toString(root);
+            EXPECT_EQ(result.output, result.golden)
+                << toString(choice) << " " << pool.toString(root);
+            EXPECT_EQ(result.matchingBits, result.checkedBits);
+            results[index++] = result;
+        }
+        EXPECT_EQ(results[0].output, results[1].output)
+            << pool.toString(root);
+        EXPECT_EQ(results[0].backend, ComputeBackend::NandNor);
+        EXPECT_EQ(results[1].backend, ComputeBackend::SimraMaj);
+    }
+}
+
+TEST_F(PudEngineTest, BackendsMatchGoldenOnNoisyModule)
+{
+    // The deployment contract holds on real (noisy) designs for both
+    // backends: every column either backend trusts to DRAM matches
+    // the CPU golden model.
+    const auto *module =
+        session_->findModule(Manufacturer::SkHynix, 4, 'A', 2133);
+    ASSERT_NE(module, nullptr);
+
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 4);
+    const auto data = makeData(4, bits(), 59);
+    for (const ExprId root :
+         {pool.mkAnd(cols), pool.mkOr(cols),
+          pool.mkMaj({cols[0], cols[1], cols[2]})}) {
+        for (const BackendChoice choice :
+             {BackendChoice::NandNor, BackendChoice::SimraMaj}) {
+            EngineOptions options;
+            options.backend = choice;
+            options.redundancy = 3;
+            const QueryResult result =
+                PudEngine(session_, options)
+                    .run(*module, pool, root, data);
+            EXPECT_TRUE(result.placed)
+                << toString(choice) << " " << pool.toString(root);
+            EXPECT_EQ(result.matchingBits, result.checkedBits)
+                << toString(choice) << " " << pool.toString(root);
+            EXPECT_EQ(result.output, result.golden)
+                << "per-column CPU fallback must repair the rest";
+        }
+    }
+}
+
+TEST_F(PudEngineTest, FanInClampsToDecoderCapability)
+{
+    // tinyGeometry subarrays have 32 rows: the decoder caps SiMRA
+    // groups at 8 rows (4-input gates) regardless of what the
+    // profile promises. An 8-wide AND must compile to a placeable
+    // tree of clamped gates, not one unplaceable 16-row gate.
+    Chip chip(test::idealProfile(), test::tinyGeometry(), 21);
+    ASSERT_EQ(chip.decoder().maxSameSubarrayRows(), 8);
+
+    EngineOptions options;
+    options.backend = BackendChoice::SimraMaj;
+    PudEngine engine(session_, options);
+    const auto [backend, capability] = engine.backendCapability(chip);
+    EXPECT_EQ(backend, ComputeBackend::SimraMaj);
+    EXPECT_EQ(capability, 4);
+
+    ExprPool pool;
+    const auto cols = makeColumns(pool, 8);
+    const auto data = makeData(
+        8, static_cast<std::size_t>(chip.geometry().columns), 61);
+    const QueryResult result =
+        engine.runOnChip(chip, 19, pool, pool.mkAnd(cols), data);
+    EXPECT_TRUE(result.placed);
+    EXPECT_GT(result.majOps, 1);
+    EXPECT_EQ(result.output, result.golden);
+}
+
+TEST_F(PudEngineTest, MajBackendPlacesOnSimraGroups)
+{
+    // The allocator serves N-row operand groups (not subarray
+    // pairs) to the SiMRA backend.
+    const auto &module =
+        session_->modules(FleetSession::Fleet::SkHynix).front();
+    const RowAllocator allocator(*session_, module);
+    const auto &slots = allocator.majSlots(4);
+    ASSERT_FALSE(slots.empty());
+    for (const MajSlot &slot : slots) {
+        EXPECT_EQ(slot.activatedRows, 4);
+        EXPECT_EQ(slot.rows.size(), 4u);
+        // Ranked by mask density.
+    }
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+        EXPECT_GE(ReliableMask::maskDensity(slots[i - 1].mask),
+                  ReliableMask::maskDensity(slots[i].mask));
     }
 }
 

@@ -236,6 +236,43 @@ TEST(RowDecoder, SameSubarrayHalfSelectDoubles)
     EXPECT_EQ(rows, (std::vector<RowId>{0, 256}));
 }
 
+TEST(RowDecoder, MaskPartnerOpensRequestedGroupSize)
+{
+    // The SiMRA decoder-hierarchy address mask: every supported
+    // power-of-two group size is reachable from any base row.
+    const RowDecoder decoder(fullCoverage(), bigGeometry(), 1);
+    EXPECT_EQ(decoder.maxSameSubarrayRows(), 32);
+    for (const int n : {2, 4, 8, 16, 32}) {
+        const RowId partner = decoder.maskPartner(100, n);
+        ASSERT_NE(partner, kInvalidRow) << n;
+        const auto set = decoder.sameSubarrayActivation(partner, 100);
+        EXPECT_EQ(static_cast<int>(set.size()), n) << n;
+        EXPECT_NE(std::find(set.begin(), set.end(), RowId{100}),
+                  set.end());
+        EXPECT_NE(std::find(set.begin(), set.end(), partner),
+                  set.end());
+    }
+    // Non-powers of two and out-of-range sizes are unreachable.
+    EXPECT_EQ(decoder.maskPartner(100, 3), kInvalidRow);
+    EXPECT_EQ(decoder.maskPartner(100, 64), kInvalidRow);
+}
+
+TEST(RowDecoder, SameSubarrayCapLimitsExpansion)
+{
+    // A design whose higher stages do not latch (Samsung-style cap
+    // at pair activation): wider masks do not glitch at all, pair
+    // activation (Frac/RowClone) still works.
+    DecoderParams params = fullCoverage();
+    params.maxSameSubarrayRows = 2;
+    const RowDecoder decoder(params, bigGeometry(), 1);
+    EXPECT_EQ(decoder.maxSameSubarrayRows(), 2);
+    const auto wide = decoder.sameSubarrayActivation(100 ^ 5, 100);
+    EXPECT_EQ(wide, (std::vector<RowId>{100}));
+    const auto pair = decoder.sameSubarrayActivation(101, 100);
+    EXPECT_EQ(pair.size(), 2u);
+    EXPECT_EQ(decoder.maskPartner(100, 4), kInvalidRow);
+}
+
 /** Coverage distribution shape (Fig. 5 precursor). */
 TEST(RowDecoder, NNDistributionPeaksAtEightAndSixteen)
 {
