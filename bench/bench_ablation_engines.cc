@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "benchutil.hh"
-#include "pud/engine.hh"
+#include "pud/service.hh"
 
 using namespace fcdram;
 using namespace fcdram::benchutil;
@@ -115,14 +115,34 @@ main(int argc, char **argv)
                        false});
     report.lap("compile");
 
-    const auto makeEngine = [&](BackendChoice backend) {
+    const auto makeService = [&](BackendChoice backend) {
         EngineOptions options;
         options.backend = backend;
         options.redundancy = 3;
-        return PudEngine(session, options);
+        return QueryService(session, options);
     };
-    const PudEngine nandnor = makeEngine(BackendChoice::NandNor);
-    const PudEngine simra = makeEngine(BackendChoice::SimraMaj);
+    QueryService nandnor = makeService(BackendChoice::NandNor);
+    QueryService simra = makeService(BackendChoice::SimraMaj);
+
+    // One prepared batch per backend, one fleet pass each: identical
+    // queries, identical per-module seeded data on both sides.
+    const auto submitAll = [&](QueryService &service) {
+        std::vector<BoundQuery> batch;
+        batch.reserve(queries.size());
+        for (const QuerySpec &query : queries) {
+            batch.push_back(
+                service.prepare(pool, query.root).bindSeeded());
+        }
+        return service.collect(
+            service.submit(std::move(batch),
+                           FleetSession::Fleet::SkHynix));
+    };
+    const BatchQueryResult nnBatch = submitAll(nandnor);
+    const BatchQueryResult smBatch = submitAll(simra);
+    report.metric("nandnor_compiles",
+                  static_cast<double>(nnBatch.cache.compiles));
+    report.metric("simra_compiles",
+                  static_cast<double>(smBatch.cache.compiles));
 
     Table table({"query", "backend", "placed", "fleet", "DRAM cmds",
                  "latency ns", "energy nJ", "DRAM cols %",
@@ -132,11 +152,10 @@ main(int argc, char **argv)
     std::uint64_t wideSimraCommands = 0;
     std::size_t wideComparableModules = 0;
 
-    for (const QuerySpec &query : queries) {
-        const FleetQueryStats nn = nandnor.runFleet(
-            FleetSession::Fleet::SkHynix, pool, query.root);
-        const FleetQueryStats sm = simra.runFleet(
-            FleetSession::Fleet::SkHynix, pool, query.root);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const QuerySpec &query = queries[q];
+        const FleetQueryStats &nn = nnBatch.queries[q];
+        const FleetQueryStats &sm = smBatch.queries[q];
         addRow(table, query.label, "nand-nor", nn, fleetSize);
         addRow(table, query.label, "simra-maj", sm, fleetSize);
 

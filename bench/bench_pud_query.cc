@@ -1,24 +1,30 @@
 /**
  * @file
- * PuD query-engine bench: compiles bitmap queries of sweeping width
- * and shape, runs them fleet-wide over the SK Hynix designs through
- * the compile -> allocate -> execute pipeline, and reports accuracy,
- * DRAM command counts, and the analytic latency/energy estimate next
- * to the CPU scan baseline.
+ * PuD query-engine bench: prepares bitmap queries of sweeping width
+ * and shape through the QueryService lifecycle
+ * (prepare -> bind -> submit -> collect), runs them fleet-wide over
+ * the SK Hynix designs as ONE batched fleet pass, and reports
+ * accuracy, DRAM command counts, and the analytic latency/energy
+ * estimate next to the CPU scan baseline.
  *
  * Acceptance properties checked here (non-zero exit on violation):
  *  - the conjunctive and disjunctive queries match the CPU golden
- *    model on every column the engine trusts to DRAM, fleet-wide;
+ *    model on every column the engine trusts to DRAM, fleet-wide,
+ *    on BOTH the cold and the warm pass;
+ *  - submitting the same prepared batch a second time is served
+ *    entirely from the plan cache: zero compiles, zero placements,
+ *    zero allocator builds, only hits (the prepared-query lifecycle
+ *    amortizes exactly what the one-shot API re-paid per call);
  *  - the compiled command count of a 16-way AND is strictly lower
  *    than the 15-gate chained 2-input tree on every module that can
- *    activate 16:16 (wide-gate fusion demonstrably pays).
+ *    activate the fused shape (wide-gate fusion demonstrably pays).
  */
 
 #include <iostream>
 #include <vector>
 
 #include "benchutil.hh"
-#include "pud/engine.hh"
+#include "pud/service.hh"
 
 using namespace fcdram;
 using namespace fcdram::benchutil;
@@ -56,12 +62,13 @@ int
 main(int argc, char **argv)
 {
     printBanner(std::cout,
-                "PuD query engine: bulk-bitwise expressions as "
+                "PuD query engine: prepared-query lifecycle over "
                 "in-DRAM op schedules");
 
     CampaignConfig config = figureConfig(argc, argv);
     // Two banks of subarray pairs: independent gates of one wave
-    // overlap across banks in the latency model.
+    // (and the queries of one batch) overlap across banks in the
+    // latency model.
     config.banksPerChip = 2;
     const auto session = std::make_shared<FleetSession>(config);
     const std::size_t fleetSize =
@@ -69,7 +76,7 @@ main(int argc, char **argv)
 
     BenchReport report("pud_query");
 
-    // ---- Compile the query sweep ---------------------------------
+    // ---- Build and prepare the query sweep -----------------------
     ExprPool pool;
     std::vector<ExprId> cols;
     for (int i = 0; i < 16; ++i)
@@ -92,50 +99,134 @@ main(int argc, char **argv)
     queries.push_back({"XOR-4",
                        pool.mkXor({cols[0], cols[1], cols[2], cols[3]}),
                        false});
-    report.lap("compile");
 
     EngineOptions options;
     options.redundancy = 3; // Majority vote per gate.
-    PudEngine engine(session, options);
+    QueryService service(session, options);
 
-    // ---- Fleet-wide sweep ----------------------------------------
+    std::vector<BoundQuery> batch;
+    batch.reserve(queries.size());
+    for (const QuerySpec &query : queries)
+        batch.push_back(service.prepare(pool, query.root).bindSeeded());
+    report.lap("prepare");
+
+    // ---- Cold vs warm batched fleet pass -------------------------
+    // The cold submit compiles, ranks slots, and derives reliability
+    // masks; the warm submit of the SAME prepared batch must be
+    // served entirely from the plan cache and only re-execute.
+    const QueryTicket coldTicket =
+        service.submit(batch, FleetSession::Fleet::SkHynix);
+    const BatchQueryResult cold = service.collect(coldTicket);
+    const double coldMs = report.lap("cold_batch");
+
+    const QueryTicket warmTicket =
+        service.submit(batch, FleetSession::Fleet::SkHynix);
+    const BatchQueryResult warm = service.collect(warmTicket);
+    const double warmMs = report.lap("warm_batch");
+
+    report.metric("cold_compiles",
+                  static_cast<double>(cold.cache.compiles));
+    report.metric("cold_placements",
+                  static_cast<double>(cold.cache.placements));
+    report.metric("cold_allocator_builds",
+                  static_cast<double>(cold.cache.allocatorBuilds));
+    report.metric("warm_compiles",
+                  static_cast<double>(warm.cache.compiles));
+    report.metric("warm_placements",
+                  static_cast<double>(warm.cache.placements));
+    report.metric("warm_allocator_builds",
+                  static_cast<double>(warm.cache.allocatorBuilds));
+    report.metric("warm_plan_hits",
+                  static_cast<double>(warm.cache.hits));
+    report.metric("warm_speedup",
+                  warmMs > 0.0 ? coldMs / warmMs : 0.0);
+
+    bool cacheHolds =
+        cold.cache.compiles > 0 && cold.cache.placements > 0 &&
+        warm.cache.compiles == 0 && warm.cache.placements == 0 &&
+        warm.cache.allocatorBuilds == 0 && warm.cache.misses == 0 &&
+        warm.cache.hits > 0;
+    if (!cacheHolds) {
+        std::cerr << "FAIL: warm submit was not served from the plan "
+                     "cache (cold compiles="
+                  << cold.cache.compiles
+                  << " placements=" << cold.cache.placements
+                  << "; warm compiles=" << warm.cache.compiles
+                  << " placements=" << warm.cache.placements
+                  << " misses=" << warm.cache.misses
+                  << " hits=" << warm.cache.hits << ")\n";
+    }
+    std::cout << "Cold batch " << formatDouble(coldMs, 1)
+              << " ms (compiles=" << cold.cache.compiles
+              << ", placements=" << cold.cache.placements
+              << ", allocator builds=" << cold.cache.allocatorBuilds
+              << "); warm batch " << formatDouble(warmMs, 1)
+              << " ms (plan hits=" << warm.cache.hits
+              << ", compiles=" << warm.cache.compiles
+              << ", placements=" << warm.cache.placements << ")\n\n";
+
+    // ---- Fleet-wide sweep table (cold pass results) --------------
     Table table({"query", "placed", "fleet", "DRAM cmds", "latency ns",
                  "energy nJ", "DRAM cols %", "checked bits", "acc %",
                  "CPU scan ns"});
     bool accuracyHolds = true;
-    const ExprId and16 = pool.mkAnd(cols);
-    FleetQueryStats fused; // The AND-16 sweep row, reused below.
-    for (const QuerySpec &query : queries) {
-        FleetQueryStats stats = engine.runFleet(
-            FleetSession::Fleet::SkHynix, pool, query.root);
-        addFleetRow(table, query.label, stats, fleetSize);
-        if (query.mustMatch) {
-            report.metric(query.label + "_checked_bits",
-                          static_cast<double>(stats.checkedBits()));
-            report.metric(query.label + "_accuracy",
-                          stats.accuracyPercent());
-            if (stats.matchingBits() != stats.checkedBits()) {
-                std::cerr << query.label
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const FleetQueryStats &stats = cold.queries[q];
+        const FleetQueryStats &again = warm.queries[q];
+        addFleetRow(table, queries[q].label, stats, fleetSize);
+        if (!queries[q].mustMatch)
+            continue;
+        report.metric(queries[q].label + "_checked_bits",
+                      static_cast<double>(stats.checkedBits()));
+        report.metric(queries[q].label + "_accuracy",
+                      stats.accuracyPercent());
+        for (const FleetQueryStats *pass : {&stats, &again}) {
+            if (pass->matchingBits() != pass->checkedBits()) {
+                std::cerr << queries[q].label
                           << ": DRAM result diverged from the CPU "
                              "golden model on "
-                          << (stats.checkedBits() -
-                              stats.matchingBits())
+                          << (pass->checkedBits() -
+                              pass->matchingBits())
                           << " reliable bits\n";
                 accuracyHolds = false;
             }
         }
-        if (query.root == and16)
-            fused = std::move(stats);
+        // Golden accuracy must be unchanged between the passes.
+        if (stats.accuracyPercent() != again.accuracyPercent()) {
+            std::cerr << queries[q].label
+                      << ": accuracy changed between the cold and "
+                         "warm pass\n";
+            accuracyHolds = false;
+        }
     }
     table.print(std::cout);
-    report.lap("fleet_sweep");
+    report.lap("fleet_tables");
+
+    // ---- Batch ledgers -------------------------------------------
+    // One submit stages shared columns once and interleaves the
+    // queries' waves across banks.
+    report.metric("batch_serial_latency_ns", cold.serialLatencyNs);
+    report.metric("batch_interleaved_latency_ns",
+                  cold.interleavedLatencyNs);
+    report.metric("batch_naive_load_cmds",
+                  static_cast<double>(cold.naiveLoad.commands));
+    report.metric("batch_resident_load_cmds",
+                  static_cast<double>(cold.residentLoad.commands));
+    std::cout << "\nBatch of " << batch.size()
+              << " queries per module: serial "
+              << formatDouble(cold.serialLatencyNs, 1)
+              << " ns vs bank-interleaved "
+              << formatDouble(cold.interleavedLatencyNs, 1)
+              << " ns; copy-in staging " << cold.naiveLoad.commands
+              << " cmds naive vs " << cold.residentLoad.commands
+              << " cmds with shared resident columns.\n";
 
     // ---- XOR tree depth ------------------------------------------
     // The balanced XOR lowering must schedule a 16-way XOR in
     // O(log n) waves; the old left fold chained 15 dependent steps
     // into 31 waves. Non-zero exit on regression.
     const MicroProgram xorTree =
-        engine.compile(pool, pool.mkXor(cols));
+        service.engine().compile(pool, pool.mkXor(cols));
     const int chainWaves = 1 + 2 * (16 - 1); // Loads + 15 XOR steps.
     const int treeWaves = 1 + 2 * 4;         // Loads + 4 tree levels.
     report.metric("xor16_waves", xorTree.numWaves);
@@ -154,13 +245,31 @@ main(int argc, char **argv)
     // ---- Wide-gate fusion ablation -------------------------------
     // The same 16-way AND compiled at maxGateInputs=2 becomes the
     // classic 15-gate 2-input tree; fusion must beat it outright on
-    // every module that supports 16:16 activation. The fused side is
-    // the AND-16 sweep row (identical query, engine, and data).
+    // every module that supports the fused activation shape. The
+    // fused side is the AND-16 sweep row (identical query, options,
+    // and per-module data: both sides bind the default seed).
+    const ExprId and16 = pool.mkAnd(cols);
+    std::size_t fusedIndex = queries.size();
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        if (queries[q].root == and16)
+            fusedIndex = q;
+    }
+    if (fusedIndex == queries.size()) {
+        std::cerr << "FAIL: the sweep no longer contains the 16-way "
+                     "AND the fusion ablation compares against\n";
+        return 1;
+    }
+    const FleetQueryStats &fused = cold.queries[fusedIndex];
+
     EngineOptions chainedOptions = options;
     chainedOptions.compiler.maxGateInputs = 2;
-    PudEngine chainedEngine(session, chainedOptions);
-    const FleetQueryStats chained = chainedEngine.runFleet(
-        FleetSession::Fleet::SkHynix, pool, and16);
+    QueryService chainedService(session, chainedOptions);
+    const FleetQueryStats chained = std::move(
+        chainedService
+            .collect(chainedService.submit(
+                {chainedService.prepare(pool, and16).bindSeeded()},
+                FleetSession::Fleet::SkHynix))
+            .queries.front());
     report.lap("fusion_ablation");
 
     std::cout << "\nWide-gate fusion (16-way AND, per module):\n";
@@ -203,13 +312,20 @@ main(int argc, char **argv)
                      "golden model\n";
         return 1;
     }
+    if (!cacheHolds) {
+        std::cerr << "\nFAIL: the warm submit re-paid compilation or "
+                     "placement\n";
+        return 1;
+    }
     if (comparable == 0 || !fusionWins) {
         std::cerr << "\nFAIL: wide-gate fusion did not beat the "
                      "chained 2-input tree\n";
         return 1;
     }
-    std::cout << "\nPASS: golden match on all reliable columns; "
-                 "fusion beats chaining on every\ncapable module ("
-              << comparable << "/" << fleetSize << ").\n";
+    std::cout << "\nPASS: golden match on all reliable columns on "
+                 "both passes; the warm submit was\nserved from the "
+                 "plan cache; fusion beats chaining on every capable "
+                 "module (" << comparable << "/" << fleetSize
+              << ").\n";
     return 0;
 }

@@ -26,10 +26,24 @@
 namespace fcdram::benchutil {
 
 /**
+ * Process-wide destination override for the BENCH_*.json report
+ * (--json-out=PATH). Empty (the default) keeps the historical
+ * behaviour of writing BENCH_<name>.json into the working directory;
+ * CI points it at a scratch directory instead of the build cwd.
+ */
+inline std::string &
+jsonOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
  * Apply the shared bench command line to a campaign configuration:
  * --workers=N picks the scheduler parallelism (results are
  * bit-identical for any N), --seed=X re-seeds the campaign for
- * reproducing a specific run. Unknown arguments print usage and
+ * reproducing a specific run, --json-out=PATH redirects the
+ * BENCH_*.json report to PATH. Unknown arguments print usage and
  * exit(2) so typos never silently run the default configuration.
  */
 inline void
@@ -37,7 +51,7 @@ applyArgs(CampaignConfig &config, int argc, char **argv)
 {
     const auto usage = [&]() {
         std::cerr << "usage: " << argv[0]
-                  << " [--workers=N] [--seed=X]\n";
+                  << " [--workers=N] [--seed=X] [--json-out=PATH]\n";
         std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -54,6 +68,11 @@ applyArgs(CampaignConfig &config, int argc, char **argv)
             config.seed = std::strtoull(value, &end, 0);
             if (end == value || *end != '\0')
                 usage();
+        } else if (arg.rfind("--json-out=", 0) == 0) {
+            const std::string value = arg.substr(11);
+            if (value.empty())
+                usage();
+            jsonOutPath() = value;
         } else {
             usage();
         }
@@ -148,10 +167,16 @@ class BenchReport
            << formatDouble(millis(start_, last_), 3) << "\n}\n";
     }
 
-    /** Write BENCH_<name>.json and announce it on @p os. */
+    /**
+     * Write the JSON report and announce it on @p os. The default
+     * destination is BENCH_<name>.json in the working directory;
+     * --json-out=PATH (jsonOutPath()) overrides it.
+     */
     void save(std::ostream &os = std::cout) const
     {
-        const std::string path = "BENCH_" + name_ + ".json";
+        const std::string path = jsonOutPath().empty()
+                                     ? "BENCH_" + name_ + ".json"
+                                     : jsonOutPath();
         std::ofstream file(path);
         if (!file) {
             os << "\n(could not write " << path << ")\n";

@@ -21,6 +21,17 @@ hashCombine(std::uint64_t a, std::uint64_t b)
                            splitMix64(b)));
 }
 
+std::uint64_t
+hashString(std::string_view text, std::uint64_t seed)
+{
+    std::uint64_t hash = splitMix64(seed);
+    for (const char c : text) {
+        hash = hashCombine(
+            hash, splitMix64(static_cast<unsigned char>(c)));
+    }
+    return hash;
+}
+
 namespace {
 
 inline std::uint64_t

@@ -13,6 +13,7 @@
 #define FCDRAM_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace fcdram {
 
@@ -27,6 +28,15 @@ std::uint64_t splitMix64(std::uint64_t x);
 
 /** Combine two 64-bit keys into one (order-sensitive). */
 std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Deterministic 64-bit hash of a byte string (a hashCombine fold
+ * seeded by @p seed). Process- and platform-independent, unlike
+ * std::hash; used for content keys (expression column names, ticket
+ * content hashes).
+ */
+std::uint64_t hashString(std::string_view text,
+                         std::uint64_t seed = 0x5EEDULL);
 
 /**
  * xoshiro256** pseudo random generator with helpers for the

@@ -226,10 +226,12 @@ worstCaseMajMask(const Chip &chip, BankId bank, RowId rfGlobal,
 
 RowAllocator::RowAllocator(const FleetSession &session,
                            const FleetSession::Module &module,
-                           AllocatorOptions options)
+                           AllocatorOptions options,
+                           std::optional<Celsius> maskTemperature)
     : session_(&session), module_(module),
       chip_(&session.chip(module)), seed_(module.seed),
-      options_(options), temperature_(chip_->temperature())
+      options_(options),
+      temperature_(maskTemperature.value_or(chip_->temperature()))
 {
 }
 

@@ -171,10 +171,18 @@ struct Placement
 class RowAllocator
 {
   public:
-    /** Session-backed: discovery served by the memoized pair cache. */
+    /**
+     * Session-backed: discovery served by the memoized pair cache.
+     * Pair discovery is temperature-independent (decoder expansion is
+     * structural), but reliability masks are not: they derive at
+     * @p maskTemperature when given, else at the session chip's
+     * temperature. QueryService re-derives allocators through this
+     * override when a prepared plan goes temperature-stale.
+     */
     RowAllocator(const FleetSession &session,
                  const FleetSession::Module &module,
-                 AllocatorOptions options = AllocatorOptions());
+                 AllocatorOptions options = AllocatorOptions(),
+                 std::optional<Celsius> maskTemperature = std::nullopt);
 
     /** Direct: probe a private chip (tests, custom profiles). */
     RowAllocator(const Chip &chip, std::uint64_t seed,

@@ -8,6 +8,7 @@
 
 #include "common/rng.hh"
 #include "fcdram/ops.hh"
+#include "pud/service.hh"
 
 namespace fcdram::pud {
 
@@ -260,6 +261,8 @@ PudEngine::PudEngine(std::shared_ptr<FleetSession> session,
     }
 }
 
+PudEngine::~PudEngine() = default;
+
 MicroProgram
 PudEngine::compile(const ExprPool &pool, ExprId root) const
 {
@@ -346,10 +349,8 @@ PudEngine::execute(const MicroProgram &program,
                    const std::map<std::string, BitVector> &columns)
     const
 {
-    // Reliability masks are temperature-specific: trusting masks
-    // derived at another temperature would silently mis-trust
-    // columns, so a mismatch is a hard error (allocatorFor
-    // re-derives instead of hitting this).
+    // Fail the stale-temperature contract before paying for slot
+    // ranking and placement (the inner overload re-checks).
     if (allocator.maskTemperature() != chip.temperature()) {
         std::ostringstream message;
         message << "PudEngine::execute: allocator masks derived at "
@@ -357,6 +358,32 @@ PudEngine::execute(const MicroProgram &program,
                 << " C but the chip executes at "
                 << chip.temperature()
                 << " C; re-derive the allocator";
+        throw std::invalid_argument(message.str());
+    }
+    return execute(program, allocator.place(program),
+                   allocator.maskTemperature(), chip, benderSeed,
+                   columns);
+}
+
+QueryResult
+PudEngine::execute(const MicroProgram &program,
+                   const Placement &placement,
+                   Celsius maskTemperature, Chip &chip,
+                   std::uint64_t benderSeed,
+                   const std::map<std::string, BitVector> &columns)
+    const
+{
+    // Reliability masks are temperature-specific: trusting masks
+    // derived at another temperature would silently mis-trust
+    // columns, so a mismatch is a hard error (the plan cache
+    // re-derives instead of hitting this).
+    if (maskTemperature != chip.temperature()) {
+        std::ostringstream message;
+        message << "PudEngine::execute: placement masks derived at "
+                << maskTemperature
+                << " C but the chip executes at "
+                << chip.temperature()
+                << " C; re-derive the placement";
         throw std::invalid_argument(message.str());
     }
 
@@ -370,7 +397,6 @@ PudEngine::execute(const MicroProgram &program,
 
     const std::vector<BitVector> golden =
         goldenValues(program, columns);
-    const Placement placement = allocator.place(program);
 
     QueryResult result;
     result.placed = placement.complete;
@@ -643,8 +669,10 @@ PudEngine::execute(const MicroProgram &program,
     // Waves overlap across banks; the command bus serializes within
     // one bank.
     std::map<int, double> waveNs;
-    for (const auto &[key, ns] : waveBankNs)
+    for (const auto &[key, ns] : waveBankNs) {
         waveNs[key.first] = std::max(waveNs[key.first], ns);
+        result.bankBusyNs[key.second] += ns;
+    }
     for (const auto &[wave, ns] : waveNs)
         result.dram.latencyNs += ns;
 
@@ -662,20 +690,13 @@ PudEngine::execute(const MicroProgram &program,
     return result;
 }
 
-const RowAllocator &
-PudEngine::allocatorFor(const FleetSession::Module &module) const
+QueryService &
+PudEngine::shimService() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto &allocator = allocators_[module.index];
-    if (allocator == nullptr ||
-        allocator->maskTemperature() !=
-            session_->chip(module).temperature()) {
-        // (Re-)derive: reliability masks are only valid at the
-        // temperature the chip executes at.
-        allocator = std::make_unique<RowAllocator>(
-            *session_, module, options_.allocator);
-    }
-    return *allocator;
+    if (shim_ == nullptr)
+        shim_ = std::make_shared<QueryService>(session_, options_);
+    return *shim_;
 }
 
 QueryResult
@@ -683,12 +704,15 @@ PudEngine::run(const FleetSession::Module &module,
                const ExprPool &pool, ExprId root,
                const std::map<std::string, BitVector> &columns) const
 {
-    const MicroProgram program =
-        compileFor(pool, root, session_->chip(module));
-    Chip chip = session_->checkoutChip(module);
-    return execute(program, allocatorFor(module), chip,
-                   hashCombine(module.seed, options_.benderSeedSalt),
-                   columns);
+    // Deprecated shim: one prepare -> bind -> submit -> collect per
+    // call. Repeated calls still amortize through the shim service's
+    // plan cache, but batching is out of reach from this signature.
+    QueryService &service = shimService();
+    const PreparedQuery prepared = service.prepare(pool, root);
+    const QueryTicket ticket =
+        service.submit({prepared.bind(columns)}, module);
+    BatchQueryResult batch = service.collect(ticket);
+    return std::move(batch.queries.front().modules.front().result);
 }
 
 QueryResult
@@ -708,41 +732,14 @@ FleetQueryStats
 PudEngine::runFleet(FleetSession::Fleet fleet, const ExprPool &pool,
                     ExprId root, std::uint64_t dataSeedSalt) const
 {
-    // A μprogram depends on the module only through
-    // backendCapability: compile each distinct pair once, execute
-    // everywhere.
-    std::map<std::pair<ComputeBackend, int>, MicroProgram> programs;
-    for (const FleetSession::Module &module :
-         session_->modules(fleet)) {
-        const Chip &chip = session_->chip(module);
-        const auto key = backendCapability(chip);
-        if (programs.find(key) == programs.end())
-            programs.emplace(key, compileFor(pool, root, chip));
-    }
-    const std::vector<std::string> names = pool.columnsOf(root);
-    const auto bits =
-        static_cast<std::size_t>(session_->config().geometry.columns);
-    return session_->runOverFleet<FleetQueryStats>(
-        fleet, [&](const FleetSession::ModuleView &view,
-                   FleetQueryStats &accum) {
-            const MicroProgram &program =
-                programs.at(backendCapability(view.chip));
-            const auto data = randomColumns(
-                names, bits, hashCombine(view.seed, dataSeedSalt));
-            ModuleQueryStats stats;
-            std::ostringstream label;
-            label << view.spec.profile().label() << " #"
-                  << view.module.index;
-            stats.label = label.str();
-            stats.moduleIndex = view.module.index;
-            Chip chip = session_->checkoutChip(view.module);
-            stats.result =
-                execute(program, allocatorFor(view.module), chip,
-                        hashCombine(view.module.seed,
-                                    options_.benderSeedSalt),
-                        data);
-            accum.modules.push_back(std::move(stats));
-        });
+    // Deprecated shim over the prepared-query lifecycle: the service
+    // compiles each distinct backend shape once, caches per-module
+    // placements, and runs one fleet pass.
+    QueryService &service = shimService();
+    const QueryTicket ticket = service.submit(
+        {service.prepare(pool, root).bindSeeded(dataSeedSalt)},
+        fleet);
+    return std::move(service.collect(ticket).queries.front());
 }
 
 } // namespace fcdram::pud

@@ -20,6 +20,12 @@
  * Fleet-scale runs go through FleetSession::runOverFleet, so results
  * are deterministic in the worker count and chips/pair discovery are
  * shared with every other experiment on the session.
+ *
+ * The engine is the compile/execute core; the public entry point for
+ * issuing queries is the prepared-query lifecycle in pud/service.hh
+ * (prepare -> bind -> submit -> collect), which caches compiled
+ * μprograms and per-module placements across submits. The one-shot
+ * run()/runFleet() methods remain as deprecated shims over it.
  */
 
 #ifndef FCDRAM_PUD_ENGINE_HH
@@ -38,6 +44,8 @@
 #include "pud/compiler.hh"
 
 namespace fcdram::pud {
+
+class QueryService;
 
 /**
  * Backend selection policy for query runs. The concrete basis a
@@ -80,10 +88,13 @@ struct EngineOptions
     AllocatorOptions allocator;
 
     /**
-     * Gate basis queries lower to; overrides compiler.backend. Auto
-     * picks per chip from the profiled capability.
+     * Gate basis queries lower to; overrides compiler.backend. The
+     * default Auto picks per chip from the profiled capability
+     * (ChipProfile::supportsSimra), so SiMRA-capable designs use the
+     * cheaper MAJ basis without explicit opt-in and everything else
+     * falls back to NAND/NOR.
      */
-    BackendChoice backend = BackendChoice::NandNor;
+    BackendChoice backend = BackendChoice::Auto;
 
     /**
      * Executions per gate with per-column majority voting; must be
@@ -178,6 +189,14 @@ struct QueryResult
     /** Per-query DRAM work (excludes the amortized data load). */
     QueryCost dram;
 
+    /**
+     * Command-bus busy time per bank id. Within one query the waves
+     * serialize per bank (dram.latencyNs sums the per-wave bank
+     * maxima); across the queries of one submitted batch the
+     * QueryService interleaving model overlaps these per-bank totals.
+     */
+    std::map<int, double> bankBusyNs;
+
     /** One-time residency cost of the input columns. */
     QueryCost load;
 
@@ -234,6 +253,9 @@ class PudEngine
     explicit PudEngine(std::shared_ptr<FleetSession> session,
                        EngineOptions options = EngineOptions());
 
+    /** Out of line: QueryService is incomplete in this header. */
+    ~PudEngine();
+
     const EngineOptions &options() const { return options_; }
     const std::shared_ptr<FleetSession> &session() const
     {
@@ -266,7 +288,14 @@ class PudEngine
     std::pair<ComputeBackend, int>
     backendCapability(const Chip &chip) const;
 
-    /** Compile + allocate + execute on one fleet module. */
+    /**
+     * Deprecated one-shot path: compile + allocate + execute on one
+     * fleet module. A thin shim over a single-query QueryService
+     * prepare -> bind -> submit -> collect (src/pud/service.hh) kept
+     * so out-of-tree callers still compile; repeated calls share the
+     * shim service's plan cache, but new code should hold a
+     * PreparedQuery and submit batches itself.
+     */
     QueryResult run(const FleetSession::Module &module,
                     const ExprPool &pool, ExprId root,
                     const std::map<std::string, BitVector> &columns)
@@ -279,7 +308,8 @@ class PudEngine
               const std::map<std::string, BitVector> &columns) const;
 
     /**
-     * Execute an already compiled and placed program.
+     * Place with @p allocator and execute an already compiled
+     * program.
      *
      * @throws std::invalid_argument when the chip's execute-time
      *         temperature differs from the temperature the
@@ -292,9 +322,26 @@ class PudEngine
             const std::map<std::string, BitVector> &columns) const;
 
     /**
-     * Run one query on every module of a fleet slice via
-     * FleetSession::runOverFleet, with per-module random column data
-     * derived from the module seed.
+     * Execute a program with an already derived placement (the
+     * prepared-query path: QueryService caches the placement in a
+     * PlacementPlan and skips re-derivation on warm submits).
+     *
+     * @param maskTemperature Temperature the placement's reliability
+     *        masks were derived at; must match chip.temperature()
+     *        (std::invalid_argument otherwise — stale masks must be
+     *        re-derived, not silently trusted).
+     */
+    QueryResult
+    execute(const MicroProgram &program, const Placement &placement,
+            Celsius maskTemperature, Chip &chip,
+            std::uint64_t benderSeed,
+            const std::map<std::string, BitVector> &columns) const;
+
+    /**
+     * Deprecated one-shot path: run one query on every module of a
+     * fleet slice, with per-module random column data derived from
+     * the module seed. A thin shim over QueryService
+     * prepare -> bindSeeded -> submit -> collect.
      */
     FleetQueryStats runFleet(FleetSession::Fleet fleet,
                              const ExprPool &pool, ExprId root,
@@ -307,23 +354,14 @@ class PudEngine
                   std::size_t bits, std::uint64_t seed);
 
   private:
-    /**
-     * Cached per-module allocator: slot discovery and reliability
-     * masks depend only on (module, allocator options, chip
-     * temperature), so every query against a module reuses them
-     * (mirroring the session's qualifying-pair memoization). A
-     * cached allocator whose mask temperature no longer matches the
-     * session chip is re-derived.
-     */
-    const RowAllocator &
-    allocatorFor(const FleetSession::Module &module) const;
+    /** Lazily built service behind the deprecated run()/runFleet(). */
+    QueryService &shimService() const;
 
     std::shared_ptr<FleetSession> session_;
     EngineOptions options_;
 
     mutable std::mutex mutex_;
-    mutable std::map<std::size_t, std::unique_ptr<RowAllocator>>
-        allocators_;
+    mutable std::shared_ptr<QueryService> shim_;
 };
 
 } // namespace fcdram::pud

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <utility>
+
+#include "common/rng.hh"
 
 namespace fcdram::pud {
 
@@ -292,6 +295,105 @@ ExprPool::columnsOf(ExprId root) const
     std::sort(names.begin(), names.end());
     names.erase(std::unique(names.begin(), names.end()), names.end());
     return names;
+}
+
+std::uint64_t
+ExprPool::hashOf(ExprId root) const
+{
+    assert(root < nodes_.size());
+    std::vector<std::uint64_t> memo(nodes_.size(), 0);
+    std::vector<bool> done(nodes_.size(), false);
+
+    // Iterative post-order over the DAG (expressions can be deep).
+    std::vector<std::pair<ExprId, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+        const auto [id, expanded] = stack.back();
+        stack.pop_back();
+        if (done[id])
+            continue;
+        const ExprNode &n = nodes_[id];
+        if (!expanded && n.kind != ExprKind::Column) {
+            stack.emplace_back(id, true);
+            for (const ExprId operand : n.operands)
+                stack.emplace_back(operand, false);
+            continue;
+        }
+        std::uint64_t h = splitMix64(
+            0x9E3779B97F4A7C15ULL +
+            static_cast<std::uint64_t>(n.kind));
+        if (n.kind == ExprKind::Column) {
+            h = hashCombine(h, hashString(n.column));
+        } else {
+            std::vector<std::uint64_t> children;
+            children.reserve(n.operands.size());
+            for (const ExprId operand : n.operands)
+                children.push_back(memo[operand]);
+            // Operand lists of commutative gates are sorted by
+            // ExprId, which depends on node creation order; sorting
+            // the child hashes instead makes the hash canonical
+            // across pools. Only NOT is order-sensitive (one child).
+            if (n.kind != ExprKind::Not)
+                std::sort(children.begin(), children.end());
+            for (const std::uint64_t child : children)
+                h = hashCombine(h, child);
+        }
+        memo[id] = h;
+        done[id] = true;
+    }
+    return memo[root];
+}
+
+ExprId
+ExprPool::import(const ExprPool &from, ExprId root)
+{
+    assert(root < from.nodes_.size());
+    std::vector<ExprId> memo(from.nodes_.size(), kNoExpr);
+
+    std::vector<std::pair<ExprId, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+        const auto [id, expanded] = stack.back();
+        stack.pop_back();
+        if (memo[id] != kNoExpr)
+            continue;
+        const ExprNode &n = from.nodes_[id];
+        if (!expanded && n.kind != ExprKind::Column) {
+            stack.emplace_back(id, true);
+            for (const ExprId operand : n.operands)
+                stack.emplace_back(operand, false);
+            continue;
+        }
+        std::vector<ExprId> operands;
+        operands.reserve(n.operands.size());
+        for (const ExprId operand : n.operands)
+            operands.push_back(memo[operand]);
+        switch (n.kind) {
+          case ExprKind::Column:
+            memo[id] = column(n.column);
+            break;
+          case ExprKind::Not:
+            memo[id] = mkNot(operands.front());
+            break;
+          case ExprKind::And:
+            memo[id] = mkAnd(std::move(operands));
+            break;
+          case ExprKind::Or:
+            memo[id] = mkOr(std::move(operands));
+            break;
+          case ExprKind::Nand:
+            memo[id] = mkNand(std::move(operands));
+            break;
+          case ExprKind::Nor:
+            memo[id] = mkNor(std::move(operands));
+            break;
+          case ExprKind::Xor:
+            memo[id] = mkXor(std::move(operands));
+            break;
+          case ExprKind::Maj:
+            memo[id] = mkMaj(std::move(operands));
+            break;
+        }
+    }
+    return memo[root];
 }
 
 std::string

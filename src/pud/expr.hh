@@ -128,6 +128,23 @@ class ExprPool
     /** Sorted unique names of the columns @p root reads. */
     std::vector<std::string> columnsOf(ExprId root) const;
 
+    /**
+     * Canonical structural hash of @p root: independent of the pool
+     * the expression was built in and of node creation order
+     * (commutative operand lists hash as sorted multisets of child
+     * hashes, so AND(a, b) built in either order hashes equal). The
+     * prepared-query plan caches key on this content hash.
+     */
+    std::uint64_t hashOf(ExprId root) const;
+
+    /**
+     * Deep-copy @p root from another pool into this one, re-interning
+     * every node through the canonicalizing builders; a PreparedQuery
+     * uses it to own its expression without tying the caller's pool
+     * lifetime. Importing from this pool itself is the identity.
+     */
+    ExprId import(const ExprPool &from, ExprId root);
+
     /** Render as a prefix-notation string (for tests and logs). */
     std::string toString(ExprId root) const;
 

@@ -1,0 +1,138 @@
+#include "pud/plan.hh"
+
+#include <cassert>
+#include <limits>
+
+namespace fcdram::pud {
+
+PlanCacheStats
+PlanCacheStats::operator-(const PlanCacheStats &other) const
+{
+    PlanCacheStats delta;
+    delta.lookups = lookups - other.lookups;
+    delta.hits = hits - other.hits;
+    delta.misses = misses - other.misses;
+    delta.invalidations = invalidations - other.invalidations;
+    delta.compiles = compiles - other.compiles;
+    delta.placements = placements - other.placements;
+    delta.allocatorBuilds = allocatorBuilds - other.allocatorBuilds;
+    return delta;
+}
+
+PlanCache::PlanCache(const PudEngine &engine) : engine_(&engine) {}
+
+std::shared_ptr<const MicroProgram>
+PlanCache::programFor(std::uint64_t exprHash, const ExprPool &pool,
+                      ExprId root, const Chip &chip,
+                      ComputeBackend backend, int capability)
+{
+    const auto key = std::make_tuple(
+        exprHash, static_cast<std::uint8_t>(backend), capability);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = programs_.find(key);
+        if (it != programs_.end())
+            return it->second;
+    }
+    // Compile outside the lock: concurrent fleet workers may race on
+    // the same shape, in which case both derive the identical program
+    // (compilation is pure) and the second insert is a no-op.
+    auto program = std::make_shared<const MicroProgram>(
+        engine_->compileFor(pool, root, chip));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = programs_.emplace(key, program);
+    if (inserted)
+        ++stats_.compiles;
+    return it->second;
+}
+
+std::shared_ptr<const RowAllocator>
+PlanCache::allocatorFor(const FleetSession::Module &module,
+                        Celsius temperature)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto key = std::make_pair(module.index, temperature);
+    const auto it = allocators_.find(key);
+    if (it != allocators_.end())
+        return it->second;
+
+    // One live allocator per module: entries at other temperatures
+    // are stale (their plans invalidate lazily) and would otherwise
+    // accumulate forever under drifting setTemperature. Shared
+    // ownership keeps an evicted allocator alive for any placement
+    // still running against it.
+    const auto begin = allocators_.lower_bound(
+        {module.index, std::numeric_limits<Celsius>::lowest()});
+    auto end = begin;
+    while (end != allocators_.end() &&
+           end->first.first == module.index)
+        ++end;
+    allocators_.erase(begin, end);
+
+    // Slot discovery inside the allocator is lazy (and internally
+    // synchronized), so construction under the cache lock is cheap;
+    // the expensive mask derivation happens on first use from the
+    // placement path.
+    auto allocator = std::make_shared<const RowAllocator>(
+        *engine_->session(), module, engine_->options().allocator,
+        temperature);
+    ++stats_.allocatorBuilds;
+    allocators_.emplace(key, allocator);
+    return allocator;
+}
+
+std::shared_ptr<const PlacementPlan>
+PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
+                ExprId root, const FleetSession::Module &module,
+                Celsius temperature)
+{
+    const auto key = std::make_pair(exprHash, module.index);
+    bool stale = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.lookups;
+        const auto it = plans_.find(key);
+        if (it != plans_.end()) {
+            if (it->second->temperature == temperature) {
+                ++stats_.hits;
+                return it->second;
+            }
+            stale = true;
+        }
+    }
+
+    const Chip &chip = engine_->session()->chip(module);
+    const auto [backend, capability] =
+        engine_->backendCapability(chip);
+    const std::shared_ptr<const MicroProgram> program =
+        programFor(exprHash, pool, root, chip, backend, capability);
+    const std::shared_ptr<const RowAllocator> allocator =
+        allocatorFor(module, temperature);
+    assert(allocator->maskTemperature() == temperature);
+
+    auto plan = std::make_shared<PlacementPlan>();
+    plan->program = program;
+    plan->placement = allocator->place(*program);
+    plan->backend = backend;
+    plan->capability = capability;
+    plan->temperature = temperature;
+    plan->exprHash = exprHash;
+    plan->moduleIndex = module.index;
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    ++stats_.placements;
+    if (stale)
+        ++stats_.invalidations;
+    plans_[key] = plan;
+    return plan;
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace fcdram::pud

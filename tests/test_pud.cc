@@ -13,6 +13,7 @@
 #include "pud/compiler.hh"
 #include "pud/engine.hh"
 #include "pud/expr.hh"
+#include "pud/service.hh"
 #include "testutil.hh"
 
 namespace fcdram {
@@ -447,10 +448,14 @@ TEST_F(PudEngineTest, AllocatorPlacementIsReliabilityAware)
 TEST_F(PudEngineTest, NoisyFleetModuleMatchesGoldenOnMaskedColumns)
 {
     // The deployment contract on real (noisy) designs: every column
-    // the engine trusts to DRAM matches the CPU golden model.
+    // the engine trusts to DRAM matches the CPU golden model. Pinned
+    // to the NAND/NOR basis: at the scaled-down test campaign this
+    // module's worst-case SiMRA masks are empty (checkedBits would
+    // be 0 — the parity test below covers the MAJ basis contract).
     EngineOptions options;
     options.redundancy = 3;
-    PudEngine engine(session_, options);
+    options.backend = BackendChoice::NandNor;
+    QueryService service(session_, options);
     const auto *module =
         session_->findModule(Manufacturer::SkHynix, 4, 'A', 2133);
     ASSERT_NE(module, nullptr);
@@ -459,8 +464,12 @@ TEST_F(PudEngineTest, NoisyFleetModuleMatchesGoldenOnMaskedColumns)
     const auto cols = makeColumns(pool, 4);
     const auto data = makeData(4, bits(), 41);
     for (const ExprId root : {pool.mkAnd(cols), pool.mkOr(cols)}) {
-        const QueryResult result =
-            engine.run(*module, pool, root, data);
+        const PreparedQuery prepared = service.prepare(pool, root);
+        const QueryTicket ticket =
+            service.submit({prepared.bind(data)}, *module);
+        BatchQueryResult batch = service.collect(ticket);
+        const QueryResult &result =
+            batch.queries.front().modules.front().result;
         EXPECT_TRUE(result.placed);
         EXPECT_GT(result.checkedBits, 0u);
         EXPECT_EQ(result.matchingBits, result.checkedBits)
@@ -590,9 +599,11 @@ TEST_F(PudEngineTest, BackendsMatchGoldenOnNoisyModule)
             EngineOptions options;
             options.backend = choice;
             options.redundancy = 3;
-            const QueryResult result =
-                PudEngine(session_, options)
-                    .run(*module, pool, root, data);
+            QueryService service(session_, options);
+            BatchQueryResult batch = service.collect(service.submit(
+                {service.prepare(pool, root).bind(data)}, *module));
+            const QueryResult &result =
+                batch.queries.front().modules.front().result;
             EXPECT_TRUE(result.placed)
                 << toString(choice) << " " << pool.toString(root);
             EXPECT_EQ(result.matchingBits, result.checkedBits)
@@ -652,6 +663,9 @@ TEST_F(PudEngineTest, MajBackendPlacesOnSimraGroups)
 
 TEST_F(PudEngineTest, FleetRunIsDeterministicAcrossWorkerCounts)
 {
+    // Exercises the deprecated runFleet() shim end to end (it rides
+    // the prepared-query lifecycle internally); the service-level
+    // determinism test lives in test_queryservice.cc.
     ExprPool pool;
     const auto cols = makeColumns(pool, 2);
     const ExprId root = pool.mkAnd(cols);
