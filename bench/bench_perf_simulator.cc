@@ -1,13 +1,27 @@
 /**
  * @file
- * Simulator performance microbenchmarks (google-benchmark): command
- * execution throughput for the FCDRAM operations, analytic per-cell
- * evaluation rate, and decoder queries. Not a paper figure; useful
- * for sizing characterization campaigns.
+ * Simulator performance bench. Two sections:
+ *
+ *  1. End-to-end operation throughput at full row width (8192
+ *     columns): NOT, N-input logic (NAND family) and in-subarray MAJ
+ *     rows per second, plus raw row write/read Mbit/s, measured on
+ *     BOTH executor modes. The scalar reference is the
+ *     pre-word-parallel baseline, so the recorded speedups are the
+ *     PR-over-PR tracked metrics. Written to
+ *     BENCH_perf_simulator.json (benchutil --json-out=PATH honored).
+ *
+ *  2. google-benchmark microbenchmarks (decoder queries, analytic
+ *     sweeps, session pair discovery) for interactive profiling.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "benchutil.hh"
 #include "fcdram/analytic.hh"
 #include "fcdram/ops.hh"
 #include "fcdram/session.hh"
@@ -29,6 +43,200 @@ benchProfile()
 {
     return ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133);
 }
+
+// ---- Section 1: end-to-end throughput at full row width ------------
+
+/** The realistic row width the ROADMAP targets. */
+constexpr int kWideColumns = 8192;
+
+GeometryConfig
+wideGeometry()
+{
+    GeometryConfig geometry = GeometryConfig::standard();
+    geometry.columns = kWideColumns;
+    geometry.numBanks = 1;
+    return geometry;
+}
+
+/** Wall-clock ops/second of iters executions of body(). */
+template <typename Body>
+double
+opsPerSecond(Body &&body, int iters)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        body();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return seconds > 0.0 ? static_cast<double>(iters) / seconds : 0.0;
+}
+
+/** One operation's throughput in both executor modes. */
+struct OpThroughput
+{
+    std::string name;
+    int rowsPerOp = 0;
+    double wordRowsPerSec = 0.0;
+    double scalarRowsPerSec = 0.0;
+
+    double speedup() const
+    {
+        return scalarRowsPerSec > 0.0
+                   ? wordRowsPerSec / scalarRowsPerSec
+                   : 0.0;
+    }
+};
+
+/**
+ * Measure one violated-timing program end to end (fresh chip per
+ * mode so both start from identical state).
+ */
+OpThroughput
+measureProgram(const std::string &name, int iters,
+               Program (*build)(Ops &, const Chip &), int rowsPerOp)
+{
+    OpThroughput row;
+    row.name = name;
+    row.rowsPerOp = rowsPerOp;
+    for (const ExecMode mode :
+         {ExecMode::WordParallel, ExecMode::ScalarReference}) {
+        Chip chip(benchProfile(), wideGeometry(), 1);
+        DramBender bender(chip, 7, mode);
+        Ops ops(bender);
+        const Program program = build(ops, chip);
+        if (program.commands.empty())
+            continue;
+        const double ops_per_sec = opsPerSecond(
+            [&] { benchmark::DoNotOptimize(bender.execute(program)); },
+            iters);
+        const double rows_per_sec = ops_per_sec * rowsPerOp;
+        if (mode == ExecMode::WordParallel)
+            row.wordRowsPerSec = rows_per_sec;
+        else
+            row.scalarRowsPerSec = rows_per_sec;
+    }
+    return row;
+}
+
+Program
+buildNotProgram(Ops &ops, const Chip &chip)
+{
+    const auto pairs = findActivationPairs(chip, 1, 1, 1, 3);
+    if (pairs.empty())
+        return Program();
+    return ops.buildNot(0, composeRow(chip.geometry(), 0, pairs[0].first),
+                        composeRow(chip.geometry(), 1,
+                                   pairs[0].second));
+}
+
+Program
+buildNandProgram(Ops &ops, const Chip &chip)
+{
+    const auto pairs = findActivationPairs(chip, 2, 2, 1, 3);
+    if (pairs.empty())
+        return Program();
+    return ops.buildDoubleAct(
+        0, composeRow(chip.geometry(), 0, pairs[0].first),
+        composeRow(chip.geometry(), 1, pairs[0].second));
+}
+
+Program
+buildMajProgram(Ops &ops, const Chip &chip)
+{
+    const auto pairs = findSimraPairs(chip, 4, 1, 3);
+    if (pairs.empty())
+        return Program();
+    return ops.buildMaj(0, composeRow(chip.geometry(), 0,
+                                      pairs[0].first),
+                        composeRow(chip.geometry(), 0,
+                                   pairs[0].second));
+}
+
+/** Raw row write + thresholded read, in Mbit/s moved. */
+double
+rowIoMbitPerSec(ExecMode mode, int iters)
+{
+    Chip chip(benchProfile(), wideGeometry(), 1);
+    DramBender bender(chip, 7, mode);
+    BitVector pattern(static_cast<std::size_t>(kWideColumns));
+    Rng rng(5);
+    pattern.randomize(rng);
+    const double ops_per_sec = opsPerSecond(
+        [&] {
+            bender.writeRow(0, 3, pattern);
+            benchmark::DoNotOptimize(bender.readRow(0, 3));
+        },
+        iters);
+    // One row written + one row read per iteration.
+    return ops_per_sec * 2.0 * kWideColumns / 1e6;
+}
+
+} // namespace
+
+void
+runThroughputSection()
+{
+    benchutil::BenchReport report("perf_simulator");
+    report.metric("columns", kWideColumns);
+
+    std::vector<OpThroughput> rows;
+    rows.push_back(
+        measureProgram("not", 150, buildNotProgram, 2));
+    rows.push_back(
+        measureProgram("nand", 100, buildNandProgram, 4));
+    rows.push_back(measureProgram("maj", 60, buildMajProgram, 4));
+    report.lap("ops");
+
+    const double word_io = rowIoMbitPerSec(ExecMode::WordParallel, 400);
+    const double scalar_io =
+        rowIoMbitPerSec(ExecMode::ScalarReference, 400);
+    report.lap("row_io");
+
+    Table table({"op", "rows/op", "word rows/s", "scalar rows/s",
+                 "speedup"});
+    double speedup_product = 1.0;
+    int speedup_count = 0;
+    for (const OpThroughput &row : rows) {
+        if (row.wordRowsPerSec <= 0.0 || row.scalarRowsPerSec <= 0.0)
+            continue;
+        table.addRow();
+        table.addCell(row.name);
+        table.addCell(static_cast<std::uint64_t>(row.rowsPerOp));
+        table.addCell(row.wordRowsPerSec, 0);
+        table.addCell(row.scalarRowsPerSec, 0);
+        table.addCell(row.speedup(), 2);
+        report.metric(row.name + "_rows_per_s", row.wordRowsPerSec);
+        report.metric(row.name + "_rows_per_s_scalar",
+                      row.scalarRowsPerSec);
+        report.metric(row.name + "_speedup", row.speedup());
+        speedup_product *= row.speedup();
+        ++speedup_count;
+    }
+    table.print(std::cout);
+
+    report.metric("row_io_mbit_per_s", word_io);
+    report.metric("row_io_mbit_per_s_scalar", scalar_io);
+    report.metric("row_io_speedup",
+                  scalar_io > 0.0 ? word_io / scalar_io : 0.0);
+    std::cout << "row write+read: " << formatDouble(word_io, 1)
+              << " Mbit/s word-parallel vs "
+              << formatDouble(scalar_io, 1) << " Mbit/s scalar\n";
+
+    if (speedup_count > 0) {
+        const double geomean =
+            std::pow(speedup_product, 1.0 / speedup_count);
+        report.metric("speedup_end_to_end", geomean);
+        std::cout << "end-to-end word-parallel speedup (geomean of "
+                  << speedup_count << " ops): "
+                  << formatDouble(geomean, 2) << "x\n";
+    }
+    report.save();
+}
+
+namespace {
+
+// ---- Section 2: google-benchmark microbenchmarks -------------------
 
 void
 BM_DecoderNeighborActivation(benchmark::State &state)
@@ -168,4 +376,28 @@ BENCHMARK(BM_SessionPairDiscoveryCached);
 } // namespace
 } // namespace fcdram
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel the benchutil flags off before google-benchmark sees the
+    // command line; everything else (--benchmark_min_time etc.)
+    // passes through.
+    std::vector<char *> passthrough;
+    passthrough.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json-out=", 0) == 0) {
+            fcdram::benchutil::jsonOutPath() = arg.substr(11);
+            continue;
+        }
+        passthrough.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+
+    fcdram::runThroughputSection();
+
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

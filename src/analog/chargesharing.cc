@@ -19,6 +19,20 @@ sharedBitlineVoltage(const std::vector<Volt> &cellVolts,
 }
 
 Volt
+railSharedVoltage(int ones, double laneVoltSum, int totalCells,
+                  const AnalogParams &params, Volt prechargeVolt)
+{
+    assert(totalCells > 0);
+    assert(ones >= 0 && ones <= totalCells);
+    const double charge =
+        params.bitlineCap * prechargeVolt +
+        params.cellCap * (ones * kVdd + laneVoltSum);
+    const double capacitance =
+        params.bitlineCap + totalCells * params.cellCap;
+    return charge / capacitance;
+}
+
+Volt
 idealReferenceVoltage(int numInputs, Volt constantVolt,
                       const AnalogParams &params)
 {

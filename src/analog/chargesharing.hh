@@ -31,6 +31,20 @@ Volt sharedBitlineVoltage(const std::vector<Volt> &cellVolts,
                           Volt prechargeVolt = kVddHalf);
 
 /**
+ * Charge-shared bitline voltage in count form: @p ones cells at VDD,
+ * off-rail cells summed into @p laneVoltSum (their plain voltage sum;
+ * zero when every connected cell is on-rail), @p totalCells connected
+ * cells in total. This is the canonical arithmetic of the executor's
+ * shared-voltage computation: the word-parallel path evaluates it from
+ * per-column population counts and the scalar reference path from the
+ * same counts gathered per column, so both produce bit-identical
+ * voltages.
+ */
+Volt railSharedVoltage(int ones, double laneVoltSum, int totalCells,
+                       const AnalogParams &params,
+                       Volt prechargeVolt = kVddHalf);
+
+/**
  * Ideal reference-subarray bitline voltage for an N-input operation:
  * N-1 cells at @p constantVolt plus one Frac cell at VDD/2.
  */

@@ -11,6 +11,8 @@
 #ifndef FCDRAM_ANALOG_SENSEAMP_HH
 #define FCDRAM_ANALOG_SENSEAMP_HH
 
+#include <cstdint>
+
 #include "common/types.hh"
 #include "config/chipprofile.hh"
 
@@ -41,6 +43,13 @@ class SenseAmpModel
      * @param rng Per-trial noise source.
      */
     bool sample(Volt margin, Rng &rng) const;
+
+    /**
+     * Counter-mode variant of sample(): the per-trial noise is a pure
+     * function of @p noiseKey (see cellNoiseKey), so the outcome is
+     * independent of evaluation order.
+     */
+    bool sampleAt(Volt margin, std::uint64_t noiseKey) const;
 
     /**
      * Common-mode penalty (V): sensing degrades as the terminal

@@ -213,4 +213,14 @@ SuccessModel::sampleTrial(Volt margin, Volt staticOff, bool structFail,
     return senseAmp_.sample(margin - staticOff, rng);
 }
 
+bool
+SuccessModel::sampleTrialAt(Volt margin, Volt staticOff,
+                            bool structFail,
+                            std::uint64_t noiseKey) const
+{
+    if (structFail)
+        return uniformFromHash(noiseKey) < 0.5;
+    return senseAmp_.sampleAt(margin - staticOff, noiseKey);
+}
+
 } // namespace fcdram

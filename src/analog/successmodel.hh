@@ -221,6 +221,16 @@ class SuccessModel
     bool sampleTrial(Volt margin, Volt staticOff, bool structFail,
                      Rng &rng) const;
 
+    /**
+     * Counter-mode variant of sampleTrial(): the draw is a pure
+     * function of @p noiseKey (cellNoiseKey of the op sub-stream and
+     * the cell coordinates), so sampling is order-independent. A
+     * structurally failing SA consumes the same key as a metastable
+     * coin flip.
+     */
+    bool sampleTrialAt(Volt margin, Volt staticOff, bool structFail,
+                       std::uint64_t noiseKey) const;
+
     const ChipProfile &profile() const { return profile_; }
     const VariationMap &variation() const { return variation_; }
     const SenseAmpModel &senseAmp() const { return senseAmp_; }

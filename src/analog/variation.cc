@@ -15,14 +15,20 @@ constexpr std::uint64_t kFailDomain = 0x4641494cULL;   // "FAIL"
 constexpr std::uint64_t kHammerDomain = 0x48414d52ULL; // "HAMR"
 
 std::uint64_t
-coordKey(std::uint64_t domain, std::uint64_t seed, std::uint64_t a,
-         std::uint64_t b, std::uint64_t c)
+coordPrefix(std::uint64_t domain, std::uint64_t seed, std::uint64_t a,
+            std::uint64_t b)
 {
     std::uint64_t key = hashCombine(domain, seed);
     key = hashCombine(key, a);
     key = hashCombine(key, b);
-    key = hashCombine(key, c);
     return key;
+}
+
+std::uint64_t
+coordKey(std::uint64_t domain, std::uint64_t seed, std::uint64_t a,
+         std::uint64_t b, std::uint64_t c)
+{
+    return hashCombine(coordPrefix(domain, seed, a, b), c);
 }
 
 } // namespace
@@ -36,18 +42,13 @@ VariationMap::VariationMap(std::uint64_t chipSeed,
 double
 VariationMap::gaussianFromKey(std::uint64_t key) const
 {
-    // Map the hash to (0, 1) and through the normal quantile. The
-    // +0.5 offset keeps the argument strictly inside the open
-    // interval.
-    const double u =
-        (static_cast<double>(key >> 11) + 0.5) * 0x1.0p-53;
-    return normalQuantile(u);
+    return gaussianFromHash(key);
 }
 
 double
 VariationMap::uniformFromKey(std::uint64_t key) const
 {
-    return (static_cast<double>(key >> 11) + 0.5) * 0x1.0p-53;
+    return uniformFromHash(key);
 }
 
 Volt
@@ -77,6 +78,43 @@ VariationMap::hammerVulnerability(BankId bank, RowId row, ColId col) const
 {
     const auto key = coordKey(kHammerDomain, chipSeed_, bank, row, col);
     return uniformFromKey(key);
+}
+
+std::uint64_t
+VariationMap::cellKeyPrefix(BankId bank, RowId row) const
+{
+    return coordPrefix(kCellDomain, chipSeed_, bank, row);
+}
+
+std::uint64_t
+VariationMap::saKeyPrefix(BankId bank, StripeId stripe) const
+{
+    return coordPrefix(kSaDomain, chipSeed_, bank, stripe);
+}
+
+std::uint64_t
+VariationMap::failKeyPrefix(BankId bank, StripeId stripe) const
+{
+    return coordPrefix(kFailDomain, chipSeed_, bank, stripe);
+}
+
+Volt
+VariationMap::cellOffsetFromKey(std::uint64_t key) const
+{
+    return params_.cellOffsetSigma * gaussianFromKey(key);
+}
+
+Volt
+VariationMap::saOffsetFromKey(std::uint64_t key) const
+{
+    return params_.saOffsetSigma * gaussianFromKey(key);
+}
+
+bool
+VariationMap::structuralFailFromKey(std::uint64_t key,
+                                    double failFraction) const
+{
+    return uniformFromKey(key) < failFraction;
 }
 
 } // namespace fcdram

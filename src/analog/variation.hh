@@ -42,6 +42,33 @@ class VariationMap
     Volt saOffset(BankId bank, StripeId stripe, ColId col) const;
 
     /**
+     * Prefix factorization of the per-cell hash keys for bulk
+     * consumers (the word-parallel executor): the key of
+     * cellOffset(bank, row, col) is exactly
+     * hashCombine(cellKeyPrefix(bank, row), col), so a whole row's
+     * offsets need one hashCombine per column instead of re-folding
+     * the full coordinate chain per cell. Values are bit-identical to
+     * the per-cell accessors by construction.
+     */
+    std::uint64_t cellKeyPrefix(BankId bank, RowId row) const;
+
+    /** saOffset's key prefix through (bank, stripe). */
+    std::uint64_t saKeyPrefix(BankId bank, StripeId stripe) const;
+
+    /** structuralFailUnder's key prefix through (bank, stripe). */
+    std::uint64_t failKeyPrefix(BankId bank, StripeId stripe) const;
+
+    /** cellOffset from a completed key (prefix folded with col). */
+    Volt cellOffsetFromKey(std::uint64_t key) const;
+
+    /** saOffset from a completed key. */
+    Volt saOffsetFromKey(std::uint64_t key) const;
+
+    /** structuralFailUnder from a completed key. */
+    bool structuralFailFromKey(std::uint64_t key,
+                               double failFraction) const;
+
+    /**
      * True if the sense amplifier at (bank, stripe, col) structurally
      * cannot support multi-row operation at the given population
      * fail fraction (its outcome is then a metastable coin flip).

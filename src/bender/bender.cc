@@ -6,8 +6,10 @@
 
 namespace fcdram {
 
-DramBender::DramBender(Chip &chip, std::uint64_t sessionSeed)
-    : chip_(chip), sessionSeed_(sessionSeed), trialCounter_(0)
+DramBender::DramBender(Chip &chip, std::uint64_t sessionSeed,
+                       ExecMode mode)
+    : chip_(chip), sessionSeed_(sessionSeed), trialCounter_(0),
+      mode_(mode)
 {
 }
 
@@ -21,7 +23,8 @@ ExecResult
 DramBender::execute(const Program &program)
 {
     Executor executor(chip_,
-                      hashCombine(sessionSeed_, ++trialCounter_));
+                      hashCombine(sessionSeed_, ++trialCounter_),
+                      TimingParams::nominal(), mode_);
     return executor.run(program);
 }
 

@@ -27,8 +27,15 @@ class DramBender
     /**
      * @param chip Chip under test.
      * @param sessionSeed Seed of this testing session.
+     * @param mode Executor strategy (bit-identical results; the
+     *        scalar reference exists for verification and as the
+     *        pre-word-parallel performance baseline).
      */
-    DramBender(Chip &chip, std::uint64_t sessionSeed);
+    DramBender(Chip &chip, std::uint64_t sessionSeed,
+               ExecMode mode = ExecMode::WordParallel);
+
+    /** Executor strategy this session runs programs with. */
+    ExecMode mode() const { return mode_; }
 
     /** Program builder preconfigured with the chip's speed grade. */
     ProgramBuilder newProgram() const;
@@ -66,6 +73,7 @@ class DramBender
     Chip &chip_;
     std::uint64_t sessionSeed_;
     std::uint64_t trialCounter_;
+    ExecMode mode_;
 };
 
 } // namespace fcdram

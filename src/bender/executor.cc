@@ -1,9 +1,13 @@
 #include "bender/executor.hh"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
 #include "analog/chargesharing.hh"
+#include "common/mathutil.hh"
 #include "dram/address.hh"
 #include "dram/openbitline.hh"
 
@@ -23,12 +27,151 @@ constexpr Volt kMetastableBand = 0.02;
 /** Ambiguity window for lazily resolved single-row sensing. */
 constexpr Volt kAmbiguousBand = 0.15;
 
+/** Call fn(col) for every set bit of mask, in ascending order. */
+template <typename Fn>
+void
+forEachSetBit(const BitVector &mask, Fn &&fn)
+{
+    const auto words = mask.words();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        while (bits != 0) {
+            const int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            fn(static_cast<ColId>(w * 64 +
+                                  static_cast<std::size_t>(b)));
+        }
+    }
+}
+
+/** dst = (dst & ~mask) | (src & mask), word-wise. */
+void
+blendWords(std::span<std::uint64_t> dst,
+           std::span<const std::uint64_t> src,
+           std::span<const std::uint64_t> mask)
+{
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = (dst[i] & ~mask[i]) | (src[i] & mask[i]);
+}
+
+/**
+ * Conservative per-bucket bounds on normalQuantile over [k/N,
+ * (k+1)/N). A hash-derived deviate sigma * Q(u) is guaranteed inside
+ * [sigma * lo(bucket), sigma * hi(bucket)], so most Bernoulli draws
+ * resolve from the raw (cheap) uniform without evaluating the
+ * quantile at all; the exact computation only runs when the bounds
+ * straddle the decision threshold. The seam slack covers the rational
+ * approximation's error (|rel| < 1.15e-9) plus any non-monotonicity
+ * at its region boundaries, so skipping is bit-exact.
+ */
+class NormalBuckets
+{
+  public:
+    static constexpr int kCount = 512;
+
+    static const NormalBuckets &instance()
+    {
+        static const NormalBuckets buckets;
+        return buckets;
+    }
+
+    static int bucketOf(double u)
+    {
+        const int b = static_cast<int>(u * kCount);
+        return std::min(std::max(b, 0), kCount - 1);
+    }
+
+    double lo(int b) const { return lo_[static_cast<std::size_t>(b)]; }
+    double hi(int b) const { return hi_[static_cast<std::size_t>(b)]; }
+
+  private:
+    NormalBuckets()
+    {
+        constexpr double kSeamSlack = 1e-6;
+        for (int b = 0; b < kCount; ++b) {
+            lo_[static_cast<std::size_t>(b)] =
+                b == 0 ? -kHashNormalBound
+                       : normalQuantile(static_cast<double>(b) /
+                                        kCount) -
+                             kSeamSlack;
+            hi_[static_cast<std::size_t>(b)] =
+                b == kCount - 1
+                    ? kHashNormalBound
+                    : normalQuantile(static_cast<double>(b + 1) /
+                                     kCount) +
+                          kSeamSlack;
+        }
+    }
+
+    std::array<double, kCount> lo_;
+    std::array<double, kCount> hi_;
+};
+
+/**
+ * Fast exact-semantics cell trial for the word-parallel mode:
+ * decides
+ *
+ *   margin - (cellOffset + saOffset) + senseNoise > 0
+ *
+ * from the three raw uniforms and the bucket bounds whenever they
+ * already determine the sign, and falls back to the scalar
+ * reference's exact expressions otherwise. Outcomes are bit-identical
+ * to SuccessModel::sampleTrialAt with the same keys.
+ */
+struct FastSampler
+{
+    const SuccessModel &model;
+    const VariationMap &variation;
+    double cellSigma;
+    double saSigma;
+    double noiseSigma;
+
+    bool success(Volt margin, std::uint64_t cellKey,
+                 std::uint64_t saKey, std::uint64_t noiseKey) const
+    {
+        return successWithSaU(margin, uniformFromHash(saKey), cellKey,
+                              noiseKey);
+    }
+
+    /**
+     * Variant taking the SA offset's raw uniform, so callers that
+     * visit a column once per row hoist its hash + uniform out of
+     * the row loop.
+     */
+    bool successWithSaU(Volt margin, double saU,
+                        std::uint64_t cellKey,
+                        std::uint64_t noiseKey) const
+    {
+        const NormalBuckets &nb = NormalBuckets::instance();
+        const double uc = uniformFromHash(cellKey);
+        const double un = uniformFromHash(noiseKey);
+        const int bc = NormalBuckets::bucketOf(uc);
+        const int bs = NormalBuckets::bucketOf(saU);
+        const int bn = NormalBuckets::bucketOf(un);
+        constexpr double kSlack = 1e-9;
+        const double best = margin - cellSigma * nb.lo(bc) -
+                            saSigma * nb.lo(bs) +
+                            noiseSigma * nb.hi(bn);
+        if (best < -kSlack)
+            return false;
+        const double worst = margin - cellSigma * nb.hi(bc) -
+                             saSigma * nb.hi(bs) +
+                             noiseSigma * nb.lo(bn);
+        if (worst > kSlack)
+            return true;
+        // Undecided: take the scalar reference's exact expressions.
+        const Volt offset = variation.cellOffsetFromKey(cellKey) +
+                            saSigma * normalQuantile(saU);
+        return model.sampleTrialAt(margin, offset, false, noiseKey);
+    }
+};
+
 } // namespace
 
 Executor::Executor(Chip &chip, std::uint64_t trialSeed,
-                   const TimingParams &timing)
-    : chip_(chip), timing_(timing),
-      rng_(hashCombine(chip.seed(), trialSeed)),
+                   const TimingParams &timing, ExecMode mode)
+    : chip_(chip), timing_(timing), mode_(mode),
+      noiseSeed_(hashCombine(chip.seed(), trialSeed)),
       banks_(static_cast<std::size_t>(chip.numBanks()))
 {
 }
@@ -90,6 +233,125 @@ Executor::couplingFractionAt(const BitVector &pattern, ColId col)
 }
 
 void
+Executor::couplingClasses(const BitVector &pattern,
+                          std::vector<std::uint8_t> &classes) const
+{
+    const std::size_t n = pattern.size();
+    classes.assign(n, 0);
+    if (n < 2)
+        return;
+    // Shift-derived neighbor-differ masks: bit c of diffNext says the
+    // cell differs from its right neighbor, diffPrev from its left.
+    const BitVector diffNext = pattern ^ pattern.shiftedDown(1);
+    const BitVector diffPrev = pattern ^ pattern.shiftedUp(1);
+    for (std::size_t col = 1; col + 1 < n; ++col) {
+        classes[col] = static_cast<std::uint8_t>(
+            (diffPrev.get(col) ? 1 : 0) + (diffNext.get(col) ? 1 : 0));
+    }
+    // Edge columns have a single neighbor: fractions 0.0 or 1.0.
+    classes[0] = diffNext.get(0) ? 2 : 0;
+    classes[n - 1] = diffPrev.get(n - 1) ? 2 : 0;
+}
+
+const BitVector &
+Executor::sharedColumnMask(SubarrayId a, SubarrayId b)
+{
+    // columnShared depends only on the parity of the lower subarray
+    // id, so two cached masks cover every neighbor pair.
+    const int parity = static_cast<int>(std::min(a, b)) % 2;
+    BitVector &mask = sharedMaskByParity_[parity];
+    const auto columns =
+        static_cast<std::size_t>(chip_.geometry().columns);
+    if (mask.size() != columns) {
+        mask = BitVector(columns);
+        for (ColId col = 0; col < static_cast<ColId>(columns); ++col)
+            mask.set(col, columnShared(a, b, col));
+    }
+    return mask;
+}
+
+const BitVector &
+Executor::allColumnsMask()
+{
+    const auto columns =
+        static_cast<std::size_t>(chip_.geometry().columns);
+    if (allColumns_.size() != columns)
+        allColumns_ = BitVector(columns, true);
+    return allColumns_;
+}
+
+void
+Executor::captureSharedVoltages(BankId bank, SubarrayId subarray,
+                                const std::vector<RowId> &localRows,
+                                std::vector<float> &out,
+                                const BitVector *columnMask) const
+{
+    const CellArray &cells =
+        chip_.bank(bank).subarray(subarray).cells();
+    const auto columns =
+        static_cast<std::size_t>(chip_.geometry().columns);
+    const AnalogParams &analog = chip_.profile().analog;
+    out.assign(columns, 0.0f);
+    const int total = static_cast<int>(localRows.size());
+
+    // Pre-resolve each connected row's storage: packed rail words or
+    // the analog float lane.
+    struct Source
+    {
+        const std::uint64_t *words = nullptr;
+        const float *lane = nullptr;
+    };
+    std::array<Source, 64> sources;
+    assert(localRows.size() <= sources.size());
+    for (std::size_t i = 0; i < localRows.size(); ++i) {
+        const RowId local = localRows[i];
+        if (cells.rowOnRail(local))
+            sources[i].words = cells.rowWords(local).data();
+        else
+            sources[i].lane = cells.rowLane(local).data();
+    }
+
+    // All-rail fast path: the voltage takes one of total+1 values,
+    // indexed by the per-column population count; tabulating them
+    // reproduces the per-column arithmetic exactly.
+    bool all_rail = true;
+    for (std::size_t i = 0; i < localRows.size(); ++i)
+        all_rail = all_rail && sources[i].words != nullptr;
+    std::array<float, 65> by_count{};
+    if (all_rail) {
+        for (int k = 0; k <= total; ++k) {
+            by_count[static_cast<std::size_t>(k)] =
+                static_cast<float>(
+                    railSharedVoltage(k, 0.0, total, analog));
+        }
+    }
+
+    const auto capture = [&](std::size_t col) {
+        int ones = 0;
+        double lane_sum = 0.0;
+        for (std::size_t i = 0; i < localRows.size(); ++i) {
+            if (sources[i].words != nullptr) {
+                ones += static_cast<int>(
+                    (sources[i].words[col / 64] >> (col % 64)) & 1);
+            } else {
+                lane_sum += sources[i].lane[col];
+            }
+        }
+        out[col] = all_rail
+                       ? by_count[static_cast<std::size_t>(ones)]
+                       : static_cast<float>(railSharedVoltage(
+                             ones, lane_sum, total, analog));
+    };
+    if (columnMask != nullptr) {
+        forEachSetBit(*columnMask,
+                      [&](ColId col) { capture(col); });
+    } else {
+        for (std::size_t col = 0; col < columns; ++col)
+            capture(col);
+    }
+}
+
+void
 Executor::normalAct(BankState &state, BankId bank, RowId row, Ns now)
 {
     (void)bank;
@@ -121,15 +383,9 @@ Executor::resolveIfDue(BankState &state, BankId bank, Ns now)
         local_rows.reserve(state.openRows.size());
         for (const RowId row : state.openRows)
             local_rows.push_back(decomposeRow(geometry, row).localRow);
-        std::vector<ColId> all_columns;
-        std::vector<Volt> bl_volts;
-        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-             ++col) {
-            all_columns.push_back(col);
-            bl_volts.push_back(state.pendingBitline[col]);
-        }
-        majResolve(bank, first.subarray, local_rows, all_columns,
-                   bl_volts, -1.0, static_cast<int>(local_rows.size()));
+        majResolve(bank, first.subarray, local_rows, allColumnsMask(),
+                   state.pendingBitline, -1.0,
+                   static_cast<int>(local_rows.size()));
         state.pendingMaj = false;
         state.pendingBitline.clear();
         state.resolved = true;
@@ -138,25 +394,35 @@ Executor::resolveIfDue(BankState &state, BankId bank, Ns now)
 
     // Ordinary single-row sensing + restore: deterministic except in
     // the ambiguity band around VDD/2 (e.g. Frac-initialized cells).
+    // A packed (on-rail) row senses and restores to itself, so the
+    // word-parallel mode skips it outright; only off-rail lanes walk
+    // their columns.
+    const std::uint64_t op_stream = beginNoiseEpoch();
     const AnalogParams &analog = chip_.profile().analog;
     const double transfer =
         analog.cellCap / (analog.cellCap + analog.bitlineCap);
+    const SuccessModel &model = chip_.model();
     for (const RowId row : state.openRows) {
         const RowAddress address = decomposeRow(geometry, row);
+        CellArray &cells = bank_ref.subarray(address.subarray).cells();
+        if (!scalar() && cells.rowOnRail(address.localRow))
+            continue;
         for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
              ++col) {
-            const Volt v = bank_ref.cellVolt(row, col);
+            const Volt v = cells.volt(address.localRow, col);
             bool bit = v > kVddHalf;
             if (std::abs(v - kVddHalf) < kAmbiguousBand) {
                 const StripeId stripe =
                     stripeFor(address.subarray, col);
                 const Volt margin =
                     (v - kVddHalf) * transfer -
-                    chip_.model().staticOffset(bank, row, col, stripe);
-                bit = chip_.model().senseAmp().sample(margin, rng_);
+                    model.staticOffset(bank, row, col, stripe);
+                bit = model.senseAmp().sampleAt(
+                    margin, cellNoiseKey(op_stream, row, col));
             }
-            bank_ref.setCellVolt(row, col, bit ? kVdd : kGnd);
+            cells.setBit(address.localRow, col, bit);
         }
+        cells.collapseIfRail(address.localRow);
     }
     state.resolved = true;
 }
@@ -169,21 +435,31 @@ Executor::partialRestore(BankState &state, BankId bank, Ns gapNs)
     const double progress = restoreProgress(gapNs);
     Bank &bank_ref = chip_.bank(bank);
     const GeometryConfig &geometry = chip_.geometry();
+    const auto columns = static_cast<std::size_t>(geometry.columns);
     if (state.pendingMaj) {
         // The connected cells sit at the charge-shared bitline level;
         // the interrupt freezes them there (plus any partial
-        // amplification drift). This is the Frac mechanism.
-        for (const RowId row : state.openRows) {
-            for (ColId col = 0;
-                 col < static_cast<ColId>(geometry.columns); ++col) {
-                const Volt v = state.pendingBitline[col];
-                Volt settled = v;
-                if (std::abs(v - kVddHalf) >= kMetastableBand) {
-                    const Volt rail = v > kVddHalf ? kVdd : kGnd;
-                    settled = v + progress * (rail - v);
-                }
-                bank_ref.setCellVolt(row, col, settled);
+        // amplification drift). This is the Frac mechanism. The
+        // settled value depends only on the column, so it is computed
+        // once and copied into every connected row's analog lane.
+        scratchVolts_.assign(columns, 0.0f);
+        for (std::size_t col = 0; col < columns; ++col) {
+            const Volt v = state.pendingBitline[col];
+            Volt settled = v;
+            if (std::abs(v - kVddHalf) >= kMetastableBand) {
+                const Volt rail = v > kVddHalf ? kVdd : kGnd;
+                settled = v + progress * (rail - v);
             }
+            scratchVolts_[col] = static_cast<float>(settled);
+        }
+        for (const RowId row : state.openRows) {
+            const RowAddress address = decomposeRow(geometry, row);
+            CellArray &cells =
+                bank_ref.subarray(address.subarray).cells();
+            cells.materializeLane(address.localRow);
+            const auto lane = cells.rowLane(address.localRow);
+            std::copy(scratchVolts_.begin(), scratchVolts_.end(),
+                      lane.begin());
         }
         state.pendingMaj = false;
         state.pendingBitline.clear();
@@ -193,14 +469,35 @@ Executor::partialRestore(BankState &state, BankId bank, Ns gapNs)
     if (progress <= 0.0)
         return;
     for (const RowId row : state.openRows) {
-        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-             ++col) {
-            const Volt v = bank_ref.cellVolt(row, col);
+        const RowAddress address = decomposeRow(geometry, row);
+        CellArray &cells = bank_ref.subarray(address.subarray).cells();
+        // Rail cells are already at their target: the partial drive
+        // moves them nowhere.
+        if (!scalar() && cells.rowOnRail(address.localRow))
+            continue;
+        if (cells.rowOnRail(address.localRow)) {
+            // Scalar reference: the naive walk writes every rail cell
+            // back to itself.
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                const Volt v = cells.volt(address.localRow, col);
+                if (std::abs(v - kVddHalf) < kMetastableBand)
+                    continue;
+                const Volt rail = v > kVddHalf ? kVdd : kGnd;
+                cells.setVolt(address.localRow, col,
+                              v + progress * (rail - v));
+            }
+            continue;
+        }
+        const auto lane = cells.rowLane(address.localRow);
+        for (std::size_t col = 0; col < columns; ++col) {
+            const Volt v = lane[col];
             if (std::abs(v - kVddHalf) < kMetastableBand)
                 continue; // Metastable: the bitline has not moved.
             const Volt rail = v > kVddHalf ? kVdd : kGnd;
-            bank_ref.setCellVolt(row, col, v + progress * (rail - v));
+            lane[col] = static_cast<float>(v + progress * (rail - v));
         }
+        cells.collapseIfRail(address.localRow);
     }
 }
 
@@ -282,14 +579,8 @@ Executor::glitchAct(BankState &state, BankId bank, RowId rlRow, Ns now,
             // equalized bitline level is captured now.
             state.resolved = false;
             state.pendingMaj = true;
-            state.pendingBitline.assign(
-                static_cast<std::size_t>(geometry.columns), 0.0f);
-            for (ColId col = 0;
-                 col < static_cast<ColId>(geometry.columns); ++col) {
-                state.pendingBitline[col] = static_cast<float>(
-                    sharedVoltageAt(bank, rf.subarray, local_rows,
-                                    col));
-            }
+            captureSharedVoltages(bank, rf.subarray, local_rows,
+                                  state.pendingBitline);
         } else {
             state.resolved = false;
             state.pendingMaj = false;
@@ -366,92 +657,280 @@ Executor::applyRowClone(BankState &state, BankId bank,
                         SubarrayId subarray,
                         const std::vector<RowId> &localRows, Ns gapNs)
 {
-    (void)state;
     Bank &bank_ref = chip_.bank(bank);
     const GeometryConfig &geometry = chip_.geometry();
+    CellArray &cells = bank_ref.subarray(subarray).cells();
     const RowAddress src = decomposeRow(geometry, state.firstRow);
     assert(src.subarray == subarray);
-    const BitVector pattern =
-        bank_ref.readRowBits(state.firstRow);
+    const BitVector pattern = bank_ref.readRowBits(state.firstRow);
     const int total = static_cast<int>(localRows.size()) + 1;
     const SuccessModel &model = chip_.model();
+    const std::uint64_t op_stream = beginNoiseEpoch();
+    const int pair_load = (total + 1) / 2;
 
+    if (scalar()) {
+        for (const RowId local : localRows) {
+            if (local == src.localRow)
+                continue;
+            const RowId global = composeRow(geometry, subarray, local);
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                const StripeId stripe = stripeFor(subarray, col);
+                ComparisonContext ctx;
+                ctx.cellsPerSide = total;
+                ctx.glitchGapNs = gapNs;
+                ctx.couplingFraction = couplingFractionAt(pattern, col);
+                ctx.temperature = chip_.temperature();
+                const Volt margin = model.driveMarginMech(total + 1, ctx);
+                const Volt offset =
+                    model.staticOffset(bank, global, col, stripe);
+                const bool fail_struct = model.structuralFail(
+                    bank, stripe, col, pair_load);
+                if (model.sampleTrialAt(
+                        margin, offset, fail_struct,
+                        cellNoiseKey(op_stream, global, col))) {
+                    cells.setBit(local, col, pattern.get(col));
+                }
+                // On failure the destination cell retains its charge.
+            }
+            cells.collapseIfRail(local);
+        }
+        return;
+    }
+
+    // Word-parallel: the drive margin depends on the column only
+    // through its coupling class, so three margins cover the row.
+    const AnalogParams &analog = chip_.profile().analog;
+    const VariationMap &variation = model.variation();
+    couplingClasses(pattern, scratchClasses_);
+    std::array<Volt, 3> class_margin{};
+    for (int cls = 0; cls < 3; ++cls) {
+        ComparisonContext ctx;
+        ctx.cellsPerSide = total;
+        ctx.glitchGapNs = gapNs;
+        ctx.couplingFraction =
+            couplingFractionOf(static_cast<std::uint8_t>(cls));
+        ctx.temperature = chip_.temperature();
+        class_margin[static_cast<std::size_t>(cls)] =
+            model.driveMarginMech(total + 1, ctx);
+    }
+    const double col_bound =
+        kHashNormalBound *
+        (analog.cellOffsetSigma + analog.saOffsetSigma +
+         model.senseAmp().noiseSigma());
+    const double fail_fraction = model.structuralFailFraction(pair_load);
+    const auto columns = static_cast<std::size_t>(geometry.columns);
+    const FastSampler sampler{model, variation,
+                              analog.cellOffsetSigma,
+                              analog.saOffsetSigma,
+                              model.senseAmp().noiseSigma()};
+    const std::uint64_t sa_prefix[2] = {
+        variation.saKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.saKeyPrefix(bank, stripeFor(subarray, 1))};
+    const std::uint64_t fail_prefix[2] = {
+        variation.failKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.failKeyPrefix(bank, stripeFor(subarray, 1))};
+
+    const Volt min_margin =
+        *std::min_element(class_margin.begin(), class_margin.end());
+    BitVector det_success(columns);
+    scratchAmbiguous_.clear();
+    if (fail_fraction == 0.0 && min_margin > col_bound) {
+        // Every cell succeeds deterministically: pure word copies.
+        det_success.fill(true);
+    } else {
+        for (ColId col = 0; col < static_cast<ColId>(columns); ++col) {
+            const Volt margin = class_margin[scratchClasses_[col]];
+            const bool fail_struct =
+                fail_fraction > 0.0 &&
+                variation.structuralFailFromKey(
+                    hashCombine(fail_prefix[col & 1], col),
+                    fail_fraction);
+            if (fail_struct) {
+                scratchAmbiguous_.push_back(
+                    {col, margin, 0, true, true});
+                continue;
+            }
+            if (margin > col_bound) {
+                det_success.set(col, true);
+                continue;
+            }
+            if (margin < -col_bound)
+                continue; // Deterministic failure: retain.
+            scratchAmbiguous_.push_back(
+                {col, margin,
+                 uniformFromHash(
+                     hashCombine(sa_prefix[col & 1], col)),
+                 false, true});
+        }
+    }
+
+    BitVector success_mask(columns);
     for (const RowId local : localRows) {
         if (local == src.localRow)
             continue;
         const RowId global = composeRow(geometry, subarray, local);
-        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-             ++col) {
-            const StripeId stripe = stripeFor(subarray, col);
-            ComparisonContext ctx;
-            ctx.cellsPerSide = total;
-            ctx.glitchGapNs = gapNs;
-            ctx.couplingFraction = couplingFractionAt(pattern, col);
-            ctx.temperature = chip_.temperature();
-            const Volt margin = model.driveMarginMech(total + 1, ctx);
-            const Volt offset =
-                model.staticOffset(bank, global, col, stripe);
-            const bool fail_struct = model.structuralFail(
-                bank, stripe, col, (total + 1) / 2);
-            if (model.sampleTrial(margin, offset, fail_struct, rng_))
-                bank_ref.setCellVolt(global, col,
-                                     pattern.get(col) ? kVdd : kGnd);
-            // On failure the destination cell retains its charge.
+        const std::uint64_t cell_prefix =
+            variation.cellKeyPrefix(bank, global);
+        const std::uint64_t noise_row =
+            cellNoiseRowStream(op_stream, global);
+        success_mask = det_success;
+        for (const AmbiguousCol &amb : scratchAmbiguous_) {
+            const bool correct =
+                amb.structFail
+                    ? model.sampleTrialAt(
+                          amb.margin, 0.0, true,
+                          cellNoiseKeyAt(noise_row, amb.col))
+                    : sampler.successWithSaU(
+                          amb.margin, amb.saU,
+                          hashCombine(cell_prefix, amb.col),
+                          cellNoiseKeyAt(noise_row, amb.col));
+            if (correct)
+                success_mask.set(amb.col, true);
+        }
+        if (cells.rowOnRail(local)) {
+            BitVector row = cells.readRow(local);
+            blendWords(row.words(), pattern.words(),
+                       success_mask.words());
+            cells.writeRow(local, row);
+        } else {
+            forEachSetBit(success_mask, [&](ColId col) {
+                cells.setBit(local, col, pattern.get(col));
+            });
+            cells.collapseIfRail(local);
         }
     }
-}
-
-Volt
-Executor::sharedVoltageAt(BankId bank, SubarrayId subarray,
-                          const std::vector<RowId> &localRows,
-                          ColId col) const
-{
-    const Bank &bank_ref = chip_.bank(bank);
-    const GeometryConfig &geometry = chip_.geometry();
-    std::vector<Volt> cell_volts;
-    cell_volts.reserve(localRows.size());
-    for (const RowId local : localRows) {
-        cell_volts.push_back(
-            bank_ref.cellVolt(composeRow(geometry, subarray, local),
-                              col));
-    }
-    return sharedBitlineVoltage(cell_volts, chip_.profile().analog);
 }
 
 void
 Executor::majResolve(BankId bank, SubarrayId subarray,
                      const std::vector<RowId> &localRows,
-                     const std::vector<ColId> &columns,
-                     const std::vector<Volt> &blVolts, Ns gapNs,
+                     const BitVector &columnMask,
+                     const std::vector<float> &blVolts, Ns gapNs,
                      int totalActivatedRows)
 {
-    assert(columns.size() == blVolts.size());
     Bank &bank_ref = chip_.bank(bank);
     const GeometryConfig &geometry = chip_.geometry();
+    CellArray &cells = bank_ref.subarray(subarray).cells();
     const SuccessModel &model = chip_.model();
+    const std::uint64_t op_stream = beginNoiseEpoch();
+    const int pair_load = (totalActivatedRows + 1) / 2;
 
-    for (std::size_t i = 0; i < columns.size(); ++i) {
-        const ColId col = columns[i];
-        const Volt v_shared = blVolts[i];
-        const StripeId stripe = stripeFor(subarray, col);
-        ComparisonContext ctx;
-        ctx.cellsPerSide = static_cast<int>(localRows.size());
-        ctx.glitchGapNs = gapNs;
-        ctx.couplingFraction = 0.5;
-        ctx.temperature = chip_.temperature();
+    ComparisonContext ctx;
+    ctx.cellsPerSide = static_cast<int>(localRows.size());
+    ctx.glitchGapNs = gapNs;
+    ctx.couplingFraction = 0.5;
+    ctx.temperature = chip_.temperature();
+
+    if (scalar()) {
+        forEachSetBit(columnMask, [&](ColId col) {
+            const Volt v_shared = blVolts[col];
+            const StripeId stripe = stripeFor(subarray, col);
+            const Volt margin =
+                model.comparisonMargin(v_shared, kVddHalf, ctx);
+            const bool ideal = v_shared > kVddHalf;
+            for (const RowId local : localRows) {
+                const RowId global =
+                    composeRow(geometry, subarray, local);
+                const Volt offset =
+                    model.staticOffset(bank, global, col, stripe);
+                const bool fail_struct = model.structuralFail(
+                    bank, stripe, col, pair_load);
+                const bool correct = model.sampleTrialAt(
+                    margin, offset, fail_struct,
+                    cellNoiseKey(op_stream, global, col));
+                cells.setBit(local, col, correct ? ideal : !ideal);
+            }
+        });
+        for (const RowId local : localRows)
+            cells.collapseIfRail(local);
+        return;
+    }
+
+    // Word-parallel: classify each column once (deterministic outcome
+    // or ambiguous), then blend det bits word-wise per row and sample
+    // only the ambiguous columns through the bucketed fast sampler.
+    const AnalogParams &analog = chip_.profile().analog;
+    const VariationMap &variation = model.variation();
+    const double col_bound =
+        kHashNormalBound *
+        (analog.cellOffsetSigma + analog.saOffsetSigma +
+         model.senseAmp().noiseSigma());
+    const double fail_fraction = model.structuralFailFraction(pair_load);
+    const auto columns = static_cast<std::size_t>(geometry.columns);
+    const FastSampler sampler{model, variation,
+                              analog.cellOffsetSigma,
+                              analog.saOffsetSigma,
+                              model.senseAmp().noiseSigma()};
+    // stripeFor depends on the column parity only: two prefixes cover
+    // every column's SA-local hash keys.
+    const std::uint64_t sa_prefix[2] = {
+        variation.saKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.saKeyPrefix(bank, stripeFor(subarray, 1))};
+    const std::uint64_t fail_prefix[2] = {
+        variation.failKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.failKeyPrefix(bank, stripeFor(subarray, 1))};
+
+    BitVector det(columns);
+    scratchAmbiguous_.clear();
+    forEachSetBit(columnMask, [&](ColId col) {
+        const Volt v_shared = blVolts[col];
         const Volt margin =
             model.comparisonMargin(v_shared, kVddHalf, ctx);
         const bool ideal = v_shared > kVddHalf;
-        for (const RowId local : localRows) {
-            const RowId global = composeRow(geometry, subarray, local);
-            const Volt offset =
-                model.staticOffset(bank, global, col, stripe);
-            const bool fail_struct = model.structuralFail(
-                bank, stripe, col, (totalActivatedRows + 1) / 2);
+        const bool fail_struct =
+            fail_fraction > 0.0 &&
+            variation.structuralFailFromKey(
+                hashCombine(fail_prefix[col & 1], col),
+                fail_fraction);
+        if (fail_struct) {
+            scratchAmbiguous_.push_back({col, margin, 0, true, ideal});
+            return;
+        }
+        if (margin > col_bound) {
+            det.set(col, ideal);
+            return;
+        }
+        if (margin < -col_bound) {
+            det.set(col, !ideal);
+            return;
+        }
+        scratchAmbiguous_.push_back(
+            {col, margin,
+             uniformFromHash(hashCombine(sa_prefix[col & 1], col)),
+             false, ideal});
+    });
+
+    BitVector scratch_row(columns);
+    for (const RowId local : localRows) {
+        const RowId global = composeRow(geometry, subarray, local);
+        const std::uint64_t cell_prefix =
+            variation.cellKeyPrefix(bank, global);
+        const std::uint64_t noise_row =
+            cellNoiseRowStream(op_stream, global);
+        scratch_row = det;
+        for (const AmbiguousCol &amb : scratchAmbiguous_) {
             const bool correct =
-                model.sampleTrial(margin, offset, fail_struct, rng_);
-            const bool bit = correct ? ideal : !ideal;
-            bank_ref.setCellVolt(global, col, bit ? kVdd : kGnd);
+                amb.structFail
+                    ? model.sampleTrialAt(
+                          amb.margin, 0.0, true,
+                          cellNoiseKeyAt(noise_row, amb.col))
+                    : sampler.successWithSaU(
+                          amb.margin, amb.saU,
+                          hashCombine(cell_prefix, amb.col),
+                          cellNoiseKeyAt(noise_row, amb.col));
+            scratch_row.set(amb.col, correct ? amb.ideal : !amb.ideal);
+        }
+        if (cells.rowOnRail(local)) {
+            BitVector row = cells.readRow(local);
+            blendWords(row.words(), scratch_row.words(),
+                       columnMask.words());
+            cells.writeRow(local, row);
+        } else {
+            forEachSetBit(columnMask, [&](ColId col) {
+                cells.setBit(local, col, scratch_row.get(col));
+            });
+            cells.collapseIfRail(local);
         }
     }
 }
@@ -460,83 +939,199 @@ void
 Executor::applyNot(BankState &state, BankId bank,
                    const ActivationEvent &event, Ns gapNs)
 {
-    (void)state;
     Bank &bank_ref = chip_.bank(bank);
     const GeometryConfig &geometry = chip_.geometry();
     const SuccessModel &model = chip_.model();
+    const AnalogParams &analog = chip_.profile().analog;
     const RowAddress src = decomposeRow(geometry, state.firstRow);
     const SubarrayId src_sa = event.firstSubarray;
     const SubarrayId dst_sa = event.secondSubarray;
     const StripeId stripe = sharedStripe(src_sa, dst_sa);
     const Subarray &src_sub = bank_ref.subarray(src_sa);
-    Subarray &dst_sub = bank_ref.subarray(dst_sa);
+    const Subarray &dst_sub = bank_ref.subarray(dst_sa);
     const BitVector pattern = bank_ref.readRowBits(state.firstRow);
     const int total = static_cast<int>(event.sets.firstRows.size() +
                                        event.sets.secondRows.size());
     const Region src_region = src_sub.regionFor(src.localRow, stripe);
-    const AnalogParams &analog = chip_.profile().analog;
+    const std::uint64_t op_stream = beginNoiseEpoch();
+    const int pair_load = (total + 1) / 2;
+    const BitVector &shared = sharedColumnMask(src_sa, dst_sa);
 
-    auto drive = [&](SubarrayId subarray, RowId local, ColId col,
-                     bool target_bit, Region dst_region) {
-        const RowId global = composeRow(geometry, subarray, local);
-        ComparisonContext ctx;
-        ctx.cellsPerSide = (total + 1) / 2;
-        ctx.glitchGapNs = gapNs;
-        ctx.couplingFraction = couplingFractionAt(pattern, col);
-        ctx.temperature = chip_.temperature();
-        ctx.sequential = event.sets.sequential;
-        ctx.regionMargin =
-            analog.srcRegionMargin[static_cast<int>(src_region)] +
-            analog.dstRegionMargin[static_cast<int>(dst_region)];
-        const Volt margin = model.driveMarginMech(total, ctx);
-        const Volt offset = model.staticOffset(bank, global, col, stripe);
-        const bool fail_struct =
-            model.structuralFail(bank, stripe, col, (total + 1) / 2);
-        if (model.sampleTrial(margin, offset, fail_struct, rng_)) {
-            bank_ref.setCellVolt(global, col,
-                                 target_bit ? kVdd : kGnd);
-        }
-        // On failure the cell retains its previous charge.
+    // Extra rows in the source subarray get the source value on every
+    // column (their non-shared columns are latched by the stripe on
+    // the other side, which also holds the source row's values);
+    // destination rows get the complement on shared columns only.
+    struct Target
+    {
+        SubarrayId subarray;
+        RowId local;
+        RowId global;
+        Region region;   ///< Destination-side region of the row.
+        bool invert;     ///< Write the complement of the pattern.
+        bool sharedOnly; ///< Restrict to the shared columns.
     };
-
-    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-         ++col) {
-        const bool shared = columnShared(src_sa, dst_sa, col);
-        const bool src_bit = pattern.get(col);
-        // Extra rows in the source subarray get the source value on
-        // every column (their non-shared columns are latched by the
-        // stripe on the other side, which also holds the source row's
-        // values).
-        for (const RowId local : event.sets.firstRows) {
-            if (local == src.localRow)
-                continue;
-            drive(src_sa, local, col, src_bit,
-                  src_sub.regionFor(local, stripe));
-        }
-        if (!shared)
+    std::vector<Target> targets;
+    targets.reserve(event.sets.firstRows.size() +
+                    event.sets.secondRows.size());
+    for (const RowId local : event.sets.firstRows) {
+        if (local == src.localRow)
             continue;
-        // Destination rows get the complement on shared columns only.
-        for (const RowId local : event.sets.secondRows) {
-            drive(dst_sa, local, col, !src_bit,
-                  dst_sub.regionFor(local, stripe));
+        targets.push_back({src_sa, local,
+                           composeRow(geometry, src_sa, local),
+                           src_sub.regionFor(local, stripe), false,
+                           false});
+    }
+    for (const RowId local : event.sets.secondRows) {
+        targets.push_back({dst_sa, local,
+                           composeRow(geometry, dst_sa, local),
+                           dst_sub.regionFor(local, stripe), true,
+                           true});
+    }
+
+    if (scalar()) {
+        for (const Target &t : targets) {
+            CellArray &cells = bank_ref.subarray(t.subarray).cells();
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                if (t.sharedOnly && !columnShared(src_sa, dst_sa, col))
+                    continue;
+                ComparisonContext ctx;
+                ctx.cellsPerSide = (total + 1) / 2;
+                ctx.glitchGapNs = gapNs;
+                ctx.couplingFraction = couplingFractionAt(pattern, col);
+                ctx.temperature = chip_.temperature();
+                ctx.sequential = event.sets.sequential;
+                ctx.regionMargin =
+                    analog.srcRegionMargin[static_cast<int>(
+                        src_region)] +
+                    analog.dstRegionMargin[static_cast<int>(t.region)];
+                const Volt margin = model.driveMarginMech(total, ctx);
+                const Volt offset =
+                    model.staticOffset(bank, t.global, col, stripe);
+                const bool fail_struct = model.structuralFail(
+                    bank, stripe, col, pair_load);
+                if (model.sampleTrialAt(
+                        margin, offset, fail_struct,
+                        cellNoiseKey(op_stream, t.global, col))) {
+                    const bool src_bit = pattern.get(col);
+                    cells.setBit(t.local, col,
+                                 t.invert ? !src_bit : src_bit);
+                }
+                // On failure the cell retains its previous charge.
+            }
+            cells.collapseIfRail(t.local);
+        }
+    } else {
+        // Word-parallel: the drive margin depends on (row region,
+        // coupling class) only, so a 3x3 memo covers every cell.
+        const VariationMap &variation = model.variation();
+        couplingClasses(pattern, scratchClasses_);
+        Volt margins[3][3];
+        for (int region = 0; region < 3; ++region) {
+            for (int cls = 0; cls < 3; ++cls) {
+                ComparisonContext ctx;
+                ctx.cellsPerSide = (total + 1) / 2;
+                ctx.glitchGapNs = gapNs;
+                ctx.couplingFraction =
+                    couplingFractionOf(static_cast<std::uint8_t>(cls));
+                ctx.temperature = chip_.temperature();
+                ctx.sequential = event.sets.sequential;
+                ctx.regionMargin =
+                    analog.srcRegionMargin[static_cast<int>(
+                        src_region)] +
+                    analog.dstRegionMargin[region];
+                margins[region][cls] = model.driveMarginMech(total, ctx);
+            }
+        }
+        const double col_bound =
+            kHashNormalBound *
+            (analog.cellOffsetSigma + analog.saOffsetSigma +
+             model.senseAmp().noiseSigma());
+        const double fail_fraction =
+            model.structuralFailFraction(pair_load);
+        const auto columns = static_cast<std::size_t>(geometry.columns);
+        const FastSampler sampler{model, variation,
+                                  analog.cellOffsetSigma,
+                                  analog.saOffsetSigma,
+                                  model.senseAmp().noiseSigma()};
+        // The shared stripe serves every column of this op.
+        const std::uint64_t sa_prefix =
+            variation.saKeyPrefix(bank, stripe);
+        const std::uint64_t fail_prefix =
+            variation.failKeyPrefix(bank, stripe);
+
+        Volt min_margin = margins[0][0];
+        for (int region = 0; region < 3; ++region) {
+            for (int cls = 0; cls < 3; ++cls)
+                min_margin = std::min(min_margin, margins[region][cls]);
+        }
+        const bool all_deterministic =
+            fail_fraction == 0.0 && min_margin > col_bound;
+
+        const BitVector not_pattern = ~pattern;
+        BitVector success_mask(columns);
+        for (const Target &t : targets) {
+            CellArray &cells = bank_ref.subarray(t.subarray).cells();
+            const BitVector &value = t.invert ? not_pattern : pattern;
+            const BitVector &domain =
+                t.sharedOnly ? shared : allColumnsMask();
+            if (all_deterministic) {
+                success_mask = domain;
+            } else {
+                success_mask.fill(false);
+                const Volt *row_margins =
+                    margins[static_cast<int>(t.region)];
+                const std::uint64_t cell_prefix =
+                    variation.cellKeyPrefix(bank, t.global);
+                const std::uint64_t noise_row =
+                    cellNoiseRowStream(op_stream, t.global);
+                forEachSetBit(domain, [&](ColId col) {
+                    const Volt margin =
+                        row_margins[scratchClasses_[col]];
+                    bool correct;
+                    if (fail_fraction > 0.0 &&
+                        variation.structuralFailFromKey(
+                            hashCombine(fail_prefix, col),
+                            fail_fraction)) {
+                        correct = model.sampleTrialAt(
+                            margin, 0.0, true,
+                            cellNoiseKeyAt(noise_row, col));
+                    } else if (margin > col_bound) {
+                        correct = true;
+                    } else if (margin < -col_bound) {
+                        correct = false;
+                    } else {
+                        correct = sampler.success(
+                            margin, hashCombine(cell_prefix, col),
+                            hashCombine(sa_prefix, col),
+                            cellNoiseKeyAt(noise_row, col));
+                    }
+                    if (correct)
+                        success_mask.set(col, true);
+                });
+            }
+            if (cells.rowOnRail(t.local)) {
+                BitVector row = cells.readRow(t.local);
+                blendWords(row.words(), value.words(),
+                           success_mask.words());
+                cells.writeRow(t.local, row);
+            } else {
+                forEachSetBit(success_mask, [&](ColId col) {
+                    cells.setBit(t.local, col, value.get(col));
+                });
+                cells.collapseIfRail(t.local);
+            }
         }
     }
 
     // Non-shared columns of the destination subarray resolve among
     // the simultaneously activated destination rows themselves.
     if (event.sets.secondRows.size() > 1) {
-        std::vector<ColId> non_shared;
-        std::vector<Volt> bl_volts;
-        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-             ++col) {
-            if (!columnShared(src_sa, dst_sa, col)) {
-                non_shared.push_back(col);
-                bl_volts.push_back(sharedVoltageAt(
-                    bank, dst_sa, event.sets.secondRows, col));
-            }
-        }
+        const BitVector non_shared = ~shared;
+        captureSharedVoltages(bank, dst_sa, event.sets.secondRows,
+                              scratchVolts_, &non_shared);
         majResolve(bank, dst_sa, event.sets.secondRows, non_shared,
-                   bl_volts, gapNs, total);
+                   scratchVolts_, gapNs, total);
     }
 }
 
@@ -544,7 +1139,6 @@ void
 Executor::applyLogic(BankState &state, BankId bank,
                      const ActivationEvent &event, Ns gapNs)
 {
-    (void)state;
     Bank &bank_ref = chip_.bank(bank);
     const GeometryConfig &geometry = chip_.geometry();
     const SuccessModel &model = chip_.model();
@@ -552,12 +1146,14 @@ Executor::applyLogic(BankState &state, BankId bank,
     const SubarrayId first_sa = event.firstSubarray;
     const SubarrayId second_sa = event.secondSubarray;
     const StripeId stripe = sharedStripe(first_sa, second_sa);
-    Subarray &first_sub = bank_ref.subarray(first_sa);
-    Subarray &second_sub = bank_ref.subarray(second_sa);
+    const Subarray &first_sub = bank_ref.subarray(first_sa);
+    const Subarray &second_sub = bank_ref.subarray(second_sa);
     const RowAddress rf = decomposeRow(geometry, state.firstRow);
     const int n_first = static_cast<int>(event.sets.firstRows.size());
     const int n_second = static_cast<int>(event.sets.secondRows.size());
     const int pair_load = (n_first + n_second + 1) / 2;
+    const int total = n_first + n_second;
+    const std::uint64_t op_stream = beginNoiseEpoch();
 
     // Representative regions: the first-activated (reference) side is
     // indexed by the dst table, the second (compute) side by the src
@@ -567,89 +1163,238 @@ Executor::applyLogic(BankState &state, BankId bank,
         second_sub.regionFor(event.secondLocalRow, stripe);
 
     const BitVector first_pattern = bank_ref.readRowBits(state.firstRow);
+    const BitVector &shared = sharedColumnMask(first_sa, second_sa);
+    const bool first_on_complement =
+        onComplementTerminal(first_sa, stripe);
 
-    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-         ++col) {
-        if (!columnShared(first_sa, second_sa, col))
-            continue;
-        std::vector<Volt> first_volts;
-        for (const RowId local : event.sets.firstRows) {
-            first_volts.push_back(bank_ref.cellVolt(
-                composeRow(geometry, first_sa, local), col));
-        }
-        std::vector<Volt> second_volts;
-        for (const RowId local : event.sets.secondRows) {
-            second_volts.push_back(bank_ref.cellVolt(
-                composeRow(geometry, second_sa, local), col));
-        }
-        const Volt v_first = sharedBitlineVoltage(first_volts, analog);
-        const Volt v_second = sharedBitlineVoltage(second_volts, analog);
-        // Ideal outcome: the higher side senses to 1; the complement
-        // terminal receives the inverse.
-        const bool first_on_complement =
-            onComplementTerminal(first_sa, stripe);
-        const bool true_side_high =
-            first_on_complement ? v_second > v_first
-                                : v_first > v_second;
+    // Canonical charge-shared voltage of both terminal sides at every
+    // column (counts for rail rows, lane floats otherwise). Writes
+    // below only touch the columns they resolve, so capturing up
+    // front matches the per-column capture of the old code.
+    std::vector<float> first_volts;
+    std::vector<float> second_volts;
+    captureSharedVoltages(bank, first_sa, event.sets.firstRows,
+                          first_volts, &shared);
+    captureSharedVoltages(bank, second_sa, event.sets.secondRows,
+                          second_volts, &shared);
 
-        auto sense = [&](SubarrayId subarray, RowId local,
-                         bool on_complement, Region own_region,
-                         Region other_region) {
-            const RowId global = composeRow(geometry, subarray, local);
-            ComparisonContext ctx;
-            ctx.cellsPerSide = (n_first + n_second + 1) / 2;
-            ctx.glitchGapNs = gapNs;
-            ctx.couplingFraction = couplingFractionAt(first_pattern, col);
-            ctx.temperature = chip_.temperature();
-            ctx.invertedSide = on_complement;
-            ctx.regionMargin =
-                analog.srcRegionMargin[static_cast<int>(
-                    subarray == second_sa ? own_region : other_region)] +
-                analog.dstRegionMargin[static_cast<int>(
-                    subarray == first_sa ? own_region : other_region)];
-            (void)other_region;
-            const Volt margin =
-                model.comparisonMargin(v_first, v_second, ctx);
-            const Volt offset =
-                model.staticOffset(bank, global, col, stripe);
-            const bool fail_struct =
-                model.structuralFail(bank, stripe, col, pair_load);
-            const bool correct =
-                model.sampleTrial(margin, offset, fail_struct, rng_);
-            const bool ideal_bit =
-                on_complement ? !true_side_high : true_side_high;
-            const bool bit = correct ? ideal_bit : !ideal_bit;
-            bank_ref.setCellVolt(global, col, bit ? kVdd : kGnd);
+    struct Target
+    {
+        SubarrayId subarray;
+        RowId local;
+        RowId global;
+        Region own;
+        bool onComplement;
+        bool secondSide;
+    };
+    std::vector<Target> targets;
+    targets.reserve(static_cast<std::size_t>(total));
+    for (const RowId local : event.sets.firstRows) {
+        targets.push_back({first_sa, local,
+                           composeRow(geometry, first_sa, local),
+                           first_sub.regionFor(local, stripe),
+                           first_on_complement, false});
+    }
+    for (const RowId local : event.sets.secondRows) {
+        targets.push_back({second_sa, local,
+                           composeRow(geometry, second_sa, local),
+                           second_sub.regionFor(local, stripe),
+                           !first_on_complement, true});
+    }
+    const auto region_margin_of = [&](const Target &t) {
+        return analog.srcRegionMargin[static_cast<int>(
+                   t.secondSide ? t.own : com_region)] +
+               analog.dstRegionMargin[static_cast<int>(
+                   t.secondSide ? ref_region : t.own)];
+    };
+
+    if (scalar()) {
+        for (const Target &t : targets) {
+            CellArray &cells = bank_ref.subarray(t.subarray).cells();
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                if (!columnShared(first_sa, second_sa, col))
+                    continue;
+                const Volt v_first = first_volts[col];
+                const Volt v_second = second_volts[col];
+                // Ideal outcome: the higher side senses to 1; the
+                // complement terminal receives the inverse.
+                const bool true_side_high =
+                    first_on_complement ? v_second > v_first
+                                        : v_first > v_second;
+                ComparisonContext ctx;
+                ctx.cellsPerSide = pair_load;
+                ctx.glitchGapNs = gapNs;
+                ctx.couplingFraction =
+                    couplingFractionAt(first_pattern, col);
+                ctx.temperature = chip_.temperature();
+                ctx.invertedSide = t.onComplement;
+                ctx.regionMargin = region_margin_of(t);
+                const Volt margin =
+                    model.comparisonMargin(v_first, v_second, ctx);
+                const Volt offset =
+                    model.staticOffset(bank, t.global, col, stripe);
+                const bool fail_struct = model.structuralFail(
+                    bank, stripe, col, pair_load);
+                const bool correct = model.sampleTrialAt(
+                    margin, offset, fail_struct,
+                    cellNoiseKey(op_stream, t.global, col));
+                const bool ideal_bit =
+                    t.onComplement ? !true_side_high : true_side_high;
+                cells.setBit(t.local, col,
+                             correct ? ideal_bit : !ideal_bit);
+            }
+            cells.collapseIfRail(t.local);
+        }
+    } else {
+        // Word-parallel: margins depend on the column voltages plus a
+        // small set of (region, terminal) classes shared by many
+        // rows; compute each class's margin once per column, then
+        // sample per cell only where the margin is inside the noise
+        // bound.
+        const VariationMap &variation = model.variation();
+        couplingClasses(first_pattern, scratchClasses_);
+        const auto columns = static_cast<std::size_t>(geometry.columns);
+
+        struct RowClass
+        {
+            Region own;
+            bool onComplement;
+            bool secondSide;
         };
-
-        for (const RowId local : event.sets.firstRows) {
-            sense(first_sa, local, first_on_complement,
-                  first_sub.regionFor(local, stripe), com_region);
+        std::vector<RowClass> classes;
+        std::vector<std::size_t> class_of(targets.size());
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            const Target &t = targets[i];
+            std::size_t found = classes.size();
+            for (std::size_t c = 0; c < classes.size(); ++c) {
+                if (classes[c].own == t.own &&
+                    classes[c].onComplement == t.onComplement &&
+                    classes[c].secondSide == t.secondSide) {
+                    found = c;
+                    break;
+                }
+            }
+            if (found == classes.size())
+                classes.push_back({t.own, t.onComplement, t.secondSide});
+            class_of[i] = found;
         }
-        for (const RowId local : event.sets.secondRows) {
-            sense(second_sa, local, !first_on_complement,
-                  second_sub.regionFor(local, stripe), ref_region);
+
+        // Per-(class, column) margins, plus the per-column structural
+        // state shared by every target row.
+        std::vector<std::vector<Volt>> class_margins(
+            classes.size(), std::vector<Volt>(columns, 0.0));
+        std::vector<std::uint8_t> fail_struct(columns, 0);
+        std::vector<double> sa_u(columns, 0.5);
+        BitVector true_side(columns);
+        const double fail_fraction =
+            model.structuralFailFraction(pair_load);
+        const std::uint64_t fail_prefix =
+            variation.failKeyPrefix(bank, stripe);
+        const std::uint64_t sa_prefix =
+            variation.saKeyPrefix(bank, stripe);
+        forEachSetBit(shared, [&](ColId col) {
+            const Volt v_first = first_volts[col];
+            const Volt v_second = second_volts[col];
+            true_side.set(col, first_on_complement
+                                   ? v_second > v_first
+                                   : v_first > v_second);
+            for (std::size_t c = 0; c < classes.size(); ++c) {
+                ComparisonContext ctx;
+                ctx.cellsPerSide = pair_load;
+                ctx.glitchGapNs = gapNs;
+                ctx.couplingFraction =
+                    couplingFractionOf(scratchClasses_[col]);
+                ctx.temperature = chip_.temperature();
+                ctx.invertedSide = classes[c].onComplement;
+                ctx.regionMargin =
+                    analog.srcRegionMargin[static_cast<int>(
+                        classes[c].secondSide ? classes[c].own
+                                              : com_region)] +
+                    analog.dstRegionMargin[static_cast<int>(
+                        classes[c].secondSide ? ref_region
+                                              : classes[c].own)];
+                class_margins[c][col] =
+                    model.comparisonMargin(v_first, v_second, ctx);
+            }
+            fail_struct[col] =
+                fail_fraction > 0.0 &&
+                        variation.structuralFailFromKey(
+                            hashCombine(fail_prefix, col),
+                            fail_fraction)
+                    ? 1
+                    : 0;
+            sa_u[col] =
+                uniformFromHash(hashCombine(sa_prefix, col));
+        });
+
+        const double col_bound =
+            kHashNormalBound *
+            (analog.cellOffsetSigma + analog.saOffsetSigma +
+             model.senseAmp().noiseSigma());
+        const FastSampler sampler{model, variation,
+                                  analog.cellOffsetSigma,
+                                  analog.saOffsetSigma,
+                                  model.senseAmp().noiseSigma()};
+
+        BitVector value_row(columns);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            const Target &t = targets[i];
+            CellArray &cells = bank_ref.subarray(t.subarray).cells();
+            const std::vector<Volt> &margins =
+                class_margins[class_of[i]];
+            const std::uint64_t cell_prefix =
+                variation.cellKeyPrefix(bank, t.global);
+            const std::uint64_t noise_row =
+                cellNoiseRowStream(op_stream, t.global);
+            value_row.fill(false);
+            forEachSetBit(shared, [&](ColId col) {
+                const bool tsh = true_side.get(col);
+                const bool ideal_bit = t.onComplement ? !tsh : tsh;
+                const Volt margin = margins[col];
+                bool correct;
+                if (fail_struct[col] != 0) {
+                    correct = model.sampleTrialAt(
+                        margin, 0.0, true,
+                        cellNoiseKeyAt(noise_row, col));
+                } else if (margin > col_bound) {
+                    correct = true;
+                } else if (margin < -col_bound) {
+                    correct = false;
+                } else {
+                    correct = sampler.successWithSaU(
+                        margin, sa_u[col],
+                        hashCombine(cell_prefix, col),
+                        cellNoiseKeyAt(noise_row, col));
+                }
+                value_row.set(col, correct ? ideal_bit : !ideal_bit);
+            });
+            if (cells.rowOnRail(t.local)) {
+                BitVector row = cells.readRow(t.local);
+                blendWords(row.words(), value_row.words(),
+                           shared.words());
+                cells.writeRow(t.local, row);
+            } else {
+                forEachSetBit(shared, [&](ColId col) {
+                    cells.setBit(t.local, col, value_row.get(col));
+                });
+                cells.collapseIfRail(t.local);
+            }
         }
     }
 
     // Non-shared columns of each side resolve among that side's own
     // activated rows.
-    auto resolve_non_shared = [&](SubarrayId subarray,
-                                  const std::vector<RowId> &rows) {
+    const auto resolve_non_shared = [&](SubarrayId subarray,
+                                        const std::vector<RowId>
+                                            &rows) {
         if (rows.size() < 2)
             return;
-        std::vector<ColId> non_shared;
-        std::vector<Volt> bl_volts;
-        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
-             ++col) {
-            if (!columnShared(first_sa, second_sa, col)) {
-                non_shared.push_back(col);
-                bl_volts.push_back(
-                    sharedVoltageAt(bank, subarray, rows, col));
-            }
-        }
-        majResolve(bank, subarray, rows, non_shared, bl_volts, gapNs,
-                   n_first + n_second);
+        const BitVector non_shared = ~shared;
+        captureSharedVoltages(bank, subarray, rows, scratchVolts_,
+                              &non_shared);
+        majResolve(bank, subarray, rows, non_shared, scratchVolts_,
+                   gapNs, total);
     };
     resolve_non_shared(first_sa, event.sets.firstRows);
     resolve_non_shared(second_sa, event.sets.secondRows);
@@ -681,15 +1426,31 @@ Executor::handleWr(const Command &command)
         const RowAddress address = decomposeRow(geometry, row);
         if (address.subarray == rf.subarray) {
             bank_ref.writeRowBits(row, command.data);
-        } else {
+            continue;
+        }
+        CellArray &cells = bank_ref.subarray(address.subarray).cells();
+        const BitVector &mask =
+            sharedColumnMask(rf.subarray, address.subarray);
+        if (scalar()) {
             for (ColId col = 0;
                  col < static_cast<ColId>(geometry.columns); ++col) {
-                if (columnShared(rf.subarray, address.subarray, col)) {
-                    bank_ref.setCellVolt(row, col,
-                                         command.data.get(col) ? kGnd
-                                                               : kVdd);
-                }
+                if (columnShared(rf.subarray, address.subarray, col))
+                    cells.setBit(address.localRow, col,
+                                 !command.data.get(col));
             }
+            cells.collapseIfRail(address.localRow);
+        } else if (cells.rowOnRail(address.localRow)) {
+            BitVector row_bits = cells.readRow(address.localRow);
+            const BitVector complement = ~command.data;
+            blendWords(row_bits.words(), complement.words(),
+                       mask.words());
+            cells.writeRow(address.localRow, row_bits);
+        } else {
+            forEachSetBit(mask, [&](ColId col) {
+                cells.setBit(address.localRow, col,
+                             !command.data.get(col));
+            });
+            cells.collapseIfRail(address.localRow);
         }
     }
     state.resolved = true;

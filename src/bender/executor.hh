@@ -11,8 +11,20 @@
  *  - cross-subarray NOT (restored first ACT, neighboring subarrays),
  *  - cross-subarray N-input logic (charge-shared comparison).
  *
- * All stochastic outcomes draw from the chip's SuccessModel so the
- * Monte-Carlo behaviour matches the analytic engine by construction.
+ * All stochastic outcomes draw from the chip's SuccessModel with
+ * counter-based noise: each draw is a pure function of
+ * (trial stream, op epoch, row, col), so sampling is independent of
+ * evaluation order. That makes two execution strategies bit-identical
+ * by construction:
+ *
+ *  - ExecMode::WordParallel (default): rows at full rail are stored
+ *    packed and processed word-at-a-time; per-column work happens only
+ *    for cells inside the ambiguity/metastable margin bands, and
+ *    margins outside the hard noise bound (kHashNormalBound) resolve
+ *    deterministically without drawing at all.
+ *  - ExecMode::ScalarReference: the straightforward cell-at-a-time
+ *    triple loop, kept as the debug/verification reference (and the
+ *    pre-word-parallel performance baseline in the benches).
  */
 
 #ifndef FCDRAM_BENDER_EXECUTOR_HH
@@ -27,6 +39,12 @@
 #include "dram/chip.hh"
 
 namespace fcdram {
+
+/** Execution strategy; both produce bit-identical results. */
+enum class ExecMode : std::uint8_t {
+    WordParallel,    ///< Packed rail rows, sparse analog handling.
+    ScalarReference, ///< Cell-at-a-time reference implementation.
+};
 
 /** One multi-row activation observed during execution (diagnostics). */
 struct ActivationEvent
@@ -57,9 +75,11 @@ class Executor
      * @param chip Chip to mutate.
      * @param trialSeed Seed of this execution's noise stream.
      * @param timing Timing parameters for gap classification.
+     * @param mode Execution strategy (results are mode-independent).
      */
     Executor(Chip &chip, std::uint64_t trialSeed,
-             const TimingParams &timing = TimingParams::nominal());
+             const TimingParams &timing = TimingParams::nominal(),
+             ExecMode mode = ExecMode::WordParallel);
 
     /** Run a program to completion. */
     ExecResult run(const Program &program);
@@ -88,6 +108,22 @@ class Executor
          * in-subarray multi-row activation (valid while pendingMaj).
          */
         std::vector<float> pendingBitline;
+    };
+
+    /**
+     * One ambiguous column of a word-parallel op: margins land inside
+     * the noise bound, so every row's cell needs an actual draw.
+     */
+    struct AmbiguousCol
+    {
+        ColId col = 0;
+        Volt margin = 0.0; ///< Class margin (without static offsets).
+
+        /** Raw uniform of the column's SA offset (hoisted per op). */
+        double saU = 0.5;
+
+        bool structFail = false;
+        bool ideal = false; ///< Noise-free outcome bit.
     };
 
     void handleAct(const Command &command, ExecResult &result);
@@ -127,18 +163,49 @@ class Executor
      * of the given rows (in-subarray MAJ; also the fate of the
      * non-shared columns of a multi-activated subarray).
      *
-     * @param blVolts Bitline voltage per entry of @p columns.
+     * @param columnMask Columns that participate.
+     * @param blVolts Bitline voltage per column (only masked entries
+     *        are read).
      */
     void majResolve(BankId bank, SubarrayId subarray,
                     const std::vector<RowId> &localRows,
-                    const std::vector<ColId> &columns,
-                    const std::vector<Volt> &blVolts, Ns gapNs,
+                    const BitVector &columnMask,
+                    const std::vector<float> &blVolts, Ns gapNs,
                     int totalActivatedRows);
 
-    /** Charge-shared voltage of one subarray's rows at a column. */
-    Volt sharedVoltageAt(BankId bank, SubarrayId subarray,
-                         const std::vector<RowId> &localRows,
-                         ColId col) const;
+    /**
+     * Charge-shared bitline voltage of one subarray's rows at every
+     * column (canonical count-based arithmetic, shared by both
+     * execution modes), written into @p out. When @p columnMask is
+     * non-null only the masked columns are computed (the rest read
+     * 0); consumers must not look outside the mask.
+     */
+    void captureSharedVoltages(BankId bank, SubarrayId subarray,
+                               const std::vector<RowId> &localRows,
+                               std::vector<float> &out,
+                               const BitVector *columnMask =
+                                   nullptr) const;
+
+    /** Columns neighboring subarrays @p a and @p b share (cached). */
+    const BitVector &sharedColumnMask(SubarrayId a, SubarrayId b);
+
+    /** All-columns mask (cached). */
+    const BitVector &allColumnsMask();
+
+    /**
+     * Neighbor-disagreement class per column of @p pattern: 0, 1, or
+     * 2 disagreeing neighbors mapped to coupling fractions 0.0 / 0.5
+     * / 1.0 (edge columns have one neighbor and map to 0.0 / 1.0).
+     * Derived from shifted XOR masks, no per-column probing.
+     */
+    void couplingClasses(const BitVector &pattern,
+                         std::vector<std::uint8_t> &classes) const;
+
+    /** Coupling fraction of a class index (0.0 / 0.5 / 1.0). */
+    static double couplingFractionOf(std::uint8_t cls)
+    {
+        return 0.5 * cls;
+    }
 
     /** Neighbor-disagreement fraction around a column of a pattern. */
     static double couplingFractionAt(const BitVector &pattern, ColId col);
@@ -146,10 +213,34 @@ class Executor
     /** Restore progress fraction for an interrupted gap. */
     double restoreProgress(Ns gapNs) const;
 
+    /** Sub-stream key of the next stochastic operation application. */
+    std::uint64_t beginNoiseEpoch()
+    {
+        return hashCombine(noiseSeed_, ++noiseEpoch_);
+    }
+
+    bool scalar() const { return mode_ == ExecMode::ScalarReference; }
+
     Chip &chip_;
     TimingParams timing_;
-    Rng rng_;
+    ExecMode mode_;
+
+    /** Counter-noise stream seed (chip seed x trial seed). */
+    std::uint64_t noiseSeed_;
+
+    /** Stochastic-op counter; sub-streams never repeat. */
+    std::uint64_t noiseEpoch_ = 0;
+
     std::vector<BankState> banks_;
+
+    /** Cached column masks: [0]/[1] by parity of the lower subarray. */
+    BitVector sharedMaskByParity_[2];
+    BitVector allColumns_;
+
+    /** Scratch buffers reused across ops (word-parallel mode). */
+    std::vector<float> scratchVolts_;
+    std::vector<std::uint8_t> scratchClasses_;
+    std::vector<AmbiguousCol> scratchAmbiguous_;
 };
 
 } // namespace fcdram

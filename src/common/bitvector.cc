@@ -9,13 +9,7 @@ namespace fcdram {
 
 namespace {
 
-constexpr std::size_t kBitsPerWord = 64;
-
-std::size_t
-wordCount(std::size_t bits)
-{
-    return (bits + kBitsPerWord - 1) / kBitsPerWord;
-}
+constexpr std::size_t kBitsPerWord = BitVector::kWordBits;
 
 } // namespace
 
@@ -23,7 +17,8 @@ BitVector::BitVector() : size_(0) {}
 
 BitVector::BitVector(std::size_t size, bool value)
     : size_(size),
-      words_(wordCount(size), value ? ~std::uint64_t{0} : std::uint64_t{0})
+      words_(wordCountFor(size),
+             value ? ~std::uint64_t{0} : std::uint64_t{0})
 {
     maskTail();
 }
@@ -92,30 +87,99 @@ BitVector::operator~() const
 BitVector
 BitVector::operator&(const BitVector &other) const
 {
-    assert(size_ == other.size_);
-    BitVector result(size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        result.words_[i] = words_[i] & other.words_[i];
+    BitVector result = *this;
+    result &= other;
     return result;
 }
 
 BitVector
 BitVector::operator|(const BitVector &other) const
 {
-    assert(size_ == other.size_);
-    BitVector result(size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        result.words_[i] = words_[i] | other.words_[i];
+    BitVector result = *this;
+    result |= other;
     return result;
 }
 
 BitVector
 BitVector::operator^(const BitVector &other) const
 {
+    BitVector result = *this;
+    result ^= other;
+    return result;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
     assert(size_ == other.size_);
-    BitVector result(size_);
     for (std::size_t i = 0; i < words_.size(); ++i)
-        result.words_[i] = words_[i] ^ other.words_[i];
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &other)
+{
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::andNot(const BitVector &other)
+{
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= ~other.words_[i];
+    return *this;
+}
+
+BitVector
+BitVector::shiftedUp(std::size_t n) const
+{
+    BitVector result(size_);
+    if (n >= size_)
+        return result;
+    const std::size_t word_shift = n / kBitsPerWord;
+    const std::size_t bit_shift = n % kBitsPerWord;
+    for (std::size_t i = words_.size(); i-- > word_shift;) {
+        std::uint64_t w = words_[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i > word_shift) {
+            w |= words_[i - word_shift - 1] >>
+                 (kBitsPerWord - bit_shift);
+        }
+        result.words_[i] = w;
+    }
+    result.maskTail();
+    return result;
+}
+
+BitVector
+BitVector::shiftedDown(std::size_t n) const
+{
+    BitVector result(size_);
+    if (n >= size_)
+        return result;
+    const std::size_t word_shift = n / kBitsPerWord;
+    const std::size_t bit_shift = n % kBitsPerWord;
+    for (std::size_t i = 0; i + word_shift < words_.size(); ++i) {
+        std::uint64_t w = words_[i + word_shift] >> bit_shift;
+        if (bit_shift != 0 && i + word_shift + 1 < words_.size()) {
+            w |= words_[i + word_shift + 1]
+                 << (kBitsPerWord - bit_shift);
+        }
+        result.words_[i] = w;
+    }
     return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,15 @@ class Rng;
 class BitVector
 {
   public:
+    /** Bits per storage word. */
+    static constexpr std::size_t kWordBits = 64;
+
+    /** Storage words needed for @p bits bits. */
+    static constexpr std::size_t wordCountFor(std::size_t bits)
+    {
+        return (bits + kWordBits - 1) / kWordBits;
+    }
+
     /** Empty vector. */
     BitVector();
 
@@ -51,12 +61,54 @@ class BitVector
     /** True if every bit equals @p value. */
     bool all(bool value) const;
 
+    /**
+     * Packed storage, bit i at word i/64, bit position i%64. Unused
+     * bits of the last word are always zero.
+     */
+    std::span<const std::uint64_t> words() const { return words_; }
+
+    /**
+     * Mutable packed storage. Callers must keep the unused tail bits
+     * of the last word zero (or call maskTail() after bulk writes).
+     */
+    std::span<std::uint64_t> words() { return words_; }
+
+    /** Re-zero the unused bits of the last word after raw word writes. */
+    void maskTail();
+
     /** Bitwise complement. */
     BitVector operator~() const;
 
     BitVector operator&(const BitVector &other) const;
     BitVector operator|(const BitVector &other) const;
     BitVector operator^(const BitVector &other) const;
+
+    /** In-place conjunction. @pre size() == other.size() */
+    BitVector &operator&=(const BitVector &other);
+
+    /** In-place disjunction. @pre size() == other.size() */
+    BitVector &operator|=(const BitVector &other);
+
+    /** In-place exclusive or. @pre size() == other.size() */
+    BitVector &operator^=(const BitVector &other);
+
+    /**
+     * Fused in-place and-not: this &= ~other, without materializing
+     * the complement. @pre size() == other.size()
+     */
+    BitVector &andNot(const BitVector &other);
+
+    /**
+     * Bits shifted toward higher indices by @p n (bit i of the result
+     * is bit i-n of the input; the low n bits are zero).
+     */
+    BitVector shiftedUp(std::size_t n) const;
+
+    /**
+     * Bits shifted toward lower indices by @p n (bit i of the result
+     * is bit i+n of the input; the high n bits are zero).
+     */
+    BitVector shiftedDown(std::size_t n) const;
 
     bool operator==(const BitVector &other) const;
     bool operator!=(const BitVector &other) const;
@@ -68,8 +120,6 @@ class BitVector
     std::string toString() const;
 
   private:
-    void maskTail();
-
     std::size_t size_;
     std::vector<std::uint64_t> words_;
 };

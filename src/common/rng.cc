@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/mathutil.hh"
+
 namespace fcdram {
 
 std::uint64_t
@@ -30,6 +32,28 @@ hashString(std::string_view text, std::uint64_t seed)
             hash, splitMix64(static_cast<unsigned char>(c)));
     }
     return hash;
+}
+
+double
+uniformFromHash(std::uint64_t key)
+{
+    // The +0.5 offset keeps the value strictly above 0; the top
+    // 53 bits of the key select the lattice point.
+    double u = (static_cast<double>(key >> 11) + 0.5) * 0x1.0p-53;
+    // (2^53 - 1) + 0.5 rounds up to 2^53, which would map to exactly
+    // 1.0 and blow up the normal quantile; clamp to the largest
+    // sub-1.0 lattice point instead.
+    if (u >= 1.0)
+        u = 1.0 - 0x1.0p-53;
+    return u;
+}
+
+double
+gaussianFromHash(std::uint64_t key)
+{
+    const double g = normalQuantile(uniformFromHash(key));
+    assert(std::abs(g) <= kHashNormalBound);
+    return g;
 }
 
 namespace {

@@ -39,6 +39,61 @@ std::uint64_t hashString(std::string_view text,
                          std::uint64_t seed = 0x5EEDULL);
 
 /**
+ * Uniform [0, 1) value derived from a (well-mixed) 64-bit hash key.
+ * Stateless: the same key always yields the same value, so draws are
+ * independent of evaluation order.
+ */
+double uniformFromHash(std::uint64_t key);
+
+/**
+ * Standard-normal deviate derived from a 64-bit hash key (uniform
+ * through the normal quantile). Stateless and order-independent.
+ */
+double gaussianFromHash(std::uint64_t key);
+
+/**
+ * Hard bound on |gaussianFromHash|: the 53-bit uniform the quantile
+ * sees lies in [2^-54, 1 - 2^-53], whose quantiles are within about
+ * +-8.37; 9.0 adds slack for the rational approximation. Margins
+ * larger than bound * sigma therefore decide *deterministically*,
+ * which the word-parallel executor exploits to skip per-cell draws
+ * without changing any outcome (tested in tests/test_wordparallel.cc,
+ * CounterNoise.HashNormalBoundHolds).
+ */
+inline constexpr double kHashNormalBound = 9.0;
+
+/**
+ * Per-row sub-stream of an operation's counter-mode noise: folding it
+ * with a column (cellNoiseKeyAt) yields the cell's draw key. Bulk
+ * consumers hoist this out of their column loops.
+ */
+inline std::uint64_t
+cellNoiseRowStream(std::uint64_t opStream, std::uint64_t row)
+{
+    return hashCombine(opStream, row);
+}
+
+/** Complete a row sub-stream into one cell's noise key. */
+inline std::uint64_t
+cellNoiseKeyAt(std::uint64_t rowStream, std::uint64_t col)
+{
+    return hashCombine(rowStream, col);
+}
+
+/**
+ * Counter-mode noise key of one cell draw: a pure function of the
+ * operation sub-stream and the cell coordinates, so per-cell sampling
+ * is order-independent and vectorization-safe. Sub-streams are derived
+ * as hashCombine(trialSeed, opEpoch) by the executor.
+ */
+inline std::uint64_t
+cellNoiseKey(std::uint64_t opStream, std::uint64_t row,
+             std::uint64_t col)
+{
+    return cellNoiseKeyAt(cellNoiseRowStream(opStream, row), col);
+}
+
+/**
  * xoshiro256** pseudo random generator with helpers for the
  * distributions the analog models need.
  */

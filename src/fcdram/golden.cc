@@ -1,6 +1,9 @@
 #include "fcdram/golden.hh"
 
+#include <array>
+#include <bit>
 #include <cassert>
+#include <cstdint>
 
 namespace fcdram {
 
@@ -16,7 +19,7 @@ goldenAnd(const std::vector<BitVector> &inputs)
     assert(!inputs.empty());
     BitVector result = inputs.front();
     for (std::size_t i = 1; i < inputs.size(); ++i)
-        result = result & inputs[i];
+        result &= inputs[i];
     return result;
 }
 
@@ -26,7 +29,7 @@ goldenOr(const std::vector<BitVector> &inputs)
     assert(!inputs.empty());
     BitVector result = inputs.front();
     for (std::size_t i = 1; i < inputs.size(); ++i)
-        result = result | inputs[i];
+        result |= inputs[i];
     return result;
 }
 
@@ -43,19 +46,55 @@ goldenNor(const std::vector<BitVector> &inputs)
 }
 
 BitVector
-goldenMaj(const std::vector<BitVector> &inputs)
+goldenMaj(const std::vector<const BitVector *> &inputs)
 {
     assert(!inputs.empty());
     assert(inputs.size() % 2 == 1);
-    const std::size_t size = inputs.front().size();
+    const std::size_t n = inputs.size();
+    const std::size_t size = inputs.front()->size();
+    const std::size_t words = BitVector::wordCountFor(size);
+    const int plane_count = std::bit_width(n);
+    // 2 * ones > n with odd n is ones >= (n + 1) / 2.
+    const std::uint64_t threshold = (n + 1) / 2;
+    assert(plane_count <= 9);
+
     BitVector result(size);
-    for (std::size_t bit = 0; bit < size; ++bit) {
-        std::size_t ones = 0;
-        for (const auto &input : inputs)
-            ones += input.get(bit) ? 1 : 0;
-        result.set(bit, 2 * ones > inputs.size());
+    const auto out = result.words();
+    for (std::size_t w = 0; w < words; ++w) {
+        // Bit-sliced vertical counter: plane p holds bit p of the
+        // per-column ones count across all inputs.
+        std::array<std::uint64_t, 9> planes{};
+        for (const BitVector *input : inputs) {
+            std::uint64_t carry = input->words()[w];
+            for (int p = 0; carry != 0 && p < plane_count; ++p) {
+                const std::uint64_t overflow = planes[p] & carry;
+                planes[p] ^= carry;
+                carry = overflow;
+            }
+        }
+        // Per-column count >= threshold, MSB-first bit-serial compare.
+        std::uint64_t greater = 0;
+        std::uint64_t equal = ~std::uint64_t{0};
+        for (int p = plane_count - 1; p >= 0; --p) {
+            const std::uint64_t tb =
+                ((threshold >> p) & 1) ? ~std::uint64_t{0} : 0;
+            greater |= equal & planes[p] & ~tb;
+            equal &= ~(planes[p] ^ tb);
+        }
+        out[w] = greater | equal;
     }
+    result.maskTail();
     return result;
+}
+
+BitVector
+goldenMaj(const std::vector<BitVector> &inputs)
+{
+    std::vector<const BitVector *> refs;
+    refs.reserve(inputs.size());
+    for (const BitVector &input : inputs)
+        refs.push_back(&input);
+    return goldenMaj(refs);
 }
 
 BitVector

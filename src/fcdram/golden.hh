@@ -33,6 +33,13 @@ BitVector goldenNor(const std::vector<BitVector> &inputs);
 /** Bitwise majority over an odd number of inputs. */
 BitVector goldenMaj(const std::vector<BitVector> &inputs);
 
+/**
+ * Bitwise majority over an odd number of inputs referenced in place
+ * (no operand copies; for callers whose operands live in a larger
+ * store, e.g. expression evaluation memos).
+ */
+BitVector goldenMaj(const std::vector<const BitVector *> &inputs);
+
 /** Dispatch by op (Not uses inputs[0] only). */
 BitVector goldenOp(BoolOp op, const std::vector<BitVector> &inputs);
 

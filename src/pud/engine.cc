@@ -1,6 +1,7 @@
 #include "pud/engine.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
@@ -26,16 +27,65 @@ toString(BackendChoice choice)
 void
 VoteSet::add(const BitVector &bits)
 {
-    if (bits.size() != votes_.size()) {
+    if (bits.size() != columns_) {
         // A short readback would count the missing columns as
         // 0-votes and silently bias the majority; reject it.
         std::ostringstream message;
         message << "VoteSet::add: readback covers " << bits.size()
-                << " columns, expected " << votes_.size();
+                << " columns, expected " << columns_;
         throw std::invalid_argument(message.str());
     }
-    for (std::size_t col = 0; col < votes_.size(); ++col)
-        votes_[col] += bits.get(col) ? 1 : 0;
+    // Ripple-carry add of one bit per column into the counter planes.
+    BitVector carry = bits;
+    for (BitVector &plane : planes_) {
+        if (carry.popcount() == 0)
+            return;
+        BitVector overflow = plane;
+        overflow &= carry;
+        plane ^= carry;
+        carry = std::move(overflow);
+    }
+    if (carry.popcount() != 0)
+        planes_.push_back(std::move(carry));
+}
+
+bool
+VoteSet::majority(std::size_t col, int trials) const
+{
+    int count = 0;
+    for (std::size_t p = 0; p < planes_.size(); ++p)
+        count += planes_[p].get(col) ? 1 << p : 0;
+    return 2 * count > trials;
+}
+
+BitVector
+VoteSet::majorityBits(int trials) const
+{
+    // count >= threshold, MSB-first bit-serial compare per word.
+    const auto threshold =
+        static_cast<std::uint64_t>(trials / 2 + 1);
+    const int plane_count = std::max(
+        static_cast<int>(planes_.size()),
+        static_cast<int>(std::bit_width(threshold)));
+    BitVector result(columns_);
+    const auto out = result.words();
+    for (std::size_t w = 0; w < out.size(); ++w) {
+        std::uint64_t greater = 0;
+        std::uint64_t equal = ~std::uint64_t{0};
+        for (int p = plane_count - 1; p >= 0; --p) {
+            const std::uint64_t plane =
+                static_cast<std::size_t>(p) < planes_.size()
+                    ? planes_[static_cast<std::size_t>(p)].words()[w]
+                    : 0;
+            const std::uint64_t tb =
+                ((threshold >> p) & 1) ? ~std::uint64_t{0} : 0;
+            greater |= equal & plane & ~tb;
+            equal &= ~(plane ^ tb);
+        }
+        out[w] = greater | equal;
+    }
+    result.maskTail();
+    return result;
 }
 
 namespace {
@@ -390,7 +440,7 @@ PudEngine::execute(const MicroProgram &program,
     const GeometryConfig &geometry = chip.geometry();
     const auto numColumns =
         static_cast<std::size_t>(geometry.columns);
-    DramBender bender(chip, benderSeed);
+    DramBender bender(chip, benderSeed, options_.execMode);
     Ops ops(bender);
     const CostModel cost(chip);
     const int trials = options_.redundancy;
@@ -426,20 +476,24 @@ PudEngine::execute(const MicroProgram &program,
 
     // Trusted DRAM bits overwrite the golden fallback; every trusted
     // bit is also checked against the golden model for the accuracy
-    // report.
+    // report. Word-parallel throughout: majority planes, blend, and
+    // popcount-based accounting.
     const auto assemble = [&](ValueId value, const BitVector &mask,
                               const VoteSet &votes) {
-        values[value] = golden[value];
+        const BitVector bits = votes.majorityBits(trials);
+        BitVector &out = values[value];
+        out = golden[value];
+        out.andNot(mask);
+        BitVector dram = bits;
+        dram &= mask;
+        out |= dram;
         masks[value] = mask;
-        for (std::size_t col = 0; col < mask.size(); ++col) {
-            if (!mask.get(col))
-                continue;
-            const bool bit = votes.majority(col, trials);
-            values[value].set(col, bit);
-            ++result.checkedBits;
-            result.matchingBits +=
-                bit == golden[value].get(col) ? 1 : 0;
-        }
+        const std::size_t checked = mask.popcount();
+        BitVector mismatch = bits;
+        mismatch ^= golden[value];
+        mismatch &= mask;
+        result.checkedBits += checked;
+        result.matchingBits += checked - mismatch.popcount();
     };
 
     const auto cpuFallback = [&](const MicroOp &op) {
@@ -483,8 +537,7 @@ PudEngine::execute(const MicroProgram &program,
                     isColumn[op.inputs[idx]] &&
                     slot.stagingRows[idx] != kInvalidRow) {
                     viaClone[idx] = true;
-                    copyMask =
-                        copyMask & slot.stagingMasks[idx];
+                    copyMask &= slot.stagingMasks[idx];
                 }
             }
 
@@ -537,16 +590,17 @@ PudEngine::execute(const MicroProgram &program,
             }
             commitCost(op, bank, opCost);
             if (op.computeValue != kNoValue) {
-                assemble(op.computeValue,
-                         slot.mask(op.family) & copyMask,
-                         computeVotes);
+                BitVector computeMask = slot.mask(op.family);
+                computeMask &= copyMask;
+                assemble(op.computeValue, computeMask, computeVotes);
             }
             if (op.referenceValue != kNoValue) {
                 const BoolOp inverted = op.family == BoolOp::And
                                             ? BoolOp::Nand
                                             : BoolOp::Nor;
-                assemble(op.referenceValue,
-                         slot.mask(inverted) & copyMask,
+                BitVector referenceMask = slot.mask(inverted);
+                referenceMask &= copyMask;
+                assemble(op.referenceValue, referenceMask,
                          referenceVotes);
             }
             break;

@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "bender/executor.hh"
 #include "fcdram/session.hh"
 #include "pud/allocator.hh"
 #include "pud/compiler.hh"
@@ -108,33 +109,50 @@ struct EngineOptions
 
     CopyInMode copyIn = CopyInMode::HostWrite;
 
+    /**
+     * Executor strategy for the simulated command path. Results are
+     * bit-identical between modes; ScalarReference exists for
+     * verification and as the pre-word-parallel throughput baseline
+     * in the benches.
+     */
+    ExecMode execMode = ExecMode::WordParallel;
+
     /** Salt for the per-run DramBender session seed. */
     std::uint64_t benderSeedSalt = 0x9DULL;
 };
 
 /**
- * Majority-vote accumulator over row readbacks of one gate. Every
- * trial readback must cover every column: a short readback would
- * otherwise silently count the missing columns as 0-votes, so a
- * length mismatch is a hard error (std::invalid_argument).
+ * Majority-vote accumulator over row readbacks of one gate, stored as
+ * bit-sliced counter planes so both accumulation and the majority
+ * query run word-parallel. Every trial readback must cover every
+ * column: a short readback would otherwise silently count the missing
+ * columns as 0-votes, so a length mismatch is a hard error
+ * (std::invalid_argument).
  */
 class VoteSet
 {
   public:
-    explicit VoteSet(std::size_t columns) : votes_(columns, 0) {}
+    explicit VoteSet(std::size_t columns) : columns_(columns) {}
 
     /** @throws std::invalid_argument unless bits covers every column. */
     void add(const BitVector &bits);
 
-    bool majority(std::size_t col, int trials) const
-    {
-        return 2 * votes_[col] > trials;
-    }
+    /** Per-column majority of @p trials accumulated readbacks. */
+    bool majority(std::size_t col, int trials) const;
 
-    std::size_t columns() const { return votes_.size(); }
+    /**
+     * Word-parallel majority across every column at once: bit c is
+     * set when more than half of @p trials readbacks had it set.
+     */
+    BitVector majorityBits(int trials) const;
+
+    std::size_t columns() const { return columns_; }
 
   private:
-    std::vector<int> votes_;
+    std::size_t columns_;
+
+    /** Plane p holds bit p of each column's vote count. */
+    std::vector<BitVector> planes_;
 };
 
 /** Analytic DRAM command/latency/energy tally. */

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/rng.hh"
+#include "fcdram/golden.hh"
 
 namespace fcdram::pud {
 
@@ -235,7 +236,7 @@ ExprPool::evaluate(ExprId root,
           case ExprKind::Nand: {
             BitVector acc = memo[n.operands.front()];
             for (std::size_t i = 1; i < n.operands.size(); ++i)
-                acc = acc & memo[n.operands[i]];
+                acc &= memo[n.operands[i]];
             memo[id] = n.kind == ExprKind::Nand ? ~acc : acc;
             break;
           }
@@ -243,28 +244,26 @@ ExprPool::evaluate(ExprId root,
           case ExprKind::Nor: {
             BitVector acc = memo[n.operands.front()];
             for (std::size_t i = 1; i < n.operands.size(); ++i)
-                acc = acc | memo[n.operands[i]];
+                acc |= memo[n.operands[i]];
             memo[id] = n.kind == ExprKind::Nor ? ~acc : acc;
             break;
           }
           case ExprKind::Xor: {
             BitVector acc = memo[n.operands.front()];
             for (std::size_t i = 1; i < n.operands.size(); ++i)
-                acc = acc ^ memo[n.operands[i]];
+                acc ^= memo[n.operands[i]];
             memo[id] = acc;
             break;
           }
           case ExprKind::Maj: {
-            const std::size_t bits = memo[n.operands.front()].size();
-            const int votes = static_cast<int>(n.operands.size());
-            BitVector acc(bits);
-            for (std::size_t col = 0; col < bits; ++col) {
-                int ones = 0;
-                for (const ExprId operand : n.operands)
-                    ones += memo[operand].get(col) ? 1 : 0;
-                acc.set(col, 2 * ones > votes);
-            }
-            memo[id] = std::move(acc);
+            // mkMaj guarantees an odd operand count, so the
+            // word-parallel golden majority applies directly (memo
+            // entries referenced in place, no operand copies).
+            std::vector<const BitVector *> votes;
+            votes.reserve(n.operands.size());
+            for (const ExprId operand : n.operands)
+                votes.push_back(&memo[operand]);
+            memo[id] = goldenMaj(votes);
             break;
           }
         }

@@ -146,6 +146,69 @@ TEST_P(BitVectorSizeTest, HammingMatchesXorPopcount)
     EXPECT_EQ(a.hammingDistance(b), (a ^ b).popcount());
 }
 
+TEST_P(BitVectorSizeTest, InPlaceOpsMatchAllocatingOps)
+{
+    const std::size_t size = GetParam();
+    Rng rng(size + 3);
+    BitVector a(size);
+    BitVector b(size);
+    a.randomize(rng);
+    b.randomize(rng);
+
+    BitVector and_acc = a;
+    and_acc &= b;
+    EXPECT_EQ(and_acc, a & b);
+
+    BitVector or_acc = a;
+    or_acc |= b;
+    EXPECT_EQ(or_acc, a | b);
+
+    BitVector xor_acc = a;
+    xor_acc ^= b;
+    EXPECT_EQ(xor_acc, a ^ b);
+
+    BitVector andnot_acc = a;
+    andnot_acc.andNot(b);
+    EXPECT_EQ(andnot_acc, a & ~b);
+}
+
+TEST_P(BitVectorSizeTest, ShiftsMatchPerBitSemantics)
+{
+    const std::size_t size = GetParam();
+    Rng rng(size + 4);
+    BitVector a(size);
+    a.randomize(rng);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{13},
+                                std::size_t{64}, size}) {
+        const BitVector up = a.shiftedUp(n);
+        const BitVector down = a.shiftedDown(n);
+        for (std::size_t i = 0; i < size; ++i) {
+            EXPECT_EQ(up.get(i), i >= n ? a.get(i - n) : false)
+                << "up n=" << n << " i=" << i;
+            EXPECT_EQ(down.get(i),
+                      i + n < size ? a.get(i + n) : false)
+                << "down n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST_P(BitVectorSizeTest, WordsSpanRoundTrips)
+{
+    const std::size_t size = GetParam();
+    Rng rng(size + 5);
+    BitVector a(size);
+    a.randomize(rng);
+    BitVector b(size);
+    const auto src = a.words();
+    const auto dst = b.words();
+    ASSERT_EQ(src.size(), dst.size());
+    ASSERT_EQ(src.size(), BitVector::wordCountFor(size));
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = src[i];
+    b.maskTail();
+    EXPECT_EQ(a, b);
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeTest,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128,
                                            1000));

@@ -293,6 +293,34 @@ TEST(VoteSetTest, RejectsShortReadback)
     EXPECT_TRUE(votes.majority(0, 1));
 }
 
+TEST(VoteSetTest, WordParallelMajorityMatchesPerColumn)
+{
+    // The bit-sliced counter planes must agree with the per-column
+    // accessor for every column and every trial count.
+    constexpr std::size_t kColumns = 130; // Crosses word boundaries.
+    for (const int trials : {1, 3, 5, 7}) {
+        VoteSet votes(kColumns);
+        Rng rng(static_cast<std::uint64_t>(trials));
+        std::vector<int> reference(kColumns, 0);
+        for (int t = 0; t < trials; ++t) {
+            BitVector sample(kColumns);
+            sample.randomize(rng);
+            votes.add(sample);
+            for (std::size_t col = 0; col < kColumns; ++col)
+                reference[col] += sample.get(col) ? 1 : 0;
+        }
+        const BitVector majority = votes.majorityBits(trials);
+        ASSERT_EQ(majority.size(), kColumns);
+        for (std::size_t col = 0; col < kColumns; ++col) {
+            EXPECT_EQ(majority.get(col), 2 * reference[col] > trials)
+                << "trials=" << trials << " col=" << col;
+            EXPECT_EQ(votes.majority(col, trials),
+                      2 * reference[col] > trials)
+                << "trials=" << trials << " col=" << col;
+        }
+    }
+}
+
 class PudEngineTest : public ::testing::Test
 {
   protected:
