@@ -1,29 +1,50 @@
 /**
  * @file
- * Simulator performance bench. Two sections:
+ * Simulator performance bench. Four sections:
  *
  *  1. End-to-end operation throughput at full row width (8192
  *     columns): NOT, N-input logic (NAND family) and in-subarray MAJ
  *     rows per second, plus raw row write/read Mbit/s, measured on
- *     BOTH executor modes. The scalar reference is the
- *     pre-word-parallel baseline, so the recorded speedups are the
- *     PR-over-PR tracked metrics. Written to
- *     BENCH_perf_simulator.json (benchutil --json-out=PATH honored).
+ *     BOTH single-trial executor modes.
  *
- *  2. google-benchmark microbenchmarks (decoder queries, analytic
+ *  2. Monte-Carlo trial throughput: trials/s of the same programs
+ *     through the scalar reference, the word-parallel executor, and
+ *     the trial-sliced block executor at 1 and --workers threads.
+ *     The sliced results are verified bit-identical to the scalar
+ *     reference across all four manufacturer profiles, a RESULT_HASH
+ *     line fingerprints every sliced outcome (worker-count invariant
+ *     by construction), and the run HARD-FAILS (exit 1) if the
+ *     sliced-times-threads geomean speedup over the scalar reference
+ *     drops below 10x.
+ *
+ *  3. Fleet sweep: (module x trial-block) tiles of sliced NOT blocks
+ *     over the SK Hynix fleet through FleetSession::runOverFleetTiled
+ *     on the persistent-pool scheduler.
+ *
+ *  4. google-benchmark microbenchmarks (decoder queries, analytic
  *     sweeps, session pair discovery) for interactive profiling.
+ *
+ * Everything lands in BENCH_perf_simulator.json (benchutil
+ * --json-out=PATH honored); --workers=N sets the thread count of the
+ * threaded sections.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bender/trialslice.hh"
 #include "benchutil.hh"
+#include "common/rng.hh"
 #include "fcdram/analytic.hh"
 #include "fcdram/ops.hh"
+#include "fcdram/scheduler.hh"
 #include "fcdram/session.hh"
 
 namespace fcdram {
@@ -175,11 +196,8 @@ rowIoMbitPerSec(ExecMode mode, int iters)
 } // namespace
 
 void
-runThroughputSection()
+runThroughputSection(benchutil::BenchReport &report)
 {
-    benchutil::BenchReport report("perf_simulator");
-    report.metric("columns", kWideColumns);
-
     std::vector<OpThroughput> rows;
     rows.push_back(
         measureProgram("not", 150, buildNotProgram, 2));
@@ -231,7 +249,449 @@ runThroughputSection()
                   << speedup_count << " ops): "
                   << formatDouble(geomean, 2) << "x\n";
     }
-    report.save();
+}
+
+namespace {
+
+// ---- Section 2: Monte-Carlo trial throughput (trial slicing) -------
+
+/** Trials one sliced block packs (the bench always runs full blocks). */
+constexpr int kLanes = TrialSlicedExecutor::kMaxLanes;
+
+/** Sliced blocks measured per op (fixed, so RESULT_HASH is stable). */
+constexpr int kSlicedBlocks = 12;
+
+std::vector<std::uint64_t>
+trialSeedsFor(std::uint64_t salt, int first, int count)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(count));
+    for (int t = first; t < first + count; ++t) {
+        seeds.push_back(
+            hashCombine(salt, static_cast<std::uint64_t>(t)));
+    }
+    return seeds;
+}
+
+/** Order-stable fingerprint of one trial's outcomes. */
+std::uint64_t
+hashExecResult(std::uint64_t h, const ExecResult &result)
+{
+    h = hashCombine(h, result.reads.size());
+    for (const BitVector &bits : result.reads) {
+        for (const std::uint64_t word : bits.words())
+            h = hashCombine(h, word);
+    }
+    h = hashCombine(h, result.activations.size());
+    for (const ActivationEvent &event : result.activations) {
+        h = hashCombine(h,
+                        (static_cast<std::uint64_t>(event.firstSubarray)
+                         << 32) |
+                            static_cast<std::uint64_t>(
+                                event.secondSubarray));
+        h = hashCombine(h, event.sets.secondRows.size());
+    }
+    return h;
+}
+
+/**
+ * Trials/s of per-trial single-Executor runs (fresh chip copy per
+ * trial, the honest Monte-Carlo loop the sliced path replaces).
+ */
+double
+perTrialTrialsPerSec(const Chip &base, const Program &program,
+                     ExecMode mode, int trials, std::uint64_t salt)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    for (int t = 0; t < trials; ++t) {
+        Chip chip = base;
+        Executor executor(chip, hashCombine(salt, t),
+                          TimingParams::nominal(), mode);
+        benchmark::DoNotOptimize(executor.run(program));
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return seconds > 0.0 ? trials / seconds : 0.0;
+}
+
+/**
+ * Trials/s of kSlicedBlocks sliced blocks, fanned out over
+ * @p scheduler. Per-block hashes fold in block order, so *hashOut is
+ * invariant in the worker count.
+ */
+double
+slicedTrialsPerSec(const Chip &base, const Program &program,
+                   const Scheduler &scheduler, std::uint64_t salt,
+                   std::uint64_t *hashOut)
+{
+    using Clock = std::chrono::steady_clock;
+    std::vector<std::uint64_t> blockHashes(kSlicedBlocks, 0);
+    const Clock::time_point start = Clock::now();
+    scheduler.run(kSlicedBlocks, [&](std::size_t block) {
+        TrialSlicedExecutor sliced(
+            base,
+            trialSeedsFor(salt, static_cast<int>(block) * kLanes,
+                          kLanes));
+        const std::vector<ExecResult> results = sliced.run(program);
+        std::uint64_t h = 0;
+        for (const ExecResult &result : results)
+            h = hashExecResult(h, result);
+        blockHashes[block] = h;
+    });
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (hashOut != nullptr) {
+        for (const std::uint64_t h : blockHashes)
+            *hashOut = hashCombine(*hashOut, h);
+    }
+    const double trials =
+        static_cast<double>(kSlicedBlocks) * kLanes;
+    return seconds > 0.0 ? trials / seconds : 0.0;
+}
+
+/**
+ * One measurable trial program: the violated-timing op followed by a
+ * nominal readback of its result row, so the stochastic outcomes
+ * surface in ExecResult (and therefore in RESULT_HASH).
+ */
+struct OpProgram
+{
+    Program program;
+    bool valid = false;
+};
+
+/** NOT: restored source, violated destination, read the destination. */
+OpProgram
+makeNotProgram(const Chip &chip)
+{
+    const auto pairs = findActivationPairs(chip, 1, 1, 1, 3);
+    if (pairs.empty())
+        return {};
+    const GeometryConfig &geometry = chip.geometry();
+    const RowId src = composeRow(geometry, 0, pairs[0].first);
+    const RowId dst = composeRow(geometry, 1, pairs[0].second);
+    ProgramBuilder builder(chip.profile().speed);
+    builder.act(0, src, 0.0)
+        .pre(0, TimingParams::nominal().tRas)
+        .act(0, dst, kViolatedGapTargetNs)
+        .preNominal(0)
+        .actNominal(0, dst)
+        .readNominal(0, dst)
+        .preNominal(0);
+    return {builder.build(), true};
+}
+
+/** NAND-family charge share, read the compute-side anchor row. */
+OpProgram
+makeNandProgram(const Chip &chip)
+{
+    const auto pairs = findActivationPairs(chip, 2, 2, 1, 3);
+    if (pairs.empty())
+        return {};
+    const GeometryConfig &geometry = chip.geometry();
+    const RowId ref = composeRow(geometry, 0, pairs[0].first);
+    const RowId com = composeRow(geometry, 1, pairs[0].second);
+    ProgramBuilder builder(chip.profile().speed);
+    builder.act(0, ref, 0.0)
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, com, kViolatedGapTargetNs)
+        .preNominal(0)
+        .actNominal(0, com)
+        .readNominal(0, com)
+        .preNominal(0);
+    return {builder.build(), true};
+}
+
+/** SiMRA MAJ on a 4-row group, read the group's RF row. */
+OpProgram
+makeMajProgram(const Chip &chip)
+{
+    const auto pairs = findSimraPairs(chip, 4, 1, 3);
+    if (pairs.empty())
+        return {};
+    const GeometryConfig &geometry = chip.geometry();
+    const RowId rf = composeRow(geometry, 0, pairs[0].first);
+    const RowId rl = composeRow(geometry, 0, pairs[0].second);
+    ProgramBuilder builder(chip.profile().speed);
+    builder.act(0, rf, 0.0)
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, rl, kViolatedGapTargetNs)
+        .preNominal(0)
+        .actNominal(0, rf)
+        .readNominal(0, rf)
+        .preNominal(0);
+    return {builder.build(), true};
+}
+
+/**
+ * Bit-identity spot check on one profile: a sliced block of 8 lanes
+ * against 8 per-trial scalar-reference executions at tiny geometry.
+ */
+bool
+verifySlicedAgainstScalar(const ChipProfile &profile)
+{
+    Chip base(profile, GeometryConfig::tiny(), 1);
+    const GeometryConfig &geometry = base.geometry();
+    Rng rng(0xDA7A);
+    for (int sa = 0; sa < 3; ++sa) {
+        for (RowId local = 0; local < 2; ++local) {
+            BitVector pattern(
+                static_cast<std::size_t>(geometry.columns));
+            pattern.randomize(rng);
+            base.bank(0).writeRowBits(
+                composeRow(geometry, static_cast<SubarrayId>(sa),
+                           local),
+                pattern);
+        }
+    }
+    ProgramBuilder builder(profile.speed);
+    const Ns rest = TimingParams::nominal().tRas;
+    builder.act(0, composeRow(geometry, 1, 0), 0.0)
+        .pre(0, rest)
+        .act(0, composeRow(geometry, 2, 0), kViolatedGapTargetNs)
+        .preNominal(0)
+        .actNominal(0, composeRow(geometry, 2, 0))
+        .readNominal(0, composeRow(geometry, 2, 0))
+        .preNominal(0)
+        .actNominal(0, composeRow(geometry, 1, 0))
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, composeRow(geometry, 1, 5), kViolatedGapTargetNs)
+        .preNominal(0)
+        .actNominal(0, composeRow(geometry, 1, 0))
+        .readNominal(0, composeRow(geometry, 1, 0))
+        .preNominal(0);
+    const Program program = builder.build();
+
+    const auto seeds = trialSeedsFor(0x5EED, 0, 8);
+    TrialSlicedExecutor sliced(base, seeds);
+    const std::vector<ExecResult> block = sliced.run(program);
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        Chip reference = base;
+        Executor executor(reference, seeds[t], TimingParams::nominal(),
+                          ExecMode::ScalarReference);
+        const ExecResult expected = executor.run(program);
+        if (block[t].reads != expected.reads)
+            return false;
+    }
+    return true;
+}
+
+struct TrialThroughput
+{
+    std::string name;
+    double scalar = 0.0;
+    double word = 0.0;
+    double sliced1 = 0.0;
+    double slicedN = 0.0;
+};
+
+} // namespace
+
+/**
+ * Section 2 driver. Returns the geomean sliced-times-threads speedup
+ * over the scalar reference (the hard-gated number) and folds every
+ * sliced outcome into @p resultHash.
+ */
+double
+runTrialSliceSection(benchutil::BenchReport &report, int workers,
+                     std::uint64_t *resultHash)
+{
+    std::cout << "\n-- Monte-Carlo trial throughput (trial slicing,"
+              << " workers=" << workers << ") --\n";
+
+    for (const ChipProfile &profile : {
+             ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666),
+             ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133),
+             ChipProfile::make(Manufacturer::Samsung, 4, 'F', 8, 2666),
+             ChipProfile::make(Manufacturer::Micron, 8, 'B', 8, 2666),
+         }) {
+        if (!verifySlicedAgainstScalar(profile)) {
+            std::cerr << "FAIL: sliced trials diverge from the scalar"
+                      << " reference on " << profile.label() << "\n";
+            std::exit(1);
+        }
+    }
+    std::cout << "sliced == scalar reference verified on all 4"
+              << " profiles\n";
+    report.lap("trials_verify");
+
+    const Scheduler single(1);
+    const Scheduler pool(workers);
+
+    struct OpCase
+    {
+        const char *name;
+        OpProgram (*make)(const Chip &);
+    };
+    const OpCase cases[] = {
+        {"not", makeNotProgram},
+        {"nand", makeNandProgram},
+        {"maj", makeMajProgram},
+    };
+
+    Table table({"op", "scalar trials/s", "word trials/s",
+                 "sliced x1 trials/s",
+                 "sliced x" + std::to_string(workers) + " trials/s",
+                 "speedup"});
+    double product = 1.0;
+    int count = 0;
+    std::uint64_t caseIndex = 0;
+    for (const OpCase &opCase : cases) {
+        ++caseIndex;
+        Chip base(benchProfile(), wideGeometry(), 1);
+        Rng rng(0xF1E1D);
+        for (int sa = 0; sa < 2; ++sa) {
+            for (RowId local = 0; local < 2; ++local) {
+                BitVector pattern(
+                    static_cast<std::size_t>(kWideColumns));
+                pattern.randomize(rng);
+                base.bank(0).writeRowBits(
+                    composeRow(base.geometry(),
+                               static_cast<SubarrayId>(sa), local),
+                    pattern);
+            }
+        }
+        const OpProgram op = opCase.make(base);
+        if (!op.valid) {
+            std::cout << opCase.name
+                      << ": no qualifying pair, skipped\n";
+            continue;
+        }
+
+        TrialThroughput row;
+        row.name = opCase.name;
+        const std::uint64_t salt = hashCombine(0xB10C, caseIndex);
+        row.scalar = perTrialTrialsPerSec(
+            base, op.program, ExecMode::ScalarReference, 6, salt);
+        row.word = perTrialTrialsPerSec(
+            base, op.program, ExecMode::WordParallel, 48, salt);
+        std::uint64_t hash1 = 0;
+        row.sliced1 = slicedTrialsPerSec(base, op.program, single,
+                                         salt, &hash1);
+        std::uint64_t hashN = 0;
+        row.slicedN = slicedTrialsPerSec(base, op.program, pool, salt,
+                                         &hashN);
+        if (hash1 != hashN) {
+            std::cerr << "FAIL: sliced result hash differs between 1"
+                      << " and " << workers << " workers on "
+                      << opCase.name << "\n";
+            std::exit(1);
+        }
+        if (resultHash != nullptr)
+            *resultHash = hashCombine(*resultHash, hashN);
+
+        const double speedup =
+            row.scalar > 0.0 ? row.slicedN / row.scalar : 0.0;
+        table.addRow();
+        table.addCell(row.name);
+        table.addCell(row.scalar, 1);
+        table.addCell(row.word, 1);
+        table.addCell(row.sliced1, 1);
+        table.addCell(row.slicedN, 1);
+        table.addCell(speedup, 1);
+        const std::string prefix = opCase.name;
+        report.metric(prefix + "_trials_per_s_scalar", row.scalar);
+        report.metric(prefix + "_trials_per_s_word", row.word);
+        report.metric(prefix + "_trials_per_s_sliced1", row.sliced1);
+        report.metric(prefix + "_trials_per_s_slicedN", row.slicedN);
+        report.metric(prefix + "_trials_speedup", speedup);
+        if (speedup > 0.0) {
+            product *= speedup;
+            ++count;
+        }
+    }
+    table.print(std::cout);
+    report.lap("trials");
+
+    const double geomean =
+        count > 0 ? std::pow(product, 1.0 / count) : 0.0;
+    report.metric("trials_speedup_geomean", geomean);
+    std::cout << "trial-sliced x" << workers
+              << " speedup over scalar reference (geomean of " << count
+              << " ops): " << formatDouble(geomean, 1) << "x\n";
+    return geomean;
+}
+
+/**
+ * Section 3: (module x trial-block) fleet sweep of sliced NOT blocks
+ * through the tiled fleet fan-out.
+ */
+void
+runFleetSweepSection(benchutil::BenchReport &report, int workers,
+                     std::uint64_t *resultHash)
+{
+    std::cout << "\n-- Fleet sweep (module x trial-block tiles,"
+              << " workers=" << workers << ") --\n";
+
+    CampaignConfig config;
+    config.geometry = GeometryConfig::standard();
+    config.geometry.columns = 2048;
+    config.geometry.numBanks = 1;
+    config.workers = workers;
+    const FleetSession session(config);
+
+    struct SweepAccum
+    {
+        std::uint64_t hash = 0;
+        std::uint64_t trials = 0;
+
+        void mergeFrom(SweepAccum &&other)
+        {
+            hash = hashCombine(hash, other.hash);
+            trials += other.trials;
+        }
+    };
+
+    constexpr std::size_t kTilesPerModule = 4;
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    const SweepAccum total = session.runOverFleetTiled<SweepAccum>(
+        FleetSession::Fleet::SkHynix, kTilesPerModule,
+        [&](const FleetSession::ModuleView &view, std::size_t tile,
+            std::size_t, SweepAccum &accum) {
+            const auto pairs =
+                findActivationPairs(view.chip, 1, 1, 1, view.seed);
+            if (pairs.empty())
+                return;
+            const GeometryConfig &geometry = view.chip.geometry();
+            const RowId src = composeRow(geometry, 0, pairs[0].first);
+            const RowId dst = composeRow(geometry, 1, pairs[0].second);
+            ProgramBuilder builder(view.chip.profile().speed);
+            builder.act(0, src, 0.0)
+                .pre(0, TimingParams::nominal().tRas)
+                .act(0, dst, kViolatedGapTargetNs)
+                .preNominal(0)
+                .actNominal(0, dst)
+                .readNominal(0, dst)
+                .preNominal(0);
+            TrialSlicedExecutor sliced(
+                view.chip,
+                trialSeedsFor(Scheduler::taskSeed(view.seed, tile), 0,
+                              kLanes));
+            const std::vector<ExecResult> results =
+                sliced.run(builder.build());
+            for (const ExecResult &result : results)
+                accum.hash = hashExecResult(accum.hash, result);
+            accum.trials += results.size();
+        });
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    report.lap("fleet_sweep");
+
+    const double trials_per_sec =
+        seconds > 0.0 ? static_cast<double>(total.trials) / seconds
+                      : 0.0;
+    report.metric("fleet_sweep_trials",
+                  static_cast<double>(total.trials));
+    report.metric("fleet_sweep_trials_per_s", trials_per_sec);
+    std::cout << "fleet sweep: " << total.trials
+              << " sliced trials across "
+              << session.modules(FleetSession::Fleet::SkHynix).size()
+              << " modules x " << kTilesPerModule << " tiles, "
+              << formatDouble(trials_per_sec, 0) << " trials/s\n";
+    if (resultHash != nullptr)
+        *resultHash = hashCombine(*resultHash, total.hash);
 }
 
 namespace {
@@ -382,6 +842,7 @@ main(int argc, char **argv)
     // Peel the benchutil flags off before google-benchmark sees the
     // command line; everything else (--benchmark_min_time etc.)
     // passes through.
+    int workers = 4;
     std::vector<char *> passthrough;
     passthrough.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
@@ -390,12 +851,38 @@ main(int argc, char **argv)
             fcdram::benchutil::jsonOutPath() = arg.substr(11);
             continue;
         }
+        if (arg.rfind("--workers=", 0) == 0) {
+            workers = std::atoi(arg.c_str() + 10);
+            if (workers < 1)
+                workers = 1;
+            continue;
+        }
         passthrough.push_back(argv[i]);
     }
     int bench_argc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&bench_argc, passthrough.data());
 
-    fcdram::runThroughputSection();
+    fcdram::benchutil::BenchReport report("perf_simulator");
+    report.metric("columns", fcdram::kWideColumns);
+    report.metric("workers", workers);
+
+    fcdram::runThroughputSection(report);
+    std::uint64_t result_hash = 0;
+    const double geomean =
+        fcdram::runTrialSliceSection(report, workers, &result_hash);
+    fcdram::runFleetSweepSection(report, workers, &result_hash);
+
+    std::printf("RESULT_HASH %016llx\n",
+                static_cast<unsigned long long>(result_hash));
+    report.metric("result_hash_low32",
+                  static_cast<double>(result_hash & 0xFFFFFFFFULL));
+    report.save();
+
+    if (geomean < 10.0) {
+        std::cerr << "FAIL: trial-sliced end-to-end geomean speedup "
+                  << geomean << "x is below the required 10x\n";
+        return 1;
+    }
 
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

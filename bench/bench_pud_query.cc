@@ -331,8 +331,10 @@ main(int argc, char **argv)
     // in BENCH_pud_query.json.
     CampaignConfig wideConfig = config;
     wideConfig.geometry.columns = 8192;
-    // Single-module measurement: extra workers only add scheduler
-    // noise to the timed ratio (results are worker-count invariant).
+    // Single-module measurement: with the persistent-pool scheduler
+    // extra workers cost no spawn churn, but a one-task run executes
+    // inline anyway, so pin workers=1 to keep the timed ratio free of
+    // pool wake-ups (results are worker-count invariant regardless).
     wideConfig.workers = 1;
     const auto wideSession =
         std::make_shared<FleetSession>(wideConfig);

@@ -7,166 +7,21 @@
 #include <cmath>
 
 #include "analog/chargesharing.hh"
+#include "bender/execdetail.hh"
 #include "common/mathutil.hh"
+#include "common/simd.hh"
 #include "dram/address.hh"
 #include "dram/openbitline.hh"
 
 namespace fcdram {
 
-namespace {
-
-/** Sensing starts this long after an ACT (charge-sharing time). */
-constexpr Ns kSenseStartNs = 2.0;
-
-/** Full restore takes this long after an ACT. */
-constexpr Ns kRestoreDoneNs = 20.0;
-
-/** Voltages this close to VDD/2 sense metastably. */
-constexpr Volt kMetastableBand = 0.02;
-
-/** Ambiguity window for lazily resolved single-row sensing. */
-constexpr Volt kAmbiguousBand = 0.15;
-
-/** Call fn(col) for every set bit of mask, in ascending order. */
-template <typename Fn>
-void
-forEachSetBit(const BitVector &mask, Fn &&fn)
-{
-    const auto words = mask.words();
-    for (std::size_t w = 0; w < words.size(); ++w) {
-        std::uint64_t bits = words[w];
-        while (bits != 0) {
-            const int b = std::countr_zero(bits);
-            bits &= bits - 1;
-            fn(static_cast<ColId>(w * 64 +
-                                  static_cast<std::size_t>(b)));
-        }
-    }
-}
-
-/** dst = (dst & ~mask) | (src & mask), word-wise. */
-void
-blendWords(std::span<std::uint64_t> dst,
-           std::span<const std::uint64_t> src,
-           std::span<const std::uint64_t> mask)
-{
-    for (std::size_t i = 0; i < dst.size(); ++i)
-        dst[i] = (dst[i] & ~mask[i]) | (src[i] & mask[i]);
-}
-
-/**
- * Conservative per-bucket bounds on normalQuantile over [k/N,
- * (k+1)/N). A hash-derived deviate sigma * Q(u) is guaranteed inside
- * [sigma * lo(bucket), sigma * hi(bucket)], so most Bernoulli draws
- * resolve from the raw (cheap) uniform without evaluating the
- * quantile at all; the exact computation only runs when the bounds
- * straddle the decision threshold. The seam slack covers the rational
- * approximation's error (|rel| < 1.15e-9) plus any non-monotonicity
- * at its region boundaries, so skipping is bit-exact.
- */
-class NormalBuckets
-{
-  public:
-    static constexpr int kCount = 512;
-
-    static const NormalBuckets &instance()
-    {
-        static const NormalBuckets buckets;
-        return buckets;
-    }
-
-    static int bucketOf(double u)
-    {
-        const int b = static_cast<int>(u * kCount);
-        return std::min(std::max(b, 0), kCount - 1);
-    }
-
-    double lo(int b) const { return lo_[static_cast<std::size_t>(b)]; }
-    double hi(int b) const { return hi_[static_cast<std::size_t>(b)]; }
-
-  private:
-    NormalBuckets()
-    {
-        constexpr double kSeamSlack = 1e-6;
-        for (int b = 0; b < kCount; ++b) {
-            lo_[static_cast<std::size_t>(b)] =
-                b == 0 ? -kHashNormalBound
-                       : normalQuantile(static_cast<double>(b) /
-                                        kCount) -
-                             kSeamSlack;
-            hi_[static_cast<std::size_t>(b)] =
-                b == kCount - 1
-                    ? kHashNormalBound
-                    : normalQuantile(static_cast<double>(b + 1) /
-                                     kCount) +
-                          kSeamSlack;
-        }
-    }
-
-    std::array<double, kCount> lo_;
-    std::array<double, kCount> hi_;
-};
-
-/**
- * Fast exact-semantics cell trial for the word-parallel mode:
- * decides
- *
- *   margin - (cellOffset + saOffset) + senseNoise > 0
- *
- * from the three raw uniforms and the bucket bounds whenever they
- * already determine the sign, and falls back to the scalar
- * reference's exact expressions otherwise. Outcomes are bit-identical
- * to SuccessModel::sampleTrialAt with the same keys.
- */
-struct FastSampler
-{
-    const SuccessModel &model;
-    const VariationMap &variation;
-    double cellSigma;
-    double saSigma;
-    double noiseSigma;
-
-    bool success(Volt margin, std::uint64_t cellKey,
-                 std::uint64_t saKey, std::uint64_t noiseKey) const
-    {
-        return successWithSaU(margin, uniformFromHash(saKey), cellKey,
-                              noiseKey);
-    }
-
-    /**
-     * Variant taking the SA offset's raw uniform, so callers that
-     * visit a column once per row hoist its hash + uniform out of
-     * the row loop.
-     */
-    bool successWithSaU(Volt margin, double saU,
-                        std::uint64_t cellKey,
-                        std::uint64_t noiseKey) const
-    {
-        const NormalBuckets &nb = NormalBuckets::instance();
-        const double uc = uniformFromHash(cellKey);
-        const double un = uniformFromHash(noiseKey);
-        const int bc = NormalBuckets::bucketOf(uc);
-        const int bs = NormalBuckets::bucketOf(saU);
-        const int bn = NormalBuckets::bucketOf(un);
-        constexpr double kSlack = 1e-9;
-        const double best = margin - cellSigma * nb.lo(bc) -
-                            saSigma * nb.lo(bs) +
-                            noiseSigma * nb.hi(bn);
-        if (best < -kSlack)
-            return false;
-        const double worst = margin - cellSigma * nb.hi(bc) -
-                             saSigma * nb.hi(bs) +
-                             noiseSigma * nb.lo(bn);
-        if (worst > kSlack)
-            return true;
-        // Undecided: take the scalar reference's exact expressions.
-        const Volt offset = variation.cellOffsetFromKey(cellKey) +
-                            saSigma * normalQuantile(saU);
-        return model.sampleTrialAt(margin, offset, false, noiseKey);
-    }
-};
-
-} // namespace
+using execdetail::blendWords;
+using execdetail::FastSampler;
+using execdetail::forEachSetBit;
+using execdetail::kAmbiguousBand;
+using execdetail::kMetastableBand;
+using execdetail::kRestoreDoneNs;
+using execdetail::kSenseStartNs;
 
 Executor::Executor(Chip &chip, std::uint64_t trialSeed,
                    const TimingParams &timing, ExecMode mode)
@@ -442,15 +297,22 @@ Executor::partialRestore(BankState &state, BankId bank, Ns gapNs)
         // amplification drift). This is the Frac mechanism. The
         // settled value depends only on the column, so it is computed
         // once and copied into every connected row's analog lane.
-        scratchVolts_.assign(columns, 0.0f);
-        for (std::size_t col = 0; col < columns; ++col) {
-            const Volt v = state.pendingBitline[col];
-            Volt settled = v;
-            if (std::abs(v - kVddHalf) >= kMetastableBand) {
-                const Volt rail = v > kVddHalf ? kVdd : kGnd;
-                settled = v + progress * (rail - v);
+        scratchVolts_.assign(state.pendingBitline.begin(),
+                             state.pendingBitline.end());
+        if (scalar()) {
+            for (std::size_t col = 0; col < columns; ++col) {
+                const Volt v = scratchVolts_[col];
+                Volt settled = v;
+                if (std::abs(v - kVddHalf) >= kMetastableBand) {
+                    const Volt rail = v > kVddHalf ? kVdd : kGnd;
+                    settled = v + progress * (rail - v);
+                }
+                scratchVolts_[col] = static_cast<float>(settled);
             }
-            scratchVolts_[col] = static_cast<float>(settled);
+        } else {
+            simd::activeKernels().blendTowardRail(
+                scratchVolts_.data(), columns, progress,
+                kMetastableBand);
         }
         for (const RowId row : state.openRows) {
             const RowAddress address = decomposeRow(geometry, row);
@@ -490,12 +352,18 @@ Executor::partialRestore(BankState &state, BankId bank, Ns gapNs)
             continue;
         }
         const auto lane = cells.rowLane(address.localRow);
-        for (std::size_t col = 0; col < columns; ++col) {
-            const Volt v = lane[col];
-            if (std::abs(v - kVddHalf) < kMetastableBand)
-                continue; // Metastable: the bitline has not moved.
-            const Volt rail = v > kVddHalf ? kVdd : kGnd;
-            lane[col] = static_cast<float>(v + progress * (rail - v));
+        if (scalar()) {
+            for (std::size_t col = 0; col < columns; ++col) {
+                const Volt v = lane[col];
+                if (std::abs(v - kVddHalf) < kMetastableBand)
+                    continue; // Metastable: the bitline has not moved.
+                const Volt rail = v > kVddHalf ? kVdd : kGnd;
+                lane[col] =
+                    static_cast<float>(v + progress * (rail - v));
+            }
+        } else {
+            simd::activeKernels().blendTowardRail(
+                lane.data(), columns, progress, kMetastableBand);
         }
         cells.collapseIfRail(address.localRow);
     }
@@ -739,30 +607,43 @@ Executor::applyRowClone(BankState &state, BankId bank,
         // Every cell succeeds deterministically: pure word copies.
         det_success.fill(true);
     } else {
-        for (ColId col = 0; col < static_cast<ColId>(columns); ++col) {
-            const Volt margin = class_margin[scratchClasses_[col]];
-            const bool fail_struct =
-                fail_fraction > 0.0 &&
-                variation.structuralFailFromKey(
-                    hashCombine(fail_prefix[col & 1], col),
-                    fail_fraction);
-            if (fail_struct) {
-                scratchAmbiguous_.push_back(
-                    {col, margin, 0, true, true});
-                continue;
+        // SIMD margin classification per coupling class; structurally
+        // failing columns override their verdict afterwards (their
+        // outcome is a coin flip regardless of the margin).
+        scratchFailCols_ = BitVector(columns);
+        if (fail_fraction > 0.0) {
+            for (ColId col = 0; col < static_cast<ColId>(columns);
+                 ++col) {
+                if (variation.structuralFailFromKey(
+                        hashCombine(fail_prefix[col & 1], col),
+                        fail_fraction))
+                    scratchFailCols_.set(col, true);
             }
-            if (margin > col_bound) {
-                det_success.set(col, true);
+        }
+        const double margins3[3] = {class_margin[0], class_margin[1],
+                                    class_margin[2]};
+        scratchAmbIdx_.resize(columns);
+        std::size_t amb_count = 0;
+        simd::activeKernels().classifyMarginsByClass(
+            scratchClasses_.data(), columns, margins3, col_bound,
+            det_success.words().data(), scratchAmbIdx_.data(),
+            &amb_count);
+        for (std::size_t a = 0; a < amb_count; ++a) {
+            const ColId col = scratchAmbIdx_[a];
+            if (scratchFailCols_.get(col))
                 continue;
-            }
-            if (margin < -col_bound)
-                continue; // Deterministic failure: retain.
             scratchAmbiguous_.push_back(
-                {col, margin,
+                {col, class_margin[scratchClasses_[col]],
                  uniformFromHash(
                      hashCombine(sa_prefix[col & 1], col)),
                  false, true});
         }
+        forEachSetBit(scratchFailCols_, [&](ColId col) {
+            det_success.set(col, false);
+            scratchAmbiguous_.push_back(
+                {col, class_margin[scratchClasses_[col]], 0, true,
+                 true});
+        });
     }
 
     BitVector success_mask(columns);
@@ -1068,6 +949,19 @@ Executor::applyNot(BankState &state, BankId bank,
         const bool all_deterministic =
             fail_fraction == 0.0 && min_margin > col_bound;
 
+        // Structurally failing columns draw regardless of margin; the
+        // fail population depends only on the op's shared stripe, so
+        // one mask serves every target row.
+        scratchFailCols_ = BitVector(columns);
+        if (!all_deterministic && fail_fraction > 0.0) {
+            for (ColId col = 0; col < static_cast<ColId>(columns);
+                 ++col) {
+                if (variation.structuralFailFromKey(
+                        hashCombine(fail_prefix, col), fail_fraction))
+                    scratchFailCols_.set(col, true);
+            }
+        }
+
         const BitVector not_pattern = ~pattern;
         BitVector success_mask(columns);
         for (const Target &t : targets) {
@@ -1078,35 +972,50 @@ Executor::applyNot(BankState &state, BankId bank,
             if (all_deterministic) {
                 success_mask = domain;
             } else {
-                success_mask.fill(false);
                 const Volt *row_margins =
                     margins[static_cast<int>(t.region)];
+                const double margins3[3] = {row_margins[0],
+                                            row_margins[1],
+                                            row_margins[2]};
+                scratchAmbIdx_.resize(columns);
+                std::size_t amb_count = 0;
+                simd::activeKernels().classifyMarginsByClass(
+                    scratchClasses_.data(), columns, margins3,
+                    col_bound, success_mask.words().data(),
+                    scratchAmbIdx_.data(), &amb_count);
+                {
+                    // Deterministic successes count only inside the
+                    // domain and never on failing columns.
+                    const auto dst = success_mask.words();
+                    const auto dom = domain.words();
+                    const auto fail = scratchFailCols_.words();
+                    for (std::size_t w = 0; w < dst.size(); ++w)
+                        dst[w] &= dom[w] & ~fail[w];
+                }
                 const std::uint64_t cell_prefix =
                     variation.cellKeyPrefix(bank, t.global);
                 const std::uint64_t noise_row =
                     cellNoiseRowStream(op_stream, t.global);
-                forEachSetBit(domain, [&](ColId col) {
+                for (std::size_t a = 0; a < amb_count; ++a) {
+                    const ColId col = scratchAmbIdx_[a];
+                    if (!domain.get(col) || scratchFailCols_.get(col))
+                        continue;
                     const Volt margin =
                         row_margins[scratchClasses_[col]];
-                    bool correct;
-                    if (fail_fraction > 0.0 &&
-                        variation.structuralFailFromKey(
-                            hashCombine(fail_prefix, col),
-                            fail_fraction)) {
-                        correct = model.sampleTrialAt(
-                            margin, 0.0, true,
-                            cellNoiseKeyAt(noise_row, col));
-                    } else if (margin > col_bound) {
-                        correct = true;
-                    } else if (margin < -col_bound) {
-                        correct = false;
-                    } else {
-                        correct = sampler.success(
+                    if (sampler.success(
                             margin, hashCombine(cell_prefix, col),
                             hashCombine(sa_prefix, col),
-                            cellNoiseKeyAt(noise_row, col));
-                    }
-                    if (correct)
+                            cellNoiseKeyAt(noise_row, col)))
+                        success_mask.set(col, true);
+                }
+                forEachSetBit(scratchFailCols_, [&](ColId col) {
+                    if (!domain.get(col))
+                        return;
+                    const Volt margin =
+                        row_margins[scratchClasses_[col]];
+                    if (model.sampleTrialAt(
+                            margin, 0.0, true,
+                            cellNoiseKeyAt(noise_row, col)))
                         success_mask.set(col, true);
                 });
             }

@@ -241,6 +241,8 @@ class Executor
     std::vector<float> scratchVolts_;
     std::vector<std::uint8_t> scratchClasses_;
     std::vector<AmbiguousCol> scratchAmbiguous_;
+    std::vector<std::uint32_t> scratchAmbIdx_;
+    BitVector scratchFailCols_;
 };
 
 } // namespace fcdram

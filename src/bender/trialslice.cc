@@ -1,0 +1,1476 @@
+#include "bender/trialslice.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "analog/chargesharing.hh"
+#include "bender/execdetail.hh"
+#include "common/mathutil.hh"
+#include "dram/address.hh"
+#include "dram/openbitline.hh"
+
+namespace fcdram {
+
+using execdetail::FastSampler;
+using execdetail::forEachSetBit;
+using execdetail::kAmbiguousBand;
+using execdetail::kRestoreDoneNs;
+using execdetail::kSenseStartNs;
+
+namespace {
+
+/** Deterministic-margin verdict of one count/class bucket. */
+enum Verdict : int { kDetFail = 0, kDetSuccess = 1, kAmbiguous = 2 };
+
+int
+verdictOf(Volt margin, double bound)
+{
+    if (margin > bound)
+        return kDetSuccess;
+    if (margin < -bound)
+        return kDetFail;
+    return kAmbiguous;
+}
+
+double
+couplingFractionOfClass(int cls)
+{
+    return 0.5 * cls;
+}
+
+/** Coupling class of one lane from the per-lane class masks. */
+int
+laneClassOf(std::uint64_t c1, std::uint64_t c2, int lane)
+{
+    return ((c2 >> lane) & 1) != 0
+               ? 2
+               : static_cast<int>((c1 >> lane) & 1);
+}
+
+/** Hard deterministic-outcome bound shared by all sliced ops. */
+double
+columnBound(const AnalogParams &analog, const SuccessModel &model)
+{
+    return kHashNormalBound *
+           (analog.cellOffsetSigma + analog.saOffsetSigma +
+            model.senseAmp().noiseSigma());
+}
+
+} // namespace
+
+TrialSlicedExecutor::TrialSlicedExecutor(
+    const Chip &base, std::vector<std::uint64_t> trialSeeds,
+    const TimingParams &timing)
+    : base_(base), timing_(timing), trialSeeds_(std::move(trialSeeds)),
+      numLanes_(static_cast<int>(trialSeeds_.size())),
+      banks_(static_cast<std::size_t>(base.numBanks()))
+{
+    assert(numLanes_ >= 1 && numLanes_ <= kMaxLanes);
+    activeMask_ = numLanes_ == kMaxLanes
+                      ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << numLanes_) - 1;
+    for (int t = 0; t < numLanes_; ++t) {
+        laneSeeds_[static_cast<std::size_t>(t)] =
+            hashCombine(base.seed(),
+                        trialSeeds_[static_cast<std::size_t>(t)]);
+    }
+}
+
+void
+TrialSlicedExecutor::forceEvictLane(int lane)
+{
+    assert(!ran_);
+    assert(lane >= 0 && lane < numLanes_);
+    evictedMask_ |= std::uint64_t{1} << lane;
+}
+
+std::vector<ExecResult>
+TrialSlicedExecutor::run(const Program &program)
+{
+    assert(!ran_);
+    ran_ = true;
+    program_ = program;
+    results_.assign(static_cast<std::size_t>(numLanes_), ExecResult{});
+    if ((evictedMask_ & activeMask_) == activeMask_)
+        aborted_ = true;
+    else
+        activeMask_ &= ~evictedMask_;
+
+    for (const Command &command : program.commands) {
+        if (aborted_)
+            break;
+        assert(static_cast<std::size_t>(command.bank) < banks_.size());
+        switch (command.type) {
+          case CommandType::Act:
+            handleAct(command);
+            break;
+          case CommandType::Pre:
+            handlePre(command);
+            break;
+          case CommandType::Wr:
+            handleWr(command);
+            break;
+          case CommandType::Rd:
+            handleRd(command);
+            break;
+          case CommandType::Ref:
+          case CommandType::Nop:
+            break;
+        }
+    }
+
+    if (!aborted_) {
+        for (int t = 0; t < numLanes_; ++t) {
+            if (!laneEvicted(t))
+                results_[static_cast<std::size_t>(t)].activations =
+                    activations_;
+        }
+    }
+    std::vector<ExecResult> out;
+    out.reserve(static_cast<std::size_t>(numLanes_));
+    for (int t = 0; t < numLanes_; ++t) {
+        if (laneEvicted(t))
+            out.push_back(replayLane(t));
+        else
+            out.push_back(
+                std::move(results_[static_cast<std::size_t>(t)]));
+    }
+    return out;
+}
+
+ExecResult
+TrialSlicedExecutor::replayLane(int lane) const
+{
+    Chip chip = base_;
+    Executor executor(chip, trialSeeds_[static_cast<std::size_t>(lane)],
+                      timing_);
+    return executor.run(program_);
+}
+
+Chip
+TrialSlicedExecutor::laneChip(int lane) const
+{
+    assert(ran_);
+    assert(lane >= 0 && lane < numLanes_);
+    Chip chip = base_;
+    if (laneEvicted(lane)) {
+        Executor executor(chip,
+                          trialSeeds_[static_cast<std::size_t>(lane)],
+                          timing_);
+        executor.run(program_);
+        return chip;
+    }
+    for (const auto &[key, plane] : planes_) {
+        const BankId bank = static_cast<BankId>(key >> 40);
+        const SubarrayId subarray =
+            static_cast<SubarrayId>((key >> 24) & 0xFFFF);
+        const RowId local = static_cast<RowId>(key & 0xFFFFFF);
+        chip.bank(bank).subarray(subarray).cells().writeRow(
+            local, plane.extractLane(lane));
+    }
+    return chip;
+}
+
+void
+TrialSlicedExecutor::beginSlicedEpoch()
+{
+    ++noiseEpoch_;
+    for (int t = 0; t < numLanes_; ++t) {
+        laneStreams_[static_cast<std::size_t>(t)] = hashCombine(
+            laneSeeds_[static_cast<std::size_t>(t)], noiseEpoch_);
+    }
+}
+
+TrialPlane *
+TrialSlicedExecutor::ensurePlane(BankId bank, SubarrayId subarray,
+                                 RowId localRow)
+{
+    const std::uint64_t key = planeKey(bank, subarray, localRow);
+    auto it = planes_.find(key);
+    if (it != planes_.end())
+        return &it->second;
+    const CellArray &cells =
+        base_.bank(bank).subarray(subarray).cells();
+    if (!cells.rowOnRail(localRow)) {
+        evictAll();
+        return nullptr;
+    }
+    auto [pos, inserted] = planes_.emplace(
+        key, TrialPlane::broadcast(cells.rowWords(localRow),
+                                   base_.geometry().columns));
+    (void)inserted;
+    return &pos->second;
+}
+
+TrialPlane *
+TrialSlicedExecutor::findPlane(BankId bank, SubarrayId subarray,
+                               RowId localRow)
+{
+    auto it = planes_.find(planeKey(bank, subarray, localRow));
+    return it != planes_.end() ? &it->second : nullptr;
+}
+
+void
+TrialSlicedExecutor::planeOverwrite(BankId bank, SubarrayId subarray,
+                                    RowId localRow,
+                                    const BitVector &bits)
+{
+    planes_[planeKey(bank, subarray, localRow)] = TrialPlane::broadcast(
+        bits.words(), base_.geometry().columns);
+}
+
+bool
+TrialSlicedExecutor::makeRefs(BankId bank, SubarrayId subarray,
+                              const std::vector<RowId> &localRows,
+                              std::vector<GatherRef> &out)
+{
+    out.clear();
+    out.reserve(localRows.size());
+    const CellArray &cells =
+        base_.bank(bank).subarray(subarray).cells();
+    for (const RowId local : localRows) {
+        GatherRef ref;
+        ref.plane = findPlane(bank, subarray, local);
+        if (ref.plane == nullptr) {
+            if (!cells.rowOnRail(local)) {
+                evictAll();
+                return false;
+            }
+            ref.baseWords = cells.rowWords(local).data();
+        }
+        out.push_back(ref);
+    }
+    return true;
+}
+
+TrialSlicedExecutor::LaneCounts
+TrialSlicedExecutor::gatherCounts(const std::vector<GatherRef> &refs,
+                                  ColId col) const
+{
+    LaneCounts counts;
+    for (const GatherRef &ref : refs) {
+        const std::uint64_t word = wordAt(ref, col);
+        if (counts.uniform) {
+            if (word == 0 || word == ~std::uint64_t{0})
+                counts.count += word != 0 ? 1 : 0;
+            else
+                counts.uniform = false;
+        }
+        std::uint64_t carry = word;
+        for (std::size_t i = 0;
+             i < counts.planes.size() && carry != 0; ++i) {
+            const std::uint64_t sum = counts.planes[i] ^ carry;
+            carry &= counts.planes[i];
+            counts.planes[i] = sum;
+        }
+    }
+    return counts;
+}
+
+void
+TrialSlicedExecutor::patternSnapshot(BankId bank, RowId globalRow,
+                                     std::vector<std::uint64_t> &out)
+{
+    const GeometryConfig &geometry = base_.geometry();
+    const RowAddress address = decomposeRow(geometry, globalRow);
+    const auto columns = static_cast<std::size_t>(geometry.columns);
+    out.resize(columns);
+    const TrialPlane *plane =
+        findPlane(bank, address.subarray, address.localRow);
+    if (plane != nullptr) {
+        const auto words = plane->words();
+        std::copy(words.begin(), words.end(), out.begin());
+        return;
+    }
+    const BitVector bits = base_.bank(bank).readRowBits(globalRow);
+    for (ColId col = 0; col < static_cast<ColId>(columns); ++col) {
+        out[static_cast<std::size_t>(col)] =
+            bits.get(col) ? ~std::uint64_t{0} : std::uint64_t{0};
+    }
+}
+
+void
+TrialSlicedExecutor::classMasks(const std::vector<std::uint64_t> &snap,
+                                std::vector<std::uint64_t> &c1,
+                                std::vector<std::uint64_t> &c2) const
+{
+    const std::size_t n = snap.size();
+    c1.assign(n, 0);
+    c2.assign(n, 0);
+    if (n < 2)
+        return;
+    for (std::size_t col = 1; col + 1 < n; ++col) {
+        const std::uint64_t dp = snap[col] ^ snap[col - 1];
+        const std::uint64_t dn = snap[col] ^ snap[col + 1];
+        c2[col] = dp & dn;
+        c1[col] = dp ^ dn;
+    }
+    // Edge columns have one neighbor: class 2 (fraction 1.0) or 0.
+    c2[0] = snap[0] ^ snap[1];
+    c2[n - 1] = snap[n - 1] ^ snap[n - 2];
+}
+
+const BitVector &
+TrialSlicedExecutor::sharedColumnMask(SubarrayId a, SubarrayId b)
+{
+    const int parity = static_cast<int>(std::min(a, b)) % 2;
+    BitVector &mask = sharedMaskByParity_[parity];
+    const auto columns =
+        static_cast<std::size_t>(base_.geometry().columns);
+    if (mask.size() != columns) {
+        mask = BitVector(columns);
+        for (ColId col = 0; col < static_cast<ColId>(columns); ++col)
+            mask.set(col, columnShared(a, b, col));
+    }
+    return mask;
+}
+
+const BitVector &
+TrialSlicedExecutor::allColumnsMask()
+{
+    const auto columns =
+        static_cast<std::size_t>(base_.geometry().columns);
+    if (allColumns_.size() != columns)
+        allColumns_ = BitVector(columns, true);
+    return allColumns_;
+}
+
+double
+TrialSlicedExecutor::restoreProgress(Ns gapNs) const
+{
+    if (gapNs <= kSenseStartNs)
+        return 0.0;
+    if (gapNs >= kRestoreDoneNs)
+        return 1.0;
+    return (gapNs - kSenseStartNs) / (kRestoreDoneNs - kSenseStartNs);
+}
+
+void
+TrialSlicedExecutor::normalAct(BankState &state, RowId row, Ns now)
+{
+    state.open = true;
+    state.glitchArmed = false;
+    state.resolved = false;
+    state.multi = false;
+    state.pendingMaj = false;
+    state.firstRow = row;
+    state.lastActNs = now;
+    state.openRows = {row};
+}
+
+void
+TrialSlicedExecutor::handleAct(const Command &command)
+{
+    BankState &state = banks_[command.bank];
+    if (state.open)
+        return; // ACT on an open bank: ignored.
+    if (state.glitchArmed) {
+        const Ns gap = command.issueNs - state.preNs;
+        if (base_.profile().decoder.ignoresViolatedCommands &&
+            grosslyViolated(gap, timing_.tRp)) {
+            return; // Micron-style: the violated ACT never lands.
+        }
+        if (classifyPrecharge(timing_, gap) == PrechargeClass::Glitch &&
+            state.firstRow != kInvalidRow) {
+            glitchAct(state, command.bank, command.row,
+                      command.issueNs);
+            return;
+        }
+    }
+    normalAct(state, command.row, command.issueNs);
+}
+
+void
+TrialSlicedExecutor::handlePre(const Command &command)
+{
+    BankState &state = banks_[command.bank];
+    if (!state.open)
+        return;
+    const Ns gap = command.issueNs - state.lastActNs;
+    if (base_.profile().decoder.ignoresViolatedCommands &&
+        grosslyViolated(gap, timing_.tRas)) {
+        return; // Micron-style: the violated PRE never lands.
+    }
+    if (classifyRestore(timing_, gap) == RestoreClass::Interrupted)
+        partialRestore(state, command.bank, gap);
+    else
+        resolveIfDue(state, command.bank, command.issueNs);
+    state.open = false;
+    state.glitchArmed = true;
+    state.preNs = command.issueNs;
+}
+
+void
+TrialSlicedExecutor::resolveIfDue(BankState &state, BankId bank, Ns now)
+{
+    if (!state.open || state.resolved)
+        return;
+    if (now - state.lastActNs < timing_.fracThreshold)
+        return;
+    const GeometryConfig &geometry = base_.geometry();
+
+    if (state.pendingMaj) {
+        // Deferred in-subarray multi-row charge share. Nothing can
+        // have mutated the connected rows since the glitch ACT, so
+        // gathering the counts now matches the single-trial
+        // executor's activation-time capture.
+        const RowAddress first = decomposeRow(geometry, state.firstRow);
+        std::vector<RowId> local_rows;
+        local_rows.reserve(state.openRows.size());
+        for (const RowId row : state.openRows)
+            local_rows.push_back(decomposeRow(geometry, row).localRow);
+        slicedMajResolve(bank, first.subarray, local_rows,
+                         allColumnsMask(), -1.0,
+                         static_cast<int>(local_rows.size()));
+        state.pendingMaj = false;
+        state.resolved = true;
+        return;
+    }
+
+    // Ordinary single-row sensing + restore. Planes hold rail bits by
+    // construction, so sensed planes restore to themselves; only
+    // off-rail base rows (e.g. Frac-initialized before the block)
+    // need per-lane sensing.
+    beginSlicedEpoch();
+    const AnalogParams &analog = base_.profile().analog;
+    const double transfer =
+        analog.cellCap / (analog.cellCap + analog.bitlineCap);
+    const SuccessModel &model = base_.model();
+    const Bank &bank_ref = base_.bank(bank);
+    for (const RowId row : state.openRows) {
+        const RowAddress address = decomposeRow(geometry, row);
+        if (findPlane(bank, address.subarray, address.localRow) !=
+            nullptr)
+            continue;
+        const CellArray &cells =
+            bank_ref.subarray(address.subarray).cells();
+        if (cells.rowOnRail(address.localRow))
+            continue;
+        const auto lane_vals = cells.rowLane(address.localRow);
+        TrialPlane plane(geometry.columns);
+        for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+             ++col) {
+            const Volt v = lane_vals[static_cast<std::size_t>(col)];
+            std::uint64_t word;
+            if (std::abs(v - kVddHalf) < kAmbiguousBand) {
+                const StripeId stripe =
+                    stripeFor(address.subarray, col);
+                const Volt margin =
+                    (v - kVddHalf) * transfer -
+                    model.staticOffset(bank, row, col, stripe);
+                word = 0;
+                for (int t = 0; t < numLanes_; ++t) {
+                    if (model.senseAmp().sampleAt(
+                            margin,
+                            cellNoiseKey(
+                                laneStreams_[static_cast<std::size_t>(
+                                    t)],
+                                row, col)))
+                        word |= std::uint64_t{1} << t;
+                }
+            } else {
+                word = v > kVddHalf ? ~std::uint64_t{0}
+                                    : std::uint64_t{0};
+            }
+            plane.word(col) = word;
+        }
+        planes_.emplace(
+            planeKey(bank, address.subarray, address.localRow),
+            std::move(plane));
+    }
+    state.resolved = true;
+}
+
+void
+TrialSlicedExecutor::partialRestore(BankState &state, BankId bank,
+                                    Ns gapNs)
+{
+    if (state.resolved)
+        return;
+    if (state.pendingMaj) {
+        // Frac: the interrupt freezes genuinely analog, per-lane cell
+        // levels, which planes cannot represent.
+        evictAll();
+        return;
+    }
+    const double progress = restoreProgress(gapNs);
+    if (progress <= 0.0)
+        return;
+    const GeometryConfig &geometry = base_.geometry();
+    const Bank &bank_ref = base_.bank(bank);
+    for (const RowId row : state.openRows) {
+        const RowAddress address = decomposeRow(geometry, row);
+        // Rows at rail (plane or packed base) are already at their
+        // restore target: the partial drive moves them nowhere.
+        if (findPlane(bank, address.subarray, address.localRow) !=
+            nullptr)
+            continue;
+        if (bank_ref.subarray(address.subarray)
+                .cells()
+                .rowOnRail(address.localRow))
+            continue;
+        evictAll(); // Partial drive of an off-rail row: analog result.
+        return;
+    }
+}
+
+void
+TrialSlicedExecutor::glitchAct(BankState &state, BankId bank,
+                               RowId rlRow, Ns now)
+{
+    const GeometryConfig &geometry = base_.geometry();
+    const RowAddress rf = decomposeRow(geometry, state.firstRow);
+    const RowAddress rl = decomposeRow(geometry, rlRow);
+    const Ns gap = now - state.preNs;
+    const bool first_restored = state.resolved;
+
+    if (rf.subarray == rl.subarray) {
+        const auto local_rows = base_.decoder().sameSubarrayActivation(
+            rf.localRow, rl.localRow);
+        state.open = true;
+        state.glitchArmed = false;
+        state.lastActNs = now;
+        state.openRows.clear();
+        for (const RowId local : local_rows) {
+            state.openRows.push_back(
+                composeRow(geometry, rf.subarray, local));
+        }
+        state.multi = state.openRows.size() > 1;
+        if (first_restored) {
+            slicedRowClone(state, bank, rf.subarray, local_rows, gap);
+            state.resolved = true;
+            state.pendingMaj = false;
+        } else if (state.openRows.size() > 1) {
+            state.resolved = false;
+            state.pendingMaj = true;
+        } else {
+            state.resolved = false;
+            state.pendingMaj = false;
+            state.firstRow = rlRow;
+        }
+        if (state.multi) {
+            ActivationEvent event;
+            event.bank = bank;
+            event.firstSubarray = rf.subarray;
+            event.secondSubarray = rf.subarray;
+            event.firstLocalRow = rf.localRow;
+            event.secondLocalRow = rl.localRow;
+            for (const RowId local : local_rows)
+                event.sets.secondRows.push_back(local);
+            event.sets.simultaneous = true;
+            activations_.push_back(event);
+        }
+        return;
+    }
+
+    const bool neighbors =
+        std::abs(static_cast<int>(rf.subarray) -
+                 static_cast<int>(rl.subarray)) == 1;
+    if (!neighbors) {
+        normalAct(state, rlRow, now);
+        return;
+    }
+    const ActivationSets sets =
+        base_.decoder().neighborActivation(rf.localRow, rl.localRow);
+    if (!sets.simultaneous && !sets.sequential) {
+        normalAct(state, rlRow, now);
+        return;
+    }
+    if (sets.sequential && !first_restored) {
+        normalAct(state, rlRow, now);
+        return;
+    }
+
+    ActivationEvent event;
+    event.bank = bank;
+    event.firstSubarray = rf.subarray;
+    event.secondSubarray = rl.subarray;
+    event.firstLocalRow = rf.localRow;
+    event.secondLocalRow = rl.localRow;
+    event.sets = sets;
+    activations_.push_back(event);
+
+    state.open = true;
+    state.glitchArmed = false;
+    state.lastActNs = now;
+    state.multi = true;
+    state.pendingMaj = false;
+    state.openRows.clear();
+    for (const RowId local : sets.firstRows) {
+        state.openRows.push_back(
+            composeRow(geometry, rf.subarray, local));
+    }
+    for (const RowId local : sets.secondRows) {
+        state.openRows.push_back(
+            composeRow(geometry, rl.subarray, local));
+    }
+
+    if (first_restored)
+        slicedNot(state, bank, event, gap);
+    else
+        slicedLogic(state, bank, event, gap);
+    state.resolved = true;
+}
+
+void
+TrialSlicedExecutor::handleWr(const Command &command)
+{
+    BankState &state = banks_[command.bank];
+    if (!state.open)
+        return;
+    resolveIfDue(state, command.bank, command.issueNs);
+    if (aborted_)
+        return;
+    const GeometryConfig &geometry = base_.geometry();
+    assert(static_cast<int>(command.data.size()) == geometry.columns);
+
+    if (!state.multi) {
+        const RowAddress address =
+            decomposeRow(geometry, state.openRows.front());
+        planeOverwrite(command.bank, address.subarray, address.localRow,
+                       command.data);
+        state.resolved = true;
+        return;
+    }
+
+    const RowAddress rf = decomposeRow(geometry, state.firstRow);
+    for (const RowId row : state.openRows) {
+        const RowAddress address = decomposeRow(geometry, row);
+        if (address.subarray == rf.subarray) {
+            planeOverwrite(command.bank, address.subarray,
+                           address.localRow, command.data);
+            continue;
+        }
+        TrialPlane *plane = ensurePlane(command.bank, address.subarray,
+                                        address.localRow);
+        if (plane == nullptr)
+            return;
+        forEachSetBit(
+            sharedColumnMask(rf.subarray, address.subarray),
+            [&](ColId col) {
+                plane->word(col) = command.data.get(col)
+                                       ? std::uint64_t{0}
+                                       : ~std::uint64_t{0};
+            });
+    }
+    state.resolved = true;
+}
+
+void
+TrialSlicedExecutor::handleRd(const Command &command)
+{
+    BankState &state = banks_[command.bank];
+    if (state.open)
+        resolveIfDue(state, command.bank, command.issueNs);
+    if (aborted_)
+        return;
+    const RowAddress address =
+        decomposeRow(base_.geometry(), command.row);
+    const TrialPlane *plane =
+        findPlane(command.bank, address.subarray, address.localRow);
+    if (plane != nullptr) {
+        plane->extractLanes(numLanes_, scratchLanes_);
+        for (int t = 0; t < numLanes_; ++t) {
+            results_[static_cast<std::size_t>(t)].reads.push_back(
+                std::move(scratchLanes_[static_cast<std::size_t>(t)]));
+        }
+        return;
+    }
+    const BitVector bits =
+        base_.bank(command.bank).readRowBits(command.row);
+    for (int t = 0; t < numLanes_; ++t)
+        results_[static_cast<std::size_t>(t)].reads.push_back(bits);
+}
+
+void
+TrialSlicedExecutor::slicedMajResolve(
+    BankId bank, SubarrayId subarray,
+    const std::vector<RowId> &localRows, const BitVector &columnMask,
+    Ns gapNs, int totalActivatedRows)
+{
+    beginSlicedEpoch();
+    const GeometryConfig &geometry = base_.geometry();
+    const SuccessModel &model = base_.model();
+    const AnalogParams &analog = base_.profile().analog;
+    const VariationMap &variation = model.variation();
+    const int total = static_cast<int>(localRows.size());
+    const int pair_load = (totalActivatedRows + 1) / 2;
+
+    // The connected rows are both the gather sources and the restore
+    // targets; materialize their planes up front (write access).
+    std::vector<TrialPlane *> target_planes;
+    target_planes.reserve(localRows.size());
+    std::vector<std::uint64_t> cell_prefix;
+    cell_prefix.reserve(localRows.size());
+    std::vector<std::array<std::uint64_t, kMaxLanes>> noise_rows;
+    noise_rows.reserve(localRows.size());
+    for (const RowId local : localRows) {
+        TrialPlane *plane = ensurePlane(bank, subarray, local);
+        if (plane == nullptr)
+            return;
+        target_planes.push_back(plane);
+        const RowId global = composeRow(geometry, subarray, local);
+        cell_prefix.push_back(variation.cellKeyPrefix(bank, global));
+        noise_rows.emplace_back();
+        for (int t = 0; t < numLanes_; ++t) {
+            noise_rows.back()[static_cast<std::size_t>(t)] =
+                cellNoiseRowStream(
+                    laneStreams_[static_cast<std::size_t>(t)], global);
+        }
+    }
+    scratchRefs_.clear();
+    for (TrialPlane *plane : target_planes)
+        scratchRefs_.push_back({plane, nullptr});
+
+    // Count-indexed memos: the charge-shared level, its comparison
+    // margin, and the ideal outcome depend on the column only through
+    // its per-lane ones count.
+    ComparisonContext ctx;
+    ctx.cellsPerSide = total;
+    ctx.glitchGapNs = gapNs;
+    ctx.couplingFraction = 0.5;
+    ctx.temperature = base_.temperature();
+    const double col_bound = columnBound(analog, model);
+    std::array<float, kMaxLanes + 1> by_count{};
+    std::array<Volt, kMaxLanes + 1> margin{};
+    std::array<bool, kMaxLanes + 1> ideal{};
+    std::array<int, kMaxLanes + 1> verdict{};
+    assert(total <= kMaxLanes);
+    for (int k = 0; k <= total; ++k) {
+        const auto i = static_cast<std::size_t>(k);
+        by_count[i] = static_cast<float>(
+            railSharedVoltage(k, 0.0, total, analog));
+        margin[i] = model.comparisonMargin(
+            static_cast<Volt>(by_count[i]), kVddHalf, ctx);
+        ideal[i] = static_cast<Volt>(by_count[i]) > kVddHalf;
+        verdict[i] = verdictOf(margin[i], col_bound);
+    }
+    const double fail_fraction =
+        model.structuralFailFraction(pair_load);
+    const FastSampler sampler = FastSampler::forModel(model);
+    const std::uint64_t sa_prefix[2] = {
+        variation.saKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.saKeyPrefix(bank, stripeFor(subarray, 1))};
+    const std::uint64_t fail_prefix[2] = {
+        variation.failKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.failKeyPrefix(bank, stripeFor(subarray, 1))};
+
+    forEachSetBit(columnMask, [&](ColId col) {
+        const LaneCounts counts = gatherCounts(scratchRefs_, col);
+        const bool fail_col =
+            fail_fraction > 0.0 &&
+            variation.structuralFailFromKey(
+                hashCombine(fail_prefix[col & 1], col), fail_fraction);
+
+        if (counts.uniform && !fail_col &&
+            verdict[static_cast<std::size_t>(counts.count)] !=
+                kAmbiguous) {
+            // Every lane shares one count with a deterministic
+            // outcome: a single word serves the whole block.
+            const auto k = static_cast<std::size_t>(counts.count);
+            const bool bit =
+                verdict[k] == kDetSuccess ? ideal[k] : !ideal[k];
+            const std::uint64_t word =
+                bit ? ~std::uint64_t{0} : std::uint64_t{0};
+            for (TrialPlane *plane : target_planes)
+                plane->word(col) = word;
+            return;
+        }
+
+        // Per-lane verdicts: deterministic lanes resolve word-wise
+        // (shared by every target row); ambiguous or structurally
+        // failing lanes draw per row.
+        std::uint64_t det_word = 0;
+        std::uint64_t amb_mask;
+        if (fail_col || counts.uniform) {
+            amb_mask = activeMask_;
+        } else {
+            amb_mask = 0;
+            for (int k = 0; k <= total; ++k) {
+                const std::uint64_t lanes_k =
+                    counts.maskOf(k) & activeMask_;
+                if (lanes_k == 0)
+                    continue;
+                const auto i = static_cast<std::size_t>(k);
+                if (verdict[i] == kAmbiguous) {
+                    amb_mask |= lanes_k;
+                    continue;
+                }
+                const bool bit =
+                    verdict[i] == kDetSuccess ? ideal[i] : !ideal[i];
+                if (bit)
+                    det_word |= lanes_k;
+            }
+        }
+        const double sa_u =
+            uniformFromHash(hashCombine(sa_prefix[col & 1], col));
+        for (std::size_t r = 0; r < target_planes.size(); ++r) {
+            std::uint64_t word = det_word;
+            std::uint64_t draws = amb_mask;
+            while (draws != 0) {
+                const int lane = std::countr_zero(draws);
+                draws &= draws - 1;
+                const auto k = static_cast<std::size_t>(
+                    counts.uniform ? counts.count : counts.of(lane));
+                const std::uint64_t key = cellNoiseKeyAt(
+                    noise_rows[r][static_cast<std::size_t>(lane)],
+                    col);
+                const bool correct =
+                    fail_col
+                        ? model.sampleTrialAt(margin[k], 0.0, true,
+                                              key)
+                        : sampler.successWithSaU(
+                              margin[k], sa_u,
+                              hashCombine(cell_prefix[r], col), key);
+                if (correct ? ideal[k] : !ideal[k])
+                    word |= std::uint64_t{1} << lane;
+            }
+            target_planes[r]->word(col) = word;
+        }
+    });
+}
+
+void
+TrialSlicedExecutor::slicedRowClone(BankState &state, BankId bank,
+                                    SubarrayId subarray,
+                                    const std::vector<RowId> &localRows,
+                                    Ns gapNs)
+{
+    const GeometryConfig &geometry = base_.geometry();
+    const SuccessModel &model = base_.model();
+    const AnalogParams &analog = base_.profile().analog;
+    const VariationMap &variation = model.variation();
+    const RowAddress src = decomposeRow(geometry, state.firstRow);
+    assert(src.subarray == subarray);
+    patternSnapshot(bank, state.firstRow, scratchSnap_);
+    const int total = static_cast<int>(localRows.size()) + 1;
+    beginSlicedEpoch();
+    const int pair_load = (total + 1) / 2;
+
+    std::array<Volt, 3> class_margin{};
+    for (int cls = 0; cls < 3; ++cls) {
+        ComparisonContext ctx;
+        ctx.cellsPerSide = total;
+        ctx.glitchGapNs = gapNs;
+        ctx.couplingFraction = couplingFractionOfClass(cls);
+        ctx.temperature = base_.temperature();
+        class_margin[static_cast<std::size_t>(cls)] =
+            model.driveMarginMech(total + 1, ctx);
+    }
+    const double col_bound = columnBound(analog, model);
+    const double fail_fraction =
+        model.structuralFailFraction(pair_load);
+    const FastSampler sampler = FastSampler::forModel(model);
+    const std::uint64_t sa_prefix[2] = {
+        variation.saKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.saKeyPrefix(bank, stripeFor(subarray, 1))};
+    const std::uint64_t fail_prefix[2] = {
+        variation.failKeyPrefix(bank, stripeFor(subarray, 0)),
+        variation.failKeyPrefix(bank, stripeFor(subarray, 1))};
+
+    std::vector<TrialPlane *> target_planes;
+    std::vector<std::uint64_t> cell_prefix;
+    std::vector<std::array<std::uint64_t, kMaxLanes>> noise_rows;
+    for (const RowId local : localRows) {
+        if (local == src.localRow)
+            continue;
+        TrialPlane *plane = ensurePlane(bank, subarray, local);
+        if (plane == nullptr)
+            return;
+        const RowId global = composeRow(geometry, subarray, local);
+        target_planes.push_back(plane);
+        cell_prefix.push_back(variation.cellKeyPrefix(bank, global));
+        noise_rows.emplace_back();
+        for (int t = 0; t < numLanes_; ++t) {
+            noise_rows.back()[static_cast<std::size_t>(t)] =
+                cellNoiseRowStream(
+                    laneStreams_[static_cast<std::size_t>(t)], global);
+        }
+    }
+
+    const Volt min_margin =
+        *std::min_element(class_margin.begin(), class_margin.end());
+    const auto columns = static_cast<std::size_t>(geometry.columns);
+    if (fail_fraction == 0.0 && min_margin > col_bound) {
+        // Every cell of every lane succeeds deterministically: the
+        // (lane-transposed) pattern copies wholesale.
+        for (TrialPlane *plane : target_planes) {
+            const auto words = plane->words();
+            std::copy(scratchSnap_.begin(), scratchSnap_.end(),
+                      words.begin());
+        }
+        return;
+    }
+
+    classMasks(scratchSnap_, scratchC1_, scratchC2_);
+    const int verdict3[3] = {
+        verdictOf(class_margin[0], col_bound),
+        verdictOf(class_margin[1], col_bound),
+        verdictOf(class_margin[2], col_bound)};
+    for (ColId col = 0; col < static_cast<ColId>(columns); ++col) {
+        const std::uint64_t c1w =
+            scratchC1_[static_cast<std::size_t>(col)];
+        const std::uint64_t c2w =
+            scratchC2_[static_cast<std::size_t>(col)];
+        const std::uint64_t snap_word =
+            scratchSnap_[static_cast<std::size_t>(col)];
+        const bool fail_col =
+            fail_fraction > 0.0 &&
+            variation.structuralFailFromKey(
+                hashCombine(fail_prefix[col & 1], col), fail_fraction);
+        std::uint64_t det_success = 0;
+        std::uint64_t amb = 0;
+        if (fail_col) {
+            amb = activeMask_;
+        } else {
+            const std::uint64_t masks[3] = {~(c1w | c2w), c1w, c2w};
+            for (int cls = 0; cls < 3; ++cls) {
+                if (verdict3[cls] == kDetSuccess)
+                    det_success |= masks[cls];
+                else if (verdict3[cls] == kAmbiguous)
+                    amb |= masks[cls];
+                // DetFail: the destination cell retains its charge.
+            }
+            amb &= activeMask_;
+            if (amb == 0) {
+                for (TrialPlane *plane : target_planes) {
+                    std::uint64_t &w = plane->word(col);
+                    w = (w & ~det_success) | (snap_word & det_success);
+                }
+                continue;
+            }
+        }
+        const double sa_u =
+            uniformFromHash(hashCombine(sa_prefix[col & 1], col));
+        for (std::size_t r = 0; r < target_planes.size(); ++r) {
+            std::uint64_t success = det_success;
+            std::uint64_t draws = amb;
+            while (draws != 0) {
+                const int lane = std::countr_zero(draws);
+                draws &= draws - 1;
+                const Volt margin =
+                    class_margin[static_cast<std::size_t>(
+                        laneClassOf(c1w, c2w, lane))];
+                const std::uint64_t key = cellNoiseKeyAt(
+                    noise_rows[r][static_cast<std::size_t>(lane)],
+                    col);
+                const bool correct =
+                    fail_col
+                        ? model.sampleTrialAt(margin, 0.0, true, key)
+                        : sampler.successWithSaU(
+                              margin, sa_u,
+                              hashCombine(cell_prefix[r], col), key);
+                if (correct)
+                    success |= std::uint64_t{1} << lane;
+            }
+            std::uint64_t &w = target_planes[r]->word(col);
+            w = (w & ~success) | (snap_word & success);
+        }
+    }
+}
+
+void
+TrialSlicedExecutor::slicedNot(BankState &state, BankId bank,
+                               const ActivationEvent &event, Ns gapNs)
+{
+    const GeometryConfig &geometry = base_.geometry();
+    const SuccessModel &model = base_.model();
+    const AnalogParams &analog = base_.profile().analog;
+    const VariationMap &variation = model.variation();
+    const RowAddress src = decomposeRow(geometry, state.firstRow);
+    const SubarrayId src_sa = event.firstSubarray;
+    const SubarrayId dst_sa = event.secondSubarray;
+    const StripeId stripe = sharedStripe(src_sa, dst_sa);
+    const Bank &bank_ref = base_.bank(bank);
+    const Subarray &src_sub = bank_ref.subarray(src_sa);
+    const Subarray &dst_sub = bank_ref.subarray(dst_sa);
+    patternSnapshot(bank, state.firstRow, scratchSnap_);
+    const int total = static_cast<int>(event.sets.firstRows.size() +
+                                       event.sets.secondRows.size());
+    const Region src_region = src_sub.regionFor(src.localRow, stripe);
+    beginSlicedEpoch();
+    const int pair_load = (total + 1) / 2;
+    const BitVector &shared = sharedColumnMask(src_sa, dst_sa);
+
+    struct Target
+    {
+        TrialPlane *plane;
+        Region region;
+        bool invert;
+        bool sharedOnly;
+        std::uint64_t cellPrefix;
+        std::array<std::uint64_t, kMaxLanes> noiseRow;
+    };
+    std::vector<Target> targets;
+    targets.reserve(event.sets.firstRows.size() +
+                    event.sets.secondRows.size());
+    const auto add_target = [&](SubarrayId subarray, RowId local,
+                                Region region, bool invert,
+                                bool shared_only) -> bool {
+        TrialPlane *plane = ensurePlane(bank, subarray, local);
+        if (plane == nullptr)
+            return false;
+        const RowId global = composeRow(geometry, subarray, local);
+        Target target;
+        target.plane = plane;
+        target.region = region;
+        target.invert = invert;
+        target.sharedOnly = shared_only;
+        target.cellPrefix = variation.cellKeyPrefix(bank, global);
+        for (int t = 0; t < numLanes_; ++t) {
+            target.noiseRow[static_cast<std::size_t>(t)] =
+                cellNoiseRowStream(
+                    laneStreams_[static_cast<std::size_t>(t)], global);
+        }
+        targets.push_back(target);
+        return true;
+    };
+    for (const RowId local : event.sets.firstRows) {
+        if (local == src.localRow)
+            continue;
+        if (!add_target(src_sa, local,
+                        src_sub.regionFor(local, stripe), false,
+                        false))
+            return;
+    }
+    for (const RowId local : event.sets.secondRows) {
+        if (!add_target(dst_sa, local,
+                        dst_sub.regionFor(local, stripe), true, true))
+            return;
+    }
+
+    Volt margins[3][3];
+    for (int region = 0; region < 3; ++region) {
+        for (int cls = 0; cls < 3; ++cls) {
+            ComparisonContext ctx;
+            ctx.cellsPerSide = (total + 1) / 2;
+            ctx.glitchGapNs = gapNs;
+            ctx.couplingFraction = couplingFractionOfClass(cls);
+            ctx.temperature = base_.temperature();
+            ctx.sequential = event.sets.sequential;
+            ctx.regionMargin =
+                analog.srcRegionMargin[static_cast<int>(src_region)] +
+                analog.dstRegionMargin[region];
+            margins[region][cls] = model.driveMarginMech(total, ctx);
+        }
+    }
+    const double col_bound = columnBound(analog, model);
+    const double fail_fraction =
+        model.structuralFailFraction(pair_load);
+    const FastSampler sampler = FastSampler::forModel(model);
+    // The shared stripe serves every column of this op.
+    const std::uint64_t sa_prefix =
+        variation.saKeyPrefix(bank, stripe);
+    const std::uint64_t fail_prefix =
+        variation.failKeyPrefix(bank, stripe);
+
+    Volt min_margin = margins[0][0];
+    for (int region = 0; region < 3; ++region) {
+        for (int cls = 0; cls < 3; ++cls)
+            min_margin = std::min(min_margin, margins[region][cls]);
+    }
+    const auto columns = static_cast<std::size_t>(geometry.columns);
+    if (fail_fraction == 0.0 && min_margin > col_bound) {
+        // Deterministic success everywhere: write each target's value
+        // (pattern or complement) over its whole column domain.
+        for (const Target &t : targets) {
+            if (t.sharedOnly) {
+                forEachSetBit(shared, [&](ColId col) {
+                    const std::uint64_t snap_word =
+                        scratchSnap_[static_cast<std::size_t>(col)];
+                    t.plane->word(col) =
+                        t.invert ? ~snap_word : snap_word;
+                });
+            } else {
+                for (ColId col = 0; col < static_cast<ColId>(columns);
+                     ++col) {
+                    const std::uint64_t snap_word =
+                        scratchSnap_[static_cast<std::size_t>(col)];
+                    t.plane->word(col) =
+                        t.invert ? ~snap_word : snap_word;
+                }
+            }
+        }
+    } else {
+        classMasks(scratchSnap_, scratchC1_, scratchC2_);
+        int verdicts[3][3];
+        for (int region = 0; region < 3; ++region) {
+            for (int cls = 0; cls < 3; ++cls)
+                verdicts[region][cls] =
+                    verdictOf(margins[region][cls], col_bound);
+        }
+        for (ColId col = 0; col < static_cast<ColId>(columns); ++col) {
+            const bool in_shared = shared.get(col);
+            const std::uint64_t c1w =
+                scratchC1_[static_cast<std::size_t>(col)];
+            const std::uint64_t c2w =
+                scratchC2_[static_cast<std::size_t>(col)];
+            const std::uint64_t masks[3] = {~(c1w | c2w), c1w, c2w};
+            const std::uint64_t snap_word =
+                scratchSnap_[static_cast<std::size_t>(col)];
+            const bool fail_col =
+                fail_fraction > 0.0 &&
+                variation.structuralFailFromKey(
+                    hashCombine(fail_prefix, col), fail_fraction);
+            const double sa_u =
+                uniformFromHash(hashCombine(sa_prefix, col));
+            for (const Target &t : targets) {
+                if (t.sharedOnly && !in_shared)
+                    continue;
+                const std::uint64_t value =
+                    t.invert ? ~snap_word : snap_word;
+                const int region = static_cast<int>(t.region);
+                std::uint64_t success = 0;
+                std::uint64_t amb = 0;
+                if (fail_col) {
+                    amb = activeMask_;
+                } else {
+                    for (int cls = 0; cls < 3; ++cls) {
+                        if (verdicts[region][cls] == kDetSuccess)
+                            success |= masks[cls];
+                        else if (verdicts[region][cls] == kAmbiguous)
+                            amb |= masks[cls];
+                    }
+                    amb &= activeMask_;
+                }
+                std::uint64_t draws = amb;
+                while (draws != 0) {
+                    const int lane = std::countr_zero(draws);
+                    draws &= draws - 1;
+                    const Volt margin =
+                        margins[region][laneClassOf(c1w, c2w, lane)];
+                    const std::uint64_t key = cellNoiseKeyAt(
+                        t.noiseRow[static_cast<std::size_t>(lane)],
+                        col);
+                    const bool correct =
+                        fail_col
+                            ? model.sampleTrialAt(margin, 0.0, true,
+                                                  key)
+                            : sampler.successWithSaU(
+                                  margin, sa_u,
+                                  hashCombine(t.cellPrefix, col),
+                                  key);
+                    if (correct)
+                        success |= std::uint64_t{1} << lane;
+                }
+                std::uint64_t &w = t.plane->word(col);
+                w = (w & ~success) | (value & success);
+            }
+        }
+    }
+
+    // Non-shared columns of the destination subarray resolve among
+    // the simultaneously activated destination rows themselves.
+    if (event.sets.secondRows.size() > 1) {
+        const BitVector non_shared = ~shared;
+        slicedMajResolve(bank, dst_sa, event.sets.secondRows,
+                         non_shared, gapNs, total);
+    }
+}
+
+void
+TrialSlicedExecutor::slicedLogic(BankState &state, BankId bank,
+                                 const ActivationEvent &event, Ns gapNs)
+{
+    const GeometryConfig &geometry = base_.geometry();
+    const SuccessModel &model = base_.model();
+    const AnalogParams &analog = base_.profile().analog;
+    const VariationMap &variation = model.variation();
+    const SubarrayId first_sa = event.firstSubarray;
+    const SubarrayId second_sa = event.secondSubarray;
+    const StripeId stripe = sharedStripe(first_sa, second_sa);
+    const Bank &bank_ref = base_.bank(bank);
+    const Subarray &first_sub = bank_ref.subarray(first_sa);
+    const Subarray &second_sub = bank_ref.subarray(second_sa);
+    const RowAddress rf = decomposeRow(geometry, state.firstRow);
+    const int n_first = static_cast<int>(event.sets.firstRows.size());
+    const int n_second =
+        static_cast<int>(event.sets.secondRows.size());
+    const int pair_load = (n_first + n_second + 1) / 2;
+    const int total = n_first + n_second;
+
+    const Region ref_region = first_sub.regionFor(rf.localRow, stripe);
+    const Region com_region =
+        second_sub.regionFor(event.secondLocalRow, stripe);
+
+    // Pattern snapshot of the first row BEFORE any write: the first
+    // row is itself a target, and coupling classes read neighbors.
+    patternSnapshot(bank, state.firstRow, scratchSnap_);
+    beginSlicedEpoch();
+    const BitVector &shared = sharedColumnMask(first_sa, second_sa);
+    const bool first_on_complement =
+        onComplementTerminal(first_sa, stripe);
+
+    struct Target
+    {
+        TrialPlane *plane;
+        bool onComplement;
+        std::size_t classIndex;
+        std::uint64_t cellPrefix;
+        std::array<std::uint64_t, kMaxLanes> noiseRow;
+    };
+    struct RowClass
+    {
+        Region own;
+        bool onComplement;
+        bool secondSide;
+    };
+    std::vector<RowClass> classes;
+    std::vector<Target> targets;
+    targets.reserve(static_cast<std::size_t>(total));
+    const auto add_target = [&](SubarrayId subarray, RowId local,
+                                Region own, bool on_complement,
+                                bool second_side) -> bool {
+        TrialPlane *plane = ensurePlane(bank, subarray, local);
+        if (plane == nullptr)
+            return false;
+        std::size_t found = classes.size();
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+            if (classes[c].own == own &&
+                classes[c].onComplement == on_complement &&
+                classes[c].secondSide == second_side) {
+                found = c;
+                break;
+            }
+        }
+        if (found == classes.size())
+            classes.push_back({own, on_complement, second_side});
+        const RowId global = composeRow(geometry, subarray, local);
+        Target target;
+        target.plane = plane;
+        target.onComplement = on_complement;
+        target.classIndex = found;
+        target.cellPrefix = variation.cellKeyPrefix(bank, global);
+        for (int t = 0; t < numLanes_; ++t) {
+            target.noiseRow[static_cast<std::size_t>(t)] =
+                cellNoiseRowStream(
+                    laneStreams_[static_cast<std::size_t>(t)], global);
+        }
+        targets.push_back(target);
+        return true;
+    };
+    for (const RowId local : event.sets.firstRows) {
+        if (!add_target(first_sa, local,
+                        first_sub.regionFor(local, stripe),
+                        first_on_complement, false))
+            return;
+    }
+    for (const RowId local : event.sets.secondRows) {
+        if (!add_target(second_sa, local,
+                        second_sub.regionFor(local, stripe),
+                        !first_on_complement, true))
+            return;
+    }
+
+    // Gather handles over the (just materialized) side planes.
+    if (!makeRefs(bank, first_sa, event.sets.firstRows, scratchRefs_))
+        return;
+    if (!makeRefs(bank, second_sa, event.sets.secondRows,
+                  scratchRefs2_))
+        return;
+
+    // Count-indexed side voltages and the ideal (noise-free) winner.
+    std::array<float, kMaxLanes + 1> by_count1{};
+    std::array<float, kMaxLanes + 1> by_count2{};
+    assert(n_first <= kMaxLanes && n_second <= kMaxLanes);
+    for (int k = 0; k <= n_first; ++k) {
+        by_count1[static_cast<std::size_t>(k)] = static_cast<float>(
+            railSharedVoltage(k, 0.0, n_first, analog));
+    }
+    for (int k = 0; k <= n_second; ++k) {
+        by_count2[static_cast<std::size_t>(k)] = static_cast<float>(
+            railSharedVoltage(k, 0.0, n_second, analog));
+    }
+    std::vector<std::uint8_t> tsh(
+        static_cast<std::size_t>(n_first + 1) *
+        static_cast<std::size_t>(n_second + 1));
+    for (int k1 = 0; k1 <= n_first; ++k1) {
+        for (int k2 = 0; k2 <= n_second; ++k2) {
+            const Volt v_first =
+                by_count1[static_cast<std::size_t>(k1)];
+            const Volt v_second =
+                by_count2[static_cast<std::size_t>(k2)];
+            tsh[static_cast<std::size_t>(k1) *
+                    static_cast<std::size_t>(n_second + 1) +
+                static_cast<std::size_t>(k2)] =
+                (first_on_complement ? v_second > v_first
+                                     : v_first > v_second)
+                    ? 1
+                    : 0;
+        }
+    }
+
+    // Lazily-filled margin memo over (row class, coupling class, k1,
+    // k2): the ComparisonContext depends on the column only through
+    // these indices.
+    const std::size_t k2_dim = static_cast<std::size_t>(n_second + 1);
+    const std::size_t k_dim =
+        static_cast<std::size_t>(n_first + 1) * k2_dim;
+    std::vector<Volt> margin_memo(
+        classes.size() * 3 * k_dim,
+        std::numeric_limits<double>::quiet_NaN());
+    const auto margin_of = [&](std::size_t c, int cls, int k1,
+                               int k2) -> Volt {
+        Volt &m = margin_memo[(c * 3 + static_cast<std::size_t>(cls)) *
+                                  k_dim +
+                              static_cast<std::size_t>(k1) * k2_dim +
+                              static_cast<std::size_t>(k2)];
+        if (std::isnan(m)) {
+            ComparisonContext ctx;
+            ctx.cellsPerSide = pair_load;
+            ctx.glitchGapNs = gapNs;
+            ctx.couplingFraction = couplingFractionOfClass(cls);
+            ctx.temperature = base_.temperature();
+            ctx.invertedSide = classes[c].onComplement;
+            ctx.regionMargin =
+                analog.srcRegionMargin[static_cast<int>(
+                    classes[c].secondSide ? classes[c].own
+                                          : com_region)] +
+                analog.dstRegionMargin[static_cast<int>(
+                    classes[c].secondSide ? ref_region
+                                          : classes[c].own)];
+            m = model.comparisonMargin(
+                static_cast<Volt>(
+                    by_count1[static_cast<std::size_t>(k1)]),
+                static_cast<Volt>(
+                    by_count2[static_cast<std::size_t>(k2)]),
+                ctx);
+        }
+        return m;
+    };
+
+    const double col_bound = columnBound(analog, model);
+    const double fail_fraction =
+        model.structuralFailFraction(pair_load);
+    const FastSampler sampler = FastSampler::forModel(model);
+    const std::uint64_t fail_prefix =
+        variation.failKeyPrefix(bank, stripe);
+    const std::uint64_t sa_prefix =
+        variation.saKeyPrefix(bank, stripe);
+    classMasks(scratchSnap_, scratchC1_, scratchC2_);
+
+    forEachSetBit(shared, [&](ColId col) {
+        const LaneCounts counts1 = gatherCounts(scratchRefs_, col);
+        const LaneCounts counts2 = gatherCounts(scratchRefs2_, col);
+        const std::uint64_t c1w =
+            scratchC1_[static_cast<std::size_t>(col)];
+        const std::uint64_t c2w =
+            scratchC2_[static_cast<std::size_t>(col)];
+        const bool cls_uniform =
+            (c1w == 0 || c1w == ~std::uint64_t{0}) &&
+            (c2w == 0 || c2w == ~std::uint64_t{0});
+        const bool fail_col =
+            fail_fraction > 0.0 &&
+            variation.structuralFailFromKey(
+                hashCombine(fail_prefix, col), fail_fraction);
+        const double sa_u =
+            uniformFromHash(hashCombine(sa_prefix, col));
+        const bool all_uniform =
+            counts1.uniform && counts2.uniform && cls_uniform;
+
+        for (const Target &t : targets) {
+            std::uint64_t word = 0;
+            if (all_uniform && !fail_col) {
+                const int k1 = counts1.count;
+                const int k2 = counts2.count;
+                const int cls =
+                    c2w != 0 ? 2 : (c1w != 0 ? 1 : 0);
+                const Volt margin =
+                    margin_of(t.classIndex, cls, k1, k2);
+                const bool t_high =
+                    tsh[static_cast<std::size_t>(k1) * k2_dim +
+                        static_cast<std::size_t>(k2)] != 0;
+                const bool ideal_bit =
+                    t.onComplement ? !t_high : t_high;
+                if (margin > col_bound) {
+                    word = ideal_bit ? ~std::uint64_t{0}
+                                     : std::uint64_t{0};
+                } else if (margin < -col_bound) {
+                    word = ideal_bit ? std::uint64_t{0}
+                                     : ~std::uint64_t{0};
+                } else {
+                    std::uint64_t draws = activeMask_;
+                    while (draws != 0) {
+                        const int lane = std::countr_zero(draws);
+                        draws &= draws - 1;
+                        const bool correct = sampler.successWithSaU(
+                            margin, sa_u,
+                            hashCombine(t.cellPrefix, col),
+                            cellNoiseKeyAt(
+                                t.noiseRow[static_cast<std::size_t>(
+                                    lane)],
+                                col));
+                        if (correct ? ideal_bit : !ideal_bit)
+                            word |= std::uint64_t{1} << lane;
+                    }
+                }
+            } else {
+                std::uint64_t lanes = activeMask_;
+                while (lanes != 0) {
+                    const int lane = std::countr_zero(lanes);
+                    lanes &= lanes - 1;
+                    const int k1 = counts1.uniform
+                                       ? counts1.count
+                                       : counts1.of(lane);
+                    const int k2 = counts2.uniform
+                                       ? counts2.count
+                                       : counts2.of(lane);
+                    const int cls = laneClassOf(c1w, c2w, lane);
+                    const Volt margin =
+                        margin_of(t.classIndex, cls, k1, k2);
+                    const bool t_high =
+                        tsh[static_cast<std::size_t>(k1) * k2_dim +
+                            static_cast<std::size_t>(k2)] != 0;
+                    const bool ideal_bit =
+                        t.onComplement ? !t_high : t_high;
+                    bool correct;
+                    if (fail_col) {
+                        correct = model.sampleTrialAt(
+                            margin, 0.0, true,
+                            cellNoiseKeyAt(
+                                t.noiseRow[static_cast<std::size_t>(
+                                    lane)],
+                                col));
+                    } else if (margin > col_bound) {
+                        correct = true;
+                    } else if (margin < -col_bound) {
+                        correct = false;
+                    } else {
+                        correct = sampler.successWithSaU(
+                            margin, sa_u,
+                            hashCombine(t.cellPrefix, col),
+                            cellNoiseKeyAt(
+                                t.noiseRow[static_cast<std::size_t>(
+                                    lane)],
+                                col));
+                    }
+                    if (correct ? ideal_bit : !ideal_bit)
+                        word |= std::uint64_t{1} << lane;
+                }
+            }
+            // Logic fully overwrites every shared column.
+            t.plane->word(col) = word;
+        }
+    });
+
+    // Non-shared columns of each side resolve among that side's own
+    // activated rows.
+    if (n_first >= 2) {
+        const BitVector non_shared = ~shared;
+        slicedMajResolve(bank, first_sa, event.sets.firstRows,
+                         non_shared, gapNs, total);
+        if (aborted_)
+            return;
+    }
+    if (n_second >= 2) {
+        const BitVector non_shared = ~shared;
+        slicedMajResolve(bank, second_sa, event.sets.secondRows,
+                         non_shared, gapNs, total);
+    }
+}
+
+} // namespace fcdram

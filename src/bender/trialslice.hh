@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Trial-sliced block executor: up to 64 independent Monte-Carlo trials
+ * of one program, interpreted in a single pass.
+ *
+ * The command stream never branches on data, so every trial of a
+ * program walks the same control flow (the same bank-state
+ * transitions, the same timing classification, the same activation
+ * events); trials differ only in their stochastic cell outcomes. This
+ * executor therefore interprets the program once, storing the data
+ * plane as TrialPlane rows (word c = column c's bit across all trial
+ * lanes) and deciding each per-lane Bernoulli outcome word-wise:
+ * deterministic-margin columns resolve for all 64 lanes with a couple
+ * of word operations, and only the lanes of ambiguous columns draw
+ * through the same counter-mode noise keys the single-trial Executor
+ * would use. Per-trial results are bit-identical to running Executor
+ * (ExecMode::WordParallel or ScalarReference) once per trial seed, by
+ * construction: static variation is shared across lanes (keyed by the
+ * chip seed), and each lane's draws come from its own
+ * hashCombine(chip seed, trial seed) stream at the same op epochs.
+ *
+ * The base chip is never mutated; rows are materialized lazily into
+ * trial planes on first touch. When execution materializes genuinely
+ * analog (off-rail) per-lane state -- an interrupted multi-row restore
+ * freezing the charge-shared level (Frac), or a partial restore of an
+ * already off-rail base row -- the sliced representation cannot hold
+ * it, and the block falls back automatically: every lane replays the
+ * full program through a private single-trial word-parallel Executor
+ * on a copy of the base chip, which is exactly the contract the
+ * slicing promises. Individual lanes can also be evicted up front
+ * (forceEvictLane) to exercise mixed blocks.
+ */
+
+#ifndef FCDRAM_BENDER_TRIALSLICE_HH
+#define FCDRAM_BENDER_TRIALSLICE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bender/executor.hh"
+#include "bender/program.hh"
+#include "common/bitvector.hh"
+#include "dram/cellarray.hh"
+#include "dram/chip.hh"
+
+namespace fcdram {
+
+/** Executes one program for a block of trials at once. */
+class TrialSlicedExecutor
+{
+  public:
+    /** Trials a block can slice into one word. */
+    static constexpr int kMaxLanes = 64;
+
+    /**
+     * @param base Immutable starting chip state (shared by all lanes;
+     *        never mutated).
+     * @param trialSeeds One noise-stream seed per trial lane
+     *        (1..kMaxLanes entries).
+     * @param timing Timing parameters for gap classification.
+     */
+    TrialSlicedExecutor(const Chip &base,
+                        std::vector<std::uint64_t> trialSeeds,
+                        const TimingParams &timing =
+                            TimingParams::nominal());
+
+    /** Number of trial lanes in this block. */
+    int lanes() const { return numLanes_; }
+
+    /**
+     * Force a lane onto the single-trial replay path (testing hook for
+     * mixed blocks). Must be called before run().
+     */
+    void forceEvictLane(int lane);
+
+    /** True if the lane was (or will be) served by replay. */
+    bool laneEvicted(int lane) const
+    {
+        return aborted_ ||
+               ((evictedMask_ >> lane) & 1) != 0;
+    }
+
+    /**
+     * Run the program across all lanes. One-shot: a block executes a
+     * single program. Returns one ExecResult per lane, bit-identical
+     * to Executor(chipCopy, trialSeeds[lane], timing).run(program).
+     */
+    std::vector<ExecResult> run(const Program &program);
+
+    /**
+     * Final chip state of one lane (valid after run()): the base chip
+     * with the lane's slice of every touched row written back, or a
+     * fresh single-trial replay for evicted lanes.
+     */
+    Chip laneChip(int lane) const;
+
+  private:
+    /** Per-bank interpreter state (mirrors Executor::BankState; the
+     *  charge-shared bitline level is recomputed at resolve time
+     *  instead of being captured, which is equivalent because nothing
+     *  can touch the connected rows in between). */
+    struct BankState
+    {
+        bool open = false;
+        bool glitchArmed = false;
+        bool resolved = false;
+        bool multi = false;
+        bool pendingMaj = false;
+        RowId firstRow = kInvalidRow;
+        Ns lastActNs = 0.0;
+        Ns preNs = 0.0;
+        std::vector<RowId> openRows;
+    };
+
+    /** Read handle on one row's sliced (or base packed) bits. */
+    struct GatherRef
+    {
+        const TrialPlane *plane = nullptr;
+        const std::uint64_t *baseWords = nullptr;
+    };
+
+    /** Per-lane population count across a set of gathered row words. */
+    struct LaneCounts
+    {
+        bool uniform = true; ///< Every gathered word was 0 or ~0.
+        int count = 0;       ///< Shared count (valid when uniform).
+        std::array<std::uint64_t, 7> planes{}; ///< Bit-sliced counts.
+
+        int of(int lane) const
+        {
+            int k = 0;
+            for (std::size_t i = 0; i < planes.size(); ++i)
+                k |= static_cast<int>((planes[i] >> lane) & 1) << i;
+            return k;
+        }
+
+        /** Lanes whose count equals @p k. */
+        std::uint64_t maskOf(int k) const
+        {
+            std::uint64_t m = ~std::uint64_t{0};
+            for (std::size_t i = 0; i < planes.size(); ++i) {
+                m &= ((k >> i) & 1) != 0 ? planes[i] : ~planes[i];
+            }
+            return m;
+        }
+    };
+
+    void handleAct(const Command &command);
+    void handlePre(const Command &command);
+    void handleWr(const Command &command);
+    void handleRd(const Command &command);
+
+    void normalAct(BankState &state, RowId row, Ns now);
+    void resolveIfDue(BankState &state, BankId bank, Ns now);
+    void partialRestore(BankState &state, BankId bank, Ns gapNs);
+    void glitchAct(BankState &state, BankId bank, RowId rlRow, Ns now);
+
+    void slicedRowClone(BankState &state, BankId bank,
+                        SubarrayId subarray,
+                        const std::vector<RowId> &localRows, Ns gapNs);
+    void slicedNot(BankState &state, BankId bank,
+                   const ActivationEvent &event, Ns gapNs);
+    void slicedLogic(BankState &state, BankId bank,
+                     const ActivationEvent &event, Ns gapNs);
+    void slicedMajResolve(BankId bank, SubarrayId subarray,
+                          const std::vector<RowId> &localRows,
+                          const BitVector &columnMask, Ns gapNs,
+                          int totalActivatedRows);
+
+    /** All lanes fall back to single-trial replay. */
+    void evictAll() { aborted_ = true; }
+
+    /** Start a stochastic op: bump the epoch, derive lane streams. */
+    void beginSlicedEpoch();
+
+    /**
+     * Trial plane of a row, materializing it from the base chip on
+     * first touch. Returns nullptr (after evictAll) when the base row
+     * is off-rail, which planes cannot represent.
+     */
+    TrialPlane *ensurePlane(BankId bank, SubarrayId subarray,
+                            RowId localRow);
+
+    /** Existing plane of a row, or nullptr (no materialization). */
+    TrialPlane *findPlane(BankId bank, SubarrayId subarray,
+                          RowId localRow);
+
+    /** Replace a row's plane with a lane-uniform broadcast of bits. */
+    void planeOverwrite(BankId bank, SubarrayId subarray,
+                        RowId localRow, const BitVector &bits);
+
+    /**
+     * Read handles for a set of local rows of one subarray. Returns
+     * false (after evictAll) if any row is off-rail in the base chip.
+     */
+    bool makeRefs(BankId bank, SubarrayId subarray,
+                  const std::vector<RowId> &localRows,
+                  std::vector<GatherRef> &out);
+
+    std::uint64_t wordAt(const GatherRef &ref, ColId col) const
+    {
+        if (ref.plane != nullptr)
+            return ref.plane->word(col);
+        const bool bit = (ref.baseWords[col / 64] >> (col % 64)) & 1;
+        return bit ? ~std::uint64_t{0} : std::uint64_t{0};
+    }
+
+    LaneCounts gatherCounts(const std::vector<GatherRef> &refs,
+                            ColId col) const;
+
+    /**
+     * Lane-transposed pattern snapshot of a (possibly sliced) row:
+     * out[col] holds column col's bit across lanes. Taken before any
+     * write of the op, mirroring Executor's up-front pattern read.
+     */
+    void patternSnapshot(BankId bank, RowId globalRow,
+                         std::vector<std::uint64_t> &out);
+
+    /**
+     * Per-lane coupling-class masks of a pattern snapshot: bit t of
+     * c2[col] (c1[col]) says lane t's column col has two (one)
+     * disagreeing neighbors; class 0 is the remainder. Matches
+     * Executor::couplingClasses lane-wise.
+     */
+    void classMasks(const std::vector<std::uint64_t> &snap,
+                    std::vector<std::uint64_t> &c1,
+                    std::vector<std::uint64_t> &c2) const;
+
+    const BitVector &sharedColumnMask(SubarrayId a, SubarrayId b);
+    const BitVector &allColumnsMask();
+
+    double restoreProgress(Ns gapNs) const;
+
+    ExecResult replayLane(int lane) const;
+
+    static std::uint64_t planeKey(BankId bank, SubarrayId subarray,
+                                  RowId localRow)
+    {
+        return (static_cast<std::uint64_t>(bank) << 40) |
+               (static_cast<std::uint64_t>(subarray) << 24) |
+               static_cast<std::uint64_t>(localRow);
+    }
+
+    const Chip &base_;
+    TimingParams timing_;
+    std::vector<std::uint64_t> trialSeeds_;
+    int numLanes_;
+
+    /** Lanes whose sliced outcome is consumed (bits [0, numLanes_)).
+     *  Draw loops and ambiguity masks restrict to it; bits of tail or
+     *  force-evicted lanes hold garbage-tolerated values. */
+    std::uint64_t activeMask_ = 0;
+
+    /** hashCombine(chip seed, trial seed) per lane. */
+    std::array<std::uint64_t, kMaxLanes> laneSeeds_{};
+
+    /** hashCombine(laneSeeds_[t], noiseEpoch_) of the current op. */
+    std::array<std::uint64_t, kMaxLanes> laneStreams_{};
+
+    std::uint64_t noiseEpoch_ = 0;
+    std::uint64_t evictedMask_ = 0; ///< forceEvictLane lanes.
+    bool aborted_ = false;          ///< evictAll happened.
+    bool ran_ = false;
+
+    std::vector<BankState> banks_;
+    std::unordered_map<std::uint64_t, TrialPlane> planes_;
+    std::vector<ActivationEvent> activations_;
+    std::vector<ExecResult> results_;
+    Program program_;
+
+    BitVector sharedMaskByParity_[2];
+    BitVector allColumns_;
+
+    /** Scratch reused across ops. */
+    std::vector<std::uint64_t> scratchSnap_;
+    std::vector<std::uint64_t> scratchC1_;
+    std::vector<std::uint64_t> scratchC2_;
+    std::vector<GatherRef> scratchRefs_;
+    std::vector<GatherRef> scratchRefs2_;
+    std::vector<BitVector> scratchLanes_;
+};
+
+} // namespace fcdram
+
+#endif // FCDRAM_BENDER_TRIALSLICE_HH

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Trial-sliced block executor equivalence.
+ *
+ * TrialSlicedExecutor promises per-trial results bit-identical to
+ * running the single-trial Executor once per trial seed on a copy of
+ * the base chip. These tests pin that contract across the
+ * manufacturer profiles for every mechanism the sliced interpreter
+ * handles in place (NOT, N-input logic, RowClone, in-subarray MAJ,
+ * multi-row writes, ordinary reads), for the automatic full-block
+ * fallback when a lane materializes analog state (interrupted
+ * multi-row restore, off-rail base rows), and for mixed blocks with
+ * force-evicted lanes. The SIMD kernels the hot paths dispatch to are
+ * checked bit-exact against their scalar reference on randomized
+ * inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/trialslice.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "config/timing.hh"
+#include "dram/address.hh"
+#include "fcdram/ops.hh"
+#include "testutil.hh"
+
+namespace fcdram {
+namespace {
+
+/** Every cell voltage of a chip, flattened for exact comparison. */
+std::vector<Volt>
+voltageDump(const Chip &chip)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    std::vector<Volt> dump;
+    dump.reserve(static_cast<std::size_t>(geometry.numBanks) *
+                 static_cast<std::size_t>(geometry.rowsPerBank()) *
+                 static_cast<std::size_t>(geometry.columns));
+    for (BankId bank = 0;
+         bank < static_cast<BankId>(geometry.numBanks); ++bank) {
+        const Bank &bank_ref = chip.bank(bank);
+        for (RowId row = 0;
+             row < static_cast<RowId>(geometry.rowsPerBank()); ++row) {
+            for (ColId col = 0;
+                 col < static_cast<ColId>(geometry.columns); ++col) {
+                dump.push_back(bank_ref.cellVolt(row, col));
+            }
+        }
+    }
+    return dump;
+}
+
+bool
+sameEvent(const ActivationEvent &a, const ActivationEvent &b)
+{
+    return a.bank == b.bank && a.firstSubarray == b.firstSubarray &&
+           a.secondSubarray == b.secondSubarray &&
+           a.firstLocalRow == b.firstLocalRow &&
+           a.secondLocalRow == b.secondLocalRow &&
+           a.sets.simultaneous == b.sets.simultaneous &&
+           a.sets.sequential == b.sets.sequential &&
+           a.sets.firstRows == b.sets.firstRows &&
+           a.sets.secondRows == b.sets.secondRows;
+}
+
+/** Seed the chip's bank 0 with pinned pseudo-random row patterns. */
+std::vector<BitVector>
+seedRows(Chip &chip)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    Rng rng(0xDA7A);
+    std::vector<BitVector> patterns;
+    for (int i = 0; i < 6; ++i) {
+        BitVector pattern(static_cast<std::size_t>(geometry.columns));
+        pattern.randomize(rng);
+        patterns.push_back(pattern);
+    }
+    for (int sa = 0; sa < 3; ++sa) {
+        for (RowId local = 0; local < 2; ++local) {
+            chip.bank(0).writeRowBits(
+                composeRow(geometry, static_cast<SubarrayId>(sa),
+                           local),
+                patterns[static_cast<std::size_t>(sa * 2) + local]);
+        }
+    }
+    return patterns;
+}
+
+/**
+ * One composite program driving every rail-representable mechanism,
+ * with a nominal readback after each: cross-subarray NOT (restored
+ * source), cross-subarray charge-sharing logic, same-subarray
+ * RowClone, SiMRA MAJ, and a multi-row write through a glitched
+ * activation.
+ */
+Program
+buildCompositeProgram(const Chip &chip, const BitVector &writeData)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    ProgramBuilder builder(chip.profile().speed);
+    const Ns rest = TimingParams::nominal().tRas;
+
+    auto read_back = [&](RowId row) {
+        builder.actNominal(0, row)
+            .readNominal(0, row)
+            .preNominal(0);
+    };
+
+    // Cross-subarray NOT (restored source, violated destination).
+    const RowId not_src = composeRow(geometry, 1, 0);
+    const RowId not_dst = composeRow(geometry, 2, 0);
+    builder.act(0, not_src, 0.0)
+        .pre(0, rest)
+        .act(0, not_dst, kViolatedGapTargetNs)
+        .preNominal(0);
+    read_back(not_dst);
+
+    // Cross-subarray N-input logic (unrestored charge share).
+    builder.actNominal(0, composeRow(geometry, 1, 1))
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, composeRow(geometry, 2, 1), kViolatedGapTargetNs)
+        .preNominal(0);
+    read_back(composeRow(geometry, 2, 1));
+
+    // Same-subarray RowClone (restored source).
+    builder.actNominal(0, composeRow(geometry, 0, 0))
+        .pre(0, rest)
+        .act(0, composeRow(geometry, 0, 1), kViolatedGapTargetNs)
+        .preNominal(0);
+    read_back(composeRow(geometry, 0, 1));
+
+    // SiMRA in-subarray MAJ (violated double activation).
+    builder.actNominal(0, composeRow(geometry, 1, 0))
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, composeRow(geometry, 1, 5), kViolatedGapTargetNs)
+        .preNominal(0);
+    read_back(composeRow(geometry, 1, 0));
+
+    // Multi-row write through a glitched neighbor activation.
+    builder.actNominal(0, composeRow(geometry, 1, 0))
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, composeRow(geometry, 2, 0), kViolatedGapTargetNs)
+        .writeNominal(0, composeRow(geometry, 2, 0), writeData)
+        .preNominal(0);
+    read_back(composeRow(geometry, 2, 0));
+
+    return builder.build();
+}
+
+std::vector<std::uint64_t>
+blockSeeds(int lanes, std::uint64_t salt)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(lanes));
+    for (int t = 0; t < lanes; ++t)
+        seeds.push_back(hashCombine(salt, static_cast<std::uint64_t>(t)));
+    return seeds;
+}
+
+/**
+ * Run @p program per-lane through the single-trial Executor and as
+ * one sliced block, and require bit-identical reads, activations, and
+ * final analog state for every lane.
+ */
+void
+expectBlockMatchesPerTrial(const Chip &base, const Program &program,
+                           const std::vector<std::uint64_t> &seeds,
+                           const char *label)
+{
+    TrialSlicedExecutor sliced(base, seeds);
+    const std::vector<ExecResult> block = sliced.run(program);
+    ASSERT_EQ(block.size(), seeds.size()) << label;
+
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        Chip reference = base;
+        Executor executor(reference, seeds[t]);
+        const ExecResult expected = executor.run(program);
+
+        ASSERT_EQ(block[t].reads.size(), expected.reads.size())
+            << label << " lane " << t;
+        for (std::size_t i = 0; i < expected.reads.size(); ++i) {
+            EXPECT_EQ(block[t].reads[i], expected.reads[i])
+                << label << " lane " << t << " readback " << i;
+        }
+        ASSERT_EQ(block[t].activations.size(),
+                  expected.activations.size())
+            << label << " lane " << t;
+        for (std::size_t i = 0; i < expected.activations.size(); ++i) {
+            EXPECT_TRUE(sameEvent(block[t].activations[i],
+                                  expected.activations[i]))
+                << label << " lane " << t << " activation " << i;
+        }
+        EXPECT_EQ(voltageDump(sliced.laneChip(static_cast<int>(t))),
+                  voltageDump(reference))
+            << label << " lane " << t << ": analog state diverged";
+    }
+}
+
+/** The designs the paper characterizes, one per capability class. */
+std::vector<ChipProfile>
+profilesUnderTest()
+{
+    return {
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666),
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'A', 8, 2133),
+        ChipProfile::make(Manufacturer::Samsung, 4, 'F', 8, 2666),
+        ChipProfile::make(Manufacturer::Micron, 8, 'B', 8, 2666),
+    };
+}
+
+TEST(TrialSliced, BitIdenticalPerLaneAllProfiles)
+{
+    for (const ChipProfile &profile : profilesUnderTest()) {
+        Chip base(profile, GeometryConfig::tiny(), 1);
+        const auto patterns = seedRows(base);
+        const Program program = buildCompositeProgram(base, patterns[5]);
+        expectBlockMatchesPerTrial(base, program, blockSeeds(16, 0xB10C),
+                                   profile.label().c_str());
+    }
+}
+
+TEST(TrialSliced, FullBlockOf64Lanes)
+{
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666);
+    Chip base(profile, GeometryConfig::tiny(), 3);
+    const auto patterns = seedRows(base);
+    const Program program = buildCompositeProgram(base, patterns[5]);
+    expectBlockMatchesPerTrial(base, program, blockSeeds(64, 0xFEED),
+                               profile.label().c_str());
+}
+
+TEST(TrialSliced, DeterministicFastPathOnIdealProfile)
+{
+    // The noiseless profile drives every column through the
+    // deterministic-margin word path (no per-lane draws at all).
+    Chip base(test::idealProfile(), test::tinyGeometry(), 1);
+    const auto patterns = seedRows(base);
+    const Program program = buildCompositeProgram(base, patterns[5]);
+    expectBlockMatchesPerTrial(base, program, blockSeeds(32, 0x1DEA),
+                               "ideal");
+}
+
+TEST(TrialSliced, InterruptedMultiRowRestoreFallsBack)
+{
+    // An interrupted charge-shared activation freezes a genuinely
+    // analog per-lane level, which planes cannot hold: the whole
+    // block must fall back to per-lane replay and still match.
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666);
+    Chip base(profile, GeometryConfig::tiny(), 5);
+    seedRows(base);
+    const GeometryConfig &geometry = base.geometry();
+
+    const RowId target_local = 3;
+    const RowId donor_local =
+        findPairActivatingDonor(base, target_local, {});
+    ASSERT_NE(donor_local, kInvalidRow);
+    const RowId target = composeRow(geometry, 1, target_local);
+    const RowId donor = composeRow(geometry, 1, donor_local);
+
+    ProgramBuilder builder(base.profile().speed);
+    builder.act(0, donor, 0.0)
+        .pre(0, kViolatedGapTargetNs)
+        .act(0, target, kViolatedGapTargetNs)
+        .pre(0, 4.0) // Interrupt the restore mid-flight (Frac).
+        .actNominal(0, target)
+        .readNominal(0, target)
+        .preNominal(0);
+    const Program program = builder.build();
+
+    const auto seeds = blockSeeds(16, 0xF7AC);
+    TrialSlicedExecutor probe(base, seeds);
+    probe.run(program);
+    for (int t = 0; t < probe.lanes(); ++t)
+        EXPECT_TRUE(probe.laneEvicted(t)) << "lane " << t;
+
+    expectBlockMatchesPerTrial(base, program, seeds, "frac-fallback");
+}
+
+TEST(TrialSliced, OffRailBaseRowFallsBack)
+{
+    // A base row already holding analog (off-rail) charge cannot be
+    // broadcast into a rail plane; touching it evicts the block.
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666);
+    Chip base(profile, GeometryConfig::tiny(), 7);
+    seedRows(base);
+    const GeometryConfig &geometry = base.geometry();
+    const RowId frac_row = composeRow(geometry, 1, 3);
+    for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
+         ++col) {
+        base.bank(0).setCellVolt(frac_row, col, kVddHalf + 0.013);
+    }
+
+    ProgramBuilder builder(base.profile().speed);
+    builder.act(0, frac_row, 0.0)
+        .pre(0, 4.0)
+        .actNominal(0, frac_row)
+        .readNominal(0, frac_row)
+        .preNominal(0);
+    const Program program = builder.build();
+
+    const auto seeds = blockSeeds(8, 0x0FFA);
+    TrialSlicedExecutor probe(base, seeds);
+    probe.run(program);
+    for (int t = 0; t < probe.lanes(); ++t)
+        EXPECT_TRUE(probe.laneEvicted(t)) << "lane " << t;
+
+    expectBlockMatchesPerTrial(base, program, seeds, "offrail-fallback");
+}
+
+TEST(TrialSliced, ForceEvictedLanesMatchInMixedBlocks)
+{
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::SkHynix, 4, 'M', 8, 2666);
+    Chip base(profile, GeometryConfig::tiny(), 11);
+    const auto patterns = seedRows(base);
+    const Program program = buildCompositeProgram(base, patterns[5]);
+    const auto seeds = blockSeeds(16, 0x3B1D);
+
+    TrialSlicedExecutor mixed(base, seeds);
+    mixed.forceEvictLane(1);
+    mixed.forceEvictLane(7);
+    mixed.forceEvictLane(15);
+    const std::vector<ExecResult> block = mixed.run(program);
+
+    EXPECT_TRUE(mixed.laneEvicted(1));
+    EXPECT_FALSE(mixed.laneEvicted(0));
+
+    for (std::size_t t = 0; t < seeds.size(); ++t) {
+        Chip reference = base;
+        Executor executor(reference, seeds[t]);
+        const ExecResult expected = executor.run(program);
+        ASSERT_EQ(block[t].reads.size(), expected.reads.size());
+        for (std::size_t i = 0; i < expected.reads.size(); ++i) {
+            EXPECT_EQ(block[t].reads[i], expected.reads[i])
+                << "lane " << t << " readback " << i;
+        }
+        EXPECT_EQ(voltageDump(mixed.laneChip(static_cast<int>(t))),
+                  voltageDump(reference))
+            << "lane " << t;
+    }
+}
+
+TEST(TrialSliced, RepeatedBlocksAreDeterministic)
+{
+    const ChipProfile profile =
+        ChipProfile::make(Manufacturer::Samsung, 4, 'F', 8, 2666);
+    Chip base(profile, GeometryConfig::tiny(), 13);
+    const auto patterns = seedRows(base);
+    const Program program = buildCompositeProgram(base, patterns[5]);
+    const auto seeds = blockSeeds(16, 0xD00D);
+
+    TrialSlicedExecutor first(base, seeds);
+    TrialSlicedExecutor second(base, seeds);
+    const auto a = first.run(program);
+    const auto b = second.run(program);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t)
+        EXPECT_EQ(a[t].reads, b[t].reads) << "lane " << t;
+}
+
+TEST(SimdKernels, ClassifyMarginsMatchesScalar)
+{
+    const simd::Kernels &scalar = simd::scalarKernels();
+    const simd::Kernels &active = simd::activeKernels();
+    if (active.classifyMarginsByClass == scalar.classifyMarginsByClass)
+        GTEST_SKIP() << "active kernel set is scalar ("
+                     << active.name << ")";
+
+    Rng rng(0x51D3);
+    for (int iteration = 0; iteration < 50; ++iteration) {
+        const std::size_t n = 1 + rng.next() % 300;
+        std::vector<std::uint8_t> classes(n);
+        for (auto &c : classes)
+            c = static_cast<std::uint8_t>(rng.next() % 3);
+        double margins3[3];
+        for (double &m : margins3)
+            m = (rng.uniform() - 0.5) * 0.4;
+        const double bound = rng.uniform() * 0.12;
+
+        const std::size_t words = (n + 63) / 64;
+        std::vector<std::uint64_t> det_a(words, ~std::uint64_t{0});
+        std::vector<std::uint64_t> det_b(words, ~std::uint64_t{0});
+        std::vector<std::uint32_t> amb_a(n), amb_b(n);
+        std::size_t count_a = 0, count_b = 0;
+
+        scalar.classifyMarginsByClass(classes.data(), n, margins3,
+                                      bound, det_a.data(),
+                                      amb_a.data(), &count_a);
+        active.classifyMarginsByClass(classes.data(), n, margins3,
+                                      bound, det_b.data(),
+                                      amb_b.data(), &count_b);
+
+        EXPECT_EQ(det_a, det_b) << "iteration " << iteration;
+        ASSERT_EQ(count_a, count_b) << "iteration " << iteration;
+        for (std::size_t i = 0; i < count_a; ++i)
+            EXPECT_EQ(amb_a[i], amb_b[i]) << "iteration " << iteration;
+    }
+}
+
+TEST(SimdKernels, BlendTowardRailMatchesScalar)
+{
+    const simd::Kernels &scalar = simd::scalarKernels();
+    const simd::Kernels &active = simd::activeKernels();
+    if (active.blendTowardRail == scalar.blendTowardRail)
+        GTEST_SKIP() << "active kernel set is scalar ("
+                     << active.name << ")";
+
+    Rng rng(0xB73D);
+    for (int iteration = 0; iteration < 50; ++iteration) {
+        const std::size_t n = 1 + rng.next() % 500;
+        std::vector<float> values(n);
+        for (auto &v : values)
+            v = static_cast<float>(rng.uniform() * kVdd);
+        std::vector<float> a = values, b = values;
+        const double progress = rng.uniform();
+        const double band = rng.uniform() * 0.05;
+
+        scalar.blendTowardRail(a.data(), n, progress, band);
+        active.blendTowardRail(b.data(), n, progress, band);
+        EXPECT_EQ(a, b) << "iteration " << iteration;
+    }
+}
+
+} // namespace
+} // namespace fcdram
