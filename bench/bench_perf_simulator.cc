@@ -46,6 +46,7 @@
 #include "fcdram/ops.hh"
 #include "fcdram/scheduler.hh"
 #include "fcdram/session.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram {
 namespace {
@@ -696,7 +697,122 @@ runFleetSweepSection(benchutil::BenchReport &report, int workers,
 
 namespace {
 
-// ---- Section 2: google-benchmark microbenchmarks -------------------
+// ---- Section 4: telemetry overhead guard ---------------------------
+
+/**
+ * Trials/s of @p blocks sliced blocks through a specific telemetry
+ * sink (nullptr = the exact pre-telemetry code path).
+ */
+double
+sinkTrialsPerSec(const Chip &base, const Program &program,
+                 std::uint64_t salt, int blocks,
+                 obs::Telemetry *telemetry)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    for (int block = 0; block < blocks; ++block) {
+        TrialSlicedExecutor sliced(
+            base, trialSeedsFor(salt, block * kLanes, kLanes),
+            TimingParams::nominal(), telemetry);
+        benchmark::DoNotOptimize(sliced.run(program));
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const double trials = static_cast<double>(blocks) * kLanes;
+    return seconds > 0.0 ? trials / seconds : 0.0;
+}
+
+} // namespace
+
+/**
+ * Telemetry overhead guard. Measures trial-sliced NOT throughput
+ * through (a) a nullptr sink -- the exact code path before telemetry
+ * existed, (b) the global registry with every pillar disabled, and
+ * (c) the global registry with the metrics pillar on. Measurements
+ * alternate per repetition and take the best of 5 so scheduler noise
+ * on a busy CI core hits every path equally. Returns the
+ * disabled/baseline throughput ratio (hard-gated >= 0.97 by main);
+ * the enabled-metrics overhead is reported as a metric only.
+ */
+double
+runTelemetryOverheadSection(benchutil::BenchReport &report)
+{
+    std::cout << "\n-- Telemetry overhead (sliced NOT blocks) --\n";
+    obs::Telemetry &tel = obs::global();
+    const obs::TelemetryConfig saved = tel.config();
+    tel.configure(obs::TelemetryConfig{});
+
+    Chip base(benchProfile(), wideGeometry(), 1);
+    Rng rng(0xF1E1D);
+    for (int sa = 0; sa < 2; ++sa) {
+        for (RowId local = 0; local < 2; ++local) {
+            BitVector pattern(static_cast<std::size_t>(kWideColumns));
+            pattern.randomize(rng);
+            base.bank(0).writeRowBits(
+                composeRow(base.geometry(),
+                           static_cast<SubarrayId>(sa), local),
+                pattern);
+        }
+    }
+    const OpProgram op = makeNotProgram(base);
+    if (!op.valid) {
+        std::cout << "no qualifying pair, section skipped\n";
+        tel.configure(saved);
+        return 1.0;
+    }
+
+    constexpr int kBlocks = 8;
+    constexpr int kReps = 5;
+    double baseline = 0.0;
+    double disabled = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const std::uint64_t salt =
+            hashCombine(0x0B5E, static_cast<std::uint64_t>(rep));
+        baseline = std::max(
+            baseline,
+            sinkTrialsPerSec(base, op.program, salt, kBlocks,
+                             nullptr));
+        disabled = std::max(
+            disabled,
+            sinkTrialsPerSec(base, op.program, salt, kBlocks, &tel));
+    }
+
+    obs::TelemetryConfig metricsOnly;
+    metricsOnly.metrics = true;
+    tel.configure(metricsOnly);
+    double enabled = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const std::uint64_t salt =
+            hashCombine(0x0B5E, static_cast<std::uint64_t>(rep));
+        enabled = std::max(
+            enabled,
+            sinkTrialsPerSec(base, op.program, salt, kBlocks, &tel));
+    }
+    tel.configure(saved);
+    report.lap("telemetry_overhead");
+
+    const double disabledRatio =
+        baseline > 0.0 ? disabled / baseline : 1.0;
+    const double enabledRatio =
+        baseline > 0.0 ? enabled / baseline : 1.0;
+    report.metric("telemetry_baseline_trials_per_s", baseline);
+    report.metric("telemetry_disabled_trials_per_s", disabled);
+    report.metric("telemetry_metrics_trials_per_s", enabled);
+    report.metric("telemetry_disabled_ratio", disabledRatio);
+    report.metric("telemetry_metrics_overhead_pct",
+                  100.0 * (1.0 - enabledRatio));
+    std::cout << "disabled-telemetry throughput: "
+              << formatDouble(disabledRatio * 100.0, 1)
+              << "% of the nullptr-sink baseline (gate: >= 97%)\n"
+              << "metrics-enabled overhead: "
+              << formatDouble(100.0 * (1.0 - enabledRatio), 1)
+              << "%\n";
+    return disabledRatio;
+}
+
+namespace {
+
+// ---- Section 5: google-benchmark microbenchmarks -------------------
 
 void
 BM_DecoderNeighborActivation(benchmark::State &state)
@@ -857,6 +973,18 @@ main(int argc, char **argv)
                 workers = 1;
             continue;
         }
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            fcdram::benchutil::traceOutPath() = arg.substr(12);
+            fcdram::obs::global().enable({true, true, true});
+            continue;
+        }
+        if (arg.rfind("--metrics-out=", 0) == 0) {
+            fcdram::benchutil::metricsOutPath() = arg.substr(14);
+            fcdram::obs::TelemetryConfig config;
+            config.metrics = true;
+            fcdram::obs::global().enable(config);
+            continue;
+        }
         passthrough.push_back(argv[i]);
     }
     int bench_argc = static_cast<int>(passthrough.size());
@@ -871,6 +999,8 @@ main(int argc, char **argv)
     const double geomean =
         fcdram::runTrialSliceSection(report, workers, &result_hash);
     fcdram::runFleetSweepSection(report, workers, &result_hash);
+    const double telemetry_ratio =
+        fcdram::runTelemetryOverheadSection(report);
 
     std::printf("RESULT_HASH %016llx\n",
                 static_cast<unsigned long long>(result_hash));
@@ -881,6 +1011,13 @@ main(int argc, char **argv)
     if (geomean < 10.0) {
         std::cerr << "FAIL: trial-sliced end-to-end geomean speedup "
                   << geomean << "x is below the required 10x\n";
+        return 1;
+    }
+    if (telemetry_ratio < 0.97) {
+        std::cerr << "FAIL: disabled-telemetry throughput is "
+                  << telemetry_ratio * 100.0
+                  << "% of the nullptr-sink baseline, below the "
+                     "required 97%\n";
         return 1;
     }
 

@@ -20,8 +20,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/jsonio.hh"
 #include "common/table.hh"
 #include "fcdram/campaign.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram::benchutil {
 
@@ -33,6 +35,29 @@ namespace fcdram::benchutil {
  */
 inline std::string &
 jsonOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Destination of the Chrome trace-event export (--trace-out=PATH).
+ * Setting it enables all three telemetry pillars on obs::global();
+ * empty (the default) leaves telemetry off and exports nothing.
+ */
+inline std::string &
+traceOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Destination of the plain-text metrics dump (--metrics-out=PATH).
+ * Setting it enables the metrics pillar; empty exports nothing.
+ */
+inline std::string &
+metricsOutPath()
 {
     static std::string path;
     return path;
@@ -51,7 +76,8 @@ applyArgs(CampaignConfig &config, int argc, char **argv)
 {
     const auto usage = [&]() {
         std::cerr << "usage: " << argv[0]
-                  << " [--workers=N] [--seed=X] [--json-out=PATH]\n";
+                  << " [--workers=N] [--seed=X] [--json-out=PATH]"
+                     " [--trace-out=PATH] [--metrics-out=PATH]\n";
         std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -73,6 +99,20 @@ applyArgs(CampaignConfig &config, int argc, char **argv)
             if (value.empty())
                 usage();
             jsonOutPath() = value;
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            const std::string value = arg.substr(12);
+            if (value.empty())
+                usage();
+            traceOutPath() = value;
+            obs::global().enable({true, true, true});
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            const std::string value = arg.substr(14);
+            if (value.empty())
+                usage();
+            metricsOutPath() = value;
+            obs::TelemetryConfig config;
+            config.metrics = true;
+            obs::global().enable(config);
         } else {
             usage();
         }
@@ -148,23 +188,28 @@ class BenchReport
         metrics_.emplace_back(key, value);
     }
 
-    /** Render the report as JSON. */
+    /**
+     * Render the report as JSON. Numbers go through jsonNumber so
+     * the output is locale-proof (shortest round-trip, '.' decimal
+     * point), matching the obs trace/metrics exports.
+     */
     void writeJson(std::ostream &os) const
     {
-        os << "{\n  \"name\": \"" << name_ << "\",\n";
+        os << "{\n  \"name\": " << jsonQuote(name_) << ",\n";
         os << "  \"laps_ms\": {";
         for (std::size_t i = 0; i < laps_.size(); ++i) {
-            os << (i == 0 ? "" : ",") << "\n    \"" << laps_[i].first
-               << "\": " << formatDouble(laps_[i].second, 3);
+            os << (i == 0 ? "" : ",") << "\n    "
+               << jsonQuote(laps_[i].first) << ": "
+               << jsonNumber(laps_[i].second);
         }
         os << "\n  },\n  \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i) {
-            os << (i == 0 ? "" : ",") << "\n    \""
-               << metrics_[i].first
-               << "\": " << formatDouble(metrics_[i].second, 3);
+            os << (i == 0 ? "" : ",") << "\n    "
+               << jsonQuote(metrics_[i].first) << ": "
+               << jsonNumber(metrics_[i].second);
         }
         os << "\n  },\n  \"total_ms\": "
-           << formatDouble(millis(start_, last_), 3) << "\n}\n";
+           << jsonNumber(millis(start_, last_)) << "\n}\n";
     }
 
     /**
@@ -185,6 +230,33 @@ class BenchReport
         writeJson(file);
         os << "\nTimings (" << path << "):\n";
         writeJson(os);
+        saveTelemetry(os);
+    }
+
+    /**
+     * Export whatever --trace-out/--metrics-out requested from the
+     * process-wide telemetry. Separate from save() only so benches
+     * that skip the JSON report can still flush their telemetry.
+     */
+    static void saveTelemetry(std::ostream &os = std::cout)
+    {
+        obs::Telemetry &tel = obs::global();
+        if (!traceOutPath().empty()) {
+            if (tel.writeTraceFile(traceOutPath())) {
+                os << "Trace (" << traceOutPath() << "): "
+                   << tel.spanEventCount() << " spans, "
+                   << tel.dramEventCount() << " dram events\n";
+            } else {
+                os << "(could not write " << traceOutPath() << ")\n";
+            }
+        }
+        if (!metricsOutPath().empty()) {
+            if (tel.writeMetricsFile(metricsOutPath()))
+                os << "Metrics (" << metricsOutPath() << ")\n";
+            else
+                os << "(could not write " << metricsOutPath()
+                   << ")\n";
+        }
     }
 
   private:

@@ -3,6 +3,7 @@
 #include "analog/rowhammer.hh"
 #include "common/rng.hh"
 #include "dram/address.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram {
 
@@ -31,12 +32,19 @@ DramBender::execute(const Program &program)
 void
 DramBender::writeRow(BankId bank, RowId row, const BitVector &data)
 {
+    obs::Telemetry &tel = obs::global();
+    if (tel.metricsOn())
+        tel.add(tel.counter("bender.row_writes"));
     chip_.bank(bank).writeRowBits(row, data);
 }
 
 BitVector
 DramBender::readRow(BankId bank, RowId row)
 {
+    obs::Telemetry &tel = obs::global();
+    if (tel.metricsOn())
+        tel.add(tel.counter("bender.row_reads"));
+    const obs::DramLabel label("RowRead");
     ProgramBuilder builder = newProgram();
     builder.act(bank, row, 0.0)
         .readNominal(bank, row)

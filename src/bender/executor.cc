@@ -24,16 +24,87 @@ using execdetail::kRestoreDoneNs;
 using execdetail::kSenseStartNs;
 
 Executor::Executor(Chip &chip, std::uint64_t trialSeed,
-                   const TimingParams &timing, ExecMode mode)
+                   const TimingParams &timing, ExecMode mode,
+                   obs::Telemetry *telemetry)
     : chip_(chip), timing_(timing), mode_(mode),
+      telemetry_(telemetry),
       noiseSeed_(hashCombine(chip.seed(), trialSeed)),
       banks_(static_cast<std::size_t>(chip.numBanks()))
 {
 }
 
+void
+Executor::recordProgram(const Program &program)
+{
+    obs::Telemetry &tel = *telemetry_;
+    if (tel.metricsOn()) {
+        std::uint64_t act = 0, pre = 0, rd = 0, wr = 0;
+        for (const Command &command : program.commands) {
+            switch (command.type) {
+              case CommandType::Act:
+                ++act;
+                break;
+              case CommandType::Pre:
+                ++pre;
+                break;
+              case CommandType::Rd:
+                ++rd;
+                break;
+              case CommandType::Wr:
+                ++wr;
+                break;
+              case CommandType::Ref:
+              case CommandType::Nop:
+                break;
+            }
+        }
+        tel.add(tel.counter("bender.programs"));
+        if (act != 0)
+            tel.add(tel.counter("bender.cmd_act"), act);
+        if (pre != 0)
+            tel.add(tel.counter("bender.cmd_pre"), pre);
+        if (rd != 0)
+            tel.add(tel.counter("bender.cmd_rd"), rd);
+        if (wr != 0)
+            tel.add(tel.counter("bender.cmd_wr"), wr);
+    }
+    if (tel.dramOn()) {
+        std::vector<obs::Telemetry::DramCmd> cmds;
+        cmds.reserve(program.commands.size());
+        for (const Command &command : program.commands) {
+            obs::Telemetry::DramCmd cmd;
+            switch (command.type) {
+              case CommandType::Act:
+                cmd.kind = obs::Telemetry::DramCmdKind::Act;
+                break;
+              case CommandType::Pre:
+                cmd.kind = obs::Telemetry::DramCmdKind::Pre;
+                break;
+              case CommandType::Rd:
+                cmd.kind = obs::Telemetry::DramCmdKind::Rd;
+                break;
+              case CommandType::Wr:
+                cmd.kind = obs::Telemetry::DramCmdKind::Wr;
+                break;
+              case CommandType::Ref:
+              case CommandType::Nop:
+                cmd.kind = obs::Telemetry::DramCmdKind::Other;
+                break;
+            }
+            cmd.bank = command.bank;
+            cmd.row = command.row;
+            cmd.issueNs = command.issueNs;
+            cmds.push_back(cmd);
+        }
+        tel.recordDramProgram(cmds, obs::DramLabel::current());
+    }
+}
+
 ExecResult
 Executor::run(const Program &program)
 {
+    if (telemetry_ != nullptr)
+        recordProgram(program);
     ExecResult result;
     for (const Command &command : program.commands) {
         assert(command.bank < banks_.size());

@@ -37,6 +37,7 @@
 #include "bender/timingcheck.hh"
 #include "common/rng.hh"
 #include "dram/chip.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram {
 
@@ -76,10 +77,14 @@ class Executor
      * @param trialSeed Seed of this execution's noise stream.
      * @param timing Timing parameters for gap classification.
      * @param mode Execution strategy (results are mode-independent).
+     * @param telemetry Sink for command counters and the DRAM command
+     *        trace (both opt-in at the sink); nullptr skips every
+     *        telemetry hook (the overhead-guard baseline path).
      */
     Executor(Chip &chip, std::uint64_t trialSeed,
              const TimingParams &timing = TimingParams::nominal(),
-             ExecMode mode = ExecMode::WordParallel);
+             ExecMode mode = ExecMode::WordParallel,
+             obs::Telemetry *telemetry = &obs::global());
 
     /** Run a program to completion. */
     ExecResult run(const Program &program);
@@ -221,9 +226,13 @@ class Executor
 
     bool scalar() const { return mode_ == ExecMode::ScalarReference; }
 
+    /** Command counters + DRAM trace for one program (pillar-gated). */
+    void recordProgram(const Program &program);
+
     Chip &chip_;
     TimingParams timing_;
     ExecMode mode_;
+    obs::Telemetry *telemetry_;
 
     /** Counter-noise stream seed (chip seed x trial seed). */
     std::uint64_t noiseSeed_;

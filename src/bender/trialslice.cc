@@ -64,9 +64,10 @@ columnBound(const AnalogParams &analog, const SuccessModel &model)
 
 TrialSlicedExecutor::TrialSlicedExecutor(
     const Chip &base, std::vector<std::uint64_t> trialSeeds,
-    const TimingParams &timing)
+    const TimingParams &timing, obs::Telemetry *telemetry)
     : base_(base), timing_(timing), trialSeeds_(std::move(trialSeeds)),
       numLanes_(static_cast<int>(trialSeeds_.size())),
+      telemetry_(telemetry),
       banks_(static_cast<std::size_t>(base.numBanks()))
 {
     assert(numLanes_ >= 1 && numLanes_ <= kMaxLanes);
@@ -132,12 +133,25 @@ TrialSlicedExecutor::run(const Program &program)
     }
     std::vector<ExecResult> out;
     out.reserve(static_cast<std::size_t>(numLanes_));
+    std::uint64_t replayed = 0;
     for (int t = 0; t < numLanes_; ++t) {
-        if (laneEvicted(t))
+        if (laneEvicted(t)) {
+            ++replayed;
             out.push_back(replayLane(t));
-        else
+        } else {
             out.push_back(
                 std::move(results_[static_cast<std::size_t>(t)]));
+        }
+    }
+    if (telemetry_ != nullptr && telemetry_->metricsOn()) {
+        obs::Telemetry &tel = *telemetry_;
+        tel.add(tel.counter("trialslice.blocks"));
+        tel.add(tel.counter("trialslice.trials"),
+                static_cast<std::uint64_t>(numLanes_));
+        if (replayed != 0)
+            tel.add(tel.counter("trialslice.evicted_lanes"), replayed);
+        if (aborted_)
+            tel.add(tel.counter("trialslice.aborted_blocks"));
     }
     return out;
 }
@@ -147,7 +161,7 @@ TrialSlicedExecutor::replayLane(int lane) const
 {
     Chip chip = base_;
     Executor executor(chip, trialSeeds_[static_cast<std::size_t>(lane)],
-                      timing_);
+                      timing_, ExecMode::WordParallel, telemetry_);
     return executor.run(program_);
 }
 
@@ -158,9 +172,11 @@ TrialSlicedExecutor::laneChip(int lane) const
     assert(lane >= 0 && lane < numLanes_);
     Chip chip = base_;
     if (laneEvicted(lane)) {
+        // Inspection replay: never counted, so run() metrics stay
+        // independent of how often callers look at lane state.
         Executor executor(chip,
                           trialSeeds_[static_cast<std::size_t>(lane)],
-                          timing_);
+                          timing_, ExecMode::WordParallel, nullptr);
         executor.run(program_);
         return chip;
     }

@@ -60,11 +60,17 @@ class TrialSlicedExecutor
      * @param trialSeeds One noise-stream seed per trial lane
      *        (1..kMaxLanes entries).
      * @param timing Timing parameters for gap classification.
+     * @param telemetry Sink for block/eviction counters (recorded at
+     *        block granularity, never per column); nullptr skips every
+     *        hook (the overhead-guard baseline path). Lane replays
+     *        executed through the sink count as bender programs;
+     *        laneChip() inspection replays never count.
      */
     TrialSlicedExecutor(const Chip &base,
                         std::vector<std::uint64_t> trialSeeds,
                         const TimingParams &timing =
-                            TimingParams::nominal());
+                            TimingParams::nominal(),
+                        obs::Telemetry *telemetry = &obs::global());
 
     /** Number of trial lanes in this block. */
     int lanes() const { return numLanes_; }
@@ -247,6 +253,7 @@ class TrialSlicedExecutor
     TimingParams timing_;
     std::vector<std::uint64_t> trialSeeds_;
     int numLanes_;
+    obs::Telemetry *telemetry_;
 
     /** Lanes whose sliced outcome is consumed (bits [0, numLanes_)).
      *  Draw loops and ambiguity masks restrict to it; bits of tail or

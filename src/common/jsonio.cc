@@ -1,0 +1,74 @@
+#include "common/jsonio.hh"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace fcdram {
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    std::array<char, 64> buffer{};
+    const auto [end, ec] = std::to_chars(
+        buffer.data(), buffer.data() + buffer.size(), value);
+    if (ec != std::errc{})
+        return "0";
+    return std::string(buffer.data(), end);
+}
+
+std::string
+jsonNumber(std::uint64_t value)
+{
+    std::array<char, 24> buffer{};
+    const auto [end, ec] = std::to_chars(
+        buffer.data(), buffer.data() + buffer.size(), value);
+    if (ec != std::errc{})
+        return "0";
+    return std::string(buffer.data(), end);
+}
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char escaped[8];
+                std::snprintf(escaped, sizeof escaped, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += escaped;
+            } else {
+                out.push_back(c);
+            }
+            break;
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace fcdram

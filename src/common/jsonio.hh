@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Locale-proof JSON scalar formatting, shared by every JSON writer in
+ * the tree (BENCH_*.json reports, Chrome trace export). Stream-based
+ * float formatting honours the global C++ locale (decimal commas break
+ * the emitted JSON under e.g. de_DE), so all writers funnel through
+ * std::to_chars here instead.
+ */
+
+#ifndef FCDRAM_COMMON_JSONIO_HH
+#define FCDRAM_COMMON_JSONIO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fcdram {
+
+/**
+ * Shortest decimal representation of @p value that round-trips to the
+ * same double, always with '.' as the separator. Non-finite values
+ * have no JSON literal and render as 0 (the writers never produce
+ * them; this keeps a stray NaN from corrupting the document).
+ */
+std::string jsonNumber(double value);
+
+/** Unsigned integer as a JSON number. */
+std::string jsonNumber(std::uint64_t value);
+
+/**
+ * @p text as a quoted JSON string: wraps in '"' and escapes '"',
+ * '\\', and control characters (as \uXXXX).
+ */
+std::string jsonQuote(const std::string &text);
+
+} // namespace fcdram
+
+#endif // FCDRAM_COMMON_JSONIO_HH

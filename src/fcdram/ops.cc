@@ -5,6 +5,7 @@
 
 #include "common/rng.hh"
 #include "dram/openbitline.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram {
 
@@ -51,6 +52,7 @@ Ops::buildMaj(BankId bank, RowId rfGlobal, RowId rlGlobal) const
 std::vector<RowId>
 Ops::executeMajActivation(BankId bank, RowId rfGlobal, RowId rlGlobal)
 {
+    const obs::DramLabel label("MAJ");
     const ExecResult result =
         bender_.execute(buildMaj(bank, rfGlobal, rlGlobal));
     std::vector<RowId> rows;
@@ -118,6 +120,7 @@ Ops::executeMaj(BankId bank, RowId rfGlobal, RowId rlGlobal,
 std::vector<RowId>
 Ops::executeNot(BankId bank, RowId srcGlobal, RowId dstGlobal)
 {
+    const obs::DramLabel label("NOT");
     const ExecResult result =
         bender_.execute(buildNot(bank, srcGlobal, dstGlobal));
     std::vector<RowId> destinations;
@@ -137,6 +140,7 @@ bool
 Ops::executeRowClone(BankId bank, RowId srcGlobal, RowId dstGlobal)
 {
     assert(sameSubarray(bender_.chip().geometry(), srcGlobal, dstGlobal));
+    const obs::DramLabel label("RowClone");
     const ExecResult result =
         bender_.execute(buildRowClone(bank, srcGlobal, dstGlobal));
     return !result.activations.empty();
@@ -192,6 +196,7 @@ Ops::fracInit(BankId bank, RowId rowGlobal,
         .pre(bank, kViolatedGapTargetNs)
         .act(bank, rowGlobal, kViolatedGapTargetNs)
         .pre(bank, kViolatedGapTargetNs);
+    const obs::DramLabel label("Frac");
     bender_.execute(builder.build());
     return helper;
 }
@@ -230,8 +235,11 @@ Ops::executeLogic(BankId bank, BoolOp op, RowId refAnchor,
     const RowAddress ref = decomposeRow(geometry, refAnchor);
     const RowAddress com = decomposeRow(geometry, comAnchor);
 
-    const ExecResult exec =
-        bender_.execute(buildDoubleAct(bank, refAnchor, comAnchor));
+    const ExecResult exec = [&] {
+        const obs::DramLabel label("Logic");
+        return bender_.execute(
+            buildDoubleAct(bank, refAnchor, comAnchor));
+    }();
     (void)exec;
 
     LogicOpResult result;

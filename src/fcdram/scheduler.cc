@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram {
 
@@ -19,6 +20,27 @@ namespace {
  * it is running on, so nested calls execute inline.
  */
 thread_local bool tls_pool_worker = false;
+
+/**
+ * Shared task invocation wrapper: the pool drain loop and the inline
+ * fallback both go through here so metrics and spans are identical
+ * regardless of worker count.
+ */
+void
+invokeTask(const std::function<void(std::size_t)> &task,
+           std::size_t index)
+{
+    obs::Telemetry &tel = obs::global();
+    if (tel.metricsOn())
+        tel.add(tel.counter("scheduler.tasks"));
+    if (tel.spansOn()) {
+        obs::Span span(tel, "sched.task");
+        span.arg("index", static_cast<std::uint64_t>(index));
+        task(index);
+        return;
+    }
+    task(index);
+}
 
 } // namespace
 
@@ -63,7 +85,7 @@ struct Scheduler::Pool
             if (index >= job.numTasks)
                 return;
             try {
-                (*job.task)(index);
+                invokeTask(*job.task, index);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(job.errorMutex);
                 if (!job.firstError)
@@ -141,7 +163,7 @@ Scheduler::run(std::size_t numTasks,
         return;
     const auto run_inline = [&] {
         for (std::size_t i = 0; i < numTasks; ++i)
-            task(i);
+            invokeTask(task, i);
     };
     if (pool_ == nullptr || numTasks == 1 || tls_pool_worker) {
         run_inline();

@@ -231,8 +231,12 @@ FleetSession::chip(const Module &module) const
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] =
         chips_.emplace(module.index, std::move(chip));
-    if (inserted)
+    if (inserted) {
         ++stats_.chipBuilds;
+        obs::Telemetry &tel = obs::global();
+        if (tel.metricsOn())
+            tel.add(tel.counter("session.chip_builds"));
+    }
     return *it->second;
 }
 
@@ -276,12 +280,17 @@ FleetSession::qualifyingPairs(const Module &module,
     key.bank = context.bank;
     key.lowSubarray = context.lowSubarray;
     key.query = query;
+    obs::Telemetry &tel = obs::global();
+    if (tel.metricsOn())
+        tel.add(tel.counter("session.pair_lookups"));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.pairLookups;
         const auto it = pairs_.find(key);
         if (it != pairs_.end()) {
             ++stats_.pairHits;
+            if (tel.metricsOn())
+                tel.add(tel.counter("session.pair_hits"));
             return it->second;
         }
     }

@@ -30,6 +30,7 @@
 #include "dram/chip.hh"
 #include "fcdram/analytic.hh"
 #include "fcdram/scheduler.hh"
+#include "obs/telemetry.hh"
 #include "stats/summary.hh"
 
 namespace fcdram {
@@ -227,6 +228,10 @@ class FleetSession
         std::vector<Accum> partials(fleetModules.size());
         scheduler_.run(fleetModules.size(), [&](std::size_t i) {
             const Module &module = fleetModules[i];
+            const obs::MetricScope scope(module.index, 0);
+            obs::Span span(obs::global(), "fleet.task");
+            span.arg("module",
+                     static_cast<std::uint64_t>(module.index));
             const ModuleView view{module, *module.spec, chip(module),
                                   module.seed, pairContexts(module)};
             visit(view, partials[i]);
@@ -260,10 +265,15 @@ class FleetSession
         std::vector<Accum> partials(tiles);
         scheduler_.run(tiles, [&](std::size_t i) {
             const Module &module = fleetModules[i / tilesPerModule];
+            const std::size_t tile = i % tilesPerModule;
+            const obs::MetricScope scope(module.index, tile);
+            obs::Span span(obs::global(), "fleet.tile");
+            span.arg("module",
+                     static_cast<std::uint64_t>(module.index));
+            span.arg("tile", static_cast<std::uint64_t>(tile));
             const ModuleView view{module, *module.spec, chip(module),
                                   module.seed, pairContexts(module)};
-            visit(view, i % tilesPerModule, tilesPerModule,
-                  partials[i]);
+            visit(view, tile, tilesPerModule, partials[i]);
         });
         Accum result{};
         for (Accum &partial : partials)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -309,6 +310,8 @@ PudEngine::PudEngine(std::shared_ptr<FleetSession> session,
                 << options_.redundancy;
         throw std::invalid_argument(message.str());
     }
+    if (options_.telemetry.any())
+        obs::global().enable(options_.telemetry);
 }
 
 PudEngine::~PudEngine() = default;
@@ -440,6 +443,12 @@ PudEngine::execute(const MicroProgram &program,
     const GeometryConfig &geometry = chip.geometry();
     const auto numColumns =
         static_cast<std::size_t>(geometry.columns);
+    obs::Telemetry &tel = obs::global();
+    obs::Span execSpan(tel, "engine.execute");
+    execSpan.arg("waves",
+                 static_cast<std::uint64_t>(program.numWaves));
+    execSpan.arg("ops",
+                 static_cast<std::uint64_t>(program.ops.size()));
     DramBender bender(chip, benderSeed, options_.execMode);
     Ops ops(bender);
     const CostModel cost(chip);
@@ -496,15 +505,27 @@ PudEngine::execute(const MicroProgram &program,
         result.matchingBits += checked - mismatch.popcount();
     };
 
+    std::uint64_t cpuFallbacks = 0;
     const auto cpuFallback = [&](const MicroOp &op) {
+        ++cpuFallbacks;
         if (op.computeValue != kNoValue)
             values[op.computeValue] = golden[op.computeValue];
         if (op.referenceValue != kNoValue)
             values[op.referenceValue] = golden[op.referenceValue];
     };
 
+    // One span per topological wave (re-emplaced on wave change), so
+    // the trace shows the engine's wave pipeline under each query.
+    std::optional<obs::Span> waveSpan;
+    int spanWave = -1;
     for (std::size_t i = 0; i < program.ops.size(); ++i) {
         const MicroOp &op = program.ops[i];
+        if (tel.spansOn() && op.wave != spanWave) {
+            waveSpan.emplace(tel, "wave");
+            waveSpan->arg("wave",
+                          static_cast<std::uint64_t>(op.wave));
+            spanWave = op.wave;
+        }
         switch (op.kind) {
           case MicroOpKind::Load: {
             values[op.computeValue] = columns.at(op.column);
@@ -554,25 +575,34 @@ PudEngine::execute(const MicroProgram &program,
                 opCost.add(cost.fracProgram());
                 for (int w = 0; w < width + 1; ++w)
                     opCost.add(cost.hostWrite());
-                for (int j = 0; j < width; ++j) {
-                    const auto idx = static_cast<std::size_t>(j);
-                    const BitVector &operand =
-                        values[op.inputs[idx]];
-                    if (viaClone[idx]) {
-                        if (trial == 0) {
-                            // The staging copy is the resident data.
+                {
+                    obs::Span copySpan(tel, "copy_in");
+                    copySpan.arg(
+                        "operands",
+                        static_cast<std::uint64_t>(width));
+                    for (int j = 0; j < width; ++j) {
+                        const auto idx =
+                            static_cast<std::size_t>(j);
+                        const BitVector &operand =
+                            values[op.inputs[idx]];
+                        if (viaClone[idx]) {
+                            if (trial == 0) {
+                                // The staging copy is the resident
+                                // data.
+                                bender.writeRow(
+                                    bank, slot.stagingRows[idx],
+                                    operand);
+                            }
+                            ops.executeRowClone(
+                                bank, slot.stagingRows[idx],
+                                slot.computeRows[idx]);
+                            opCost.add(cost.copyProgram());
+                        } else {
                             bender.writeRow(bank,
-                                            slot.stagingRows[idx],
+                                            slot.computeRows[idx],
                                             operand);
+                            opCost.add(cost.hostWrite());
                         }
-                        ops.executeRowClone(bank,
-                                            slot.stagingRows[idx],
-                                            slot.computeRows[idx]);
-                        opCost.add(cost.copyProgram());
-                    } else {
-                        bender.writeRow(bank, slot.computeRows[idx],
-                                        operand);
-                        opCost.add(cost.hostWrite());
                     }
                 }
                 const LogicOpResult trialResult = ops.executeLogic(
@@ -741,6 +771,21 @@ PudEngine::execute(const MicroProgram &program,
     result.cpuBaseline = cpuBaselineCost(chip, cost.timing(),
                                          program.loadOps(),
                                          numColumns);
+    if (tel.metricsOn()) {
+        tel.add(tel.counter("engine.executes"));
+        tel.add(tel.counter("engine.checked_bits"),
+                static_cast<std::uint64_t>(result.checkedBits));
+        tel.add(tel.counter("engine.matched_bits"),
+                static_cast<std::uint64_t>(result.matchingBits));
+        tel.add(tel.counter("engine.dram_commands"),
+                static_cast<std::uint64_t>(result.dram.commands));
+        if (cpuFallbacks != 0)
+            tel.add(tel.counter("engine.cpu_fallbacks"),
+                    cpuFallbacks);
+        tel.observe(tel.histogram("engine.query_dram_ns",
+                                  {1e3, 1e4, 1e5, 1e6, 1e7}),
+                    result.dram.latencyNs);
+    }
     return result;
 }
 

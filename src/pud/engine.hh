@@ -41,6 +41,7 @@
 
 #include "bender/executor.hh"
 #include "fcdram/session.hh"
+#include "obs/telemetry.hh"
 #include "pud/allocator.hh"
 #include "pud/compiler.hh"
 
@@ -119,6 +120,15 @@ struct EngineOptions
 
     /** Salt for the per-run DramBender session seed. */
     std::uint64_t benderSeedSalt = 0x9DULL;
+
+    /**
+     * Telemetry pillars to enable on the process-wide obs registry
+     * when the engine is constructed (obs::global().enable, sticky:
+     * constructing a second engine never disables a pillar a first
+     * one turned on). All-false (the default) leaves the registry
+     * untouched.
+     */
+    obs::TelemetryConfig telemetry;
 };
 
 /**

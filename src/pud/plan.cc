@@ -3,7 +3,22 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/telemetry.hh"
+
 namespace fcdram::pud {
+
+namespace {
+
+/** Mirror a PlanCacheStats increment into the metrics registry. */
+void
+note(const char *name)
+{
+    obs::Telemetry &tel = obs::global();
+    if (tel.metricsOn())
+        tel.add(tel.counter(name));
+}
+
+} // namespace
 
 PlanCacheStats
 PlanCacheStats::operator-(const PlanCacheStats &other) const
@@ -37,12 +52,18 @@ PlanCache::programFor(std::uint64_t exprHash, const ExprPool &pool,
     // Compile outside the lock: concurrent fleet workers may race on
     // the same shape, in which case both derive the identical program
     // (compilation is pure) and the second insert is a no-op.
-    auto program = std::make_shared<const MicroProgram>(
-        engine_->compileFor(pool, root, chip));
+    auto program = [&] {
+        obs::Span span(obs::global(), "plan.compile");
+        span.arg("expr", exprHash);
+        return std::make_shared<const MicroProgram>(
+            engine_->compileFor(pool, root, chip));
+    }();
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = programs_.emplace(key, program);
-    if (inserted)
+    if (inserted) {
         ++stats_.compiles;
+        note("plancache.compiles");
+    }
     return it->second;
 }
 
@@ -73,10 +94,16 @@ PlanCache::allocatorFor(const FleetSession::Module &module,
     // synchronized), so construction under the cache lock is cheap;
     // the expensive mask derivation happens on first use from the
     // placement path.
-    auto allocator = std::make_shared<const RowAllocator>(
-        *engine_->session(), module, engine_->options().allocator,
-        temperature);
+    auto allocator = [&] {
+        obs::Span span(obs::global(), "plan.allocator_build");
+        span.arg("module",
+                 static_cast<std::uint64_t>(module.index));
+        return std::make_shared<const RowAllocator>(
+            *engine_->session(), module, engine_->options().allocator,
+            temperature);
+    }();
     ++stats_.allocatorBuilds;
+    note("plancache.allocator_builds");
     allocators_.emplace(key, allocator);
     return allocator;
 }
@@ -90,11 +117,16 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
     bool stale = false;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.lookups;
         const auto it = plans_.find(key);
         if (it != plans_.end()) {
             if (it->second->temperature == temperature) {
+                // lookups is bumped together with its hit/miss
+                // classification so hits + misses == lookups holds at
+                // every instant (QueryService asserts it at collect).
+                ++stats_.lookups;
                 ++stats_.hits;
+                note("plancache.lookups");
+                note("plancache.hits");
                 return it->second;
             }
             stale = true;
@@ -112,7 +144,13 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
 
     auto plan = std::make_shared<PlacementPlan>();
     plan->program = program;
-    plan->placement = allocator->place(*program);
+    {
+        obs::Span span(obs::global(), "plan.place");
+        span.arg("expr", exprHash);
+        span.arg("module",
+                 static_cast<std::uint64_t>(module.index));
+        plan->placement = allocator->place(*program);
+    }
     plan->backend = backend;
     plan->capability = capability;
     plan->temperature = temperature;
@@ -120,10 +158,16 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
     plan->moduleIndex = module.index;
 
     const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
     ++stats_.misses;
     ++stats_.placements;
-    if (stale)
+    note("plancache.lookups");
+    note("plancache.misses");
+    note("plancache.placements");
+    if (stale) {
         ++stats_.invalidations;
+        note("plancache.invalidations");
+    }
     plans_[key] = plan;
     return plan;
 }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/rng.hh"
+#include "obs/telemetry.hh"
 
 namespace fcdram::pud {
 
@@ -66,6 +67,8 @@ PreparedQuery::bind(
         throw std::invalid_argument(
             "PreparedQuery::bind: null column data");
     }
+    obs::Span span(obs::global(), "service.bind");
+    span.arg("expr", state_->hash);
     BoundQuery bound;
     bound.query_ = *this;
     bound.columns_ = std::move(columns);
@@ -119,12 +122,17 @@ QueryService::QueryService(std::shared_ptr<FleetSession> session,
 PreparedQuery
 QueryService::prepare(const ExprPool &pool, ExprId root)
 {
+    obs::Telemetry &tel = obs::global();
+    obs::Span span(tel, "service.prepare");
+    if (tel.metricsOn())
+        tel.add(tel.counter("service.prepares"));
     auto state = std::make_shared<PreparedQuery::State>();
     // Deep-copy the expression so the handle outlives the caller's
     // pool; the canonical content hash keys every cache below.
     state->root = state->pool.import(pool, root);
     state->hash = state->pool.hashOf(state->root);
     state->columnNames = state->pool.columnsOf(state->root);
+    span.arg("expr", state->hash);
     PreparedQuery prepared;
     prepared.state_ = std::move(state);
     return prepared;
@@ -177,6 +185,16 @@ QueryService::runBatchOnModule(const FleetSession::Module &module,
                                const std::vector<BoundQuery> &batch,
                                BatchAccum &accum)
 {
+    obs::Telemetry &tel = obs::global();
+    // Direct single-module submits bypass runOverFleet, so (re)apply
+    // the module scope here; under a fleet run this is idempotent.
+    const obs::MetricScope scope(module.index, 0);
+    obs::Span batchSpan(tel, "module_batch");
+    batchSpan.arg("module",
+                  static_cast<std::uint64_t>(module.index));
+    batchSpan.arg("queries",
+                  static_cast<std::uint64_t>(batch.size()));
+
     const auto bits = static_cast<std::size_t>(
         session_->config().geometry.columns);
     const Celsius temperature = [&] {
@@ -196,6 +214,9 @@ QueryService::runBatchOnModule(const FleetSession::Module &module,
     for (std::size_t q = 0; q < batch.size(); ++q) {
         const BoundQuery &bound = batch[q];
         const PreparedQuery::State &state = *bound.query_.state_;
+        obs::Span querySpan(tel, "query");
+        querySpan.arg("expr", state.hash);
+        querySpan.arg("index", static_cast<std::uint64_t>(q));
         const std::shared_ptr<const PlacementPlan> plan =
             cache_.plan(state.hash, state.pool, state.root, module,
                         temperature);
@@ -293,6 +314,13 @@ QueryTicket
 QueryService::submit(std::vector<BoundQuery> batch,
                      FleetSession::Fleet fleet)
 {
+    obs::Telemetry &tel = obs::global();
+    obs::Span span(tel, "service.submit");
+    span.arg("queries", static_cast<std::uint64_t>(batch.size()));
+    if (tel.metricsOn()) {
+        tel.add(tel.counter("service.submits"));
+        tel.add(tel.counter("service.queries"), batch.size());
+    }
     validate(batch);
     const PlanCacheStats before = cache_.stats();
     BatchAccum accum = session_->runOverFleet<BatchAccum>(
@@ -300,23 +328,57 @@ QueryService::submit(std::vector<BoundQuery> batch,
                    BatchAccum &partial) {
             runBatchOnModule(view.module, batch, partial);
         });
-    return store(packageResult(std::move(accum), before));
+    const QueryTicket ticket =
+        store(packageResult(std::move(accum), before));
+    span.arg("ticket", ticket.id);
+    return ticket;
 }
 
 QueryTicket
 QueryService::submit(std::vector<BoundQuery> batch,
                      const FleetSession::Module &module)
 {
+    obs::Telemetry &tel = obs::global();
+    obs::Span span(tel, "service.submit");
+    span.arg("queries", static_cast<std::uint64_t>(batch.size()));
+    span.arg("module", static_cast<std::uint64_t>(module.index));
+    if (tel.metricsOn()) {
+        tel.add(tel.counter("service.submits"));
+        tel.add(tel.counter("service.queries"), batch.size());
+    }
     validate(batch);
     const PlanCacheStats before = cache_.stats();
     BatchAccum accum;
     runBatchOnModule(module, batch, accum);
-    return store(packageResult(std::move(accum), before));
+    const QueryTicket ticket =
+        store(packageResult(std::move(accum), before));
+    span.arg("ticket", ticket.id);
+    return ticket;
 }
 
 BatchQueryResult
 QueryService::collect(const QueryTicket &ticket)
 {
+    obs::Telemetry &tel = obs::global();
+    obs::Span span(tel, "service.collect");
+    span.arg("ticket", ticket.id);
+    if (tel.metricsOn())
+        tel.add(tel.counter("service.collects"));
+
+    // The cache ledger must classify every lookup as exactly one of
+    // hit or miss; a drift here means a counting bug upstream, so
+    // fail loudly at the API boundary instead of shipping skewed
+    // cache deltas in results.
+    const PlanCacheStats cacheNow = cache_.stats();
+    if (cacheNow.hits + cacheNow.misses != cacheNow.lookups) {
+        std::ostringstream message;
+        message << "QueryService::collect: plan cache ledger "
+                   "inconsistent (hits "
+                << cacheNow.hits << " + misses " << cacheNow.misses
+                << " != lookups " << cacheNow.lookups << ")";
+        throw std::logic_error(message.str());
+    }
+
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = pending_.find(ticket.id);
     if (it == pending_.end()) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON export from the obs layer.
+
+Checks, in order:
+  1. The file parses and has the expected top-level shape
+     (displayTimeUnit "ms" plus a traceEvents array).
+  2. Every event is either a complete event (ph "X" with name/ts/dur/
+     pid/tid and non-negative numeric times) or process/thread
+     metadata (ph "M").
+  3. The expected span names from an engine workload are present on
+     the query track (pid 1), and at least one DRAM command-track
+     event exists (pid >= 100).
+  4. Complete events nest well-formedly per (pid, tid): sorted by
+     start time, each event either starts after the currently open
+     event ends or fits entirely inside it.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+Stdlib only; run as `check_trace.py TRACE.json [--require-dram]`.
+"""
+
+import json
+import sys
+
+DRAM_PID_BASE = 100
+REQUIRED_SPANS = ("service.submit", "fleet.task", "wave")
+EPS_US = 1e-6
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            root = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {path}: {error}")
+    if not isinstance(root, dict):
+        fail("top level is not a JSON object")
+    if root.get("displayTimeUnit") != "ms":
+        fail("displayTimeUnit is not 'ms'")
+    events = root.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is missing or not an array")
+    return events
+
+
+def validate_shape(events):
+    completes = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph == "M":
+            if "pid" not in event or "name" not in event:
+                fail(f"metadata event [{i}] lacks pid/name")
+            continue
+        if ph != "X":
+            fail(f"traceEvents[{i}] has unexpected ph {ph!r}")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"complete event [{i}] lacks {key!r}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            fail(f"complete event [{i}] has a bad name")
+        for key in ("ts", "dur"):
+            value = event[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"complete event [{i}] has bad {key}: {value!r}")
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            fail(f"complete event [{i}] args is not an object")
+        completes.append(event)
+    return completes
+
+
+def validate_content(completes, require_dram):
+    span_names = {e["name"] for e in completes if e["pid"] == 1}
+    missing = [n for n in REQUIRED_SPANS if n not in span_names]
+    if missing:
+        fail(f"missing expected span names: {', '.join(missing)}")
+    dram = [e for e in completes if e["pid"] >= DRAM_PID_BASE]
+    if require_dram and not dram:
+        fail(f"no DRAM command-track events (pid >= {DRAM_PID_BASE})")
+    return len(span_names), len(dram)
+
+
+def validate_nesting(completes):
+    tracks = {}
+    for event in completes:
+        tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+    for (pid, tid), track in sorted(tracks.items()):
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for event in track:
+            end = event["ts"] + event["dur"]
+            while stack and event["ts"] >= stack[-1] - EPS_US:
+                stack.pop()
+            if stack and end > stack[-1] + EPS_US:
+                fail(
+                    f"event {event['name']!r} on track pid={pid} "
+                    f"tid={tid} overlaps its enclosing span "
+                    f"(ends {end:.3f}us, enclosing ends "
+                    f"{stack[-1]:.3f}us)"
+                )
+            stack.append(end)
+    return len(tracks)
+
+
+def main(argv):
+    if not 2 <= len(argv) <= 3:
+        print(f"usage: {argv[0]} TRACE.json [--require-dram]",
+              file=sys.stderr)
+        return 2
+    require_dram = "--require-dram" in argv[2:]
+    events = load(argv[1])
+    completes = validate_shape(events)
+    if not completes:
+        fail("trace contains no complete events")
+    names, dram = validate_content(completes, require_dram)
+    tracks = validate_nesting(completes)
+    print(
+        f"check_trace: OK: {len(completes)} events, {names} distinct "
+        f"query-track span names, {dram} dram events, {tracks} tracks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
