@@ -29,7 +29,9 @@ main()
         table.addCell(std::string(1, spec.dieRevision));
         table.addCell(spec.mfrDate);
         table.addCell(std::to_string(spec.densityGbit) + "Gb");
-        table.addCell("x" + std::to_string(spec.organization));
+        std::string organization = "x";
+        organization += std::to_string(spec.organization);
+        table.addCell(organization);
         table.addCell(std::to_string(spec.speedMt) + "MT/s");
         table.addCell(std::string(profile.supportsNot() ? "yes" : "no"));
         table.addCell(

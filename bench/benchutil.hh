@@ -110,9 +110,9 @@ applyArgs(CampaignConfig &config, int argc, char **argv)
             if (value.empty())
                 usage();
             metricsOutPath() = value;
-            obs::TelemetryConfig config;
-            config.metrics = true;
-            obs::global().enable(config);
+            obs::TelemetryConfig pillars;
+            pillars.metrics = true;
+            obs::global().enable(pillars);
         } else {
             usage();
         }

@@ -77,25 +77,25 @@ struct Scheduler::Pool
     std::mutex runMutex;
 
     /** Claim-and-execute loop shared by workers and the caller. */
-    void drain(Job &job)
+    void drain(Job &active)
     {
         for (;;) {
             const std::size_t index =
-                job.next.fetch_add(1, std::memory_order_relaxed);
-            if (index >= job.numTasks)
+                active.next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= active.numTasks)
                 return;
             try {
-                invokeTask(*job.task, index);
+                invokeTask(*active.task, index);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(job.errorMutex);
-                if (!job.firstError)
-                    job.firstError = std::current_exception();
+                std::lock_guard<std::mutex> lock(active.errorMutex);
+                if (!active.firstError)
+                    active.firstError = std::current_exception();
             }
             const std::size_t done =
-                job.completed.fetch_add(1,
-                                        std::memory_order_acq_rel) +
+                active.completed.fetch_add(1,
+                                           std::memory_order_acq_rel) +
                 1;
-            if (done == job.numTasks) {
+            if (done == active.numTasks) {
                 // Lock-step with the waiter's predicate check so the
                 // final notification cannot be lost.
                 { std::lock_guard<std::mutex> lock(mutex); }

@@ -19,7 +19,6 @@ DramTrng::DramTrng(DramBender &bender, BankId bank, SubarrayId subarray)
 BitVector
 DramTrng::rawSample()
 {
-    const GeometryConfig &geometry = bender_.chip().geometry();
     // Frac both rows to VDD/2 (helpers must avoid the pair itself).
     ops_.fracInit(bank_, rowA_, {rowB_});
     ops_.fracInit(bank_, rowB_, {rowA_});

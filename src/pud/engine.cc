@@ -25,6 +25,17 @@ toString(BackendChoice choice)
     return "?";
 }
 
+const char *
+toString(VerifyPolicy policy)
+{
+    switch (policy) {
+      case VerifyPolicy::Off: return "off";
+      case VerifyPolicy::Report: return "report";
+      case VerifyPolicy::Enforce: return "enforce";
+    }
+    return "?";
+}
+
 void
 VoteSet::add(const BitVector &bits)
 {

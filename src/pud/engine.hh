@@ -83,6 +83,33 @@ enum class CopyInMode : std::uint8_t {
     RowClone,
 };
 
+/**
+ * Static-verification policy applied to every derived plan
+ * (src/verify/). Verification runs at plan-derivation time inside the
+ * PlanCache, so its cost is paid once per (expression, module) and
+ * cached with the plan.
+ */
+enum class VerifyPolicy : std::uint8_t {
+    /** Skip verification entirely (no verdicts, no counters). */
+    Off,
+
+    /**
+     * Verify and cache the verdict (telemetry, pudlint, plan
+     * introspection) but never reject: Error-bearing plans still
+     * execute.
+     */
+    Report,
+
+    /**
+     * Verify, cache, and reject: QueryService::submit throws
+     * verify::VerifyError for any plan carrying Error diagnostics.
+     */
+    Enforce,
+};
+
+/** Printable name of a verify policy. */
+const char *toString(VerifyPolicy policy);
+
 /** Execution knobs. */
 struct EngineOptions
 {
@@ -120,6 +147,16 @@ struct EngineOptions
 
     /** Salt for the per-run DramBender session seed. */
     std::uint64_t benderSeedSalt = 0x9DULL;
+
+    /**
+     * Static plan verification policy. Enforce by default: a plan
+     * carrying Error diagnostics (e.g. a forced backend whose MAJ
+     * groups exceed the design's capability) is rejected at submit
+     * instead of executing with silently wrong or dropped command
+     * sequences. Opt out with Report (verify but never reject) or
+     * Off.
+     */
+    VerifyPolicy verify = VerifyPolicy::Enforce;
 
     /**
      * Telemetry pillars to enable on the process-wide obs registry

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/telemetry.hh"
+#include "verify/verifier.hh"
 
 namespace fcdram::pud {
 
@@ -156,6 +157,38 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
     plan->temperature = temperature;
     plan->exprHash = exprHash;
     plan->moduleIndex = module.index;
+
+    if (engine_->options().verify != VerifyPolicy::Off) {
+        // Verify at derivation time so warm submits pay nothing; the
+        // verdict rides the cached plan. Masks were derived at
+        // `temperature` and the service executes the plan at the same
+        // temperature (stale plans re-derive), so both sides of the
+        // UPL009 check are `temperature` here.
+        obs::Span span(obs::global(), "plan.verify");
+        span.arg("expr", exprHash);
+        span.arg("module", static_cast<std::uint64_t>(module.index));
+        plan->verification = verify::verifyPlan(
+            *program, plan->placement, chip, temperature, temperature,
+            engine_->options().copyIn == CopyInMode::RowClone);
+        obs::Telemetry &tel = obs::global();
+        if (tel.metricsOn()) {
+            const verify::DiagnosticSink &verdict =
+                plan->verification;
+            tel.add(tel.counter("verify.plans"));
+            tel.add(tel.counter(verdict.hasErrors()
+                                    ? "verify.error_plans"
+                                    : "verify.clean_plans"));
+            if (verdict.errors() != 0)
+                tel.add(tel.counter("verify.errors"),
+                        verdict.errors());
+            if (verdict.warnings() != 0)
+                tel.add(tel.counter("verify.warnings"),
+                        verdict.warnings());
+            if (verdict.notes() != 0)
+                tel.add(tel.counter("verify.notes"),
+                        verdict.notes());
+        }
+    }
 
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.lookups;

@@ -21,6 +21,11 @@
  *    a temperature mismatch as a hard error, so the cache re-plans
  *    instead of ever trusting stale masks).
  *
+ * Under EngineOptions::verify != Off, every derived plan is also
+ * statically verified (verify::verifyPlan) at derivation time; the
+ * verdict is cached in the PlacementPlan (warm submits re-check
+ * nothing) and mirrored into the verify.* telemetry counters.
+ *
  * Keys use ExprPool::hashOf, a canonical 64-bit structural hash; two
  * prepared queries with the same content share plans (hash collisions
  * are treated as identity, which at 64 bits is vanishingly unlikely
@@ -39,6 +44,7 @@
 
 #include "pud/allocator.hh"
 #include "pud/engine.hh"
+#include "verify/diagnostics.hh"
 
 namespace fcdram::pud {
 
@@ -84,6 +90,14 @@ struct PlacementPlan
 
     std::uint64_t exprHash = 0;
     std::size_t moduleIndex = 0;
+
+    /**
+     * Cached static-verification verdict (src/verify/), derived once
+     * with the plan under EngineOptions::verify != Off; empty when
+     * verification is off. QueryService::submit rejects plans whose
+     * verdict carries Errors under VerifyPolicy::Enforce.
+     */
+    verify::DiagnosticSink verification;
 };
 
 /**

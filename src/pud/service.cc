@@ -9,6 +9,7 @@
 
 #include "common/rng.hh"
 #include "obs/telemetry.hh"
+#include "verify/verifier.hh"
 
 namespace fcdram::pud {
 
@@ -220,6 +221,25 @@ QueryService::runBatchOnModule(const FleetSession::Module &module,
         const std::shared_ptr<const PlacementPlan> plan =
             cache_.plan(state.hash, state.pool, state.root, module,
                         temperature);
+        // Error-bearing plans must not touch the chip under Enforce.
+        // Throwing here propagates through the scheduler (run()
+        // rethrows the first task exception) out of submit().
+        if (engine_.options().verify == VerifyPolicy::Enforce &&
+            plan->verification.hasErrors()) {
+            if (tel.metricsOn())
+                tel.add(tel.counter("verify.rejected_plans"));
+            const verify::Diagnostic *first =
+                plan->verification.firstError();
+            std::ostringstream message;
+            message << "QueryService::submit: plan for query '"
+                    << bound.query_.toString() << "' on module "
+                    << module.index << " fails static verification ("
+                    << plan->verification.errors()
+                    << " error(s); first: " << first->toString()
+                    << ")";
+            throw verify::VerifyError(message.str(),
+                                      plan->verification);
+        }
         // Explicit bindings are shared immutable data: point at
         // them instead of deep-copying the bitmaps per module and
         // submit (the warm path must not re-pay data movement).

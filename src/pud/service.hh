@@ -215,7 +215,10 @@ class QueryService
      * Blocking (results are ready when the call returns); collect()
      * hands them out exactly once. @throws std::invalid_argument on
      * an empty batch, an invalid binding, or explicit columns that
-     * do not cover the query at the session geometry.
+     * do not cover the query at the session geometry. @throws
+     * verify::VerifyError when a derived plan carries Error
+     * diagnostics and EngineOptions::verify is VerifyPolicy::Enforce
+     * (the default); Report/Off opt out of rejection.
      */
     QueryTicket submit(std::vector<BoundQuery> batch,
                        FleetSession::Fleet fleet);

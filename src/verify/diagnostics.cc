@@ -1,0 +1,145 @@
+#include "verify/diagnostics.hh"
+
+#include <cassert>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "common/jsonio.hh"
+
+namespace fcdram::verify {
+
+const char *
+toString(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Note:
+        return "note";
+    }
+    return "unknown";
+}
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    // clang-format off
+    static const std::vector<RuleInfo> catalog = {
+        {"UPL001", Severity::Error,
+         "use of a value no prior μop defines (use before init)"},
+        {"UPL002", Severity::Warning,
+         "dead value: defined but never consumed and not the result"},
+        {"UPL003", Severity::Error,
+         "operand aliasing within one gate or placed slot"},
+        {"UPL004", Severity::Error,
+         "redefinition clobbers a still-live value"},
+        {"UPL005", Severity::Error,
+         "wave-order violation: operand produced at a later wave"},
+        {"UPL006", Severity::Error,
+         "MAJ group arithmetic inconsistent or beyond the design's "
+         "same-subarray capability"},
+        {"UPL007", Severity::Error,
+         "placed MAJ group not confined to one subarray"},
+        {"UPL008", Severity::Warning,
+         "placed slot trusts no column (empty reliability mask)"},
+        {"UPL009", Severity::Error,
+         "reliability-mask temperature differs from the execution "
+         "temperature"},
+        {"UPL010", Severity::Error,
+         "malformed program or placement envelope"},
+        {"UPL101", Severity::Error,
+         "command issue times not monotonically non-decreasing"},
+        {"UPL102", Severity::Error,
+         "ACT on a bank that still has a row open"},
+        {"UPL103", Severity::Error,
+         "RD/WR on a precharged bank"},
+        {"UPL104", Severity::Warning,
+         "redundant PRE on an already-precharged bank"},
+        {"UPL105", Severity::Error,
+         "violated-timing gap outside an intentionally-violated epoch"},
+        {"UPL106", Severity::Error,
+         "grossly violated gap on a design whose decoder drops such "
+         "commands"},
+        {"UPL107", Severity::Note,
+         "intentionally violated timing gaps inside a labeled epoch"},
+    };
+    // clang-format on
+    return catalog;
+}
+
+const RuleInfo *
+findRule(const char *id)
+{
+    for (const RuleInfo &rule : ruleCatalog()) {
+        if (std::strcmp(rule.id, id) == 0)
+            return &rule;
+    }
+    return nullptr;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << verify::toString(severity) << " " << rule << " at " << object
+       << ": " << message;
+    return os.str();
+}
+
+void
+DiagnosticSink::report(const char *rule, std::string object,
+                       std::string message)
+{
+    const RuleInfo *info = findRule(rule);
+    // An unknown ID is a verifier bug; fail safe as Error in release.
+    assert(info != nullptr);
+    Diagnostic diagnostic;
+    diagnostic.rule = rule;
+    diagnostic.severity =
+        info != nullptr ? info->severity : Severity::Error;
+    diagnostic.object = std::move(object);
+    diagnostic.message = std::move(message);
+    ++counts_[static_cast<std::size_t>(diagnostic.severity)];
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+const Diagnostic *
+DiagnosticSink::firstError() const
+{
+    for (const Diagnostic &diagnostic : diagnostics_) {
+        if (diagnostic.severity == Severity::Error)
+            return &diagnostic;
+    }
+    return nullptr;
+}
+
+void
+DiagnosticSink::writeText(std::ostream &os) const
+{
+    for (const Diagnostic &diagnostic : diagnostics_)
+        os << diagnostic.toString() << "\n";
+    os << errors() << " error(s), " << warnings() << " warning(s), "
+       << notes() << " note(s)\n";
+}
+
+void
+DiagnosticSink::writeJson(std::ostream &os) const
+{
+    os << "[";
+    for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+        const Diagnostic &diagnostic = diagnostics_[i];
+        if (i != 0)
+            os << ",";
+        os << "{\"rule\":" << jsonQuote(diagnostic.rule)
+           << ",\"severity\":"
+           << jsonQuote(verify::toString(diagnostic.severity))
+           << ",\"object\":" << jsonQuote(diagnostic.object)
+           << ",\"message\":" << jsonQuote(diagnostic.message) << "}";
+    }
+    os << "]";
+}
+
+} // namespace fcdram::verify

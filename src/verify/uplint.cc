@@ -1,0 +1,481 @@
+#include "verify/uplint.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "dram/address.hh"
+#include "dram/rowdecoder.hh"
+
+namespace fcdram::verify {
+
+namespace {
+
+using pud::MicroOp;
+using pud::MicroOpKind;
+using pud::MicroProgram;
+using pud::Placement;
+using pud::ValueId;
+
+const char *
+kindName(MicroOpKind kind)
+{
+    switch (kind) {
+      case MicroOpKind::Load:
+        return "load";
+      case MicroOpKind::Wide:
+        return "wide";
+      case MicroOpKind::Not:
+        return "not";
+      case MicroOpKind::Maj:
+        return "maj";
+    }
+    return "unknown";
+}
+
+/** "op 3 (wide/and)" — the locus every μprogram rule anchors to. */
+std::string
+opLocus(std::size_t index, const MicroOp &op)
+{
+    std::ostringstream os;
+    os << "op " << index << " (" << kindName(op.kind);
+    if (op.kind == MicroOpKind::Wide || op.kind == MicroOpKind::Maj)
+        os << "/" << toString(op.family);
+    if (op.kind == MicroOpKind::Load)
+        os << " '" << op.column << "'";
+    os << ")";
+    return os.str();
+}
+
+bool
+isPowerOfTwo(int value)
+{
+    return value > 0 && (value & (value - 1)) == 0;
+}
+
+/** UPL006: intrinsic MAJ group arithmetic (chip-independent). */
+void
+lintMajArithmetic(std::size_t index, const MicroOp &op,
+                  DiagnosticSink &sink)
+{
+    const std::string locus = opLocus(index, op);
+    const int operands = static_cast<int>(op.inputs.size());
+    const int total = operands + op.constantOnes + op.constantZeros +
+                      op.neutralRows;
+    if (total != op.activatedRows) {
+        std::ostringstream message;
+        message << operands << " operand + " << op.constantOnes
+                << " ones + " << op.constantZeros << " zeros + "
+                << op.neutralRows << " neutral rows sum to " << total
+                << ", not the " << op.activatedRows
+                << "-row activation group";
+        sink.report("UPL006", locus, message.str());
+        return;
+    }
+    if (!isPowerOfTwo(op.activatedRows)) {
+        std::ostringstream message;
+        message << "activation group of " << op.activatedRows
+                << " rows is not a power of two (no decoder "
+                   "expansion reaches it)";
+        sink.report("UPL006", locus, message.str());
+    }
+    if (op.neutralRows < 1) {
+        sink.report("UPL006", locus,
+                    "no Frac (VDD/2) neutral tiebreaker row in the "
+                    "activation group");
+    }
+    // A tie (2*ones + neutrals == activated) resolves arbitrarily;
+    // it is unreachable only when activated - neutrals is odd.
+    if ((op.activatedRows - op.neutralRows) % 2 == 0) {
+        std::ostringstream message;
+        message << "even voting-cell count ("
+                << op.activatedRows - op.neutralRows
+                << " full-vote cells): majority can tie";
+        sink.report("UPL006", locus, message.str());
+    }
+}
+
+/**
+ * Envelope checks of one op; false when further value-level checks
+ * would only cascade.
+ */
+bool
+lintOpEnvelope(std::size_t index, const MicroOp &op,
+               std::uint32_t numValues, DiagnosticSink &sink)
+{
+    const std::string locus = opLocus(index, op);
+    bool ok = true;
+    const auto checkId = [&](ValueId value, const char *role) {
+        if (value == pud::kNoValue || value < numValues)
+            return true;
+        std::ostringstream message;
+        message << role << " value v" << value
+                << " out of range (program has " << numValues
+                << " values)";
+        sink.report("UPL010", locus, message.str());
+        return false;
+    };
+    ok &= checkId(op.computeValue, "compute");
+    ok &= checkId(op.referenceValue, "reference");
+    for (const ValueId input : op.inputs)
+        ok &= checkId(input, "operand");
+
+    if (op.referenceValue != pud::kNoValue &&
+        op.kind != MicroOpKind::Wide) {
+        sink.report("UPL010", locus,
+                    "only Wide gates have a free inverted "
+                    "reference-side result");
+    }
+    switch (op.kind) {
+      case MicroOpKind::Load:
+        if (!op.inputs.empty()) {
+            sink.report("UPL010", locus,
+                        "load takes no operand values");
+        }
+        if (op.column.empty())
+            sink.report("UPL010", locus, "load names no column");
+        break;
+      case MicroOpKind::Not:
+        if (op.inputs.size() != 1) {
+            std::ostringstream message;
+            message << "not takes exactly one operand, got "
+                    << op.inputs.size();
+            sink.report("UPL010", locus, message.str());
+        }
+        break;
+      case MicroOpKind::Wide:
+        if (op.inputs.size() < 2) {
+            std::ostringstream message;
+            message << "wide gate needs at least 2 operands, got "
+                    << op.inputs.size();
+            sink.report("UPL010", locus, message.str());
+        }
+        break;
+      case MicroOpKind::Maj:
+        if (op.inputs.size() < 2) {
+            std::ostringstream message;
+            message << "maj gate needs at least 2 operands, got "
+                    << op.inputs.size();
+            sink.report("UPL010", locus, message.str());
+        }
+        break;
+    }
+    if (op.kind != MicroOpKind::Wide &&
+        op.computeValue == pud::kNoValue) {
+        sink.report("UPL010", locus,
+                    "op defines no compute value (only Wide gates "
+                    "may be consumed reference-side only)");
+    }
+    return ok;
+}
+
+} // namespace
+
+void
+lintMicroProgram(const MicroProgram &program, DiagnosticSink &sink)
+{
+    const std::size_t n = program.ops.size();
+    std::vector<int> defOp(program.numValues, -1);
+    std::vector<std::size_t> useCount(program.numValues, 0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const MicroOp &op = program.ops[i];
+        if (!lintOpEnvelope(i, op, program.numValues, sink))
+            continue;
+        const std::string locus = opLocus(i, op);
+
+        // Uses first: an operand is live only if an earlier op (in
+        // program order, the order the executor issues) defined it.
+        std::set<ValueId> seen;
+        for (const ValueId input : op.inputs) {
+            if (!seen.insert(input).second) {
+                std::ostringstream message;
+                message << "value v" << input
+                        << " appears twice in the operand list (two "
+                           "rows of one activation share a source)";
+                sink.report("UPL003", locus, message.str());
+            }
+            ++useCount[input];
+            const int producer = defOp[input];
+            if (producer < 0) {
+                std::ostringstream message;
+                message << "operand v" << input
+                        << " is read before any μop defines it";
+                sink.report("UPL001", locus, message.str());
+            } else if (program.ops[producer].wave >= op.wave) {
+                std::ostringstream message;
+                message << "operand v" << input << " is produced by op "
+                        << producer << " at wave "
+                        << program.ops[producer].wave
+                        << ", not before this op's wave " << op.wave;
+                sink.report("UPL005", locus, message.str());
+            }
+        }
+
+        // Then definitions: redefining a live value clobbers the row
+        // backing it (including a gate overwriting its own operand).
+        const auto define = [&](ValueId value, const char *role) {
+            if (value == pud::kNoValue)
+                return;
+            if (defOp[value] >= 0) {
+                std::ostringstream message;
+                message << role << " value v" << value
+                        << " clobbers the value op " << defOp[value]
+                        << " defined";
+                if (std::find(op.inputs.begin(), op.inputs.end(),
+                              value) != op.inputs.end())
+                    message << " (its own operand)";
+                sink.report("UPL004", locus, message.str());
+                return;
+            }
+            defOp[value] = static_cast<int>(i);
+        };
+        define(op.computeValue, "compute");
+        define(op.referenceValue, "reference");
+
+        if (op.kind == MicroOpKind::Maj)
+            lintMajArithmetic(i, op, sink);
+    }
+
+    if (program.result == pud::kNoValue ||
+        program.result >= program.numValues ||
+        defOp[program.result] < 0) {
+        std::ostringstream message;
+        message << "program result v";
+        if (program.result == pud::kNoValue)
+            message << "<none>";
+        else
+            message << program.result;
+        message << " is never defined";
+        sink.report("UPL010", "program", message.str());
+    } else {
+        ++useCount[program.result];
+    }
+
+    for (ValueId value = 0; value < program.numValues; ++value) {
+        if (defOp[value] < 0 || useCount[value] != 0)
+            continue;
+        const auto producer = static_cast<std::size_t>(defOp[value]);
+        const MicroOp &op = program.ops[producer];
+        std::ostringstream message;
+        if (op.kind == MicroOpKind::Load) {
+            message << "dead staging store: column '" << op.column
+                    << "' is materialized as v" << value
+                    << " but never consumed";
+        } else {
+            message << "dead value v" << value
+                    << ": defined but never consumed and not the "
+                       "program result";
+        }
+        sink.report("UPL002", opLocus(producer, op), message.str());
+    }
+}
+
+namespace {
+
+/** UPL010 unless @p mask covers the geometry; UPL008 when empty. */
+void
+lintMask(const BitVector &mask, std::size_t columns,
+         const std::string &locus, const char *what,
+         DiagnosticSink &sink)
+{
+    if (mask.size() != columns) {
+        std::ostringstream message;
+        message << what << " reliability mask covers " << mask.size()
+                << " columns, chip geometry has " << columns;
+        sink.report("UPL010", locus, message.str());
+        return;
+    }
+    if (mask.popcount() == 0) {
+        std::ostringstream message;
+        message << what
+                << " reliability mask is empty: every column falls "
+                   "back to the CPU";
+        sink.report("UPL008", locus, message.str());
+    }
+}
+
+/** UPL003 when @p rows contains a duplicate global row. */
+void
+lintRowAliasing(const std::vector<RowId> &rows,
+                const std::string &locus, const char *what,
+                DiagnosticSink &sink)
+{
+    std::set<RowId> seen;
+    for (const RowId row : rows) {
+        if (row == kInvalidRow)
+            continue;
+        if (!seen.insert(row).second) {
+            std::ostringstream message;
+            message << what << " row r" << row
+                    << " appears twice in one placed slot";
+            sink.report("UPL003", locus, message.str());
+        }
+    }
+}
+
+} // namespace
+
+void
+lintPlacement(const MicroProgram &program, const Placement &placement,
+              const Chip &chip, DiagnosticSink &sink)
+{
+    const std::size_t n = program.ops.size();
+    if (placement.gateSlotOf.size() != n ||
+        placement.notSlotOf.size() != n ||
+        placement.majSlotOf.size() != n) {
+        std::ostringstream message;
+        message << "op-to-slot maps sized "
+                << placement.gateSlotOf.size() << "/"
+                << placement.notSlotOf.size() << "/"
+                << placement.majSlotOf.size() << " for " << n
+                << " μops";
+        sink.report("UPL010", "placement", message.str());
+        return;
+    }
+
+    const auto columns =
+        static_cast<std::size_t>(chip.geometry().columns);
+    const int decoderCap = chip.decoder().maxSameSubarrayRows();
+
+    const auto slotIndex = [&](const std::vector<int> &map,
+                               std::size_t i, std::size_t slots,
+                               const std::string &locus) {
+        const int index = map[i];
+        if (index < 0)
+            return -1;
+        if (static_cast<std::size_t>(index) >= slots) {
+            std::ostringstream message;
+            message << "slot index " << index << " out of range ("
+                    << slots << " slots)";
+            sink.report("UPL010", locus, message.str());
+            return -1;
+        }
+        return index;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const MicroOp &op = program.ops[i];
+        const std::string locus = opLocus(i, op);
+        switch (op.kind) {
+          case MicroOpKind::Load:
+            break;
+          case MicroOpKind::Wide: {
+            const int s = slotIndex(placement.gateSlotOf, i,
+                                    placement.gateSlots.size(), locus);
+            if (s < 0)
+                break;
+            const pud::GateSlot &slot = placement.gateSlots[s];
+            if (slot.width != op.width() ||
+                static_cast<int>(slot.refRows.size()) != slot.width ||
+                static_cast<int>(slot.computeRows.size()) !=
+                    slot.width) {
+                std::ostringstream message;
+                message << "gate slot " << s << " of width "
+                        << slot.width << " (" << slot.refRows.size()
+                        << " ref / " << slot.computeRows.size()
+                        << " compute rows) hosts a " << op.width()
+                        << "-input gate";
+                sink.report("UPL010", locus, message.str());
+                break;
+            }
+            std::vector<RowId> rows = slot.refRows;
+            rows.insert(rows.end(), slot.computeRows.begin(),
+                        slot.computeRows.end());
+            lintRowAliasing(rows, locus, "activation", sink);
+            for (std::size_t k = 0; k < slot.stagingRows.size(); ++k) {
+                const RowId staging = slot.stagingRows[k];
+                if (staging == kInvalidRow)
+                    continue;
+                if (std::find(rows.begin(), rows.end(), staging) !=
+                    rows.end()) {
+                    std::ostringstream message;
+                    message << "staging row r" << staging
+                            << " aliases an activation row of its "
+                               "own slot";
+                    sink.report("UPL003", locus, message.str());
+                }
+            }
+            if (op.computeValue != pud::kNoValue) {
+                lintMask(slot.mask(op.family), columns, locus,
+                         op.family == BoolOp::And ? "AND side"
+                                                  : "OR side",
+                         sink);
+            }
+            if (op.referenceValue != pud::kNoValue) {
+                const BoolOp inverted = op.family == BoolOp::And
+                                            ? BoolOp::Nand
+                                            : BoolOp::Nor;
+                lintMask(slot.mask(inverted), columns, locus,
+                         inverted == BoolOp::Nand ? "NAND side"
+                                                  : "NOR side",
+                         sink);
+            }
+            break;
+          }
+          case MicroOpKind::Not: {
+            const int s = slotIndex(placement.notSlotOf, i,
+                                    placement.notSlots.size(), locus);
+            if (s < 0)
+                break;
+            const pud::NotSlot &slot = placement.notSlots[s];
+            if (slot.srcRow == slot.dstRow) {
+                std::ostringstream message;
+                message << "NOT source row r" << slot.srcRow
+                        << " aliases its destination";
+                sink.report("UPL003", locus, message.str());
+            }
+            lintMask(slot.mask, columns, locus, "NOT destination",
+                     sink);
+            break;
+          }
+          case MicroOpKind::Maj: {
+            // Capability is intrinsic to the op's encoded group, so
+            // check it even when no slot was found (an oversized
+            // group is unplaceable by construction and the forced
+            // backend that produced it is a plan defect).
+            if (op.activatedRows > decoderCap) {
+                std::ostringstream message;
+                message << "MAJ group of " << op.activatedRows
+                        << " rows exceeds the design's same-subarray "
+                           "capability of "
+                        << decoderCap << " rows";
+                sink.report("UPL006", locus, message.str());
+            }
+            const int s = slotIndex(placement.majSlotOf, i,
+                                    placement.majSlots.size(), locus);
+            if (s < 0)
+                break;
+            const pud::MajSlot &slot = placement.majSlots[s];
+            if (static_cast<int>(slot.rows.size()) !=
+                    op.activatedRows ||
+                slot.activatedRows != op.activatedRows) {
+                std::ostringstream message;
+                message << "maj slot " << s << " activates "
+                        << slot.rows.size() << " rows (slot says "
+                        << slot.activatedRows << "), op needs "
+                        << op.activatedRows;
+                sink.report("UPL007", locus, message.str());
+                break;
+            }
+            bool sameSub = true;
+            for (const RowId row : slot.rows) {
+                sameSub &= sameSubarray(chip.geometry(),
+                                        slot.rows.front(), row);
+            }
+            if (!sameSub) {
+                sink.report("UPL007", locus,
+                            "activation group spans more than one "
+                            "subarray (SiMRA charge sharing needs "
+                            "one set of bitlines)");
+            }
+            lintRowAliasing(slot.rows, locus, "group", sink);
+            lintMask(slot.mask, columns, locus, "MAJ result", sink);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace fcdram::verify

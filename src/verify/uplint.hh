@@ -1,0 +1,66 @@
+/**
+ * @file
+ * μprogram and placement lint: def-use analysis over the compiled
+ * MicroProgram IR and consistency checks over its placement onto
+ * allocator slots.
+ *
+ * Program-level rules (no placement needed):
+ *
+ *  - UPL001 use-before-init: an operand value no earlier μop defines
+ *    (covers forward references — in program order the executor would
+ *    read an uninitialized operand row);
+ *  - UPL002 dead value: a defined value (or Load staging store) that
+ *    no μop consumes and that is not the program result;
+ *  - UPL003 operand aliasing: one value appearing twice in a gate's
+ *    operand list (two rows of one simultaneous activation charged
+ *    from the same value);
+ *  - UPL004 clobber: a value defined twice, including a gate whose
+ *    output value is one of its own operands;
+ *  - UPL005 wave order: an operand whose producer's topological wave
+ *    is not strictly earlier than the consumer's;
+ *  - UPL006 MAJ arithmetic: operand/constant/neutral row counts that
+ *    do not sum to the (power-of-two) activation group, a missing
+ *    neutral tiebreaker, or an even voting-cell count (ties);
+ *  - UPL010 envelope: value ids out of range, missing results, wrong
+ *    operand counts per kind, reference values on non-Wide ops.
+ *
+ * Placement-level rules (need the target chip):
+ *
+ *  - UPL003 row aliasing: duplicate rows within one placed slot, or a
+ *    staging row colliding with a compute/reference row;
+ *  - UPL006 capability: a MAJ activation group larger than the
+ *    design's decoder can expand (checked whether or not the op got a
+ *    slot — an oversized group is unplaceable by construction);
+ *  - UPL007 membership: a placed MAJ group whose rows are not all in
+ *    one subarray, or whose row count disagrees with the op;
+ *  - UPL008 coverage: a consumed slot side whose reliability mask is
+ *    empty (every column falls back to the CPU);
+ *  - UPL010 envelope: slot indices out of range, slot/op width
+ *    mismatches, masks sized differently from the chip geometry.
+ *
+ * μops without a slot are legal (the executor falls back to the CPU
+ * golden model per gate); the lint only checks what is placed.
+ */
+
+#ifndef FCDRAM_VERIFY_UPLINT_HH
+#define FCDRAM_VERIFY_UPLINT_HH
+
+#include "dram/chip.hh"
+#include "pud/allocator.hh"
+#include "pud/compiler.hh"
+#include "verify/diagnostics.hh"
+
+namespace fcdram::verify {
+
+/** Lint the μprogram dataflow (chip-independent). */
+void lintMicroProgram(const pud::MicroProgram &program,
+                      DiagnosticSink &sink);
+
+/** Lint @p placement of @p program against @p chip. */
+void lintPlacement(const pud::MicroProgram &program,
+                   const pud::Placement &placement, const Chip &chip,
+                   DiagnosticSink &sink);
+
+} // namespace fcdram::verify
+
+#endif // FCDRAM_VERIFY_UPLINT_HH

@@ -1,0 +1,223 @@
+#include "verify/verifier.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "bender/program.hh"
+#include "config/timing.hh"
+#include "dram/address.hh"
+#include "fcdram/ops.hh"
+
+namespace fcdram::verify {
+
+namespace {
+
+using pud::MicroOp;
+using pud::MicroOpKind;
+using pud::MicroProgram;
+using pud::Placement;
+
+/**
+ * Synthesizes the command programs the executor will issue for each
+ * placed slot — the same ProgramBuilder shapes as fcdram/ops.cc,
+ * labeled with their DramLabel epochs — and feeds them through the
+ * command lint.
+ */
+class SlotPrograms
+{
+  public:
+    SlotPrograms(const Chip &chip, DiagnosticSink &sink)
+        : chip_(chip), sink_(sink),
+          ignores_(chip.profile().decoder.ignoresViolatedCommands)
+    {
+    }
+
+    /** Frac init + double-ACT logic (+ RowClone copy-in) of a gate. */
+    void gate(const pud::GateSlot &slot, const std::string &locus,
+              bool rowCloneCopyIn)
+    {
+        if (!slot.refRows.empty()) {
+            frac(slot.context.bank, slot.refRows.back(), slot.refRows,
+                 locus);
+        }
+        doubleAct(slot.context.bank, slot.refAnchor, slot.comAnchor,
+                  "Logic", locus);
+        if (!rowCloneCopyIn)
+            return;
+        const std::size_t staged = std::min(slot.stagingRows.size(),
+                                            slot.computeRows.size());
+        for (std::size_t k = 0; k < staged; ++k) {
+            if (slot.stagingRows[k] == kInvalidRow)
+                continue;
+            notClone(slot.context.bank, slot.stagingRows[k],
+                     slot.computeRows[k], "RowClone", locus);
+        }
+    }
+
+    void notGate(const pud::NotSlot &slot, const std::string &locus)
+    {
+        notClone(slot.context.bank, slot.srcRow, slot.dstRow, "NOT",
+                 locus);
+    }
+
+    /** Frac init of the neutral row + the MAJ group activation. */
+    void maj(const pud::MajSlot &slot, const std::string &locus)
+    {
+        if (!slot.rows.empty())
+            frac(slot.context.bank, slot.rows.back(), slot.rows,
+                 locus);
+        doubleAct(slot.context.bank, slot.rfAnchor, slot.rlAnchor,
+                  "MAJ", locus);
+    }
+
+  private:
+    ProgramBuilder builder() const
+    {
+        return ProgramBuilder(chip_.profile().speed);
+    }
+
+    void lint(const Program &program, const char *epoch,
+              const std::string &locus)
+    {
+        CommandLintContext context;
+        context.epoch = epoch;
+        context.ignoresViolatedCommands = ignores_;
+        std::ostringstream prefixed;
+        prefixed << locus << " " << epoch;
+        context.locus = prefixed.str();
+        lintCommandProgram(program, context, sink_);
+    }
+
+    /** Ops::buildDoubleAct: ACT - violated PRE/ACT - nominal PRE. */
+    void doubleAct(BankId bank, RowId first, RowId second,
+                   const char *epoch, const std::string &locus)
+    {
+        ProgramBuilder b = builder();
+        b.act(bank, first, 0.0)
+            .pre(bank, kViolatedGapTargetNs)
+            .act(bank, second, kViolatedGapTargetNs)
+            .preNominal(bank);
+        lint(b.build(), epoch, locus);
+    }
+
+    /** Ops::buildNot / buildRowClone: full restore, glitched ACT. */
+    void notClone(BankId bank, RowId src, RowId dst, const char *epoch,
+                  const std::string &locus)
+    {
+        ProgramBuilder b = builder();
+        b.act(bank, src, 0.0)
+            .pre(bank, TimingParams::nominal().tRas)
+            .act(bank, dst, kViolatedGapTargetNs)
+            .preNominal(bank);
+        lint(b.build(), epoch, locus);
+    }
+
+    /**
+     * Ops::fracInit of @p target (all gaps violated). Skipped when no
+     * pair-activating donor exists — the runtime then falls back to
+     * the CPU for the hosting gate, which is legal.
+     */
+    void frac(BankId bank, RowId target,
+              const std::vector<RowId> &avoid,
+              const std::string &locus)
+    {
+        const GeometryConfig &geometry = chip_.geometry();
+        const RowAddress address = decomposeRow(geometry, target);
+        std::vector<RowId> avoidLocal;
+        for (const RowId row : avoid) {
+            const RowAddress a = decomposeRow(geometry, row);
+            if (a.subarray == address.subarray)
+                avoidLocal.push_back(a.localRow);
+        }
+        const RowId helperLocal = findPairActivatingDonor(
+            chip_, address.localRow, avoidLocal);
+        if (helperLocal == kInvalidRow)
+            return;
+        const RowId helper =
+            composeRow(geometry, address.subarray, helperLocal);
+        ProgramBuilder b = builder();
+        b.act(bank, helper, 0.0)
+            .pre(bank, kViolatedGapTargetNs)
+            .act(bank, target, kViolatedGapTargetNs)
+            .pre(bank, kViolatedGapTargetNs);
+        lint(b.build(), "Frac", locus);
+    }
+
+    const Chip &chip_;
+    DiagnosticSink &sink_;
+    bool ignores_;
+};
+
+} // namespace
+
+DiagnosticSink
+verifyPlan(const MicroProgram &program, const Placement &placement,
+           const Chip &chip, Celsius maskTemperature,
+           Celsius executeTemperature, bool rowCloneCopyIn)
+{
+    DiagnosticSink sink;
+    lintMicroProgram(program, sink);
+    lintPlacement(program, placement, chip, sink);
+
+    if (maskTemperature != executeTemperature) {
+        std::ostringstream message;
+        message << "reliability masks derived at " << maskTemperature
+                << "C, plan executes at " << executeTemperature
+                << "C (stale masks must be re-derived)";
+        sink.report("UPL009", "plan", message.str());
+    }
+
+    // Command-level lint of what each placed slot will issue. Every
+    // distinct slot is synthesized once (slots are reused across the
+    // ops of one program, and the command stream depends only on the
+    // slot's rows).
+    const std::size_t n = program.ops.size();
+    if (placement.gateSlotOf.size() != n ||
+        placement.notSlotOf.size() != n ||
+        placement.majSlotOf.size() != n)
+        return sink; // Envelope error already reported.
+
+    SlotPrograms programs(chip, sink);
+    std::vector<bool> gateDone(placement.gateSlots.size(), false);
+    std::vector<bool> notDone(placement.notSlots.size(), false);
+    std::vector<bool> majDone(placement.majSlots.size(), false);
+    for (std::size_t i = 0; i < n; ++i) {
+        const MicroOp &op = program.ops[i];
+        std::ostringstream locusStream;
+        locusStream << "op " << i;
+        const std::string locus = locusStream.str();
+        const int g = placement.gateSlotOf[i];
+        if (op.kind == MicroOpKind::Wide && g >= 0 &&
+            static_cast<std::size_t>(g) < gateDone.size() &&
+            !gateDone[g]) {
+            gateDone[g] = true;
+            programs.gate(placement.gateSlots[g], locus,
+                          rowCloneCopyIn);
+        }
+        const int t = placement.notSlotOf[i];
+        if (op.kind == MicroOpKind::Not && t >= 0 &&
+            static_cast<std::size_t>(t) < notDone.size() &&
+            !notDone[t]) {
+            notDone[t] = true;
+            programs.notGate(placement.notSlots[t], locus);
+        }
+        const int m = placement.majSlotOf[i];
+        if (op.kind == MicroOpKind::Maj && m >= 0 &&
+            static_cast<std::size_t>(m) < majDone.size() &&
+            !majDone[m]) {
+            majDone[m] = true;
+            programs.maj(placement.majSlots[m], locus);
+        }
+    }
+    return sink;
+}
+
+DiagnosticSink
+verifyPlan(const MicroProgram &program, const Placement &placement,
+           const Chip &chip, Celsius maskTemperature)
+{
+    return verifyPlan(program, placement, chip, maskTemperature,
+                      chip.temperature());
+}
+
+} // namespace fcdram::verify

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Top-level static plan verifier: one entry point that runs both lint
+ * levels over a placed plan before anything touches the (simulated)
+ * chip.
+ *
+ * verifyPlan() chains
+ *
+ *  1. the μprogram dataflow lint (verify/uplint.hh),
+ *  2. the placement lint against the target chip,
+ *  3. a mask-temperature consistency check (UPL009), and
+ *  4. the command-program lint (verify/cmdlint.hh) over the command
+ *     sequences the executor will issue per placed slot — the Frac
+ *     reference init, the double-ACT logic sequence, cross-subarray
+ *     NOT, the SiMRA MAJ activation, and RowClone copy-in when
+ *     enabled — synthesized with the same ProgramBuilder shapes as
+ *     fcdram/ops.cc and labeled with their DramLabel epochs.
+ *
+ * The returned DiagnosticSink is the cached verdict: PlanCache stores
+ * it in the PlacementPlan (so a warm submit re-checks nothing) and
+ * QueryService::submit throws VerifyError for Error-bearing plans
+ * under pud::VerifyPolicy::Enforce.
+ */
+
+#ifndef FCDRAM_VERIFY_VERIFIER_HH
+#define FCDRAM_VERIFY_VERIFIER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "dram/chip.hh"
+#include "pud/allocator.hh"
+#include "pud/compiler.hh"
+#include "verify/cmdlint.hh"
+#include "verify/diagnostics.hh"
+#include "verify/uplint.hh"
+
+namespace fcdram::verify {
+
+/**
+ * Thrown by QueryService::submit when a plan carries Error
+ * diagnostics and verification is enforcing; carries the full
+ * verdict for the caller to inspect or render.
+ */
+class VerifyError : public std::runtime_error
+{
+  public:
+    VerifyError(const std::string &what, DiagnosticSink report)
+        : std::runtime_error(what), report_(std::move(report))
+    {
+    }
+
+    const DiagnosticSink &report() const { return report_; }
+
+  private:
+    DiagnosticSink report_;
+};
+
+/**
+ * Statically verify one placed plan against @p chip.
+ *
+ * @param maskTemperature Temperature the placement's reliability
+ *        masks were derived at.
+ * @param executeTemperature Temperature the plan will execute at
+ *        (UPL009 on mismatch; the runtime engine additionally
+ *        enforces this as a hard error).
+ * @param rowCloneCopyIn Also lint the staging->compute RowClone
+ *        programs (CopyInMode::RowClone engines).
+ */
+DiagnosticSink verifyPlan(const pud::MicroProgram &program,
+                          const pud::Placement &placement,
+                          const Chip &chip, Celsius maskTemperature,
+                          Celsius executeTemperature,
+                          bool rowCloneCopyIn = false);
+
+/** Same, executing at the chip's current temperature. */
+DiagnosticSink verifyPlan(const pud::MicroProgram &program,
+                          const pud::Placement &placement,
+                          const Chip &chip, Celsius maskTemperature);
+
+} // namespace fcdram::verify
+
+#endif // FCDRAM_VERIFY_VERIFIER_HH

@@ -159,8 +159,9 @@ TEST_F(BenderFixture, NotComplementsSharedColumns)
     const BitVector readback = bender_.readRow(0, dst);
     for (ColId col = 0; col < static_cast<ColId>(geometry().columns);
          ++col) {
-        if (columnShared(1, 2, col))
+        if (columnShared(1, 2, col)) {
             EXPECT_NE(readback.get(col), pattern.get(col));
+        }
         else
             EXPECT_EQ(readback.get(col), pattern.get(col));
     }
@@ -222,8 +223,9 @@ TEST_F(BenderFixture, SamsungSequentialNotSingleDestination)
     const BitVector readback = bender.readRow(0, dst);
     for (ColId col = 0; col < static_cast<ColId>(chip.geometry().columns);
          ++col) {
-        if (columnShared(1, 2, col))
+        if (columnShared(1, 2, col)) {
             EXPECT_NE(readback.get(col), pattern.get(col));
+        }
     }
 }
 

@@ -250,8 +250,9 @@ TEST_P(LogicMarginProperty, MidPatternsBeatWorstCases)
     const double mid = model.logicMargin(ctx);
     ctx.numOnes = and_family ? n : 0;
     const double boundary = model.logicMargin(ctx);
-    if (n > 2)
+    if (n > 2) {
         EXPECT_GT(mid, boundary);
+    }
 }
 
 TEST_P(LogicMarginProperty, MarginFiniteAndBounded)
