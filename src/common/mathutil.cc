@@ -76,6 +76,34 @@ meanOf(const std::vector<double> &values)
 }
 
 double
+binomialTail(int n, int k, double p)
+{
+    assert(n >= 0);
+    assert(p >= 0.0 && p <= 1.0);
+    if (k <= 0)
+        return 1.0;
+    if (k > n)
+        return 0.0;
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return 1.0;
+    const double logP = std::log(p);
+    const double logQ = std::log1p(-p);
+    const double logFactN = std::lgamma(static_cast<double>(n) + 1.0);
+    double tail = 0.0;
+    for (int j = k; j <= n; ++j) {
+        const double logTerm =
+            logFactN - std::lgamma(static_cast<double>(j) + 1.0) -
+            std::lgamma(static_cast<double>(n - j) + 1.0) +
+            static_cast<double>(j) * logP +
+            static_cast<double>(n - j) * logQ;
+        tail += std::exp(logTerm);
+    }
+    return clampTo(tail, 0.0, 1.0);
+}
+
+double
 quantileSorted(const std::vector<double> &sorted, double q)
 {
     assert(!sorted.empty());

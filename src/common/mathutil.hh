@@ -32,6 +32,18 @@ double meanOf(const std::vector<double> &values);
  */
 double quantileSorted(const std::vector<double> &sorted, double q);
 
+/**
+ * Upper binomial tail P(X >= k) for X ~ Binomial(n, p), evaluated in
+ * log space so large trial counts stay stable. Used by the plan
+ * certifier (majority-vote error amplification over the redundancy
+ * trials) and by the bench-side exact soundness test of certified
+ * bounds against Monte-Carlo error counts.
+ *
+ * @pre n >= 0 and 0 <= p <= 1. k outside [0, n] clamps to the exact
+ *      tail value (1 for k <= 0, 0 for k > n).
+ */
+double binomialTail(int n, int k, double p);
+
 } // namespace fcdram
 
 #endif // FCDRAM_COMMON_MATHUTIL_HH

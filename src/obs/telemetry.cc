@@ -121,6 +121,7 @@ Telemetry::configure(const TelemetryConfig &config)
     metricsOn_.store(config.metrics, std::memory_order_relaxed);
     spansOn_.store(config.spans, std::memory_order_relaxed);
     dramOn_.store(config.dramTrace, std::memory_order_relaxed);
+    wallClockOn_.store(config.wallClock, std::memory_order_relaxed);
 }
 
 void
@@ -132,6 +133,8 @@ Telemetry::enable(const TelemetryConfig &config)
         spansOn_.store(true, std::memory_order_relaxed);
     if (config.dramTrace)
         dramOn_.store(true, std::memory_order_relaxed);
+    if (config.wallClock)
+        wallClockOn_.store(true, std::memory_order_relaxed);
 }
 
 TelemetryConfig
@@ -141,6 +144,7 @@ Telemetry::config() const
     config.metrics = metricsOn();
     config.spans = spansOn();
     config.dramTrace = dramOn();
+    config.wallClock = wallClockOn();
     return config;
 }
 

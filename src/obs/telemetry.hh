@@ -61,6 +61,16 @@ struct TelemetryConfig
     bool spans = false;     ///< Trace spans record.
     bool dramTrace = false; ///< DRAM command programs record.
 
+    /**
+     * Allow wall-clock duration observations into the metrics
+     * registry (e.g. the plan-certifier's verify.certify_ns
+     * histogram). Off by default — and kept off by every
+     * determinism-checked path — because wall-clock values break the
+     * byte-identical-across-worker-counts metrics contract. Only
+     * effective when metrics is also on.
+     */
+    bool wallClock = false;
+
     bool any() const { return metrics || spans || dramTrace; }
 };
 
@@ -101,6 +111,10 @@ class Telemetry
     bool dramOn() const
     {
         return dramOn_.load(std::memory_order_relaxed);
+    }
+    bool wallClockOn() const
+    {
+        return wallClockOn_.load(std::memory_order_relaxed);
     }
 
     /**
@@ -243,6 +257,7 @@ class Telemetry
     std::atomic<bool> metricsOn_{false};
     std::atomic<bool> spansOn_{false};
     std::atomic<bool> dramOn_{false};
+    std::atomic<bool> wallClockOn_{false};
 
     /**
      * Validates thread-local caches together with the instance

@@ -42,10 +42,34 @@ GateSlot::score() const
            ReliableMask::maskDensity(nandMask) + ReliableMask::maskDensity(norMask);
 }
 
+namespace {
+
+/**
+ * Threshold cut of a per-column success-probability vector. Columns
+ * the mechanism does not reach (probability sentinel -1.0) never pass
+ * any threshold, including 0.
+ */
 BitVector
-worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
-                   RowId refGlobal, RowId comGlobal,
-                   double thresholdPercent, Celsius temperature)
+thresholdMask(const std::vector<double> &probabilities,
+              double thresholdPercent)
+{
+    if (probabilities.empty())
+        return BitVector();
+    BitVector mask(probabilities.size(), false);
+    for (std::size_t col = 0; col < probabilities.size(); ++col) {
+        mask.set(col, probabilities[col] >= 0.0 &&
+                          100.0 * probabilities[col] >=
+                              thresholdPercent);
+    }
+    return mask;
+}
+
+} // namespace
+
+std::vector<double>
+logicSuccessProbabilities(const Chip &chip, BankId bank, BoolOp op,
+                          RowId refGlobal, RowId comGlobal,
+                          Celsius temperature, MarginCase marginCase)
 {
     const GeometryConfig &geometry = chip.geometry();
     const RowAddress ref = decomposeRow(geometry, refGlobal);
@@ -53,7 +77,7 @@ worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
     const ActivationSets sets =
         chip.decoder().neighborActivation(ref.localRow, com.localRow);
     if (!sets.simultaneous || sets.nrf() != sets.nrl())
-        return BitVector();
+        return {};
     const int n = sets.nrl();
 
     const SuccessModel &model = chip.model();
@@ -63,7 +87,7 @@ worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
         sharedColumns(geometry, ref.subarray, com.subarray);
 
     // The executor reads the first row of the measured side, so the
-    // mask covers exactly that row's cells.
+    // probabilities cover exactly that row's cells.
     const bool measureRef = isInvertedOp(op);
     const auto &rows = measureRef ? sets.firstRows : sets.secondRows;
     const SubarrayId rowSa = measureRef ? ref.subarray : com.subarray;
@@ -73,8 +97,9 @@ worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
     LogicContext ctx;
     ctx.op = op;
     ctx.numInputs = n;
-    // Worst operand pattern: full neighbor-bitline disagreement.
-    ctx.cond.couplingFraction = 1.0;
+    // Worst: full neighbor-bitline disagreement; Best: none.
+    ctx.cond.couplingFraction =
+        marginCase == MarginCase::Worst ? 1.0 : 0.0;
     // Trust columns at the temperature the run will execute at.
     ctx.cond.temperature = temperature;
     const Region own = rowSub.regionFor(measured, stripe);
@@ -92,58 +117,65 @@ worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
 
     // The sensing margin depends on how many operand rows carry
     // logic-1 at a column; a deployment mask must hold for every
-    // count, so take the worst.
-    Volt worstMargin = 0.0;
+    // count (take the minimum), while the optimistic interval side
+    // may assume the easiest count (take the maximum).
+    Volt extremeMargin = 0.0;
     for (int k = 0; k <= n; ++k) {
         ctx.numOnes = k;
         const Volt margin = model.logicMargin(ctx);
-        worstMargin = k == 0 ? margin : std::min(worstMargin, margin);
+        if (k == 0)
+            extremeMargin = margin;
+        else if (marginCase == MarginCase::Worst)
+            extremeMargin = std::min(extremeMargin, margin);
+        else
+            extremeMargin = std::max(extremeMargin, margin);
     }
 
-    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    std::vector<double> probabilities(
+        static_cast<std::size_t>(geometry.columns), -1.0);
     const RowId global = composeRow(geometry, rowSa, measured);
     for (const ColId col : columns) {
         const Volt offset = model.staticOffset(bank, global, col, stripe);
         const bool failStruct = model.structuralFail(bank, stripe, col, n);
-        const double p = model.cellSuccessProbability(worstMargin,
-                                                      offset, failStruct);
-        mask.set(col, 100.0 * p >= thresholdPercent);
+        probabilities[col] = model.cellSuccessProbability(
+            extremeMargin, offset, failStruct);
     }
-    return mask;
+    return probabilities;
 }
 
-BitVector
-worstCaseNotMask(const Chip &chip, BankId bank, RowId srcGlobal,
-                 RowId dstGlobal, double thresholdPercent,
-                 Celsius temperature)
+std::vector<double>
+notSuccessProbabilities(const Chip &chip, BankId bank, RowId srcGlobal,
+                        RowId dstGlobal, Celsius temperature,
+                        MarginCase marginCase)
 {
     AnalyticConfig config;
     config.sampleBinomial = false;
     AnalyticAnalyzer analyzer(chip, config, 0);
     OpConditions cond;
-    cond.couplingFraction = 1.0; // Worst source data pattern.
+    cond.couplingFraction =
+        marginCase == MarginCase::Worst ? 1.0 : 0.0;
     cond.temperature = temperature;
     const auto samples =
         analyzer.notSamples(bank, srcGlobal, dstGlobal, cond);
     if (samples.empty())
-        return BitVector();
+        return {};
     const GeometryConfig &geometry = chip.geometry();
     // The executor reads the first destination row of the activation.
     const RowId measured = samples.front().rowLocal;
-    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    std::vector<double> probabilities(
+        static_cast<std::size_t>(geometry.columns), -1.0);
     for (const CellSample &sample : samples) {
         if (sample.rowLocal != measured)
             continue;
-        mask.set(sample.col,
-                 100.0 * sample.probability >= thresholdPercent);
+        probabilities[sample.col] = sample.probability;
     }
-    return mask;
+    return probabilities;
 }
 
-BitVector
-worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
-                      RowId dstGlobal, double thresholdPercent,
-                      Celsius temperature)
+std::vector<double>
+rowCloneSuccessProbabilities(const Chip &chip, BankId bank,
+                             RowId srcGlobal, RowId dstGlobal,
+                             Celsius temperature, MarginCase marginCase)
 {
     const GeometryConfig &geometry = chip.geometry();
     const RowAddress src = decomposeRow(geometry, srcGlobal);
@@ -152,7 +184,7 @@ worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
     const auto set = chip.decoder().sameSubarrayActivation(
         src.localRow, dst.localRow);
     if (set.size() != 2)
-        return BitVector();
+        return {};
 
     // Mirror the executor's RowClone drive model (applyRowClone):
     // the restored source overdrives the activated set.
@@ -160,11 +192,13 @@ worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
     const int total = static_cast<int>(set.size()) + 1;
     ComparisonContext ctx;
     ctx.cellsPerSide = total;
-    ctx.couplingFraction = 1.0; // Worst source data pattern.
+    ctx.couplingFraction =
+        marginCase == MarginCase::Worst ? 1.0 : 0.0;
     ctx.temperature = temperature;
     const Volt margin = model.driveMarginMech(total + 1, ctx);
 
-    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    std::vector<double> probabilities(
+        static_cast<std::size_t>(geometry.columns), -1.0);
     for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
          ++col) {
         const StripeId stripe = stripeFor(dst.subarray, col);
@@ -172,17 +206,16 @@ worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
             model.staticOffset(bank, dstGlobal, col, stripe);
         const bool failStruct =
             model.structuralFail(bank, stripe, col, (total + 1) / 2);
-        const double p =
-            model.cellSuccessProbability(margin, offset, failStruct);
-        mask.set(col, 100.0 * p >= thresholdPercent);
+        probabilities[col] = model.cellSuccessProbability(
+            margin, offset, failStruct);
     }
-    return mask;
+    return probabilities;
 }
 
-BitVector
-worstCaseMajMask(const Chip &chip, BankId bank, RowId rfGlobal,
-                 RowId rlGlobal, int activatedRows,
-                 double thresholdPercent, Celsius temperature)
+std::vector<double>
+majSuccessProbabilities(const Chip &chip, BankId bank, RowId rfGlobal,
+                        RowId rlGlobal, int activatedRows,
+                        Celsius temperature, MarginCase marginCase)
 {
     const GeometryConfig &geometry = chip.geometry();
     const RowAddress rf = decomposeRow(geometry, rfGlobal);
@@ -192,24 +225,37 @@ worstCaseMajMask(const Chip &chip, BankId bank, RowId rfGlobal,
         rf.localRow, rl.localRow);
     if (static_cast<int>(set.size()) != activatedRows ||
         activatedRows < 2)
-        return BitVector();
+        return {};
 
     const SuccessModel &model = chip.model();
     MajContext ctx;
     ctx.activatedRows = activatedRows;
     ctx.neutralCells = 1;
-    ctx.cond.couplingFraction = 1.0; // Worst data pattern.
+    ctx.cond.couplingFraction =
+        marginCase == MarginCase::Worst ? 1.0 : 0.0;
     ctx.cond.temperature = temperature;
-    // The deciding vote of any hosted gate is one cell; the
-    // just-above-half count sits on the penalized high-common-mode
-    // side, so it lower-bounds both output polarities.
-    ctx.numOnes = activatedRows / 2;
-    const Volt margin = model.majMargin(ctx);
+    Volt margin = 0.0;
+    if (marginCase == MarginCase::Worst) {
+        // The deciding vote of any hosted gate is one cell; the
+        // just-above-half count sits on the penalized high-common-mode
+        // side, so it lower-bounds both output polarities.
+        ctx.numOnes = activatedRows / 2;
+        margin = model.majMargin(ctx);
+    } else {
+        // Optimistic side: the easiest ones-count any hosted gate can
+        // present (maximum margin over the non-neutral cells).
+        for (int k = 0; k < activatedRows; ++k) {
+            ctx.numOnes = k;
+            const Volt candidate = model.majMargin(ctx);
+            margin = k == 0 ? candidate : std::max(margin, candidate);
+        }
+    }
 
     const RowId measured = set.front();
     const RowId global = composeRow(geometry, rf.subarray, measured);
     const int pair_load = (activatedRows + 1) / 2;
-    BitVector mask(static_cast<std::size_t>(geometry.columns), false);
+    std::vector<double> probabilities(
+        static_cast<std::size_t>(geometry.columns), -1.0);
     for (ColId col = 0; col < static_cast<ColId>(geometry.columns);
          ++col) {
         const StripeId stripe = stripeFor(rf.subarray, col);
@@ -217,11 +263,55 @@ worstCaseMajMask(const Chip &chip, BankId bank, RowId rfGlobal,
             model.staticOffset(bank, global, col, stripe);
         const bool failStruct =
             model.structuralFail(bank, stripe, col, pair_load);
-        const double p = model.cellSuccessProbability(margin, offset,
-                                                      failStruct);
-        mask.set(col, 100.0 * p >= thresholdPercent);
+        probabilities[col] = model.cellSuccessProbability(
+            margin, offset, failStruct);
     }
-    return mask;
+    return probabilities;
+}
+
+BitVector
+worstCaseLogicMask(const Chip &chip, BankId bank, BoolOp op,
+                   RowId refGlobal, RowId comGlobal,
+                   double thresholdPercent, Celsius temperature)
+{
+    return thresholdMask(
+        logicSuccessProbabilities(chip, bank, op, refGlobal, comGlobal,
+                                  temperature, MarginCase::Worst),
+        thresholdPercent);
+}
+
+BitVector
+worstCaseNotMask(const Chip &chip, BankId bank, RowId srcGlobal,
+                 RowId dstGlobal, double thresholdPercent,
+                 Celsius temperature)
+{
+    return thresholdMask(
+        notSuccessProbabilities(chip, bank, srcGlobal, dstGlobal,
+                                temperature, MarginCase::Worst),
+        thresholdPercent);
+}
+
+BitVector
+worstCaseRowCloneMask(const Chip &chip, BankId bank, RowId srcGlobal,
+                      RowId dstGlobal, double thresholdPercent,
+                      Celsius temperature)
+{
+    return thresholdMask(
+        rowCloneSuccessProbabilities(chip, bank, srcGlobal, dstGlobal,
+                                     temperature, MarginCase::Worst),
+        thresholdPercent);
+}
+
+BitVector
+worstCaseMajMask(const Chip &chip, BankId bank, RowId rfGlobal,
+                 RowId rlGlobal, int activatedRows,
+                 double thresholdPercent, Celsius temperature)
+{
+    return thresholdMask(
+        majSuccessProbabilities(chip, bank, rfGlobal, rlGlobal,
+                                activatedRows, temperature,
+                                MarginCase::Worst),
+        thresholdPercent);
 }
 
 RowAllocator::RowAllocator(const FleetSession &session,

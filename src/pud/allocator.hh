@@ -236,6 +236,55 @@ class RowAllocator
 };
 
 /**
+ * Extremal operating assumption the per-column success probabilities
+ * are evaluated under. Worst pins the minimum margin over operand
+ * ones-counts at full bitline coupling (the deployment-mask side);
+ * Best pins the maximum margin at zero coupling (the optimistic side
+ * of the certifier's error intervals). Both bound every concrete
+ * operand pattern the executor can face.
+ */
+enum class MarginCase : std::uint8_t { Worst, Best };
+
+/**
+ * Per-column per-trial success probability of one executed gate side
+ * under @p marginCase, indexed by column id. Columns the mechanism
+ * does not reach (outside the subarray pair's shared stripe) hold
+ * -1.0; empty when the pair does not activate as N:N simultaneous.
+ * worstCaseLogicMask is exactly the threshold cut of the Worst
+ * vector, and the plan certifier (verify/certify) seeds its gate
+ * flip-probability intervals from the [Worst, Best] pair.
+ */
+std::vector<double>
+logicSuccessProbabilities(const Chip &chip, BankId bank, BoolOp op,
+                          RowId refGlobal, RowId comGlobal,
+                          Celsius temperature, MarginCase marginCase);
+
+/** Per-column success probabilities of a NOT destination row. */
+std::vector<double>
+notSuccessProbabilities(const Chip &chip, BankId bank, RowId srcGlobal,
+                        RowId dstGlobal, Celsius temperature,
+                        MarginCase marginCase);
+
+/** Per-column success probabilities of an in-subarray RowClone. */
+std::vector<double>
+rowCloneSuccessProbabilities(const Chip &chip, BankId bank,
+                             RowId srcGlobal, RowId dstGlobal,
+                             Celsius temperature,
+                             MarginCase marginCase);
+
+/**
+ * Per-column success probabilities of a SiMRA MAJ group's measured
+ * (first) row. Worst evaluates the one-deciding-cell margin on the
+ * penalized high-common-mode side; Best the easiest ones-count at
+ * zero coupling. Empty when the pair does not expand to
+ * @p activatedRows rows.
+ */
+std::vector<double>
+majSuccessProbabilities(const Chip &chip, BankId bank, RowId rfGlobal,
+                        RowId rlGlobal, int activatedRows,
+                        Celsius temperature, MarginCase marginCase);
+
+/**
  * Worst-case reliable mask of one executed gate side: for every
  * shared column, the minimum success probability over all operand
  * ones-counts at full bitline coupling must meet @p thresholdPercent.

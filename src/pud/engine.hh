@@ -44,6 +44,8 @@
 #include "obs/telemetry.hh"
 #include "pud/allocator.hh"
 #include "pud/compiler.hh"
+#include "verify/certify.hh"
+#include "verify/pressure.hh"
 
 namespace fcdram::pud {
 
@@ -166,6 +168,22 @@ struct EngineOptions
      * untouched.
      */
     obs::TelemetryConfig telemetry;
+
+    /**
+     * Submit-time accuracy SLO checked against every derived plan's
+     * certificate (verify/certify.hh). A certificate missing either
+     * bound reports UPL202 into the plan's verdict, which Enforce
+     * rejects and Report annotates. Disabled by default. Only
+     * evaluated when the verify policy runs (not Off).
+     */
+    verify::AccuracySlo slo;
+
+    /**
+     * Per-row activation disturbance budget the static pressure
+     * analysis (verify/pressure.hh) checks each derived plan against;
+     * excesses report UPL201 (Warning) into the plan's verdict.
+     */
+    verify::PressureBudget pressure;
 };
 
 /**
@@ -283,6 +301,12 @@ struct ModuleQueryStats
     std::string label;
     std::size_t moduleIndex = 0;
     QueryResult result;
+
+    /**
+     * Certified reliability bounds of the executed plan (the
+     * PlacementPlan's cached certificate), when verification ran.
+     */
+    verify::PlanCertificate certificate;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <sstream>
 
 #include "obs/telemetry.hh"
 #include "verify/verifier.hh"
@@ -167,10 +168,61 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
         obs::Span span(obs::global(), "plan.verify");
         span.arg("expr", exprHash);
         span.arg("module", static_cast<std::uint64_t>(module.index));
-        plan->verification = verify::verifyPlan(
-            *program, plan->placement, chip, temperature, temperature,
-            engine_->options().copyIn == CopyInMode::RowClone);
+        const bool rowClone =
+            engine_->options().copyIn == CopyInMode::RowClone;
+        plan->verification =
+            verify::verifyPlan(*program, plan->placement, chip,
+                               temperature, temperature, rowClone);
         obs::Telemetry &tel = obs::global();
+
+        // Certify + pressure ride the same derivation: the abstract
+        // interpretation over the placed dataflow (nested span) and
+        // the static activation census, both cached on the plan.
+        {
+            obs::Span certifySpan(obs::global(), "plan.certify");
+            certifySpan.arg("expr", exprHash);
+            certifySpan.arg("module",
+                            static_cast<std::uint64_t>(module.index));
+            const double startUs = obs::Telemetry::nowUs();
+            plan->certificate = verify::certifyPlan(
+                *program, plan->placement, chip, temperature,
+                engine_->options().redundancy, rowClone);
+            plan->pressure = verify::analyzeActivationPressure(
+                *program, plan->placement, chip,
+                engine_->options().redundancy, rowClone,
+                engine_->options().pressure, plan->verification);
+            if (tel.metricsOn()) {
+                tel.add(tel.counter("verify.certified_plans"));
+                // Wall-clock observations are gated behind the
+                // wallClock pillar: they would break the
+                // byte-identical metrics contract of the
+                // determinism-checked paths.
+                if (tel.wallClockOn()) {
+                    tel.observe(
+                        tel.histogram("verify.certify_ns",
+                                      {1e3, 1e4, 1e5, 1e6, 1e7}),
+                        (obs::Telemetry::nowUs() - startUs) * 1e3);
+                }
+            }
+        }
+
+        const verify::AccuracySlo &slo = engine_->options().slo;
+        if (slo.enabled() && !plan->certificate.meets(slo)) {
+            std::ostringstream message;
+            message << "certified expectedAccuracy "
+                    << plan->certificate.expectedAccuracy
+                    << " (SLO min " << slo.minExpectedAccuracy
+                    << "), worst column "
+                    << plan->certificate.worstColumn
+                    << " error bound "
+                    << plan->certificate.worstColumnErrorBound
+                    << " (SLO max " << slo.maxColumnErrorBound
+                    << ") at redundancy "
+                    << plan->certificate.redundancy;
+            plan->verification.report("UPL202", "plan",
+                                      message.str());
+        }
+
         if (tel.metricsOn()) {
             const verify::DiagnosticSink &verdict =
                 plan->verification;

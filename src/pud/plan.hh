@@ -95,9 +95,22 @@ struct PlacementPlan
      * Cached static-verification verdict (src/verify/), derived once
      * with the plan under EngineOptions::verify != Off; empty when
      * verification is off. QueryService::submit rejects plans whose
-     * verdict carries Errors under VerifyPolicy::Enforce.
+     * verdict carries Errors under VerifyPolicy::Enforce. An
+     * SLO-violating certificate (UPL202) and over-budget rows
+     * (UPL201) land in the same sink.
      */
     verify::DiagnosticSink verification;
+
+    /**
+     * Certified per-column error bounds of the plan's result value
+     * (verify/certify.hh), derived with the verdict under
+     * EngineOptions::verify != Off at the engine's redundancy;
+     * default (all-zero bounds, accuracy 1) when verification is off.
+     */
+    verify::PlanCertificate certificate;
+
+    /** Static activation census of one execution of this plan. */
+    verify::ActivationPressureProfile pressure;
 };
 
 /**

@@ -226,16 +226,22 @@ QueryService::runBatchOnModule(const FleetSession::Module &module,
         // rethrows the first task exception) out of submit().
         if (engine_.options().verify == VerifyPolicy::Enforce &&
             plan->verification.hasErrors()) {
-            if (tel.metricsOn())
+            const bool sloViolation = std::any_of(
+                plan->verification.diagnostics().begin(),
+                plan->verification.diagnostics().end(),
+                [](const verify::Diagnostic &diagnostic) {
+                    return diagnostic.rule == "UPL202";
+                });
+            if (tel.metricsOn()) {
                 tel.add(tel.counter("verify.rejected_plans"));
-            const verify::Diagnostic *first =
-                plan->verification.firstError();
+                if (sloViolation)
+                    tel.add(tel.counter("verify.slo_rejections"));
+            }
             std::ostringstream message;
             message << "QueryService::submit: plan for query '"
                     << bound.query_.toString() << "' on module "
                     << module.index << " fails static verification ("
-                    << plan->verification.errors()
-                    << " error(s); first: " << first->toString()
+                    << verify::summarizeVerdict(plan->verification)
                     << ")";
             throw verify::VerifyError(message.str(),
                                       plan->verification);
@@ -263,6 +269,7 @@ QueryService::runBatchOnModule(const FleetSession::Module &module,
         label << module.spec->profile().label() << " #"
               << module.index;
         stats.label = label.str();
+        stats.certificate = plan->certificate;
         stats.result = engine_.execute(
             *plan->program, plan->placement, plan->temperature, chip,
             hashCombine(module.seed,

@@ -65,6 +65,10 @@ ruleCatalog()
          "commands"},
         {"UPL107", Severity::Note,
          "intentionally violated timing gaps inside a labeled epoch"},
+        {"UPL201", Severity::Warning,
+         "row activation count exceeds the disturbance budget"},
+        {"UPL202", Severity::Error,
+         "plan certificate violates the accuracy SLO"},
     };
     // clang-format on
     return catalog;

@@ -1,0 +1,122 @@
+#include "verify/synthesis.hh"
+
+#include <algorithm>
+
+#include "config/timing.hh"
+#include "dram/address.hh"
+#include "fcdram/ops.hh"
+
+namespace fcdram::verify {
+
+namespace {
+
+/** Ops::buildDoubleAct: ACT - violated PRE/ACT - nominal PRE. */
+SlotProgram
+doubleAct(const Chip &chip, BankId bank, RowId first, RowId second,
+          const char *epoch)
+{
+    ProgramBuilder b(chip.profile().speed);
+    b.act(bank, first, 0.0)
+        .pre(bank, kViolatedGapTargetNs)
+        .act(bank, second, kViolatedGapTargetNs)
+        .preNominal(bank);
+    return SlotProgram{epoch, b.build()};
+}
+
+/** Ops::buildNot / buildRowClone: full restore, glitched ACT. */
+SlotProgram
+notClone(const Chip &chip, BankId bank, RowId src, RowId dst,
+         const char *epoch)
+{
+    ProgramBuilder b(chip.profile().speed);
+    b.act(bank, src, 0.0)
+        .pre(bank, TimingParams::nominal().tRas)
+        .act(bank, dst, kViolatedGapTargetNs)
+        .preNominal(bank);
+    return SlotProgram{epoch, b.build()};
+}
+
+/**
+ * Ops::fracInit of @p target (all gaps violated). Appends nothing
+ * when no pair-activating donor exists — the runtime then falls back
+ * to the CPU for the hosting gate, which is legal.
+ */
+void
+frac(const Chip &chip, BankId bank, RowId target,
+     const std::vector<RowId> &avoid, std::vector<SlotProgram> &out)
+{
+    const GeometryConfig &geometry = chip.geometry();
+    const RowAddress address = decomposeRow(geometry, target);
+    std::vector<RowId> avoidLocal;
+    for (const RowId row : avoid) {
+        const RowAddress a = decomposeRow(geometry, row);
+        if (a.subarray == address.subarray)
+            avoidLocal.push_back(a.localRow);
+    }
+    const RowId helperLocal =
+        findPairActivatingDonor(chip, address.localRow, avoidLocal);
+    if (helperLocal == kInvalidRow)
+        return;
+    const RowId helper =
+        composeRow(geometry, address.subarray, helperLocal);
+    ProgramBuilder b(chip.profile().speed);
+    b.act(bank, helper, 0.0)
+        .pre(bank, kViolatedGapTargetNs)
+        .act(bank, target, kViolatedGapTargetNs)
+        .pre(bank, kViolatedGapTargetNs);
+    out.push_back(SlotProgram{"Frac", b.build()});
+}
+
+} // namespace
+
+std::vector<SlotProgram>
+synthesizeGatePrograms(const Chip &chip, const pud::GateSlot &slot,
+                       bool rowCloneCopyIn)
+{
+    std::vector<SlotProgram> out;
+    if (!slot.refRows.empty()) {
+        frac(chip, slot.context.bank, slot.refRows.back(),
+             slot.refRows, out);
+    }
+    out.push_back(doubleAct(chip, slot.context.bank, slot.refAnchor,
+                            slot.comAnchor, "Logic"));
+    if (!rowCloneCopyIn)
+        return out;
+    const std::size_t staged =
+        std::min(slot.stagingRows.size(), slot.computeRows.size());
+    for (std::size_t k = 0; k < staged; ++k) {
+        if (slot.stagingRows[k] == kInvalidRow)
+            continue;
+        out.push_back(notClone(chip, slot.context.bank,
+                               slot.stagingRows[k],
+                               slot.computeRows[k], "RowClone"));
+    }
+    return out;
+}
+
+std::vector<SlotProgram>
+synthesizeNotPrograms(const Chip &chip, const pud::NotSlot &slot)
+{
+    std::vector<SlotProgram> out;
+    out.push_back(
+        notClone(chip, slot.context.bank, slot.srcRow, slot.dstRow,
+                 "NOT"));
+    return out;
+}
+
+std::vector<SlotProgram>
+synthesizeMajPrograms(const Chip &chip, const pud::MajSlot &slot,
+                      int neutralRows)
+{
+    std::vector<SlotProgram> out;
+    const int size = static_cast<int>(slot.rows.size());
+    for (int n = 0; n < neutralRows && n < size; ++n) {
+        frac(chip, slot.context.bank, slot.rows[size - 1 - n],
+             slot.rows, out);
+    }
+    out.push_back(doubleAct(chip, slot.context.bank, slot.rfAnchor,
+                            slot.rlAnchor, "MAJ"));
+    return out;
+}
+
+} // namespace fcdram::verify

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Slot-program synthesis: reconstructs, per placed slot, the labeled
+ * command programs the executor will issue — the Frac reference init,
+ * the double-ACT logic sequence, cross-subarray NOT, the SiMRA MAJ
+ * group activation, and RowClone copy-in — with the same
+ * ProgramBuilder shapes as fcdram/ops.cc.
+ *
+ * Two static analyses share these programs: the command lint
+ * (verify/verifier.cc feeds each program through cmdlint under its
+ * epoch label) and the activation-pressure analysis
+ * (verify/pressure.cc counts ACTs per row across a whole plan). The
+ * synthesis is purely structural — no chip state is touched beyond
+ * the decoder's donor lookup for Frac inits.
+ */
+
+#ifndef FCDRAM_VERIFY_SYNTHESIS_HH
+#define FCDRAM_VERIFY_SYNTHESIS_HH
+
+#include <string>
+#include <vector>
+
+#include "bender/program.hh"
+#include "dram/chip.hh"
+#include "pud/allocator.hh"
+
+namespace fcdram::verify {
+
+/** One synthesized command program with its DramLabel epoch. */
+struct SlotProgram
+{
+    std::string epoch;
+    Program program;
+};
+
+/**
+ * Programs of one wide-gate slot: the Frac init of the reference
+ * neutral row (skipped when no pair-activating donor exists — the
+ * runtime then falls back to the CPU, which is legal), the double-ACT
+ * logic sequence, and — when @p rowCloneCopyIn — one staging->compute
+ * RowClone per staged compute row.
+ */
+std::vector<SlotProgram>
+synthesizeGatePrograms(const Chip &chip, const pud::GateSlot &slot,
+                       bool rowCloneCopyIn);
+
+/** Programs of one NOT slot (the glitched src->dst activation). */
+std::vector<SlotProgram>
+synthesizeNotPrograms(const Chip &chip, const pud::NotSlot &slot);
+
+/**
+ * Programs of one SiMRA MAJ slot: one Frac init per neutral row (the
+ * executor initializes the @p neutralRows rows at the tail of the
+ * group, rows[size-1-n]) plus the group activation. The command lint
+ * passes neutralRows = 1 (the command shape is row-count independent
+ * and one probe covers the timing); the pressure analysis passes the
+ * hosted op's actual neutral-row count.
+ */
+std::vector<SlotProgram>
+synthesizeMajPrograms(const Chip &chip, const pud::MajSlot &slot,
+                      int neutralRows);
+
+} // namespace fcdram::verify
+
+#endif // FCDRAM_VERIFY_SYNTHESIS_HH

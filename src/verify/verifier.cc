@@ -3,10 +3,7 @@
 #include <sstream>
 #include <vector>
 
-#include "bender/program.hh"
-#include "config/timing.hh"
-#include "dram/address.hh"
-#include "fcdram/ops.hh"
+#include "verify/synthesis.hh"
 
 namespace fcdram::verify {
 
@@ -17,136 +14,23 @@ using pud::MicroOpKind;
 using pud::MicroProgram;
 using pud::Placement;
 
-/**
- * Synthesizes the command programs the executor will issue for each
- * placed slot — the same ProgramBuilder shapes as fcdram/ops.cc,
- * labeled with their DramLabel epochs — and feeds them through the
- * command lint.
- */
-class SlotPrograms
+/** Feed each synthesized slot program through the command lint. */
+void
+lintSlotPrograms(const std::vector<SlotProgram> &programs,
+                 const Chip &chip, const std::string &locus,
+                 DiagnosticSink &sink)
 {
-  public:
-    SlotPrograms(const Chip &chip, DiagnosticSink &sink)
-        : chip_(chip), sink_(sink),
-          ignores_(chip.profile().decoder.ignoresViolatedCommands)
-    {
-    }
-
-    /** Frac init + double-ACT logic (+ RowClone copy-in) of a gate. */
-    void gate(const pud::GateSlot &slot, const std::string &locus,
-              bool rowCloneCopyIn)
-    {
-        if (!slot.refRows.empty()) {
-            frac(slot.context.bank, slot.refRows.back(), slot.refRows,
-                 locus);
-        }
-        doubleAct(slot.context.bank, slot.refAnchor, slot.comAnchor,
-                  "Logic", locus);
-        if (!rowCloneCopyIn)
-            return;
-        const std::size_t staged = std::min(slot.stagingRows.size(),
-                                            slot.computeRows.size());
-        for (std::size_t k = 0; k < staged; ++k) {
-            if (slot.stagingRows[k] == kInvalidRow)
-                continue;
-            notClone(slot.context.bank, slot.stagingRows[k],
-                     slot.computeRows[k], "RowClone", locus);
-        }
-    }
-
-    void notGate(const pud::NotSlot &slot, const std::string &locus)
-    {
-        notClone(slot.context.bank, slot.srcRow, slot.dstRow, "NOT",
-                 locus);
-    }
-
-    /** Frac init of the neutral row + the MAJ group activation. */
-    void maj(const pud::MajSlot &slot, const std::string &locus)
-    {
-        if (!slot.rows.empty())
-            frac(slot.context.bank, slot.rows.back(), slot.rows,
-                 locus);
-        doubleAct(slot.context.bank, slot.rfAnchor, slot.rlAnchor,
-                  "MAJ", locus);
-    }
-
-  private:
-    ProgramBuilder builder() const
-    {
-        return ProgramBuilder(chip_.profile().speed);
-    }
-
-    void lint(const Program &program, const char *epoch,
-              const std::string &locus)
-    {
+    for (const SlotProgram &slot : programs) {
         CommandLintContext context;
-        context.epoch = epoch;
-        context.ignoresViolatedCommands = ignores_;
+        context.epoch = slot.epoch.c_str();
+        context.ignoresViolatedCommands =
+            chip.profile().decoder.ignoresViolatedCommands;
         std::ostringstream prefixed;
-        prefixed << locus << " " << epoch;
+        prefixed << locus << " " << slot.epoch;
         context.locus = prefixed.str();
-        lintCommandProgram(program, context, sink_);
+        lintCommandProgram(slot.program, context, sink);
     }
-
-    /** Ops::buildDoubleAct: ACT - violated PRE/ACT - nominal PRE. */
-    void doubleAct(BankId bank, RowId first, RowId second,
-                   const char *epoch, const std::string &locus)
-    {
-        ProgramBuilder b = builder();
-        b.act(bank, first, 0.0)
-            .pre(bank, kViolatedGapTargetNs)
-            .act(bank, second, kViolatedGapTargetNs)
-            .preNominal(bank);
-        lint(b.build(), epoch, locus);
-    }
-
-    /** Ops::buildNot / buildRowClone: full restore, glitched ACT. */
-    void notClone(BankId bank, RowId src, RowId dst, const char *epoch,
-                  const std::string &locus)
-    {
-        ProgramBuilder b = builder();
-        b.act(bank, src, 0.0)
-            .pre(bank, TimingParams::nominal().tRas)
-            .act(bank, dst, kViolatedGapTargetNs)
-            .preNominal(bank);
-        lint(b.build(), epoch, locus);
-    }
-
-    /**
-     * Ops::fracInit of @p target (all gaps violated). Skipped when no
-     * pair-activating donor exists — the runtime then falls back to
-     * the CPU for the hosting gate, which is legal.
-     */
-    void frac(BankId bank, RowId target,
-              const std::vector<RowId> &avoid,
-              const std::string &locus)
-    {
-        const GeometryConfig &geometry = chip_.geometry();
-        const RowAddress address = decomposeRow(geometry, target);
-        std::vector<RowId> avoidLocal;
-        for (const RowId row : avoid) {
-            const RowAddress a = decomposeRow(geometry, row);
-            if (a.subarray == address.subarray)
-                avoidLocal.push_back(a.localRow);
-        }
-        const RowId helperLocal = findPairActivatingDonor(
-            chip_, address.localRow, avoidLocal);
-        if (helperLocal == kInvalidRow)
-            return;
-        const RowId helper =
-            composeRow(geometry, address.subarray, helperLocal);
-        ProgramBuilder b = builder();
-        b.act(bank, helper, 0.0)
-            .pre(bank, kViolatedGapTargetNs)
-            .act(bank, target, kViolatedGapTargetNs)
-            .pre(bank, kViolatedGapTargetNs);
-        lint(b.build(), "Frac", locus);
-    }
-
-    const Chip &chip_;
-    DiagnosticSink &sink_;
-    bool ignores_;
-};
+}
 
 } // namespace
 
@@ -177,7 +61,6 @@ verifyPlan(const MicroProgram &program, const Placement &placement,
         placement.majSlotOf.size() != n)
         return sink; // Envelope error already reported.
 
-    SlotPrograms programs(chip, sink);
     std::vector<bool> gateDone(placement.gateSlots.size(), false);
     std::vector<bool> notDone(placement.notSlots.size(), false);
     std::vector<bool> majDone(placement.majSlots.size(), false);
@@ -191,22 +74,30 @@ verifyPlan(const MicroProgram &program, const Placement &placement,
             static_cast<std::size_t>(g) < gateDone.size() &&
             !gateDone[g]) {
             gateDone[g] = true;
-            programs.gate(placement.gateSlots[g], locus,
-                          rowCloneCopyIn);
+            lintSlotPrograms(
+                synthesizeGatePrograms(chip, placement.gateSlots[g],
+                                       rowCloneCopyIn),
+                chip, locus, sink);
         }
         const int t = placement.notSlotOf[i];
         if (op.kind == MicroOpKind::Not && t >= 0 &&
             static_cast<std::size_t>(t) < notDone.size() &&
             !notDone[t]) {
             notDone[t] = true;
-            programs.notGate(placement.notSlots[t], locus);
+            lintSlotPrograms(
+                synthesizeNotPrograms(chip, placement.notSlots[t]),
+                chip, locus, sink);
         }
         const int m = placement.majSlotOf[i];
         if (op.kind == MicroOpKind::Maj && m >= 0 &&
             static_cast<std::size_t>(m) < majDone.size() &&
             !majDone[m]) {
             majDone[m] = true;
-            programs.maj(placement.majSlots[m], locus);
+            // One Frac probe covers the timing shape; the pressure
+            // analysis separately accounts for every neutral row.
+            lintSlotPrograms(
+                synthesizeMajPrograms(chip, placement.majSlots[m], 1),
+                chip, locus, sink);
         }
     }
     return sink;
@@ -218,6 +109,34 @@ verifyPlan(const MicroProgram &program, const Placement &placement,
 {
     return verifyPlan(program, placement, chip, maskTemperature,
                       chip.temperature());
+}
+
+std::string
+summarizeVerdict(const DiagnosticSink &report)
+{
+    std::ostringstream out;
+    out << report.errors() << " error(s), " << report.warnings()
+        << " warning(s), " << report.notes() << " note(s)";
+    std::size_t shown = 0;
+    for (const Diagnostic &diagnostic : report.diagnostics()) {
+        if (diagnostic.severity != Severity::Error)
+            continue;
+        out << (shown == 0 ? "; top: " : "; ")
+            << diagnostic.toString();
+        if (++shown == 3)
+            break;
+    }
+    if (shown < 3) {
+        for (const Diagnostic &diagnostic : report.diagnostics()) {
+            if (diagnostic.severity == Severity::Error)
+                continue;
+            out << (shown == 0 ? "; top: " : "; ")
+                << diagnostic.toString();
+            if (++shown == 3)
+                break;
+        }
+    }
+    return out.str();
 }
 
 } // namespace fcdram::verify

@@ -78,6 +78,15 @@ DiagnosticSink verifyPlan(const pud::MicroProgram &program,
                           const pud::Placement &placement,
                           const Chip &chip, Celsius maskTemperature);
 
+/**
+ * One-line human summary of a verdict for exception messages and
+ * logs: the full severity counts ("N error(s), M warning(s), K
+ * note(s)") followed by up to three diagnostics, errors first.
+ * VerifyError messages embed this so a caller that only sees what()
+ * still learns the shape of the failure.
+ */
+std::string summarizeVerdict(const DiagnosticSink &report);
+
 } // namespace fcdram::verify
 
 #endif // FCDRAM_VERIFY_VERIFIER_HH

@@ -12,6 +12,7 @@
 
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "dram/address.hh"
 #include "pud/service.hh"
@@ -146,7 +147,8 @@ TEST(DiagnosticsTest, CatalogIsCompleteWithFixedSeverities)
     const std::set<std::string> expected = {
         "UPL001", "UPL002", "UPL003", "UPL004", "UPL005", "UPL006",
         "UPL007", "UPL008", "UPL009", "UPL010", "UPL101", "UPL102",
-        "UPL103", "UPL104", "UPL105", "UPL106", "UPL107"};
+        "UPL103", "UPL104", "UPL105", "UPL106", "UPL107", "UPL201",
+        "UPL202"};
     std::set<std::string> found;
     for (const RuleInfo &rule : ruleCatalog())
         found.insert(rule.id);
@@ -156,6 +158,8 @@ TEST(DiagnosticsTest, CatalogIsCompleteWithFixedSeverities)
     EXPECT_EQ(findRule("UPL002")->severity, Severity::Warning);
     EXPECT_EQ(findRule("UPL104")->severity, Severity::Warning);
     EXPECT_EQ(findRule("UPL107")->severity, Severity::Note);
+    EXPECT_EQ(findRule("UPL201")->severity, Severity::Warning);
+    EXPECT_EQ(findRule("UPL202")->severity, Severity::Error);
     EXPECT_EQ(findRule("UPL999"), nullptr);
 }
 
@@ -185,6 +189,88 @@ TEST(DiagnosticsTest, SinkCountsAndReports)
               std::string::npos);
     EXPECT_NE(json.str().find("\"severity\":\"warning\""),
               std::string::npos);
+}
+
+namespace {
+
+/**
+ * Minimal JSON string unescaper for the round-trip test: the inverse
+ * of jsonQuote's escape set ('\"', '\\', \n, \t, \r, \uXXXX).
+ */
+std::string
+jsonUnescape(const std::string &text)
+{
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\') {
+            out.push_back(text[i]);
+            continue;
+        }
+        ++i;
+        switch (text[i]) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'u':
+            out.push_back(static_cast<char>(
+                std::stoi(text.substr(i + 1, 4), nullptr, 16)));
+            i += 4;
+            break;
+          default:
+            out.push_back(text[i]); // '\"', '\\', '/'.
+            break;
+        }
+    }
+    return out;
+}
+
+/** The value of the first "message" field in @p json (escaped form). */
+std::string
+firstMessageField(const std::string &json)
+{
+    const std::string key = "\"message\":\"";
+    const std::size_t begin = json.find(key) + key.size();
+    std::size_t end = begin;
+    while (json[end] != '"' || json[end - 1] == '\\')
+        ++end;
+    return json.substr(begin, end - begin);
+}
+
+} // namespace
+
+TEST(DiagnosticsTest, JsonReportRoundTripsHostileText)
+{
+    // Quotes, backslashes, newlines, tabs, and a raw control byte:
+    // everything a Windows path or a multi-line compiler message can
+    // smuggle into a diagnostic.
+    const std::string hostile =
+        "path \"C:\\temp\\x\" has\nnewline\tand \x01 control";
+    DiagnosticSink sink;
+    sink.report("UPL001", "op 0 (wide/and)", hostile);
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    const std::string json = os.str();
+
+    // The raw document never contains an unescaped quote, backslash,
+    // or control character inside the string...
+    EXPECT_NE(json.find("\\\"C:\\\\temp\\\\x\\\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\t"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    EXPECT_EQ(json.find('\x01'), std::string::npos);
+
+    // ... and unescaping the message field recovers the original
+    // byte-for-byte.
+    EXPECT_EQ(jsonUnescape(firstMessageField(json)), hostile);
 }
 
 // ---- μprogram dataflow rules (one defect per rule) -------------------
@@ -458,6 +544,106 @@ TEST(CmdlintTest, NominalProgramIsClean)
              makeCommand(CommandType::Act, 0, 2,
                          timing.tRas + timing.tRp)})
             .empty());
+}
+
+TEST(CmdlintTest, QuantizedNominalGapsAreCleanAcrossSpeedGrades)
+{
+    // The testing infrastructure can only realize gaps in whole
+    // command clocks; the quantized-up nominal gaps must lint clean
+    // on every fleet speed grade.
+    const TimingParams timing = TimingParams::nominal();
+    for (const std::uint32_t rate : {2133u, 2400u, 2666u, 3200u}) {
+        const SpeedGrade grade(rate);
+        const Ns rasGap = grade.quantizedGapNs(timing.tRas);
+        const Ns rpGap = grade.quantizedGapNs(timing.tRp);
+        ASSERT_GE(rasGap, timing.tRas) << rate;
+        ASSERT_GE(rpGap, timing.tRp) << rate;
+        EXPECT_TRUE(
+            lintCommands(
+                {makeCommand(CommandType::Act, 0, 1, 0.0),
+                 makeCommand(CommandType::Pre, 0, 0, rasGap),
+                 makeCommand(CommandType::Act, 0, 2, rasGap + rpGap)})
+                .empty())
+            << rate << " MT/s";
+    }
+}
+
+TEST(CmdlintTest, PreActGapOneClockShortViolatesAcrossSpeedGrades)
+{
+    // One command clock below the quantized tRP boundary the
+    // precharge is incomplete — UPL105 outside a violation epoch, at
+    // every fleet speed grade.
+    const TimingParams timing = TimingParams::nominal();
+    for (const std::uint32_t rate : {2133u, 2400u, 2666u, 3200u}) {
+        const SpeedGrade grade(rate);
+        const Ns rasGap = grade.quantizedGapNs(timing.tRas);
+        const Ns shortRp =
+            grade.quantizedGapNs(timing.tRp) - grade.tCk();
+        ASSERT_LT(shortRp, timing.tRp) << rate;
+        expectOnly(
+            lintCommands({makeCommand(CommandType::Act, 0, 1, 0.0),
+                          makeCommand(CommandType::Pre, 0, 0, rasGap),
+                          makeCommand(CommandType::Act, 0, 2,
+                                      rasGap + shortRp)}),
+            "UPL105");
+    }
+}
+
+TEST(CmdlintTest, GrosslyViolatedBoundaryIsExclusive)
+{
+    // The drop threshold of ignoring designs is gap < 0.8 * nominal:
+    // a gap of exactly 0.8 * tRAS survives (and, being above the
+    // 6ns interrupted-restore window, is not even a violation), while
+    // any gap below it is dropped (UPL106).
+    const TimingParams timing = TimingParams::nominal();
+    const Ns boundary = 0.8 * timing.tRas;
+    EXPECT_TRUE(
+        lintCommands({makeCommand(CommandType::Act, 0, 1, 0.0),
+                      makeCommand(CommandType::Pre, 0, 0, boundary)},
+                     "Logic", true)
+            .empty());
+    expectOnly(
+        lintCommands({makeCommand(CommandType::Act, 0, 1, 0.0),
+                      makeCommand(CommandType::Pre, 0, 0,
+                                  boundary - 0.01)},
+                     "Logic", true),
+        "UPL106");
+}
+
+TEST(DiagnosticsTest, SummarizeVerdictShowsCountsAndTopThreeErrors)
+{
+    DiagnosticSink sink;
+    sink.report("UPL107", "program", "note n1");
+    sink.report("UPL002", "op 1 (load 'a')", "warn w1");
+    sink.report("UPL001", "op 2 (wide/and)", "err e1");
+    sink.report("UPL006", "op 3 (maj)", "err e2");
+    sink.report("UPL010", "op 4 (wide/or)", "err e3");
+    sink.report("UPL005", "op 5 (not)", "err e4");
+
+    const std::string summary = summarizeVerdict(sink);
+    EXPECT_NE(summary.find("4 error(s), 1 warning(s), 1 note(s)"),
+              std::string::npos)
+        << summary;
+    // Errors lead, in report order, capped at three.
+    EXPECT_NE(summary.find("top: error UPL001 at op 2 (wide/and): "
+                           "err e1"),
+              std::string::npos)
+        << summary;
+    EXPECT_NE(summary.find("err e2"), std::string::npos);
+    EXPECT_NE(summary.find("err e3"), std::string::npos);
+    EXPECT_EQ(summary.find("err e4"), std::string::npos) << summary;
+    EXPECT_EQ(summary.find("warn w1"), std::string::npos) << summary;
+
+    // Without errors, warnings and notes fill the top slots.
+    DiagnosticSink mild;
+    mild.report("UPL002", "op 0 (load 'b')", "warn only");
+    const std::string mildSummary = summarizeVerdict(mild);
+    EXPECT_NE(mildSummary.find("0 error(s), 1 warning(s), 0 note(s)"),
+              std::string::npos)
+        << mildSummary;
+    EXPECT_NE(mildSummary.find("top: warning UPL002"),
+              std::string::npos)
+        << mildSummary;
 }
 
 // ---- Clean corpus across manufacturer profiles -----------------------

@@ -12,9 +12,18 @@
  * exits non-zero when any Error-severity diagnostic fired — the same
  * plans QueryService::submit would reject under VerifyPolicy::Enforce.
  *
- * Usage: pudlint [--json-out=PATH]
+ * --certify additionally derives each plan's reliability certificate
+ * (verify::certifyPlan), executes the plan --certify-runs times with
+ * varied seeds to measure actual per-column error rates, prints
+ * certified-bound-vs-measured columns, checks the certificate against
+ * the reference SLO (min expected accuracy 99.5%, max per-column
+ * error bound 5%), and exits non-zero when any plan's certificate is
+ * SLO-infeasible.
+ *
+ * Usage: pudlint [--json-out=PATH] [--certify] [--certify-runs=N]
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,7 +32,9 @@
 #include <vector>
 
 #include "common/jsonio.hh"
+#include "common/rng.hh"
 #include "pud/service.hh"
+#include "verify/certify.hh"
 #include "verify/verifier.hh"
 
 using namespace fcdram;
@@ -53,7 +64,24 @@ struct RunRecord
     std::string query;
     bool rowClone = false;
     verify::DiagnosticSink verdict;
+
+    // --certify only.
+    bool certified = false;
+    verify::PlanCertificate certificate;
+    double measuredWorstRate = 0.0;
+    double measuredAccuracy = 1.0;
+    bool sloOk = true;
 };
+
+/**
+ * Reference SLO the --certify mode checks certificates against:
+ * chosen so every clean corpus plan is feasible (masked per-trial
+ * flip probabilities sit at or below 1e-4, so even 16-deep chains
+ * certify well under these bounds) while a vacuous certifier would
+ * trip it immediately.
+ */
+constexpr double kSloMinExpectedAccuracy = 0.995;
+constexpr double kSloMaxColumnErrorBound = 0.05;
 
 /** The bench_pud_query sweep plus explicit MAJ gates. */
 std::vector<QuerySpec>
@@ -138,6 +166,24 @@ writeJsonReport(std::ostream &os, const std::vector<RunRecord> &runs)
                   static_cast<std::uint64_t>(run.verdict.notes()))
            << ", \"diagnostics\": ";
         run.verdict.writeJson(os);
+        if (run.certified) {
+            os << ", \"certify\": {\"expectedAccuracy\": "
+               << jsonNumber(run.certificate.expectedAccuracy)
+               << ", \"worstColumn\": "
+               << jsonNumber(static_cast<std::uint64_t>(
+                      run.certificate.worstColumn))
+               << ", \"worstColumnErrorBound\": "
+               << jsonNumber(run.certificate.worstColumnErrorBound)
+               << ", \"redundancy\": "
+               << jsonNumber(static_cast<std::uint64_t>(
+                      run.certificate.redundancy))
+               << ", \"measuredWorstRate\": "
+               << jsonNumber(run.measuredWorstRate)
+               << ", \"measuredAccuracy\": "
+               << jsonNumber(run.measuredAccuracy)
+               << ", \"sloOk\": " << (run.sloOk ? "true" : "false")
+               << "}";
+        }
         os << "}";
     }
     os << "\n  ]\n}\n";
@@ -149,14 +195,30 @@ int
 main(int argc, char **argv)
 {
     std::string jsonOutPath;
+    bool certify = false;
+    int certifyRuns = 3;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json-out=", 0) == 0 &&
             arg.size() > std::string("--json-out=").size()) {
             jsonOutPath = arg.substr(std::string("--json-out=").size());
+        } else if (arg == "--certify") {
+            certify = true;
+        } else if (arg.rfind("--certify-runs=", 0) == 0 &&
+                   arg.size() >
+                       std::string("--certify-runs=").size()) {
+            certifyRuns = std::atoi(
+                arg.substr(std::string("--certify-runs=").size())
+                    .c_str());
+            if (certifyRuns <= 0) {
+                std::cerr << "pudlint: --certify-runs must be "
+                             "positive\n";
+                return 2;
+            }
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--json-out=PATH]\n";
+                      << " [--json-out=PATH] [--certify]"
+                         " [--certify-runs=N]\n";
             return 2;
         }
     }
@@ -173,6 +235,12 @@ main(int argc, char **argv)
     std::size_t totalErrors = 0;
     std::size_t totalWarnings = 0;
     std::size_t totalNotes = 0;
+    std::size_t sloInfeasible = 0;
+    const verify::AccuracySlo slo{kSloMinExpectedAccuracy,
+                                  kSloMaxColumnErrorBound};
+    std::vector<std::string> columnNames;
+    for (int i = 0; i < 16; ++i)
+        columnNames.push_back(std::string("c") + std::to_string(i));
 
     for (const ProfileSpec &spec : profiles) {
         const Chip chip = session->checkoutChip(spec.profile, kChipSeed);
@@ -197,13 +265,92 @@ main(int argc, char **argv)
                         program, placement, chip, chip.temperature(),
                         chip.temperature(), rowClone);
 
+                    if (certify) {
+                        run.certified = true;
+                        run.certificate = verify::certifyPlan(
+                            program, placement, chip,
+                            chip.temperature(),
+                            engine.options().redundancy, rowClone);
+                        run.sloOk = run.certificate.meets(slo);
+
+                        // Monte-Carlo measurement: execute the plan
+                        // with varied bender and data seeds and count
+                        // per-column result mismatches vs golden.
+                        const std::size_t columns =
+                            chip.geometry().columns;
+                        std::vector<std::size_t> mismatches(columns,
+                                                            0);
+                        EngineOptions execOptions = engine.options();
+                        execOptions.copyIn =
+                            rowClone ? CopyInMode::RowClone
+                                     : CopyInMode::HostWrite;
+                        const PudEngine execEngine(session,
+                                                   execOptions);
+                        for (int r = 0; r < certifyRuns; ++r) {
+                            const auto data =
+                                PudEngine::randomColumns(
+                                    columnNames, columns,
+                                    hashCombine(kChipSeed,
+                                                0xDA7A00 + r));
+                            Chip runChip = session->checkoutChip(
+                                spec.profile, kChipSeed);
+                            const QueryResult result =
+                                execEngine.execute(
+                                    program, placement,
+                                    chip.temperature(), runChip,
+                                    hashCombine(kChipSeed,
+                                                0xBE6D00 + r),
+                                    data);
+                            const BitVector diff =
+                                result.output ^ result.golden;
+                            for (std::size_t col = 0; col < columns;
+                                 ++col)
+                                if (diff.get(col))
+                                    ++mismatches[col];
+                        }
+                        double worst = 0.0;
+                        double accuracySum = 0.0;
+                        for (std::size_t col = 0; col < columns;
+                             ++col) {
+                            const double rate =
+                                static_cast<double>(
+                                    mismatches[col]) /
+                                static_cast<double>(certifyRuns);
+                            worst = std::max(worst, rate);
+                            accuracySum += 1.0 - rate;
+                        }
+                        run.measuredWorstRate = worst;
+                        run.measuredAccuracy =
+                            columns == 0
+                                ? 1.0
+                                : accuracySum /
+                                      static_cast<double>(columns);
+                        if (!run.sloOk)
+                            ++sloInfeasible;
+                    }
+
                     std::cout << run.profile << " / " << run.backend
                               << (rowClone ? " / rowclone" : "")
                               << " / " << run.query << ": "
                               << run.verdict.errors() << " error(s), "
                               << run.verdict.warnings()
                               << " warning(s), " << run.verdict.notes()
-                              << " note(s)\n";
+                              << " note(s)";
+                    if (run.certified) {
+                        std::cout
+                            << " | certified acc "
+                            << run.certificate.expectedAccuracy
+                            << ", worst bound "
+                            << run.certificate.worstColumnErrorBound
+                            << " (col "
+                            << run.certificate.worstColumn
+                            << ") | measured acc "
+                            << run.measuredAccuracy
+                            << ", worst rate "
+                            << run.measuredWorstRate << " | SLO "
+                            << (run.sloOk ? "ok" : "VIOLATION");
+                    }
+                    std::cout << "\n";
                     for (const verify::Diagnostic &diagnostic :
                          run.verdict.diagnostics())
                         std::cout << "  " << diagnostic.toString()
@@ -221,6 +368,11 @@ main(int argc, char **argv)
     std::cout << "\npudlint: " << runs.size() << " plan(s), "
               << totalErrors << " error(s), " << totalWarnings
               << " warning(s), " << totalNotes << " note(s)\n";
+    if (certify)
+        std::cout << "pudlint: " << sloInfeasible
+                  << " SLO-infeasible plan(s) (min accuracy "
+                  << kSloMinExpectedAccuracy << ", max column bound "
+                  << kSloMaxColumnErrorBound << ")\n";
 
     if (!jsonOutPath.empty()) {
         std::ofstream out(jsonOutPath);
@@ -233,5 +385,5 @@ main(int argc, char **argv)
         std::cout << "JSON report written to " << jsonOutPath << "\n";
     }
 
-    return totalErrors == 0 ? 0 : 1;
+    return totalErrors == 0 && sloInfeasible == 0 ? 0 : 1;
 }
