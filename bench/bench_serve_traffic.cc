@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Serving-tier traffic bench: replays a deterministic, skewed query
+ * trace from thousands of tenants against the sharded QueryServer
+ * (serve/server.hh) and reports sustained queries/s with
+ * p50/p99/p999 end-to-end latency, next to a serialized
+ * submit-per-query baseline on the same QueryService.
+ *
+ * The trace draws a few expression shapes x a few seeded datasets
+ * with a popularity skew over the 18 SK Hynix modules, so the
+ * server's batching windows find heavy (plan, dataKey) duplication:
+ * identical requests coalesce onto one chip execution and fan out.
+ * That request coalescing - not thread parallelism - is what the
+ * throughput gate measures, so the bound holds on a single core.
+ *
+ * Acceptance properties checked here (non-zero exit on violation):
+ *  - batched-concurrent serving sustains >= 3x the queries/s of the
+ *    serialized submit loop on the warm path
+ *    (--skip-throughput-gate downgrades this for instrumented
+ *    ASan/TSan/UBSan CI runs, whose overhead flattens wall-clock
+ *    ratios; the identity gates below always stay hard);
+ *  - every served result is bit-identical to the serialized
+ *    baseline's result for the same trace entry;
+ *  - RESULT_HASH - the order-independent fold of every per-query
+ *    result - is invariant in --workers and the shard count (the CI
+ *    smoke diffs the line across --workers=1 and --workers=4).
+ *
+ * Scale: the default trace is 1,000,000 queries from 4,000 tenants;
+ * --duration-scale=small drops to 20,000 for CI smokes.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil.hh"
+#include "common/rng.hh"
+#include "serve/server.hh"
+
+using namespace fcdram;
+using namespace fcdram::benchutil;
+using namespace fcdram::pud;
+using namespace fcdram::serve;
+
+namespace {
+
+/** One trace entry: which shape, dataset, module, and tenant. */
+struct TraceItem
+{
+    std::uint32_t shape = 0;
+    std::uint32_t dataset = 0;
+    std::uint32_t module = 0;
+    std::uint32_t tenant = 0;
+};
+
+constexpr std::size_t kFullQueries = 1000000;
+constexpr std::size_t kSmallQueries = 20000;
+constexpr std::size_t kBaselineCap = 20000;
+constexpr std::size_t kTenants = 4000;
+constexpr std::size_t kDatasets = 4;
+constexpr int kProducers = 4;
+
+/**
+ * Closed-loop cap of outstanding futures per producer thread. Deep
+ * enough that the shard queues hold full batching windows per hot
+ * (module, shape) pair; the admission cap below still bounds it.
+ */
+constexpr std::size_t kOutstanding = 1024;
+
+/**
+ * Popularity skew. Shapes: 70/15/10/5 %. Datasets: the hot dataset
+ * takes half the traffic, the rest splits geometrically. The hot
+ * (shape, dataset) pair is ~35% of every module's traffic, which is
+ * what the coalescer collapses.
+ */
+std::uint32_t
+pickSkewed(Rng &rng, const std::vector<std::uint32_t> &weights)
+{
+    std::uint32_t total = 0;
+    for (const std::uint32_t w : weights)
+        total += w;
+    std::uint32_t draw =
+        static_cast<std::uint32_t>(rng.next() % total);
+    for (std::uint32_t i = 0; i < weights.size(); ++i) {
+        if (draw < weights[i])
+            return i;
+        draw -= weights[i];
+    }
+    return static_cast<std::uint32_t>(weights.size() - 1);
+}
+
+/** Order-independent-of-timing fold: index-salted, folded in index
+ *  order by the caller. */
+std::uint64_t
+hashResult(std::uint64_t index, const QueryResult &result)
+{
+    std::uint64_t h = hashCombine(0x5e47eULL, index);
+    for (const std::uint64_t word : result.output.words())
+        h = hashCombine(h, word);
+    for (const std::uint64_t word : result.mask.words())
+        h = hashCombine(h, word);
+    h = hashCombine(h, result.checkedBits);
+    h = hashCombine(h, result.matchingBits);
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printBanner(std::cout,
+                "Serving tier: sharded concurrent QueryServer vs "
+                "serialized submits");
+
+    // Peel the bench-local flags before the shared applyArgs (which
+    // exits on anything it does not know).
+    bool smallScale = false;
+    bool skipThroughputGate = false;
+    std::vector<char *> filteredArgs;
+    filteredArgs.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--duration-scale=small") {
+            smallScale = true;
+            continue;
+        }
+        if (arg == "--duration-scale=full")
+            continue;
+        if (arg == "--skip-throughput-gate") {
+            skipThroughputGate = true;
+            continue;
+        }
+        filteredArgs.push_back(argv[i]);
+    }
+    CampaignConfig config =
+        figureConfig(static_cast<int>(filteredArgs.size()),
+                     filteredArgs.data());
+    const auto session = std::make_shared<FleetSession>(config);
+    const auto &modules =
+        session->modules(FleetSession::Fleet::SkHynix);
+
+    const std::size_t totalQueries =
+        smallScale ? kSmallQueries : kFullQueries;
+    const std::size_t baselineQueries =
+        std::min(totalQueries, kBaselineCap);
+
+    BenchReport report("serve_traffic");
+
+    // ---- Deterministic skewed trace ------------------------------
+    ExprPool pool;
+    std::vector<ExprId> cols;
+    for (int i = 0; i < 4; ++i)
+        cols.push_back(pool.column(std::string("c") + std::to_string(i)));
+    const std::vector<ExprId> shapes = {
+        pool.mkAnd(cols[0], cols[1]),
+        pool.mkOr({cols[0], cols[1], cols[2]}),
+        pool.mkOr(pool.mkAnd(cols[0], pool.mkNot(cols[1])),
+                  pool.mkAnd(cols[2], cols[3])),
+        pool.mkAnd({cols[0], cols[1], cols[2], cols[3]}),
+    };
+    const std::vector<std::uint32_t> shapeWeights = {70, 15, 10, 5};
+    std::vector<std::uint32_t> datasetWeights = {50};
+    for (std::size_t d = 1; d < kDatasets; ++d)
+        datasetWeights.push_back(
+            static_cast<std::uint32_t>(50 / (d + 1) + 1));
+    // Zipf-ish module popularity: the hottest module takes ~29% of
+    // the traffic, the tail thins out harmonically.
+    std::vector<std::uint32_t> moduleWeights;
+    for (std::size_t m = 0; m < modules.size(); ++m)
+        moduleWeights.push_back(
+            static_cast<std::uint32_t>(1000 / (m + 1)));
+
+    Rng rng(hashCombine(config.seed, 0x74aff1cULL));
+    std::vector<TraceItem> trace(totalQueries);
+    for (std::size_t i = 0; i < totalQueries; ++i) {
+        trace[i].shape = pickSkewed(rng, shapeWeights);
+        trace[i].dataset = pickSkewed(rng, datasetWeights);
+        trace[i].module = pickSkewed(rng, moduleWeights);
+        trace[i].tenant =
+            static_cast<std::uint32_t>(rng.next() % kTenants);
+    }
+    std::vector<std::string> tenants;
+    tenants.reserve(kTenants);
+    for (std::size_t t = 0; t < kTenants; ++t)
+        tenants.push_back("tenant-" + std::to_string(t));
+    report.lap("trace");
+
+    // Quantiles come from the serve.e2e_us histogram, so turn on the
+    // metrics registry plus the wall-clock pillar (timing
+    // observations are opt-in to keep determinism-checked paths
+    // byte-identical).
+    obs::TelemetryConfig pillars;
+    pillars.metrics = true;
+    pillars.wallClock = true;
+    obs::global().enable(pillars);
+
+    QueryService baselineService(session);
+    std::vector<BoundQuery> bound;
+    bound.reserve(shapes.size() * kDatasets);
+    std::vector<PreparedQuery> prepared;
+    prepared.reserve(shapes.size());
+    for (const ExprId shape : shapes)
+        prepared.push_back(baselineService.prepare(pool, shape));
+
+    // ---- Serialized baseline: one submit/collect per query -------
+    // Same trace prefix, same service machinery, but every query
+    // pays its own chip execution. Warm the plan cache first so the
+    // measured loop is the steady state, not compilation.
+    for (const auto &module : modules) {
+        for (const PreparedQuery &query : prepared) {
+            baselineService.collect(baselineService.submit(
+                {query.bindSeeded(0)}, module));
+        }
+    }
+    report.lap("baseline_warmup");
+
+    std::vector<std::uint64_t> baselineHashes(baselineQueries);
+    const auto baselineStart = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < baselineQueries; ++i) {
+        const TraceItem &item = trace[i];
+        const BatchQueryResult result = baselineService.collect(
+            baselineService.submit({prepared[item.shape].bindSeeded(
+                                       item.dataset)},
+                                   modules[item.module]));
+        baselineHashes[i] = hashResult(
+            i, result.queries.front().modules.front().result);
+    }
+    const double baselineMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - baselineStart)
+            .count();
+    const double baselineQps =
+        baselineMs > 0.0
+            ? 1e3 * static_cast<double>(baselineQueries) / baselineMs
+            : 0.0;
+    report.lap("baseline");
+
+    // ---- Batched-concurrent serving ------------------------------
+    // Fresh service so the served path pays its own plan misses;
+    // shards follow --workers so the CI invariance smoke varies the
+    // shard count and the scheduler width with one flag.
+    auto service = std::make_shared<QueryService>(session);
+    ServerOptions serverOptions;
+    serverOptions.shards = config.workers;
+    serverOptions.maxBatch = 256;
+    serverOptions.maxQueueDepth = 8192;
+    QueryServer server(service, serverOptions);
+
+    std::vector<PreparedQuery> servedPrepared;
+    servedPrepared.reserve(shapes.size());
+    for (const ExprId shape : shapes)
+        servedPrepared.push_back(service->prepare(pool, shape));
+
+    std::vector<std::uint64_t> servedHashes(totalQueries);
+    std::vector<std::uint64_t> retries(kProducers, 0);
+
+    const auto producer = [&](int p) {
+        const std::size_t begin =
+            totalQueries * static_cast<std::size_t>(p) / kProducers;
+        const std::size_t end =
+            totalQueries * static_cast<std::size_t>(p + 1) /
+            kProducers;
+        std::deque<std::pair<std::size_t,
+                             std::future<QueryResponse>>> window;
+        const auto settle = [&] {
+            auto &front = window.front();
+            servedHashes[front.first] = hashResult(
+                front.first, front.second.get().stats.result);
+            window.pop_front();
+        };
+        for (std::size_t i = begin; i < end; ++i) {
+            const TraceItem &item = trace[i];
+            ClientId client;
+            client.tenant = tenants[item.tenant];
+            for (;;) {
+                try {
+                    window.emplace_back(
+                        i, server.enqueue(
+                               servedPrepared[item.shape].bindSeeded(
+                                   item.dataset),
+                               modules[item.module], client));
+                    break;
+                } catch (const AdmissionError &) {
+                    // Closed-loop backpressure: settle completed
+                    // work, then retry the rejected enqueue.
+                    ++retries[static_cast<std::size_t>(p)];
+                    if (!window.empty())
+                        settle();
+                    else
+                        std::this_thread::yield();
+                }
+            }
+            while (window.size() >= kOutstanding)
+                settle();
+        }
+        while (!window.empty())
+            settle();
+    };
+
+    const auto servedStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back(producer, p);
+    for (std::thread &thread : producers)
+        thread.join();
+    server.drain();
+    const double servedMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - servedStart)
+            .count();
+    const double servedQps =
+        servedMs > 0.0
+            ? 1e3 * static_cast<double>(totalQueries) / servedMs
+            : 0.0;
+    report.lap("served");
+    server.stop();
+
+    // ---- Identity gates ------------------------------------------
+    std::size_t divergent = 0;
+    for (std::size_t i = 0; i < baselineQueries; ++i) {
+        if (servedHashes[i] != baselineHashes[i])
+            ++divergent;
+    }
+
+    std::uint64_t resultHash = 0x5e47e74aff1cULL;
+    for (std::size_t i = 0; i < totalQueries; ++i)
+        resultHash = hashCombine(resultHash, servedHashes[i]);
+
+    // ---- Report --------------------------------------------------
+    const ServerStats stats = server.stats();
+    obs::Telemetry &tel = obs::global();
+    const double p50 = tel.histogramQuantile("serve.e2e_us", 0.50);
+    const double p99 = tel.histogramQuantile("serve.e2e_us", 0.99);
+    const double p999 = tel.histogramQuantile("serve.e2e_us", 0.999);
+    const double queueP50 =
+        tel.histogramQuantile("serve.queue_us", 0.50);
+    std::uint64_t totalRetries = 0;
+    for (const std::uint64_t r : retries)
+        totalRetries += r;
+    const double speedup =
+        baselineQps > 0.0 ? servedQps / baselineQps : 0.0;
+
+    report.metric("total_queries",
+                  static_cast<double>(totalQueries));
+    report.metric("tenants", static_cast<double>(kTenants));
+    report.metric("shards", static_cast<double>(server.shards()));
+    report.metric("baseline_queries",
+                  static_cast<double>(baselineQueries));
+    report.metric("baseline_qps", baselineQps);
+    report.metric("served_qps", servedQps);
+    report.metric("served_speedup", speedup);
+    report.metric("executions",
+                  static_cast<double>(stats.executions));
+    report.metric("coalesced", static_cast<double>(stats.coalesced));
+    report.metric("batches", static_cast<double>(stats.batches));
+    report.metric("admission_retries",
+                  static_cast<double>(totalRetries));
+    report.metric("max_queue_depth",
+                  static_cast<double>(stats.maxDepth));
+    report.metric("p50_e2e_us", p50);
+    report.metric("p99_e2e_us", p99);
+    report.metric("p999_e2e_us", p999);
+    report.metric("p50_queue_us", queueP50);
+
+    std::cout << "Trace: " << totalQueries << " queries, "
+              << kTenants << " tenants, " << shapes.size()
+              << " shapes x " << kDatasets << " datasets over "
+              << modules.size() << " modules\n";
+    std::cout << "Serialized baseline: " << baselineQueries
+              << " queries in " << formatDouble(baselineMs, 1)
+              << " ms = " << formatDouble(baselineQps, 0)
+              << " queries/s\n";
+    std::cout << "Batched-concurrent: " << totalQueries
+              << " queries in " << formatDouble(servedMs, 1)
+              << " ms = " << formatDouble(servedQps, 0)
+              << " queries/s (" << formatDouble(speedup, 2)
+              << "x, " << server.shards() << " shard(s), "
+              << stats.executions << " executions after coalescing "
+              << stats.coalesced << ", " << totalRetries
+              << " admission retries)\n";
+    std::cout << "End-to-end latency: p50 " << formatDouble(p50, 1)
+              << " us, p99 " << formatDouble(p99, 1) << " us, p999 "
+              << formatDouble(p999, 1) << " us (queue p50 "
+              << formatDouble(queueP50, 1) << " us)\n";
+
+    std::printf("RESULT_HASH %016" PRIx64 "\n", resultHash);
+
+    recordCacheStats(report, *session);
+    report.save();
+
+    if (divergent != 0) {
+        std::cerr << "\nFAIL: " << divergent << "/" << baselineQueries
+                  << " served results diverged from the serialized "
+                     "baseline\n";
+        return 1;
+    }
+    if (stats.completed !=
+        static_cast<std::uint64_t>(totalQueries)) {
+        std::cerr << "\nFAIL: server completed " << stats.completed
+                  << " of " << totalQueries << " enqueued queries\n";
+        return 1;
+    }
+    if (speedup < 3.0 && !skipThroughputGate) {
+        std::cerr << "\nFAIL: batched-concurrent serving sustained "
+                  << formatDouble(speedup, 2)
+                  << "x the serialized baseline; the acceptance "
+                     "bound is 3x\n";
+        return 1;
+    }
+    std::cout << "\nPASS: every served result bit-identical to the "
+                 "serialized baseline; throughput "
+              << formatDouble(speedup, 2) << "x the submit loop.\n";
+    return 0;
+}

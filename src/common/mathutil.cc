@@ -1,5 +1,7 @@
 #include "common/mathutil.hh"
 
+#include <math.h> // lgamma_r: the reentrant lgamma (no signgam).
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -75,6 +77,27 @@ meanOf(const std::vector<double> &values)
     return sum / static_cast<double>(values.size());
 }
 
+namespace {
+
+/**
+ * Thread-safe log(m!). std::lgamma writes the process-global
+ * `signgam` — a data race when plans certify on concurrent serving
+ * threads — and every argument here is a non-negative integer, so
+ * the gamma sign is always +1 and the reentrant variant is exact.
+ */
+double
+logFactorial(int m)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(static_cast<double>(m) + 1.0, &sign);
+#else
+    return std::lgamma(static_cast<double>(m) + 1.0);
+#endif
+}
+
+} // namespace
+
 double
 binomialTail(int n, int k, double p)
 {
@@ -90,12 +113,11 @@ binomialTail(int n, int k, double p)
         return 1.0;
     const double logP = std::log(p);
     const double logQ = std::log1p(-p);
-    const double logFactN = std::lgamma(static_cast<double>(n) + 1.0);
+    const double logFactN = logFactorial(n);
     double tail = 0.0;
     for (int j = k; j <= n; ++j) {
         const double logTerm =
-            logFactN - std::lgamma(static_cast<double>(j) + 1.0) -
-            std::lgamma(static_cast<double>(n - j) + 1.0) +
+            logFactN - logFactorial(j) - logFactorial(n - j) +
             static_cast<double>(j) * logP +
             static_cast<double>(n - j) * logQ;
         tail += std::exp(logTerm);

@@ -125,12 +125,17 @@ struct Scheduler::Pool
     }
 };
 
+int
+Scheduler::hardwareWorkers()
+{
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
 Scheduler::Scheduler(int workers) : workers_(workers)
 {
-    if (workers_ <= 0) {
-        const unsigned hardware = std::thread::hardware_concurrency();
-        workers_ = hardware == 0 ? 1 : static_cast<int>(hardware);
-    }
+    if (workers_ <= 0)
+        workers_ = hardwareWorkers();
     if (workers_ > 1) {
         pool_ = std::make_unique<Pool>();
         // The calling thread drains jobs too, so workers_ - 1 pool

@@ -45,6 +45,13 @@ class Scheduler
     int workers() const { return workers_; }
 
     /**
+     * The hardware concurrency a default-constructed scheduler
+     * resolves to (at least one). Shared by the serving tier to size
+     * its default shard-thread count consistently with the pool.
+     */
+    static int hardwareWorkers();
+
+    /**
      * Execute task(0) .. task(numTasks - 1) and block until all have
      * finished. Runs inline when one worker suffices (workers() == 1,
      * a single task, a nested call from a pool worker, or a

@@ -493,6 +493,57 @@ Telemetry::histogramCells(const std::string &name) const
             merged.begin() + static_cast<std::ptrdiff_t>(slot + cells)};
 }
 
+std::vector<double>
+Telemetry::histogramBounds(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(regMutex_);
+    const MetricDef *def = findDef(name);
+    if (def == nullptr || def->kind != Kind::Histogram)
+        return {};
+    return def->bounds;
+}
+
+double
+Telemetry::histogramQuantile(const std::string &name, double q) const
+{
+    return quantileFromHistogramCells(histogramBounds(name),
+                                      histogramCells(name), q);
+}
+
+double
+quantileFromHistogramCells(const std::vector<double> &bounds,
+                           const std::vector<std::uint64_t> &cells,
+                           double q)
+{
+    // Layout contract: one count per bound, then overflow, then sum.
+    if (bounds.empty() || cells.size() < bounds.size() + 2)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds.size(); ++i)
+        total += cells[i];
+    if (total == 0)
+        return 0.0;
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        const std::uint64_t next = cumulative + cells[i];
+        if (cells[i] != 0 && static_cast<double>(next) >= rank) {
+            const double hi = bounds[i];
+            const double lo =
+                i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+            const double within =
+                (rank - static_cast<double>(cumulative)) /
+                static_cast<double>(cells[i]);
+            return lo + (hi - lo) * within;
+        }
+        cumulative = next;
+    }
+    // Rank lands in the overflow bucket: the layout records no upper
+    // edge there, so the estimate saturates at the last bound.
+    return bounds.back();
+}
+
 std::size_t
 Telemetry::spanEventCount() const
 {

@@ -183,6 +183,21 @@ class Telemetry
     std::vector<std::uint64_t>
     histogramCells(const std::string &name) const;
 
+    /**
+     * Bucket upper bounds of a registered histogram (the `le` labels
+     * of the text dump, overflow excluded). Empty when the name is
+     * unknown or not a histogram.
+     */
+    std::vector<double> histogramBounds(const std::string &name) const;
+
+    /**
+     * Estimated q-quantile (q in [0, 1]) of a registered histogram,
+     * linearly interpolated within the covering bucket
+     * (quantileFromHistogramCells over this histogram's merged
+     * cells). 0 when the name is unknown or the histogram is empty.
+     */
+    double histogramQuantile(const std::string &name, double q) const;
+
     std::size_t spanEventCount() const;
     std::size_t dramEventCount() const;
 
@@ -283,6 +298,20 @@ class Telemetry
 
 /** The process-wide sink the library instruments against. */
 Telemetry &global();
+
+/**
+ * Estimated q-quantile (q in [0, 1], clamped) from a histogram's
+ * bucket layout: @p bounds are the bucket upper bounds and @p cells
+ * is the Telemetry::histogramCells layout (per-bucket counts, then
+ * overflow, then sum). Linear interpolation within the covering
+ * bucket, Prometheus-style: the first bucket interpolates from 0 (or
+ * from its bound when that is negative), and a rank landing in the
+ * overflow bucket saturates to the last bound. 0 when @p bounds is
+ * empty, @p cells is malformed, or no observations were recorded.
+ */
+double quantileFromHistogramCells(const std::vector<double> &bounds,
+                                  const std::vector<std::uint64_t> &cells,
+                                  double q);
 
 /**
  * RAII (module, tile) shard selector for the calling thread. Set by

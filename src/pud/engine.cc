@@ -10,7 +10,6 @@
 
 #include "common/rng.hh"
 #include "fcdram/ops.hh"
-#include "pud/service.hh"
 
 namespace fcdram::pud {
 
@@ -325,7 +324,6 @@ PudEngine::PudEngine(std::shared_ptr<FleetSession> session,
         obs::global().enable(options_.telemetry);
 }
 
-PudEngine::~PudEngine() = default;
 
 MicroProgram
 PudEngine::compile(const ExprPool &pool, ExprId root) const
@@ -800,31 +798,6 @@ PudEngine::execute(const MicroProgram &program,
     return result;
 }
 
-QueryService &
-PudEngine::shimService() const
-{
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (shim_ == nullptr)
-        shim_ = std::make_shared<QueryService>(session_, options_);
-    return *shim_;
-}
-
-QueryResult
-PudEngine::run(const FleetSession::Module &module,
-               const ExprPool &pool, ExprId root,
-               const std::map<std::string, BitVector> &columns) const
-{
-    // Deprecated shim: one prepare -> bind -> submit -> collect per
-    // call. Repeated calls still amortize through the shim service's
-    // plan cache, but batching is out of reach from this signature.
-    QueryService &service = shimService();
-    const PreparedQuery prepared = service.prepare(pool, root);
-    const QueryTicket ticket =
-        service.submit({prepared.bind(columns)}, module);
-    BatchQueryResult batch = service.collect(ticket);
-    return std::move(batch.queries.front().modules.front().result);
-}
-
 QueryResult
 PudEngine::runOnChip(Chip &chip, std::uint64_t seed,
                      const ExprPool &pool, ExprId root,
@@ -836,20 +809,6 @@ PudEngine::runOnChip(Chip &chip, std::uint64_t seed,
     return execute(program, allocator, chip,
                    hashCombine(seed, options_.benderSeedSalt),
                    columns);
-}
-
-FleetQueryStats
-PudEngine::runFleet(FleetSession::Fleet fleet, const ExprPool &pool,
-                    ExprId root, std::uint64_t dataSeedSalt) const
-{
-    // Deprecated shim over the prepared-query lifecycle: the service
-    // compiles each distinct backend shape once, caches per-module
-    // placements, and runs one fleet pass.
-    QueryService &service = shimService();
-    const QueryTicket ticket = service.submit(
-        {service.prepare(pool, root).bindSeeded(dataSeedSalt)},
-        fleet);
-    return std::move(service.collect(ticket).queries.front());
 }
 
 } // namespace fcdram::pud

@@ -24,8 +24,8 @@
  * The engine is the compile/execute core; the public entry point for
  * issuing queries is the prepared-query lifecycle in pud/service.hh
  * (prepare -> bind -> submit -> collect), which caches compiled
- * μprograms and per-module placements across submits. The one-shot
- * run()/runFleet() methods remain as deprecated shims over it.
+ * μprograms and per-module placements across submits, and the
+ * concurrent serving tier in serve/server.hh layered on top of it.
  */
 
 #ifndef FCDRAM_PUD_ENGINE_HH
@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,8 +47,6 @@
 #include "verify/pressure.hh"
 
 namespace fcdram::pud {
-
-class QueryService;
 
 /**
  * Backend selection policy for query runs. The concrete basis a
@@ -342,9 +339,6 @@ class PudEngine
     explicit PudEngine(std::shared_ptr<FleetSession> session,
                        EngineOptions options = EngineOptions());
 
-    /** Out of line: QueryService is incomplete in this header. */
-    ~PudEngine();
-
     const EngineOptions &options() const { return options_; }
     const std::shared_ptr<FleetSession> &session() const
     {
@@ -378,19 +372,10 @@ class PudEngine
     backendCapability(const Chip &chip) const;
 
     /**
-     * Deprecated one-shot path: compile + allocate + execute on one
-     * fleet module. A thin shim over a single-query QueryService
-     * prepare -> bind -> submit -> collect (src/pud/service.hh) kept
-     * so out-of-tree callers still compile; repeated calls share the
-     * shim service's plan cache, but new code should hold a
-     * PreparedQuery and submit batches itself.
+     * One-shot compile + allocate + execute on a private chip (tests,
+     * custom profiles). Production callers hold a PreparedQuery and
+     * submit batches through QueryService (src/pud/service.hh).
      */
-    QueryResult run(const FleetSession::Module &module,
-                    const ExprPool &pool, ExprId root,
-                    const std::map<std::string, BitVector> &columns)
-        const;
-
-    /** Same, on a private chip (tests, custom profiles). */
     QueryResult
     runOnChip(Chip &chip, std::uint64_t seed, const ExprPool &pool,
               ExprId root,
@@ -426,31 +411,14 @@ class PudEngine
             std::uint64_t benderSeed,
             const std::map<std::string, BitVector> &columns) const;
 
-    /**
-     * Deprecated one-shot path: run one query on every module of a
-     * fleet slice, with per-module random column data derived from
-     * the module seed. A thin shim over QueryService
-     * prepare -> bindSeeded -> submit -> collect.
-     */
-    FleetQueryStats runFleet(FleetSession::Fleet fleet,
-                             const ExprPool &pool, ExprId root,
-                             std::uint64_t dataSeedSalt = 0xDA7AULL)
-        const;
-
     /** Deterministic random column data for fleet runs. */
     static std::map<std::string, BitVector>
     randomColumns(const std::vector<std::string> &names,
                   std::size_t bits, std::uint64_t seed);
 
   private:
-    /** Lazily built service behind the deprecated run()/runFleet(). */
-    QueryService &shimService() const;
-
     std::shared_ptr<FleetSession> session_;
     EngineOptions options_;
-
-    mutable std::mutex mutex_;
-    mutable std::shared_ptr<QueryService> shim_;
 };
 
 } // namespace fcdram::pud

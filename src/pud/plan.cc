@@ -38,6 +38,18 @@ PlanCacheStats::operator-(const PlanCacheStats &other) const
 
 PlanCache::PlanCache(const PudEngine &engine) : engine_(&engine) {}
 
+PlanCache::PlanShard &
+PlanCache::shardOf(std::uint64_t exprHash, std::size_t module)
+{
+    // hashCombine-style mix so (expression, module) pairs spread even
+    // when expression hashes share low bits.
+    const std::uint64_t mixed =
+        exprHash ^
+        (static_cast<std::uint64_t>(module) + 0x9e3779b97f4a7c15ULL +
+         (exprHash << 6) + (exprHash >> 2));
+    return planShards_[mixed % kPlanShards];
+}
+
 std::shared_ptr<const MicroProgram>
 PlanCache::programFor(std::uint64_t exprHash, const ExprPool &pool,
                       ExprId root, const Chip &chip,
@@ -46,7 +58,7 @@ PlanCache::programFor(std::uint64_t exprHash, const ExprPool &pool,
     const auto key = std::make_tuple(
         exprHash, static_cast<std::uint8_t>(backend), capability);
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::shared_lock<std::shared_mutex> lock(programMutex_);
         const auto it = programs_.find(key);
         if (it != programs_.end())
             return it->second;
@@ -60,20 +72,27 @@ PlanCache::programFor(std::uint64_t exprHash, const ExprPool &pool,
         return std::make_shared<const MicroProgram>(
             engine_->compileFor(pool, root, chip));
     }();
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] = programs_.emplace(key, program);
+    bool inserted = false;
+    std::shared_ptr<const MicroProgram> published;
+    {
+        const std::unique_lock<std::shared_mutex> lock(programMutex_);
+        const auto [it, fresh] = programs_.emplace(key, program);
+        inserted = fresh;
+        published = it->second;
+    }
     if (inserted) {
+        const std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.compiles;
         note("plancache.compiles");
     }
-    return it->second;
+    return published;
 }
 
 std::shared_ptr<const RowAllocator>
 PlanCache::allocatorFor(const FleetSession::Module &module,
                         Celsius temperature)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(allocatorMutex_);
     const auto key = std::make_pair(module.index, temperature);
     const auto it = allocators_.find(key);
     if (it != allocators_.end())
@@ -104,8 +123,11 @@ PlanCache::allocatorFor(const FleetSession::Module &module,
             *engine_->session(), module, engine_->options().allocator,
             temperature);
     }();
-    ++stats_.allocatorBuilds;
-    note("plancache.allocator_builds");
+    {
+        const std::lock_guard<std::mutex> statsLock(statsMutex_);
+        ++stats_.allocatorBuilds;
+        note("plancache.allocator_builds");
+    }
     allocators_.emplace(key, allocator);
     return allocator;
 }
@@ -116,23 +138,31 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
                 Celsius temperature)
 {
     const auto key = std::make_pair(exprHash, module.index);
+    PlanShard &shard = shardOf(exprHash, module.index);
     bool stale = false;
+    std::shared_ptr<const PlacementPlan> hit;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = plans_.find(key);
-        if (it != plans_.end()) {
-            if (it->second->temperature == temperature) {
-                // lookups is bumped together with its hit/miss
-                // classification so hits + misses == lookups holds at
-                // every instant (QueryService asserts it at collect).
-                ++stats_.lookups;
-                ++stats_.hits;
-                note("plancache.lookups");
-                note("plancache.hits");
-                return it->second;
-            }
-            stale = true;
+        // Warm path: shared lock only, so concurrent warm submits
+        // never serialize on the memoization map.
+        const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        const auto it = shard.plans.find(key);
+        if (it != shard.plans.end()) {
+            if (it->second->temperature == temperature)
+                hit = it->second;
+            else
+                stale = true;
         }
+    }
+    if (hit) {
+        // lookups is bumped together with its hit/miss
+        // classification so hits + misses == lookups holds at every
+        // instant (QueryService asserts it at collect).
+        const std::lock_guard<std::mutex> statsLock(statsMutex_);
+        ++stats_.lookups;
+        ++stats_.hits;
+        note("plancache.lookups");
+        note("plancache.hits");
+        return hit;
     }
 
     const Chip &chip = engine_->session()->chip(module);
@@ -242,7 +272,14 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
         }
     }
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    {
+        // Overwrite on a publish race: both racers derived the
+        // identical immutable plan, so last-writer-wins is benign.
+        const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        shard.plans[key] = plan;
+    }
+
+    const std::lock_guard<std::mutex> statsLock(statsMutex_);
     ++stats_.lookups;
     ++stats_.misses;
     ++stats_.placements;
@@ -253,14 +290,13 @@ PlanCache::plan(std::uint64_t exprHash, const ExprPool &pool,
         ++stats_.invalidations;
         note("plancache.invalidations");
     }
-    plans_[key] = plan;
     return plan;
 }
 
 PlanCacheStats
 PlanCache::stats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(statsMutex_);
     return stats_;
 }
 

@@ -35,10 +35,12 @@
 #ifndef FCDRAM_PUD_PLAN_HH
 #define FCDRAM_PUD_PLAN_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <tuple>
 #include <utility>
 
@@ -115,9 +117,22 @@ struct PlacementPlan
 
 /**
  * Thread-safe memoization of programs, allocators, and plans for one
- * QueryService. Entries are immutable once published; concurrent
- * fleet workers ask for disjoint (module) keys, so derivation runs
- * outside the cache lock.
+ * QueryService. Entries are immutable once published and derivation
+ * runs outside every cache lock.
+ *
+ * Built for the concurrent serving tier: the plan map is split into
+ * fixed shards, each guarded by a reader-writer lock, and the program
+ * map is reader-writer locked too, so warm concurrent submits (all
+ * hits) take only shared locks on the memoization structures and
+ * never serialize against each other. Two racing derivations of the
+ * same key both compute the identical immutable plan (derivation is
+ * pure) and the second publish overwrites the first harmlessly.
+ *
+ * The effectiveness ledger stays a single small mutex: its critical
+ * sections are a couple of integer increments, and keeping every
+ * counter behind one lock preserves the collect()-asserted invariant
+ * hits + misses == lookups at every instant (per-counter atomics
+ * could be snapshotted between the pairwise increments).
  */
 class PlanCache
 {
@@ -138,6 +153,24 @@ class PlanCache
     PlanCacheStats stats() const;
 
   private:
+    /**
+     * Plan-map shard count. A small power of two: shards only need to
+     * spread (expression, module) keys across locks well enough that
+     * warm submits from a handful of serving workers rarely meet on
+     * one shared_mutex.
+     */
+    static constexpr std::size_t kPlanShards = 16;
+
+    struct PlanShard
+    {
+        mutable std::shared_mutex mutex;
+        std::map<std::pair<std::uint64_t, std::size_t>,
+                 std::shared_ptr<const PlacementPlan>>
+            plans;
+    };
+
+    PlanShard &shardOf(std::uint64_t exprHash, std::size_t module);
+
     std::shared_ptr<const MicroProgram>
     programFor(std::uint64_t exprHash, const ExprPool &pool,
                ExprId root, const Chip &chip, ComputeBackend backend,
@@ -156,16 +189,20 @@ class PlanCache
 
     const PudEngine *engine_;
 
-    mutable std::mutex mutex_;
+    mutable std::shared_mutex programMutex_;
     std::map<std::tuple<std::uint64_t, std::uint8_t, int>,
              std::shared_ptr<const MicroProgram>>
         programs_;
+
+    /** Allocator builds are rare (one per module and temperature). */
+    std::mutex allocatorMutex_;
     std::map<std::pair<std::size_t, Celsius>,
              std::shared_ptr<const RowAllocator>>
         allocators_;
-    std::map<std::pair<std::uint64_t, std::size_t>,
-             std::shared_ptr<const PlacementPlan>>
-        plans_;
+
+    std::array<PlanShard, kPlanShards> planShards_;
+
+    mutable std::mutex statsMutex_;
     PlanCacheStats stats_;
 };
 

@@ -87,6 +87,16 @@ PreparedQuery::bindSeeded(std::uint64_t dataSeedSalt) const
     return bound;
 }
 
+std::pair<bool, std::uint64_t>
+BoundQuery::dataKey() const
+{
+    if (seeded_)
+        return {true, dataSeedSalt_};
+    return {false,
+            static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(columns_.get()))};
+}
+
 /**
  * Per-module fold of one submit: per-query rows plus the batch
  * ledgers. Folded in module order by runOverFleet (mergeFrom), so
@@ -140,45 +150,49 @@ QueryService::prepare(const ExprPool &pool, ExprId root)
 }
 
 void
+QueryService::validateBound(const BoundQuery &bound) const
+{
+    if (!bound.valid()) {
+        throw std::invalid_argument(
+            "QueryService::submit: unbound query in batch");
+    }
+    if (bound.seeded_)
+        return;
+    if (bound.columns_ == nullptr) {
+        // Defense in depth for release builds: the contract is
+        // std::invalid_argument, never a null dereference.
+        throw std::invalid_argument(
+            "QueryService::submit: binding carries no data");
+    }
+    const auto bits = static_cast<std::size_t>(
+        session_->config().geometry.columns);
+    for (const std::string &name : bound.query_.state_->columnNames) {
+        const auto it = bound.columns_->find(name);
+        if (it == bound.columns_->end()) {
+            throw std::invalid_argument(
+                "QueryService::submit: bound data misses "
+                "column '" +
+                name + "'");
+        }
+        if (it->second.size() != bits) {
+            std::ostringstream message;
+            message << "QueryService::submit: column '" << name
+                    << "' has " << it->second.size()
+                    << " bits, session geometry needs " << bits;
+            throw std::invalid_argument(message.str());
+        }
+    }
+}
+
+void
 QueryService::validate(const std::vector<BoundQuery> &batch) const
 {
     if (batch.empty()) {
         throw std::invalid_argument(
             "QueryService::submit: empty batch");
     }
-    const auto bits = static_cast<std::size_t>(
-        session_->config().geometry.columns);
-    for (const BoundQuery &bound : batch) {
-        if (!bound.valid()) {
-            throw std::invalid_argument(
-                "QueryService::submit: unbound query in batch");
-        }
-        if (bound.seeded_)
-            continue;
-        if (bound.columns_ == nullptr) {
-            // Defense in depth for release builds: the contract is
-            // std::invalid_argument, never a null dereference.
-            throw std::invalid_argument(
-                "QueryService::submit: binding carries no data");
-        }
-        for (const std::string &name :
-             bound.query_.state_->columnNames) {
-            const auto it = bound.columns_->find(name);
-            if (it == bound.columns_->end()) {
-                throw std::invalid_argument(
-                    "QueryService::submit: bound data misses "
-                    "column '" +
-                    name + "'");
-            }
-            if (it->second.size() != bits) {
-                std::ostringstream message;
-                message << "QueryService::submit: column '" << name
-                        << "' has " << it->second.size()
-                        << " bits, session geometry needs " << bits;
-                throw std::invalid_argument(message.str());
-            }
-        }
-    }
+    for (const BoundQuery &bound : batch)
+        validateBound(bound);
 }
 
 void
@@ -425,6 +439,7 @@ QueryService::setTemperature(Celsius temperature)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     temperatureOverride_ = temperature;
+    ++temperatureEpoch_;
 }
 
 void
@@ -432,6 +447,14 @@ QueryService::clearTemperature()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     temperatureOverride_.reset();
+    ++temperatureEpoch_;
+}
+
+std::uint64_t
+QueryService::temperatureEpoch() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return temperatureEpoch_;
 }
 
 } // namespace fcdram::pud

@@ -7,8 +7,8 @@
  *   submit(batch, fleet) -> QueryTicket     (one fleet pass)
  *   collect(ticket)      -> BatchQueryResult (results + cache counters)
  *
- * The one-shot PudEngine::run() re-paid compilation, slot ranking,
- * and reliability-mask derivation on every call; the service
+ * A one-shot run would re-pay compilation, slot ranking, and
+ * reliability-mask derivation on every call; the service
  * amortizes them the way bulk-bitwise substrates assume queries are
  * issued repeatedly over resident data (Buddy-RAM): prepare caches
  * the compiled μprogram per backend shape, and a lazily built
@@ -38,6 +38,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pud/engine.hh"
@@ -93,7 +94,7 @@ class PreparedQuery
     /**
      * Attach per-module deterministic random data derived from
      * hashCombine(module seed, @p dataSeedSalt) — the fleet-sweep
-     * binding (matches the deprecated PudEngine::runFleet data).
+     * binding used by fleet benchmarks and campaign sweeps.
      */
     BoundQuery
     bindSeeded(std::uint64_t dataSeedSalt = kDefaultDataSeedSalt)
@@ -130,6 +131,17 @@ class BoundQuery
 
     /** True for bindSeeded (per-module data from the module seed). */
     bool seeded() const { return seeded_; }
+
+    /**
+     * Identity key of the bound dataset, for request coalescing in
+     * the serving tier: two bindings with equal keys are guaranteed
+     * to feed identical column data to any given module. Seeded
+     * bindings compare by data-seed salt (their data is a pure
+     * function of module seed and salt); explicit bindings compare by
+     * the identity of the shared immutable dataset (the pointer), so
+     * equal keys mean the same object, never a deep comparison.
+     */
+    std::pair<bool, std::uint64_t> dataKey() const;
 
   private:
     friend class PreparedQuery;
@@ -189,8 +201,9 @@ struct BatchQueryResult
 
 /**
  * The prepared-query service over one fleet session. Thread safe;
- * ticket ids follow the submit call order. The deprecated
- * PudEngine::run()/runFleet() are thin shims over this class.
+ * ticket ids follow the submit call order. The concurrent serving
+ * tier (serve/server.hh) layers batching windows, admission control,
+ * and tenant fairness on top of this class.
  */
 class QueryService
 {
@@ -243,6 +256,23 @@ class QueryService
     void setTemperature(Celsius temperature);
     void clearTemperature();
 
+    /**
+     * Monotone counter bumped by every setTemperature /
+     * clearTemperature call. The serving tier stamps queries with the
+     * epoch at enqueue time so one batching window never coalesces
+     * bindings from both sides of a temperature change.
+     */
+    std::uint64_t temperatureEpoch() const;
+
+    /**
+     * Validate one binding exactly as submit() would: a bound query
+     * whose explicit columns cover the expression at the session
+     * geometry. @throws std::invalid_argument otherwise. The serving
+     * tier fails invalid queries synchronously at enqueue instead of
+     * poisoning a whole batch at flush time.
+     */
+    void validateBound(const BoundQuery &bound) const;
+
     /** Cumulative plan-cache counters (per-submit deltas ride the
      * BatchQueryResult). */
     PlanCacheStats planCacheStats() const { return cache_.stats(); }
@@ -267,6 +297,7 @@ class QueryService
 
     mutable std::mutex mutex_;
     std::optional<Celsius> temperatureOverride_;
+    std::uint64_t temperatureEpoch_ = 0;
     std::uint64_t nextSequence_ = 1;
     std::map<std::uint64_t, BatchQueryResult> pending_;
 };

@@ -48,4 +48,34 @@ Histogram::binFraction(std::size_t i) const
     return static_cast<double>(binCount(i)) / static_cast<double>(total_);
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double rank = q * static_cast<double>(total_);
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    std::uint64_t cumulative = 0;
+    double lastEdge = lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t next = cumulative + counts_[i];
+        if (counts_[i] != 0) {
+            const double binLo = lo_ + width * static_cast<double>(i);
+            lastEdge = binLo + width;
+            if (static_cast<double>(next) >= rank) {
+                const double within =
+                    (rank - static_cast<double>(cumulative)) /
+                    static_cast<double>(counts_[i]);
+                return binLo + width * within;
+            }
+        }
+        cumulative = next;
+    }
+    return lastEdge;
+}
+
 } // namespace fcdram

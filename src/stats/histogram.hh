@@ -42,6 +42,14 @@ class Histogram
     /** Fraction of samples in bin @p i (0 if no samples). */
     double binFraction(std::size_t i) const;
 
+    /**
+     * Estimated q-quantile (q in [0, 1], clamped) of the recorded
+     * samples, linearly interpolated within the covering bin. Returns
+     * the lower bound when empty; q = 1 returns the upper edge of the
+     * last populated bin.
+     */
+    double quantile(double q) const;
+
   private:
     double lo_;
     double hi_;

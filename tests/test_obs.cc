@@ -312,6 +312,52 @@ TEST(TelemetryRegistry, HistogramBucketBoundaries)
     EXPECT_TRUE(tel.histogramCells("t.count.missing").empty());
 }
 
+TEST(TelemetryRegistry, HistogramQuantileFromRegistry)
+{
+    obs::Telemetry tel;
+    tel.configure(metricsOnly());
+    const obs::MetricId h =
+        tel.histogram("t.lat", {1.0, 2.0, 4.0, 8.0});
+    // Ten observations per bucket: quantiles hit bucket edges at the
+    // cumulative fractions and interpolate linearly in between.
+    for (int i = 0; i < 10; ++i) {
+        tel.observe(h, 0.5);
+        tel.observe(h, 1.5);
+        tel.observe(h, 3.0);
+        tel.observe(h, 6.0);
+    }
+    EXPECT_EQ(tel.histogramBounds("t.lat"),
+              (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.lat", 0.25), 1.0);
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.lat", 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.lat", 0.75), 4.0);
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.lat", 0.125), 0.5);
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.lat", 0.625), 3.0);
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.lat", 1.0), 8.0);
+    EXPECT_TRUE(tel.histogramBounds("t.missing").empty());
+    EXPECT_DOUBLE_EQ(tel.histogramQuantile("t.missing", 0.5), 0.0);
+}
+
+TEST(TelemetryRegistry, QuantileFromCellsOverflowAndMalformed)
+{
+    const std::vector<double> bounds{1.0, 2.0};
+    // Cells layout: per-bucket counts, overflow, sum. One in-range
+    // observation and nine in overflow: the tail quantile saturates
+    // at the last bound because overflow has no upper edge.
+    const std::vector<std::uint64_t> cells{1, 0, 9, 123};
+    EXPECT_DOUBLE_EQ(
+        obs::quantileFromHistogramCells(bounds, cells, 0.99), 2.0);
+    EXPECT_DOUBLE_EQ(
+        obs::quantileFromHistogramCells(bounds, cells, 0.05), 0.5);
+    EXPECT_DOUBLE_EQ(obs::quantileFromHistogramCells({}, cells, 0.5),
+                     0.0);
+    EXPECT_DOUBLE_EQ(
+        obs::quantileFromHistogramCells(bounds, {1, 2}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(
+        obs::quantileFromHistogramCells(bounds, {0, 0, 0, 0}, 0.5),
+        0.0);
+}
+
 TEST(TelemetryRegistry, ReRegistrationIsIdempotentByNameOnly)
 {
     obs::Telemetry tel;

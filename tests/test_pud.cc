@@ -691,9 +691,9 @@ TEST_F(PudEngineTest, MajBackendPlacesOnSimraGroups)
 
 TEST_F(PudEngineTest, FleetRunIsDeterministicAcrossWorkerCounts)
 {
-    // Exercises the deprecated runFleet() shim end to end (it rides
-    // the prepared-query lifecycle internally); the service-level
-    // determinism test lives in test_queryservice.cc.
+    // Exercises the prepared-query lifecycle end to end over a fleet
+    // slice; the richer service-level determinism coverage lives in
+    // test_queryservice.cc.
     ExprPool pool;
     const auto cols = makeColumns(pool, 2);
     const ExprId root = pool.mkAnd(cols);
@@ -703,12 +703,15 @@ TEST_F(PudEngineTest, FleetRunIsDeterministicAcrossWorkerCounts)
     CampaignConfig parallel = CampaignConfig::forTests();
     parallel.workers = 4;
 
-    const FleetQueryStats a =
-        PudEngine(std::make_shared<FleetSession>(serial))
-            .runFleet(FleetSession::Fleet::SkHynix, pool, root);
-    const FleetQueryStats b =
-        PudEngine(std::make_shared<FleetSession>(parallel))
-            .runFleet(FleetSession::Fleet::SkHynix, pool, root);
+    const auto fleetOnce = [&](const CampaignConfig &config) {
+        QueryService service(std::make_shared<FleetSession>(config));
+        const QueryTicket ticket = service.submit(
+            {service.prepare(pool, root).bindSeeded()},
+            FleetSession::Fleet::SkHynix);
+        return std::move(service.collect(ticket).queries.front());
+    };
+    const FleetQueryStats a = fleetOnce(serial);
+    const FleetQueryStats b = fleetOnce(parallel);
 
     ASSERT_EQ(a.modules.size(), b.modules.size());
     ASSERT_FALSE(a.modules.empty());

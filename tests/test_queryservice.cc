@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hh"
@@ -22,8 +24,9 @@ using namespace fcdram::pud;
 /**
  * QueryService lifecycle tests: prepare -> bind -> submit -> collect
  * semantics, plan-cache hit/miss/invalidation counters, equivalence
- * with the deprecated one-shot PudEngine::run() shim, worker-count
- * invariance of results and ticket ids, and the Auto backend default.
+ * of warm submits with cold fresh-service runs, worker-count
+ * invariance of results and ticket ids, concurrent-submit ledger
+ * integrity, and the Auto backend default.
  */
 
 std::vector<ExprId>
@@ -124,7 +127,7 @@ TEST_F(QueryServiceTest, PreparedQueryIsSelfContained)
 TEST_F(QueryServiceTest, WarmSubmitIsBitIdenticalToColdRuns)
 {
     // The plan-cache contract: the same PreparedQuery submitted twice
-    // must be bit-identical to two cold one-shot run() calls, with
+    // must be bit-identical to cold submits on a fresh service, with
     // the second submit served from the plan cache (zero compiles,
     // zero placements).
     EngineOptions options;
@@ -155,10 +158,18 @@ TEST_F(QueryServiceTest, WarmSubmitIsBitIdenticalToColdRuns)
     EXPECT_EQ(second.cache.placements, 0u);
     EXPECT_EQ(second.cache.allocatorBuilds, 0u);
 
-    // A separate engine replays the deprecated one-shot path twice.
-    PudEngine engine(session_, options);
-    const QueryResult coldA = engine.run(module, pool, root, data);
-    const QueryResult coldB = engine.run(module, pool, root, data);
+    // A separate service with an empty plan cache replays the same
+    // query cold, twice.
+    const auto coldRun = [&] {
+        QueryService fresh(session_, options);
+        const PreparedQuery coldPrepared = fresh.prepare(pool, root);
+        BatchQueryResult batch = fresh.collect(
+            fresh.submit({coldPrepared.bind(data)}, module));
+        return std::move(
+            batch.queries.front().modules.front().result);
+    };
+    const QueryResult coldA = coldRun();
+    const QueryResult coldB = coldRun();
 
     const QueryResult &warmA =
         first.queries.front().modules.front().result;
@@ -379,6 +390,56 @@ TEST_F(QueryServiceTest, SubmitValidatesBindings)
         service.submit({prepared.bind(makeData(2, bits() + 1, 7))},
                        frontModule()),
         std::invalid_argument);
+}
+
+TEST_F(QueryServiceTest, ConcurrentSubmitsKeepLedgerExact)
+{
+    // Satellite of the serving tier: N client threads hammer ONE
+    // QueryService with disjoint prepared batches; the sharded plan
+    // cache must keep the stats ledger exact under the race
+    // (collect() itself throws on a torn hits + misses != lookups).
+    QueryService service(session_);
+    const auto &modules = session_->modules(FleetSession::Fleet::SkHynix);
+
+    constexpr int kThreads = 4;
+    constexpr int kSubmitsPerThread = 8;
+
+    // One plan shape per thread so every thread exercises its own
+    // cold-miss path before going warm.
+    std::vector<PreparedQuery> prepared;
+    std::vector<ExprPool> pools(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        const auto cols = makeColumns(pools[t], 2 + t);
+        prepared.push_back(
+            service.prepare(pools[t], pools[t].mkAnd(cols)));
+    }
+
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kSubmitsPerThread; ++i) {
+                const auto &module =
+                    modules[static_cast<std::size_t>(
+                                t * kSubmitsPerThread + i) %
+                            modules.size()];
+                const QueryTicket ticket = service.submit(
+                    {prepared[static_cast<std::size_t>(t)].bindSeeded(
+                        static_cast<std::uint64_t>(t * 100 + i))},
+                    module);
+                const BatchQueryResult result =
+                    service.collect(ticket);
+                ASSERT_EQ(result.queries.size(), 1u);
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    const PlanCacheStats stats = service.planCacheStats();
+    EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+    EXPECT_EQ(stats.lookups,
+              static_cast<std::uint64_t>(kThreads * kSubmitsPerThread));
 }
 
 TEST_F(QueryServiceTest, AutoBackendIsTheDefaultAndPicksSimra)
